@@ -1,0 +1,301 @@
+//! Criterion microbenchmarks for the substrate costs behind the
+//! experiments: tree operations, ADORE step latencies, invariant
+//! evaluation (including the rdist ablation), checker throughput, trace
+//! normalization, and simulated-cluster request latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use adore_checker::{explore, ExploreParams, InvariantSuite};
+use adore_core::majority::Majority;
+use adore_core::{
+    invariants, node_set, AdoreState, NodeId, PullDecision, PushDecision, ReconfigGuard, Timestamp,
+};
+use adore_kv::{Cluster, KvCommand, LatencyModel};
+use adore_raft::{normalize, random_trace, ScheduleParams};
+use adore_schemes::SingleNode;
+use adore_tree::Tree;
+
+/// Builds an ADORE state with `rounds` election/invoke/commit rounds plus a
+/// guarded reconfiguration per round.
+fn build_state(rounds: u64) -> AdoreState<SingleNode, &'static str> {
+    let mut st = AdoreState::new(SingleNode::new([1, 2, 3]));
+    for r in 0..rounds {
+        let t = Timestamp(r + 1);
+        st.pull(
+            NodeId(1),
+            &PullDecision::Ok {
+                supporters: node_set([1, 2]),
+                time: t,
+            },
+        )
+        .expect("valid pull");
+        let m = st.invoke(NodeId(1), "m").applied().expect("leader invokes");
+        st.push(
+            NodeId(1),
+            &PushDecision::Ok {
+                supporters: node_set([1, 2]),
+                target: m,
+            },
+        )
+        .expect("valid push");
+        let _ = st.reconfig(NodeId(1), SingleNode::new([1, 2, 3]), ReconfigGuard::all());
+    }
+    st
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree");
+    group.bench_function("add_leaf_chain_1k", |b| {
+        b.iter(|| {
+            let mut tree = Tree::new(0u32);
+            let mut cur = Tree::<u32>::ROOT;
+            for i in 0..1_000 {
+                cur = tree.add_leaf(cur, i).expect("parent exists");
+            }
+            tree
+        });
+    });
+    let mut tree = Tree::new(0u32);
+    let mut tips = vec![Tree::<u32>::ROOT];
+    for i in 0..1_000 {
+        let parent = tips[i % tips.len()];
+        tips.push(tree.add_leaf(parent, i as u32).expect("parent exists"));
+    }
+    let a = tips[500];
+    let b_node = tips[900];
+    group.bench_function("nca_1k_nodes", |b| {
+        b.iter(|| tree.nearest_common_ancestor(a, b_node));
+    });
+    group.bench_function("path_interior_1k_nodes", |b| {
+        b.iter(|| tree.path_interior(a, b_node));
+    });
+    group.bench_function("check_well_formed_1k", |b| {
+        b.iter(|| tree.check_well_formed());
+    });
+    group.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adore_ops");
+    let st = build_state(8);
+    group.bench_function("pull_step", |b| {
+        b.iter(|| {
+            let mut s = st.clone();
+            s.pull(
+                NodeId(2),
+                &PullDecision::Ok {
+                    supporters: node_set([2, 3]),
+                    time: Timestamp(100),
+                },
+            )
+            .expect("valid pull")
+        });
+    });
+    group.bench_function("invoke_step", |b| {
+        b.iter(|| {
+            let mut s = st.clone();
+            s.invoke(NodeId(1), "x")
+        });
+    });
+    group.bench_function("enumerate_pull_decisions", |b| {
+        b.iter(|| adore_core::enumerate::pull_decisions(&st, NodeId(2)));
+    });
+    group.bench_function("enumerate_push_decisions", |b| {
+        b.iter(|| adore_core::enumerate::push_decisions(&st, NodeId(1)));
+    });
+    group.finish();
+}
+
+fn bench_invariants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invariants");
+    for rounds in [4u64, 16, 64] {
+        let st = build_state(rounds);
+        group.bench_with_input(BenchmarkId::new("check_safety", rounds), &st, |b, st| {
+            b.iter(|| invariants::check_safety(st));
+        });
+        group.bench_with_input(BenchmarkId::new("check_all", rounds), &st, |b, st| {
+            b.iter(|| invariants::check_all(st));
+        });
+        group.bench_with_input(BenchmarkId::new("tree_rdist", rounds), &st, |b, st| {
+            b.iter(|| invariants::tree_rdist(st));
+        });
+        // Ablation: the per-reconfig guard checks R2/R3 walk the active
+        // branch; measure them on the deepest cache.
+        let deepest = st.tree().ids().last().expect("non-empty tree");
+        group.bench_with_input(BenchmarkId::new("r2_r3_guards", rounds), &st, |b, st| {
+            b.iter(|| (st.r2_holds(deepest), st.r3_holds(deepest)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    group.sample_size(10);
+    group.bench_function("explore_2n_depth4_cado", |b| {
+        b.iter(|| {
+            explore(
+                &SingleNode::new([1, 2]),
+                &ExploreParams {
+                    max_depth: 4,
+                    with_reconfig: false,
+                    spare_nodes: 0,
+                    suite: InvariantSuite::SafetyOnly,
+                    ..ExploreParams::default()
+                },
+            )
+        });
+    });
+    group.bench_function("explore_2n_depth4_adore", |b| {
+        b.iter(|| {
+            explore(
+                &SingleNode::new([1, 2]),
+                &ExploreParams {
+                    max_depth: 4,
+                    spare_nodes: 1,
+                    suite: InvariantSuite::SafetyOnly,
+                    ..ExploreParams::default()
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement");
+    group.sample_size(10);
+    let conf0 = SingleNode::new([1, 2, 3]);
+    let trace = random_trace(
+        &conf0,
+        ReconfigGuard::all(),
+        &ScheduleParams {
+            steps: 150,
+            ..ScheduleParams::default()
+        },
+        1,
+        1,
+    );
+    group.bench_function("normalize_150_events", |b| {
+        b.iter(|| normalize(&conf0, ReconfigGuard::all(), &trace).expect("equivalence holds"));
+    });
+    group.bench_function("check_refinement_150_events", |b| {
+        b.iter(|| {
+            adore_raft::check_refinement(&conf0, ReconfigGuard::all(), &trace, true)
+                .expect("equivalence holds")
+        });
+    });
+    group.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kv_cluster");
+    group.sample_size(20);
+    group.bench_function("serve_100_requests_5n", |b| {
+        b.iter(|| {
+            let mut cluster =
+                Cluster::new(SingleNode::new([1, 2, 3, 4, 5]), LatencyModel::default(), 1);
+            cluster.elect(NodeId(1)).expect("election succeeds");
+            for i in 0..100 {
+                cluster
+                    .submit(KvCommand::put(format!("k{i}"), "v"))
+                    .expect("commit succeeds");
+            }
+            cluster
+        });
+    });
+    group.finish();
+}
+
+fn bench_majority_baseline(c: &mut Criterion) {
+    // The Majority scheme is the CADO baseline; compare a pull step under
+    // it against the single-node scheme (the ablation DESIGN.md calls out:
+    // scheme complexity does not leak into step cost).
+    let mut group = c.benchmark_group("scheme_ablation");
+    let st_major: AdoreState<Majority, &'static str> = AdoreState::new(Majority::new([1, 2, 3]));
+    let st_single: AdoreState<SingleNode, &'static str> =
+        AdoreState::new(SingleNode::new([1, 2, 3]));
+    group.bench_function("pull_majority", |b| {
+        b.iter(|| {
+            let mut s = st_major.clone();
+            s.pull(
+                NodeId(1),
+                &PullDecision::Ok {
+                    supporters: node_set([1, 2]),
+                    time: Timestamp(1),
+                },
+            )
+            .expect("valid pull")
+        });
+    });
+    group.bench_function("pull_single_node", |b| {
+        b.iter(|| {
+            let mut s = st_single.clone();
+            s.pull(
+                NodeId(1),
+                &PullDecision::Ok {
+                    supporters: node_set([1, 2]),
+                    time: Timestamp(1),
+                },
+            )
+            .expect("valid pull")
+        });
+    });
+    group.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    use adore_schemes::{powerset_configs, validate};
+    let mut group = c.benchmark_group("schemes");
+    let universe = node_set([1, 2, 3, 4]);
+    let configs = powerset_configs(&universe, SingleNode::from_set);
+    group.bench_function("validate_single_node_4n", |b| {
+        b.iter(|| validate(&configs));
+    });
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    use adore_kv::{run_churn, ChurnParams};
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(10);
+    group.bench_function("repair_200_requests", |b| {
+        b.iter(|| {
+            run_churn(
+                &ChurnParams {
+                    crash_every: 40,
+                    total_requests: 200,
+                    ..ChurnParams::default()
+                },
+                1,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_shrink(c: &mut Criterion) {
+    use adore_checker::{fig4_scenario, shrink_trace};
+    let mut group = c.benchmark_group("shrink");
+    group.sample_size(10);
+    let scenario = fig4_scenario(ReconfigGuard::all().without_r3());
+    group.bench_function("shrink_fig4_trace", |b| {
+        b.iter(|| shrink_trace(&scenario.conf0, scenario.guard, &scenario.ops));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree,
+    bench_ops,
+    bench_invariants,
+    bench_checker,
+    bench_refinement,
+    bench_cluster,
+    bench_majority_baseline,
+    bench_schemes,
+    bench_churn,
+    bench_shrink
+);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Experiment E2 — the mechanized-effort analogue of §7 "Proof Effort".
+//!
+//! The paper compares verification effort across abstraction levels: CADO
+//! (no reconfiguration, 1.3k LoC / 2 person-weeks), full ADORE (+3 weeks),
+//! and network-based approaches (Advert's 5k LoC for non-reconfigurable
+//! multi-Paxos; MongoDB's 5–6 person-months for a network-level
+//! reconfiguration proof). The executable analogue measures the cost of
+//! *exhaustively certifying safety* in each model at equal protocol
+//! progress: states, transitions, and wall-clock. The ordering the paper
+//! reports — CADO < ADORE ≪ network-based — falls out of the state counts.
+//!
+//! Usage: `cargo run -p adore-bench --bin effort_table --release`
+
+use adore_bench::{fmt_duration, print_table};
+use adore_checker::{explore, explore_net, ExploreParams, InvariantSuite, NetExploreParams};
+use adore_schemes::SingleNode;
+
+fn main() {
+    let conf0 = SingleNode::new([1, 2]);
+    // One committed command costs 3 ADORE operations (pull, invoke, push)
+    // but 5 network events (elect, vote delivery, invoke, commit
+    // broadcast, ack delivery) on two nodes, so the two-commit horizon is
+    // depth 6 for ADORE and depth 10 for the network model.
+    let adore_depth = 6usize;
+    let net_depth = 10usize;
+
+    let mut rows = Vec::new();
+
+    let cado = explore(
+        &conf0,
+        &ExploreParams {
+            max_depth: adore_depth,
+            with_reconfig: false,
+            spare_nodes: 0,
+            suite: InvariantSuite::Full,
+            max_states: 2_000_000,
+            ..ExploreParams::default()
+        },
+    );
+    rows.push(vec![
+        "CADO (no reconfig)".to_string(),
+        format!("{adore_depth} ops"),
+        cado.states.to_string(),
+        cado.transitions.to_string(),
+        fmt_duration(cado.elapsed),
+        if cado.is_safe() { "✓ safe" } else { "✗" }.to_string(),
+    ]);
+
+    let adore = explore(
+        &conf0,
+        &ExploreParams {
+            max_depth: adore_depth,
+            with_reconfig: true,
+            spare_nodes: 1,
+            suite: InvariantSuite::Full,
+            max_states: 2_000_000,
+            ..ExploreParams::default()
+        },
+    );
+    rows.push(vec![
+        "ADORE (single-node reconfig)".to_string(),
+        format!("{adore_depth} ops"),
+        adore.states.to_string(),
+        adore.transitions.to_string(),
+        fmt_duration(adore.elapsed),
+        if adore.is_safe() { "✓ safe" } else { "✗" }.to_string(),
+    ]);
+
+    let net = explore_net(
+        &conf0,
+        &NetExploreParams {
+            max_depth: net_depth,
+            with_reconfig: false,
+            spare_nodes: 0,
+            max_states: 3_000_000,
+            ..NetExploreParams::default()
+        },
+    );
+    rows.push(vec![
+        "network-based (no reconfig)".to_string(),
+        format!("{net_depth} events"),
+        format!("{}{}", net.states, if net.truncated { "+" } else { "" }),
+        net.transitions.to_string(),
+        fmt_duration(net.elapsed),
+        if net.log_safety_violated {
+            "✗"
+        } else {
+            "✓ safe"
+        }
+        .to_string(),
+    ]);
+
+    let net_reconf = explore_net(
+        &conf0,
+        &NetExploreParams {
+            max_depth: net_depth,
+            with_reconfig: true,
+            spare_nodes: 1,
+            max_states: 3_000_000,
+            ..NetExploreParams::default()
+        },
+    );
+    rows.push(vec![
+        "network-based (single-node reconfig)".to_string(),
+        format!("{net_depth} events"),
+        format!(
+            "{}{}",
+            net_reconf.states,
+            if net_reconf.truncated { "+" } else { "" }
+        ),
+        net_reconf.transitions.to_string(),
+        fmt_duration(net_reconf.elapsed),
+        if net_reconf.log_safety_violated {
+            "✗"
+        } else {
+            "✓ safe"
+        }
+        .to_string(),
+    ]);
+
+    println!("§7 'Proof Effort' analogue — exhaustive safety certification cost");
+    println!("(2-node cluster, two-commit horizon, full invariant suite for ADORE)\n");
+    print_table(
+        &[
+            "model",
+            "horizon",
+            "states",
+            "transitions",
+            "time",
+            "verdict",
+        ],
+        &rows,
+    );
+    println!("\npaper: CADO 1.3k LoC / 2 wk; ADORE 4.5k LoC / +3 wk; network-level multi-Paxos");
+    println!("(Advert) 5k LoC without reconfiguration; MongoDB's network-level reconfiguration");
+    println!("proof took 5-6 person-months. The same ordering appears above as state-space cost.");
+
+    assert!(
+        adore.states >= cado.states,
+        "reconfiguration never shrinks the space"
+    );
+    assert!(
+        net_reconf.states > adore.states,
+        "network-level reconfiguration dominates everything"
+    );
+}

@@ -1,0 +1,113 @@
+//! Experiment E1 — regenerates **Fig. 16**: Raft performance under live
+//! reconfiguration.
+//!
+//! Runs the 5 → 3 → 5 workload (1000 requests per phase, reconfiguring
+//! between phases) over eight seeded simulated-network runs and prints the
+//! per-request max/mean/min latency series the paper plots, bucketed for
+//! terminal readability, plus an ASCII sparkline of the mean curve.
+//!
+//! Usage: `cargo run -p adore-bench --bin fig16 --release [requests_per_phase]`
+
+use adore_bench::print_table;
+use adore_kv::{aggregate, run_fig16, Fig16Params};
+
+fn main() {
+    let requests_per_phase: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let params = Fig16Params {
+        requests_per_phase,
+        ..Fig16Params::default()
+    };
+    let runs: Vec<_> = (0..8)
+        .map(|seed| run_fig16(&params, seed).expect("loss-free simulation cannot stall"))
+        .collect();
+    for run in &runs {
+        assert_eq!(run.records.len(), 3 * requests_per_phase);
+    }
+    let agg = aggregate(&runs);
+
+    println!("Fig. 16 — latency under reconfiguration (8 runs, simulated network)");
+    println!(
+        "workload: {requests_per_phase} requests per phase; reconfigurations at {} (5→3) and {} (3→5)\n",
+        requests_per_phase,
+        2 * requests_per_phase
+    );
+
+    // Bucketed table (the paper plots per-request; a terminal wants fewer
+    // rows). Buckets near the reconfiguration points are kept fine-grained.
+    let bucket = (requests_per_phase / 10).max(1);
+    let mut rows = Vec::new();
+    let mut i = 0;
+    while i < agg.len() {
+        let phase_boundary = i == requests_per_phase || i == 2 * requests_per_phase;
+        let width = if phase_boundary {
+            1
+        } else {
+            bucket.min(agg.len() - i)
+        };
+        let slice = &agg[i..i + width];
+        let min = slice.iter().map(|x| x.0).min().expect("non-empty");
+        let mean = slice.iter().map(|x| x.1).sum::<u64>() / width as u64;
+        let max = slice.iter().map(|x| x.2).max().expect("non-empty");
+        let size = runs[0].records[i].cluster_size;
+        rows.push(vec![
+            if width == 1 {
+                format!("{i}")
+            } else {
+                format!("{}..{}", i, i + width - 1)
+            },
+            format!("({size})"),
+            format!("{:.2}", min as f64 / 1000.0),
+            format!("{:.2}", mean as f64 / 1000.0),
+            format!("{:.2}", max as f64 / 1000.0),
+        ]);
+        i += width;
+    }
+    print_table(
+        &["requests", "nodes", "min (ms)", "mean (ms)", "max (ms)"],
+        &rows,
+    );
+
+    // Sparkline of the mean latency (log-ish bucketing of magnitude).
+    let glyphs = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let means: Vec<u64> = agg.iter().map(|x| x.1).collect();
+    let hi = *means.iter().max().expect("non-empty") as f64;
+    let lo = *means.iter().min().expect("non-empty") as f64;
+    let cols = 120usize;
+    let per = means.len().div_ceil(cols);
+    let line: String = means
+        .chunks(per)
+        .map(|c| {
+            let m = *c.iter().max().expect("non-empty") as f64;
+            let idx = if hi > lo {
+                (((m - lo) / (hi - lo)) * (glyphs.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            glyphs[idx]
+        })
+        .collect();
+    println!(
+        "\nmean latency, {} requests per column (spikes at the reconfiguration points):",
+        per
+    );
+    println!("{line}");
+    for (idx, what) in &runs[0].reconfigs {
+        println!("  reconfig @ request {idx}: {what}");
+    }
+
+    // Paper-shape assertions: reconfiguration adds a bounded, local delay.
+    let steady_5 = means[requests_per_phase / 2];
+    let first_after_growth = means[2 * requests_per_phase];
+    assert!(
+        first_after_growth > steady_5,
+        "growth transition should cost more than steady state"
+    );
+    println!(
+        "\nshape check: steady-state mean {:.2}ms; first request after 3→5 growth {:.2}ms (catch-up transfer)",
+        steady_5 as f64 / 1000.0,
+        first_after_growth as f64 / 1000.0
+    );
+}

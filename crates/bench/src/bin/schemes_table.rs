@@ -1,0 +1,153 @@
+//! Experiment E4 — the §7 instantiation table: six reconfiguration schemes
+//! validated against the REFLEXIVE and OVERLAP assumptions.
+//!
+//! The paper instantiates the `isQuorum`/`R1⁺` parameters six times
+//! ("about 200 lines in total for both the definitions and proofs"). Here
+//! each instantiation is certified **exhaustively** over a bounded
+//! universe: every `R1⁺`-related configuration pair and every pair of
+//! supporter subsets. The table reports how many instances each scheme's
+//! obligations were checked on.
+//!
+//! Usage: `cargo run -p adore-bench --bin schemes_table --release`
+
+use adore_bench::{fmt_duration, print_table};
+use adore_core::{node_set, Configuration};
+use adore_schemes::{
+    powerset_configs, validate, ByzantineQuorum, DynamicQuorum, Joint, ManagedPrimary,
+    PrimaryBackup, SingleNode, StaticMajority, ValidationReport, WeightedMajority,
+};
+
+fn row<C: Configuration>(
+    name: &str,
+    configs: Vec<C>,
+) -> (String, ValidationReport, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let report = validate(&configs);
+    (name.to_string(), report, start.elapsed())
+}
+
+fn main() {
+    let universe = node_set([1, 2, 3, 4]);
+
+    let mut results = Vec::new();
+
+    results.push(row(
+        "Raft single-node",
+        powerset_configs(&universe, SingleNode::from_set),
+    ));
+
+    // Joint consensus: all stable configs plus all joint phases between
+    // non-empty subsets of the universe.
+    let stable: Vec<Joint> = powerset_configs(&universe, Joint::stable_set);
+    let mut joint_configs = stable.clone();
+    for old in &stable {
+        for new in powerset_configs(&universe, |s| s) {
+            joint_configs.push(old.enter_joint(new));
+        }
+    }
+    results.push(row("Raft joint consensus", joint_configs));
+
+    // Primary-backup: every primary with every backup subset.
+    let mut pb = Vec::new();
+    for p in 1..=4u32 {
+        for backups in powerset_configs(&universe, |s| s) {
+            pb.push(PrimaryBackup::new(
+                p,
+                backups.iter().map(|n| n.0).collect::<Vec<_>>(),
+            ));
+        }
+    }
+    results.push(row("primary-backup", pb));
+
+    // Dynamic quorum sizes: every member subset with every legal
+    // (majority-or-larger) size.
+    let mut dq = Vec::new();
+    for members in powerset_configs(&universe, |s| s) {
+        for q in (members.len() / 2 + 1)..=members.len() {
+            dq.push(DynamicQuorum::new(
+                q,
+                members.iter().map(|n| n.0).collect::<Vec<_>>(),
+            ));
+        }
+    }
+    results.push(row("dynamic quorum sizes", dq));
+
+    results.push(row(
+        "static majority",
+        powerset_configs(&universe, StaticMajority::from_set),
+    ));
+
+    // Weighted majority: weights 1..=3 over three nodes (the weighted
+    // universe is the weight assignment space, not the node space).
+    let mut wm = Vec::new();
+    for w1 in 1..=3u64 {
+        for w2 in 1..=3u64 {
+            for w3 in 1..=3u64 {
+                wm.push(WeightedMajority::new([(1, w1), (2, w2), (3, w3)]));
+            }
+        }
+    }
+    results.push(row("weighted majority", wm));
+
+    // Managed primary set (the composition §6 suggests): every disjoint
+    // primaries/backups split over the universe.
+    let mut mp = Vec::new();
+    for p_mask in 1u64..16 {
+        for b_mask in 0u64..16 {
+            if p_mask & b_mask != 0 {
+                continue;
+            }
+            let prim: Vec<u32> = (0..4)
+                .filter_map(|i| (p_mask & (1 << i) != 0).then_some(i as u32 + 1))
+                .collect();
+            let back: Vec<u32> = (0..4)
+                .filter_map(|i| (b_mask & (1 << i) != 0).then_some(i as u32 + 1))
+                .collect();
+            mp.push(ManagedPrimary::new(prim, back));
+        }
+    }
+    results.push(row("managed primary set", mp));
+
+    // Byzantine-sized quorums (§9's direction): nested 3f+1 families.
+    let bz = vec![
+        ByzantineQuorum::new([1]),
+        ByzantineQuorum::new([1, 2, 3, 4]),
+        ByzantineQuorum::new(1..=7),
+    ];
+    results.push(row("byzantine 2f+1 of 3f+1", bz));
+
+    println!("§7 instantiation analogue — exhaustive REFLEXIVE/OVERLAP certification");
+    println!("(universe {{S1..S4}}; weighted majority over weight assignments 1..=3³)\n");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, r, t)| {
+            vec![
+                name.clone(),
+                r.configs.to_string(),
+                r.related_pairs.to_string(),
+                r.overlap_instances.to_string(),
+                if r.is_valid() { "✓" } else { "✗" }.to_string(),
+                fmt_duration(*t),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "scheme",
+            "configs",
+            "R1+ pairs",
+            "overlap instances",
+            "valid",
+            "time",
+        ],
+        &rows,
+    );
+    println!("\npaper: six instantiations, ~200 LoC of definitions+proofs (plus ~100 LoC of");
+    println!("majority-overlap lemmas). Here the same obligations are discharged by exhaustion;");
+    println!("'managed primary set' additionally realizes §6's suggested composition.");
+
+    assert!(
+        results.iter().all(|(_, r, _)| r.is_valid()),
+        "every shipped scheme must satisfy the Fig. 7 assumptions"
+    );
+}

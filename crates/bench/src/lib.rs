@@ -1,0 +1,63 @@
+//! Shared helpers for the experiment harnesses.
+//!
+//! Each `[[bin]]` in this crate regenerates one table or figure of the
+//! paper's evaluation; see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a fixed-width text table: a header row, a separator, and rows.
+///
+/// # Examples
+///
+/// ```
+/// adore_bench::print_table(
+///     &["scheme", "configs"],
+///     &[vec!["single-node".to_string(), "15".to_string()]],
+/// );
+/// ```
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("| {} |", line.join(" | "));
+    };
+    print_row(&header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Formats a `Duration` compactly (`12.3ms`, `4.56s`).
+#[must_use]
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn duration_formatting() {
+        use std::time::Duration;
+        assert_eq!(super::fmt_duration(Duration::from_millis(1500)), "1.50s");
+        assert_eq!(super::fmt_duration(Duration::from_micros(2300)), "2.3ms");
+    }
+}

@@ -1,0 +1,231 @@
+//! Bounded-exhaustive exploration of the *network-based* model.
+//!
+//! The counterpart of [`crate::explore`] for `adore_raft::NetState`: all
+//! schedulable events (elections, invokes, reconfigurations, commit
+//! broadcasts, and every pending delivery) are enumerated at each state.
+//! Comparing its state counts against the ADORE explorer's at equal depth
+//! is the quantitative form of the paper's §7 argument that protocol-level
+//! reasoning on the cache tree is drastically cheaper than network-level
+//! reasoning — here the network model's branching includes every message
+//! interleaving that ADORE's atomic operations collapse.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+use adore_core::{Configuration, NodeId, ReconfigGuard};
+use adore_raft::{MsgId, NetEvent, NetState};
+use adore_schemes::ReconfigSpace;
+
+/// Parameters for [`explore_net`].
+#[derive(Debug, Clone)]
+pub struct NetExploreParams {
+    /// Maximum number of events from the initial state.
+    pub max_depth: usize,
+    /// Hard cap on visited states.
+    pub max_states: usize,
+    /// The reconfiguration guard in force.
+    pub guard: ReconfigGuard,
+    /// Whether reconfiguration events are explored.
+    pub with_reconfig: bool,
+    /// Extra node ids beyond the initial members.
+    pub spare_nodes: u32,
+}
+
+impl Default for NetExploreParams {
+    fn default() -> Self {
+        NetExploreParams {
+            max_depth: 6,
+            max_states: 500_000,
+            guard: ReconfigGuard::all(),
+            with_reconfig: true,
+            spare_nodes: 1,
+        }
+    }
+}
+
+/// Outcome of a network-level exploration.
+#[derive(Debug, Clone)]
+pub struct NetExploreReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions taken.
+    pub transitions: u64,
+    /// Deepest level reached.
+    pub depth_reached: usize,
+    /// Whether the state cap cut the exploration short.
+    pub truncated: bool,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Whether some reachable state had disagreeing committed prefixes.
+    pub log_safety_violated: bool,
+}
+
+/// The canonical method symbol (see [`crate::explore::CANONICAL_METHOD`]).
+const METHOD: u32 = 0;
+
+fn net_successors<C: Configuration + ReconfigSpace>(
+    st: &NetState<C, u32>,
+    params: &NetExploreParams,
+    universe: &adore_core::NodeSet,
+) -> Vec<NetEvent<C, u32>> {
+    let mut evs = Vec::new();
+    for &nid in universe {
+        evs.push(NetEvent::Elect { nid });
+        evs.push(NetEvent::Invoke {
+            nid,
+            method: METHOD,
+        });
+        evs.push(NetEvent::Commit { nid });
+        if params.with_reconfig {
+            let current = st.config_of(nid).unwrap_or_else(|| st.conf0().clone());
+            for cand in current.candidates(universe) {
+                evs.push(NetEvent::Reconfig { nid, config: cand });
+            }
+        }
+        for msg in 0..st.messages().len() {
+            evs.push(NetEvent::Deliver {
+                msg: MsgId(msg as u32),
+                to: nid,
+            });
+        }
+    }
+    evs
+}
+
+/// Exhaustively explores the network-based system from `conf0`.
+///
+/// # Examples
+///
+/// ```
+/// use adore_checker::{explore_net, NetExploreParams};
+/// use adore_schemes::SingleNode;
+///
+/// let params = NetExploreParams {
+///     max_depth: 3,
+///     with_reconfig: false,
+///     spare_nodes: 0,
+///     ..NetExploreParams::default()
+/// };
+/// let report = explore_net(&SingleNode::new([1, 2]), &params);
+/// assert!(!report.log_safety_violated);
+/// ```
+#[must_use]
+pub fn explore_net<C: Configuration + ReconfigSpace>(
+    conf0: &C,
+    params: &NetExploreParams,
+) -> NetExploreReport {
+    let start = Instant::now();
+    let initial: NetState<C, u32> = NetState::new(conf0.clone(), params.guard);
+    let mut universe = conf0.members();
+    let max = universe.iter().map(|n| n.0).max().unwrap_or(0);
+    for extra in 1..=params.spare_nodes {
+        universe.insert(NodeId(max + extra));
+    }
+
+    let mut report = NetExploreReport {
+        states: 1,
+        transitions: 0,
+        depth_reached: 0,
+        truncated: false,
+        elapsed: Duration::ZERO,
+        log_safety_violated: false,
+    };
+
+    // NetState is not `Hash`; dedup on its serialized relation + bags.
+    let fingerprint = |st: &NetState<C, u32>| -> String {
+        format!("{:?}|{:?}", st.net_relation(), st.messages())
+    };
+
+    let mut visited: HashMap<String, ()> = HashMap::new();
+    visited.insert(fingerprint(&initial), ());
+    let mut queue = VecDeque::new();
+    queue.push_back((initial, 0usize));
+
+    'bfs: while let Some((st, depth)) = queue.pop_front() {
+        report.depth_reached = report.depth_reached.max(depth);
+        if depth == params.max_depth {
+            continue;
+        }
+        for ev in net_successors(&st, params, &universe) {
+            let mut next = st.clone();
+            if !next.step(&ev).applied() {
+                continue;
+            }
+            report.transitions += 1;
+            let fp = fingerprint(&next);
+            if visited.contains_key(&fp) {
+                continue;
+            }
+            visited.insert(fp, ());
+            report.states += 1;
+            if next.check_log_safety().is_err() {
+                report.log_safety_violated = true;
+                break 'bfs;
+            }
+            if report.states >= params.max_states {
+                report.truncated = true;
+                break 'bfs;
+            }
+            queue.push_back((next, depth + 1));
+        }
+    }
+
+    report.elapsed = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adore_schemes::SingleNode;
+
+    #[test]
+    fn two_node_network_is_safe_at_shallow_depth() {
+        let params = NetExploreParams {
+            max_depth: 4,
+            with_reconfig: false,
+            spare_nodes: 0,
+            ..NetExploreParams::default()
+        };
+        let report = explore_net(&SingleNode::new([1, 2]), &params);
+        assert!(!report.log_safety_violated);
+        assert!(!report.truncated);
+        assert!(report.states > 10);
+    }
+
+    #[test]
+    fn network_state_space_dominates_at_equal_protocol_progress() {
+        use crate::explore::{explore, ExploreParams};
+        // One committed command costs 3 ADORE operations (pull, invoke,
+        // push) but 5 network events (elect, vote delivery, invoke, commit
+        // broadcast, ack delivery) on a two-node cluster: comparing the
+        // exhaustive state spaces at the one-commit horizon quantifies the
+        // paper's §7 claim that protocol-level reasoning is cheaper. (At
+        // the two-commit horizon the gap is ~12×: 4.9k vs 59k states.)
+        let conf0 = SingleNode::new([1, 2]);
+        let net = explore_net(
+            &conf0,
+            &NetExploreParams {
+                max_depth: 5,
+                with_reconfig: false,
+                spare_nodes: 0,
+                ..NetExploreParams::default()
+            },
+        );
+        let adore = explore(
+            &conf0,
+            &ExploreParams {
+                max_depth: 3,
+                with_reconfig: false,
+                spare_nodes: 0,
+                ..ExploreParams::default()
+            },
+        );
+        assert!(
+            net.states > 2 * adore.states,
+            "net {} vs adore {}",
+            net.states,
+            adore.states
+        );
+    }
+}

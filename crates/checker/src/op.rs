@@ -1,0 +1,156 @@
+//! A uniform operation alphabet over the ADORE transition system.
+
+use serde::{Deserialize, Serialize};
+
+use adore_core::{
+    AdoreState, CacheId, Configuration, NodeId, PullDecision, PullOutcome, PushDecision,
+    PushOutcome, ReconfigGuard,
+};
+
+/// One transition of the ADORE system: an operation plus the oracle
+/// decision that resolves its nondeterminism.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CheckerOp<C, M> {
+    /// `pull` with a concrete oracle decision.
+    Pull {
+        /// The candidate.
+        caller: NodeId,
+        /// The oracle decision.
+        decision: PullDecision,
+    },
+    /// `invoke`.
+    Invoke {
+        /// The leader.
+        caller: NodeId,
+        /// The method.
+        method: M,
+    },
+    /// `reconfig`.
+    Reconfig {
+        /// The leader.
+        caller: NodeId,
+        /// The proposed configuration.
+        new_config: C,
+    },
+    /// `push` with a concrete oracle decision.
+    Push {
+        /// The leader.
+        caller: NodeId,
+        /// The oracle decision.
+        decision: PushDecision,
+    },
+}
+
+impl<C: Configuration, M: Clone> CheckerOp<C, M> {
+    /// Applies the operation to `st` under `guard`, returning whether it
+    /// changed the state.
+    ///
+    /// Invalid oracle decisions and no-ops both report `false`; the
+    /// enumerators in [`crate::explore()`] only produce valid decisions, so
+    /// `false` there means a semantic no-op.
+    pub fn apply(&self, st: &mut AdoreState<C, M>, guard: ReconfigGuard) -> bool {
+        match self {
+            CheckerOp::Pull { caller, decision } => match st.pull(*caller, decision) {
+                Ok(PullOutcome::Elected(_) | PullOutcome::NoQuorum) => true,
+                Ok(PullOutcome::Failed) | Err(_) => false,
+            },
+            CheckerOp::Invoke { caller, method } => {
+                st.invoke(*caller, method.clone()).applied().is_some()
+            }
+            CheckerOp::Reconfig { caller, new_config } => st
+                .reconfig(*caller, new_config.clone(), guard)
+                .applied()
+                .is_some(),
+            CheckerOp::Push { caller, decision } => match st.push(*caller, decision) {
+                Ok(PushOutcome::Committed(_) | PushOutcome::NoQuorum) => true,
+                Ok(PushOutcome::Failed) | Err(_) => false,
+            },
+        }
+    }
+
+    /// The id of the cache a successful `Push` targets, if any.
+    #[must_use]
+    pub fn push_target(&self) -> Option<CacheId> {
+        match self {
+            CheckerOp::Push {
+                decision: PushDecision::Ok { target, .. },
+                ..
+            } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// A compact rendering for counterexample listings.
+    #[must_use]
+    pub fn summary(&self) -> String
+    where
+        C: std::fmt::Debug,
+        M: std::fmt::Debug,
+    {
+        match self {
+            CheckerOp::Pull { caller, decision } => match decision {
+                PullDecision::Ok { supporters, time } => {
+                    let q: Vec<String> = supporters.iter().map(ToString::to_string).collect();
+                    format!("pull({caller}) Q={{{}}} {time}", q.join(","))
+                }
+                PullDecision::Fail => format!("pull({caller}) fail"),
+            },
+            CheckerOp::Invoke { caller, method } => format!("invoke({caller}, {method:?})"),
+            CheckerOp::Reconfig { caller, new_config } => {
+                format!("reconfig({caller}, {new_config:?})")
+            }
+            CheckerOp::Push { caller, decision } => match decision {
+                PushDecision::Ok { supporters, target } => {
+                    let q: Vec<String> = supporters.iter().map(ToString::to_string).collect();
+                    format!("push({caller}) Q={{{}}} target {target}", q.join(","))
+                }
+                PushDecision::Fail => format!("push({caller}) fail"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adore_core::majority::Majority;
+    use adore_core::{node_set, Timestamp};
+
+    type Op = CheckerOp<Majority, &'static str>;
+
+    #[test]
+    fn apply_reports_state_changes() {
+        let mut st = AdoreState::new(Majority::new([1, 2, 3]));
+        let pull = Op::Pull {
+            caller: NodeId(1),
+            decision: PullDecision::Ok {
+                supporters: node_set([1, 2]),
+                time: Timestamp(1),
+            },
+        };
+        assert!(pull.apply(&mut st, ReconfigGuard::all()));
+        let invoke = Op::Invoke {
+            caller: NodeId(1),
+            method: "m",
+        };
+        assert!(invoke.apply(&mut st, ReconfigGuard::all()));
+        // A non-leader invoke is a no-op.
+        let bad = Op::Invoke {
+            caller: NodeId(2),
+            method: "m",
+        };
+        assert!(!bad.apply(&mut st, ReconfigGuard::all()));
+    }
+
+    #[test]
+    fn summaries_are_compact() {
+        let op = Op::Pull {
+            caller: NodeId(1),
+            decision: PullDecision::Ok {
+                supporters: node_set([1, 2]),
+                time: Timestamp(3),
+            },
+        };
+        assert_eq!(op.summary(), "pull(S1) Q={S1,S2} t3");
+    }
+}

@@ -1,0 +1,203 @@
+//! Counterexample minimization by greedy delta debugging.
+//!
+//! Random walks find safety violations with traces tens of operations
+//! long; [`shrink_trace`] strips every operation whose removal preserves
+//! the violation, typically reducing a 25–30-op walker trace to the 7–8
+//! operation core of the Fig. 4 schedule.
+//!
+//! Push targets name cache ids, which shift when an earlier operation is
+//! removed; the shrinker renumbers every later target by the number of
+//! caches the removed operation created, so removals stay semantically
+//! local. Operations whose targets become meaningless simply no-op during
+//! replay, and the violation check decides whether the shrunk candidate
+//! still fails.
+
+use adore_core::invariants::{self, Violation};
+use adore_core::{AdoreState, CacheId, Configuration, PushDecision, ReconfigGuard};
+
+use crate::op::CheckerOp;
+
+/// Replays `ops` from a fresh state and returns the first safety
+/// violation, if any.
+fn violates<C, M>(conf0: &C, guard: ReconfigGuard, ops: &[CheckerOp<C, M>]) -> Option<Violation>
+where
+    C: Configuration,
+    M: Clone + Eq,
+{
+    let mut st: AdoreState<C, M> = AdoreState::new(conf0.clone());
+    for op in ops {
+        if op.apply(&mut st, guard) {
+            if let Err(v) = invariants::check_safety(&st) {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// Removes `ops[i]`, renumbering later push targets past the ids the
+/// removed operation created.
+fn remove_op<C, M>(
+    conf0: &C,
+    guard: ReconfigGuard,
+    ops: &[CheckerOp<C, M>],
+    i: usize,
+) -> Vec<CheckerOp<C, M>>
+where
+    C: Configuration,
+    M: Clone + Eq,
+{
+    let mut st: AdoreState<C, M> = AdoreState::new(conf0.clone());
+    for op in &ops[..i] {
+        op.apply(&mut st, guard);
+    }
+    let before = st.tree().len();
+    ops[i].apply(&mut st, guard);
+    let created = st.tree().len() - before;
+    let mut out = ops.to_vec();
+    out.remove(i);
+    if created > 0 {
+        for op in &mut out[i..] {
+            if let CheckerOp::Push {
+                decision: PushDecision::Ok { target, .. },
+                ..
+            } = op
+            {
+                let idx = target.index();
+                if idx >= before {
+                    *target = CacheId::from_index(idx.saturating_sub(created));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Greedily minimizes a violating trace: repeatedly removes single
+/// operations (and then pairs) while the replay still violates replicated
+/// state safety. Returns the minimized trace and its violation.
+///
+/// # Panics
+///
+/// Panics if `ops` does not violate safety to begin with — shrinking a
+/// passing trace is a caller bug.
+///
+/// # Examples
+///
+/// ```
+/// use adore_checker::{fig4_scenario, shrink_trace};
+/// use adore_core::ReconfigGuard;
+///
+/// let scenario = fig4_scenario(ReconfigGuard::all().without_r3());
+/// let (minimal, _violation) =
+///     shrink_trace(&scenario.conf0, scenario.guard, &scenario.ops);
+/// // The paper's schedule is already minimal: nothing can be removed.
+/// assert_eq!(minimal.len(), scenario.ops.len());
+/// ```
+#[must_use]
+pub fn shrink_trace<C, M>(
+    conf0: &C,
+    guard: ReconfigGuard,
+    ops: &[CheckerOp<C, M>],
+) -> (Vec<CheckerOp<C, M>>, Violation)
+where
+    C: Configuration,
+    M: Clone + Eq,
+{
+    assert!(
+        violates(conf0, guard, ops).is_some(),
+        "shrink_trace requires a violating trace"
+    );
+    let mut current = ops.to_vec();
+    loop {
+        let mut progressed = false;
+        // Single removals, scanning from the end (later ops are more
+        // often redundant retries).
+        let mut i = current.len();
+        while i > 0 {
+            i -= 1;
+            let candidate = remove_op(conf0, guard, &current, i);
+            if violates(conf0, guard, &candidate).is_some() {
+                current = candidate;
+                progressed = true;
+            }
+        }
+        // Pair removals: catches ops that are only jointly removable
+        // (e.g. an election and the invoke depending on it).
+        let mut i = current.len();
+        while i > 1 {
+            i -= 1;
+            for j in (0..i).rev() {
+                let candidate = remove_op(conf0, guard, &current, i);
+                let candidate = remove_op(conf0, guard, &candidate, j);
+                if violates(conf0, guard, &candidate).is_some() {
+                    current = candidate;
+                    progressed = true;
+                    break;
+                }
+            }
+            i = i.min(current.len());
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let violation = violates(conf0, guard, &current).expect("still violating");
+    (current, violation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{ExploreParams, InvariantSuite};
+    use crate::walker::{random_walk, WalkParams};
+    use adore_schemes::SingleNode;
+
+    #[test]
+    fn walker_traces_shrink_to_the_fig4_core() {
+        let guard = ReconfigGuard::all().without_r3();
+        let params = WalkParams {
+            walks: 400,
+            steps_per_walk: 30,
+            explore: ExploreParams {
+                guard,
+                suite: InvariantSuite::SafetyOnly,
+                spare_nodes: 0,
+                ..ExploreParams::default()
+            },
+        };
+        let conf0 = SingleNode::new([1, 2, 3, 4]);
+        let report = random_walk(&conf0, &params, 9);
+        let (_, trace, _) = report.violation.expect("walker finds the bug");
+        let before = trace.len();
+        let (minimal, violation) = shrink_trace(&conf0, guard, &trace);
+        assert!(minimal.len() <= before);
+        // The Fig. 4 core is 8 operations; anything close is fully shrunk.
+        assert!(
+            minimal.len() <= 10,
+            "shrunk trace still has {} ops",
+            minimal.len()
+        );
+        assert!(matches!(violation, Violation::CommitsDiverge { .. }));
+        // A minimal trace must contain at least one reconfiguration and
+        // two pushes (the two diverging commits).
+        let reconfigs = minimal
+            .iter()
+            .filter(|op| matches!(op, CheckerOp::Reconfig { .. }))
+            .count();
+        let pushes = minimal
+            .iter()
+            .filter(|op| matches!(op, CheckerOp::Push { .. }))
+            .count();
+        assert!(reconfigs >= 1);
+        assert!(pushes >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a violating trace")]
+    fn shrinking_a_passing_trace_panics() {
+        let conf0 = SingleNode::new([1, 2, 3]);
+        let ops: Vec<CheckerOp<SingleNode, &str>> = Vec::new();
+        let _ = shrink_trace(&conf0, ReconfigGuard::all(), &ops);
+    }
+}

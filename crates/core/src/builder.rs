@@ -1,0 +1,310 @@
+//! Direct construction of (possibly ill-formed) cache trees.
+//!
+//! The operational semantics can only reach *valid* states, which makes it
+//! impossible to test that the invariant checkers in [`crate::invariants`]
+//! would actually fire on the states the lemmas rule out. [`StateBuilder`]
+//! assembles arbitrary trees — including ones no protocol run could
+//! produce — so the checkers themselves can be falsification-tested, and
+//! downstream users can write invariant tests against hand-drawn
+//! paper-style figures.
+//!
+//! A built state is an ordinary [`AdoreState`]; nothing stops you from
+//! continuing to drive it through the real operations afterwards (the
+//! semantics validates its own preconditions per usual).
+//!
+//! # Examples
+//!
+//! Build Fig. 12's final (unsafe) tree directly and watch safety fail:
+//!
+//! ```
+//! use adore_core::builder::StateBuilder;
+//! use adore_core::majority::Majority;
+//! use adore_core::{invariants, node_set, NodeId, Timestamp};
+//!
+//! let cf4 = Majority::new([1, 2, 3, 4]);
+//! let cf3a = Majority::new([1, 2, 3]);
+//! let cf3b = Majority::new([1, 2, 4]);
+//! let mut b = StateBuilder::new(cf4.clone());
+//! let e1 = b.election(0, NodeId(1), Timestamp(1), [1, 2, 3], cf4.clone());
+//! let r1 = b.reconfig(e1, NodeId(1), Timestamp(1), 1, cf3a.clone());
+//! let e2 = b.election(0, NodeId(2), Timestamp(2), [2, 3, 4], cf4);
+//! let r2 = b.reconfig(e2, NodeId(2), Timestamp(2), 1, cf3b.clone());
+//! let _c2 = b.commit(r2, NodeId(2), [2, 4], cf3b);
+//! let e3 = b.election(r1, NodeId(1), Timestamp(3), [1, 3], cf3a.clone());
+//! let m = b.method(e3, NodeId(1), Timestamp(3), 1, "overwrite", cf3a.clone());
+//! let _c3 = b.commit(m, NodeId(1), [1, 3], cf3a);
+//! let st = b.build();
+//! assert!(invariants::check_safety(&st).is_err());
+//! # let _ = node_set([1]);
+//! ```
+
+use adore_tree::CacheId;
+
+use crate::cache::Cache;
+use crate::config::{Configuration, NodeId, Timestamp, Version};
+use crate::state::AdoreState;
+
+/// Builds [`AdoreState`]s node by node, without semantic validation.
+///
+/// Node indices: the genesis root is id 0 (`adore_tree::Tree::ROOT`); each
+/// `election`/`method`/`reconfig`/`commit` call appends one cache and
+/// returns its id. Parents are given as raw indices (`usize`) for
+/// ergonomic literal trees.
+#[derive(Debug, Clone)]
+pub struct StateBuilder<C, M> {
+    st: AdoreState<C, M>,
+}
+
+impl<C: Configuration, M: Clone> StateBuilder<C, M> {
+    /// Starts from a genesis root under `conf0`.
+    #[must_use]
+    pub fn new(conf0: C) -> Self {
+        StateBuilder {
+            st: AdoreState::new(conf0),
+        }
+    }
+
+    fn attach(&mut self, parent: usize, cache: Cache<C, M>) -> usize {
+        self.st
+            .attach_raw(CacheId::from_index(parent), cache)
+            .index()
+    }
+
+    /// Appends an `ECache` under `parent`, recording its voters' observed
+    /// times like a real election would.
+    pub fn election<I: IntoIterator<Item = u32>>(
+        &mut self,
+        parent: usize,
+        caller: NodeId,
+        time: Timestamp,
+        supporters: I,
+        config: C,
+    ) -> usize {
+        let supporters = crate::config::node_set(supporters);
+        self.st.set_times_raw(&supporters, time);
+        self.attach(
+            parent,
+            Cache::Election {
+                caller,
+                time,
+                supporters,
+                config,
+            },
+        )
+    }
+
+    /// Appends an `MCache` under `parent`.
+    pub fn method(
+        &mut self,
+        parent: usize,
+        caller: NodeId,
+        time: Timestamp,
+        vrsn: u64,
+        method: M,
+        config: C,
+    ) -> usize {
+        self.attach(
+            parent,
+            Cache::Method {
+                caller,
+                time,
+                vrsn: Version(vrsn),
+                method,
+                config,
+            },
+        )
+    }
+
+    /// Appends an `RCache` under `parent` carrying `new_config`.
+    pub fn reconfig(
+        &mut self,
+        parent: usize,
+        caller: NodeId,
+        time: Timestamp,
+        vrsn: u64,
+        new_config: C,
+    ) -> usize {
+        self.attach(
+            parent,
+            Cache::Reconfig {
+                caller,
+                time,
+                vrsn: Version(vrsn),
+                config: new_config,
+            },
+        )
+    }
+
+    /// Appends a `CCache` under `parent`, copying the parent's time and
+    /// version like a real push would, and recording the supporters'
+    /// observed times.
+    pub fn commit<I: IntoIterator<Item = u32>>(
+        &mut self,
+        parent: usize,
+        caller: NodeId,
+        supporters: I,
+        config: C,
+    ) -> usize {
+        let p = self.st.cache(CacheId::from_index(parent));
+        let (time, vrsn) = (p.time(), p.vrsn());
+        let supporters = crate::config::node_set(supporters);
+        self.st.set_times_raw(&supporters, time);
+        self.attach(
+            parent,
+            Cache::Commit {
+                caller,
+                time,
+                vrsn,
+                supporters,
+                config,
+            },
+        )
+    }
+
+    /// Appends an arbitrary cache verbatim (no bookkeeping at all) —
+    /// the sharpest tool for drawing ill-formed states.
+    pub fn raw(&mut self, parent: usize, cache: Cache<C, M>) -> usize {
+        self.attach(parent, cache)
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> AdoreState<C, M> {
+        self.st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::{self, Violation};
+    use crate::majority::Majority;
+
+    type B = StateBuilder<Majority, &'static str>;
+
+    fn cf() -> Majority {
+        Majority::new([1, 2, 3])
+    }
+
+    /// Every lemma checker fires on a tree drawn to violate exactly it —
+    /// the falsification tests that the operational semantics cannot
+    /// provide (it never reaches these states).
+    #[test]
+    fn safety_checker_fires_on_diverging_commits() {
+        let mut b = B::new(cf());
+        let e1 = b.election(0, NodeId(1), Timestamp(1), [1, 2], cf());
+        let m1 = b.method(e1, NodeId(1), Timestamp(1), 1, "a", cf());
+        let _c1 = b.commit(m1, NodeId(1), [1, 2], cf());
+        let e2 = b.election(0, NodeId(3), Timestamp(2), [2, 3], cf());
+        let m2 = b.method(e2, NodeId(3), Timestamp(2), 1, "b", cf());
+        let _c2 = b.commit(m2, NodeId(3), [2, 3], cf());
+        let st = b.build();
+        assert!(matches!(
+            invariants::check_safety(&st),
+            Err(Violation::CommitsDiverge { .. })
+        ));
+    }
+
+    #[test]
+    fn descendant_order_checker_fires_on_time_inversion() {
+        let mut b = B::new(cf());
+        let e1 = b.election(0, NodeId(1), Timestamp(5), [1, 2], cf());
+        // A child whose timestamp goes backwards: impossible operationally.
+        b.method(e1, NodeId(1), Timestamp(2), 1, "back", cf());
+        let st = b.build();
+        assert!(matches!(
+            invariants::check_descendant_order(&st),
+            Err(Violation::OrderInversion { .. })
+        ));
+    }
+
+    #[test]
+    fn leader_time_uniqueness_checker_fires_on_duplicate_terms() {
+        let mut b = B::new(cf());
+        b.election(0, NodeId(1), Timestamp(1), [1, 2], cf());
+        b.election(0, NodeId(2), Timestamp(1), [2, 3], cf());
+        let st = b.build();
+        assert!(matches!(
+            invariants::check_leader_time_uniqueness(&st, 0),
+            Err(Violation::DuplicateLeaderTime { .. })
+        ));
+    }
+
+    #[test]
+    fn election_commit_order_checker_fires_on_missed_commit() {
+        let mut b = B::new(cf());
+        let e1 = b.election(0, NodeId(1), Timestamp(1), [1, 2], cf());
+        let m1 = b.method(e1, NodeId(1), Timestamp(1), 1, "a", cf());
+        b.commit(m1, NodeId(1), [1, 2], cf());
+        // A later election that forks BEFORE the commit: outranks it
+        // without descending from it.
+        b.election(0, NodeId(3), Timestamp(2), [2, 3], cf());
+        let st = b.build();
+        assert!(matches!(
+            invariants::check_election_commit_order(&st, 0),
+            Err(Violation::ElectionCommitOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn fork_commit_checker_fires_on_commitless_rcache_fork() {
+        let mut b = B::new(cf());
+        let e1 = b.election(0, NodeId(1), Timestamp(1), [1, 2], cf());
+        b.reconfig(e1, NodeId(1), Timestamp(1), 1, cf());
+        let e2 = b.election(0, NodeId(2), Timestamp(2), [2, 3], cf());
+        b.reconfig(e2, NodeId(2), Timestamp(2), 1, cf());
+        let st = b.build();
+        assert!(matches!(
+            invariants::check_ccache_in_rcache_fork(&st),
+            Err(Violation::MissingForkCommit { .. })
+        ));
+    }
+
+    #[test]
+    fn structure_checker_fires_on_version_gaps() {
+        let mut b = B::new(cf());
+        let e1 = b.election(0, NodeId(1), Timestamp(1), [1, 2], cf());
+        // Version jumps from 0 to 7: not parent's plus one.
+        b.method(e1, NodeId(1), Timestamp(1), 7, "gap", cf());
+        let st = b.build();
+        assert!(matches!(
+            invariants::check_structure(&st),
+            Err(Violation::Structural { .. })
+        ));
+    }
+
+    #[test]
+    fn structure_checker_fires_on_foreign_supporters() {
+        let mut b = B::new(cf());
+        // Supporters outside the configuration's membership.
+        b.election(0, NodeId(1), Timestamp(1), [1, 9], cf());
+        let st = b.build();
+        assert!(matches!(
+            invariants::check_structure(&st),
+            Err(Violation::Structural { .. })
+        ));
+    }
+
+    #[test]
+    fn built_states_can_continue_through_real_operations() {
+        use crate::state::{PullDecision, PullOutcome};
+        let mut b = B::new(cf());
+        let e1 = b.election(0, NodeId(1), Timestamp(1), [1, 2], cf());
+        let m1 = b.method(e1, NodeId(1), Timestamp(1), 1, "a", cf());
+        b.commit(m1, NodeId(1), [1, 2], cf());
+        let mut st = b.build();
+        assert!(invariants::check_all(&st).is_empty());
+        // Drive the real semantics from the built state.
+        let out = st
+            .pull(
+                NodeId(2),
+                &PullDecision::Ok {
+                    supporters: crate::config::node_set([2, 3]),
+                    time: Timestamp(2),
+                },
+            )
+            .unwrap();
+        assert!(matches!(out, PullOutcome::Elected(_)));
+        assert!(invariants::check_all(&st).is_empty());
+    }
+}

@@ -1,0 +1,490 @@
+//! The cache variants that populate ADORE's tree (Figs. 6 and 24).
+//!
+//! Every node in the cache tree records who created it, at what logical
+//! time, with what version number, and under which configuration. The four
+//! paper variants are elections (`ECache`), method invocations (`MCache`),
+//! reconfigurations (`RCache`), and commits (`CCache`); we add an explicit
+//! `Genesis` variant for the root, which the paper leaves implicit ("the
+//! root cache is initialized with some `conf₀`"). Genesis behaves like a
+//! commit of the empty history: it is supported by every initial member and
+//! is commit-like for ordering purposes, which makes `lastCommit` and
+//! `mostRecent` total in the initial state.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Configuration, NodeId, NodeSet, Timestamp, Version};
+
+/// Discriminant of a [`Cache`], for queries that only care about the shape.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::CacheKind;
+/// assert!(CacheKind::Commit.is_commit_like());
+/// assert!(CacheKind::Genesis.is_commit_like());
+/// assert!(!CacheKind::Method.is_commit_like());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CacheKind {
+    /// The implicit root of the tree.
+    Genesis,
+    /// An election (`ECache`).
+    Election,
+    /// A method invocation (`MCache`).
+    Method,
+    /// A reconfiguration (`RCache`).
+    Reconfig,
+    /// A commit (`CCache`).
+    Commit,
+}
+
+impl CacheKind {
+    /// Whether this kind counts as a committed marker (`CCache` or genesis).
+    #[must_use]
+    pub fn is_commit_like(self) -> bool {
+        matches!(self, CacheKind::Genesis | CacheKind::Commit)
+    }
+}
+
+impl fmt::Display for CacheKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CacheKind::Genesis => "Genesis",
+            CacheKind::Election => "ECache",
+            CacheKind::Method => "MCache",
+            CacheKind::Reconfig => "RCache",
+            CacheKind::Commit => "CCache",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Sort key realizing the strict order `>` on caches (Fig. 9).
+///
+/// Caches compare lexicographically by `(time, vrsn)`; at equal pairs a
+/// commit-like cache is greater than a non-commit. The key derives `Ord`
+/// so `a.key() > b.key()` is exactly the paper's `a > b`.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{CacheOrderKey, Timestamp, Version};
+/// let m = CacheOrderKey { time: Timestamp(2), vrsn: Version(1), commit_like: false };
+/// let c = CacheOrderKey { time: Timestamp(2), vrsn: Version(1), commit_like: true };
+/// assert!(c > m);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CacheOrderKey {
+    /// Logical timestamp of the cache.
+    pub time: Timestamp,
+    /// Version number of the cache.
+    pub vrsn: Version,
+    /// Whether the cache is commit-like (breaks ties upward).
+    pub commit_like: bool,
+}
+
+/// A node payload of the ADORE cache tree (Fig. 6 / Fig. 24).
+///
+/// Type parameters: `C` is the [`Configuration`] instantiation, `M` the
+/// opaque method type ("the actual methods have no bearing on the protocol's
+/// safety, so we treat them as arbitrary identifiers").
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{node_set, Cache, NodeId, Timestamp, Version};
+/// # use adore_core::{Configuration, NodeSet};
+/// # #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// # struct Majority(NodeSet);
+/// # impl Configuration for Majority {
+/// #     fn members(&self) -> NodeSet { self.0.clone() }
+/// #     fn is_quorum(&self, s: &NodeSet) -> bool {
+/// #         2 * s.intersection(&self.0).count() > self.0.len()
+/// #     }
+/// #     fn r1_plus(&self, next: &Self) -> bool { self == next }
+/// # }
+///
+/// let e: Cache<Majority, &str> = Cache::Election {
+///     caller: NodeId(1),
+///     time: Timestamp(1),
+///     supporters: node_set([1, 2]),
+///     config: Majority(node_set([1, 2, 3])),
+/// };
+/// assert_eq!(e.time(), Timestamp(1));
+/// assert!(e.supporters().contains(&NodeId(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Cache<C, M> {
+    /// The root of every cache tree, carrying the initial configuration.
+    Genesis {
+        /// The initial configuration `conf₀`.
+        config: C,
+    },
+    /// An `ECache`: a (possibly partial) election at a fresh timestamp.
+    ///
+    /// Election caches always have version [`Version::ZERO`].
+    Election {
+        /// The candidate that called `pull`.
+        caller: NodeId,
+        /// The fresh timestamp chosen by the election.
+        time: Timestamp,
+        /// The replicas that voted.
+        supporters: NodeSet,
+        /// The configuration inherited from the election's parent cache.
+        config: C,
+    },
+    /// An `MCache`: an uncommitted method invocation.
+    Method {
+        /// The leader that invoked the method.
+        caller: NodeId,
+        /// The leader's current timestamp.
+        time: Timestamp,
+        /// Parent's version plus one.
+        vrsn: Version,
+        /// The invoked method (opaque to the protocol).
+        method: M,
+        /// The configuration inherited from the parent.
+        config: C,
+    },
+    /// An `RCache`: an uncommitted reconfiguration command.
+    ///
+    /// Behaves like an `MCache` whose payload is a new configuration that
+    /// takes effect immediately ("hot" reconfiguration).
+    Reconfig {
+        /// The leader that proposed the change.
+        caller: NodeId,
+        /// The leader's current timestamp.
+        time: Timestamp,
+        /// Parent's version plus one.
+        vrsn: Version,
+        /// The **new** configuration.
+        config: C,
+    },
+    /// A `CCache`: a commit marker certifying its ancestors.
+    Commit {
+        /// The leader that pushed.
+        caller: NodeId,
+        /// Timestamp copied from the committed cache.
+        time: Timestamp,
+        /// Version copied from the committed cache.
+        vrsn: Version,
+        /// The replicas that acknowledged the commit.
+        supporters: NodeSet,
+        /// The configuration of the committed cache.
+        config: C,
+    },
+}
+
+impl<C: Configuration, M> Cache<C, M> {
+    /// The discriminant of this cache.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use adore_core::majority::Majority;
+    /// use adore_core::{Cache, CacheKind};
+    /// let g: Cache<Majority, ()> = Cache::Genesis { config: Majority::new([1, 2, 3]) };
+    /// assert_eq!(g.kind(), CacheKind::Genesis);
+    /// ```
+    #[must_use]
+    pub fn kind(&self) -> CacheKind {
+        match self {
+            Cache::Genesis { .. } => CacheKind::Genesis,
+            Cache::Election { .. } => CacheKind::Election,
+            Cache::Method { .. } => CacheKind::Method,
+            Cache::Reconfig { .. } => CacheKind::Reconfig,
+            Cache::Commit { .. } => CacheKind::Commit,
+        }
+    }
+
+    /// The replica that created this cache, or `None` for the genesis root.
+    #[must_use]
+    pub fn caller(&self) -> Option<NodeId> {
+        match self {
+            Cache::Genesis { .. } => None,
+            Cache::Election { caller, .. }
+            | Cache::Method { caller, .. }
+            | Cache::Reconfig { caller, .. }
+            | Cache::Commit { caller, .. } => Some(*caller),
+        }
+    }
+
+    /// The cache's logical timestamp (`time`); genesis is at time zero.
+    #[must_use]
+    pub fn time(&self) -> Timestamp {
+        match self {
+            Cache::Genesis { .. } => Timestamp::ZERO,
+            Cache::Election { time, .. }
+            | Cache::Method { time, .. }
+            | Cache::Reconfig { time, .. }
+            | Cache::Commit { time, .. } => *time,
+        }
+    }
+
+    /// The cache's version number (`vrsn`); elections and genesis are zero.
+    #[must_use]
+    pub fn vrsn(&self) -> Version {
+        match self {
+            Cache::Genesis { .. } | Cache::Election { .. } => Version::ZERO,
+            Cache::Method { vrsn, .. }
+            | Cache::Reconfig { vrsn, .. }
+            | Cache::Commit { vrsn, .. } => *vrsn,
+        }
+    }
+
+    /// The configuration this cache was created under — except for
+    /// [`Cache::Reconfig`], where it is the **new** configuration it
+    /// installs (the effective configuration from this cache onward).
+    #[must_use]
+    pub fn config(&self) -> &C {
+        match self {
+            Cache::Genesis { config }
+            | Cache::Election { config, .. }
+            | Cache::Method { config, .. }
+            | Cache::Reconfig { config, .. }
+            | Cache::Commit { config, .. } => config,
+        }
+    }
+
+    /// The supporters of this cache.
+    ///
+    /// Elections and commits carry their voter sets; an `MCache` or
+    /// `RCache`'s only supporter is its caller; the genesis root is
+    /// supported by every initial member.
+    #[must_use]
+    pub fn supporters(&self) -> NodeSet {
+        match self {
+            Cache::Genesis { config } => config.members(),
+            Cache::Election { supporters, .. } | Cache::Commit { supporters, .. } => {
+                supporters.clone()
+            }
+            Cache::Method { caller, .. } | Cache::Reconfig { caller, .. } => {
+                std::iter::once(*caller).collect()
+            }
+        }
+    }
+
+    /// Whether `nid` supports this cache (no allocation).
+    #[must_use]
+    pub fn is_supporter(&self, nid: NodeId) -> bool {
+        match self {
+            Cache::Genesis { config } => config.members().contains(&nid),
+            Cache::Election { supporters, .. } | Cache::Commit { supporters, .. } => {
+                supporters.contains(&nid)
+            }
+            Cache::Method { caller, .. } | Cache::Reconfig { caller, .. } => *caller == nid,
+        }
+    }
+
+    /// Whether `nid` has **observed** this cache — holds the corresponding
+    /// state in its local log. This is the relation `mostRecent` selects
+    /// over ("the most up-to-date cache *observed* by any of the election
+    /// voters", Fig. 5).
+    ///
+    /// Observation differs from support for the log-less caches: voting for
+    /// an election does *not* place anything in a voter's log, so an
+    /// `ECache` has **no observers at all** — a leader's state snapshot is
+    /// its log, which the election marker does not extend. (Commit
+    /// acknowledgements, by contrast, mean the acknowledger adopted the
+    /// leader's log, so all `CCache` supporters observe it; a method or
+    /// reconfiguration sits only in its caller's log until committed.)
+    /// Without this distinction the paper's Fig. 5(e) walkthrough — where
+    /// S2 and S3 have voted for S1's election yet "have not observed"
+    /// anything past the commit — and the Fig. 12 counterexample are
+    /// inexpressible, and elections would tear leaders away from their own
+    /// logs, breaking the `logMatch` refinement relation (Fig. 17).
+    #[must_use]
+    pub fn observes(&self, nid: NodeId) -> bool {
+        match self {
+            Cache::Genesis { config } => config.members().contains(&nid),
+            Cache::Commit { supporters, .. } => supporters.contains(&nid),
+            Cache::Election { .. } => false,
+            Cache::Method { caller, .. } | Cache::Reconfig { caller, .. } => *caller == nid,
+        }
+    }
+
+    /// The sort key realizing the strict order `>` of Fig. 9.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use adore_core::majority::Majority;
+    /// use adore_core::{node_set, Cache, NodeId, Timestamp, Version};
+    /// let cf = Majority::new([1, 2, 3]);
+    /// let m: Cache<Majority, &str> = Cache::Method {
+    ///     caller: NodeId(1), time: Timestamp(1), vrsn: Version(1),
+    ///     method: "put", config: cf.clone(),
+    /// };
+    /// let c: Cache<Majority, &str> = Cache::Commit {
+    ///     caller: NodeId(1), time: Timestamp(1), vrsn: Version(1),
+    ///     supporters: node_set([1, 2]), config: cf,
+    /// };
+    /// assert!(c.key() > m.key());
+    /// ```
+    #[must_use]
+    pub fn key(&self) -> CacheOrderKey {
+        CacheOrderKey {
+            time: self.time(),
+            vrsn: self.vrsn(),
+            commit_like: self.kind().is_commit_like(),
+        }
+    }
+
+    /// Whether this cache is commit-like (a `CCache` or the genesis root).
+    #[must_use]
+    pub fn is_commit_like(&self) -> bool {
+        self.kind().is_commit_like()
+    }
+}
+
+impl<C: Configuration, M: fmt::Debug> Cache<C, M> {
+    /// A compact single-line rendering used by tree printers and
+    /// counterexample reports.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use adore_core::majority::Majority;
+    /// use adore_core::{node_set, Cache, NodeId, Timestamp};
+    /// let e: Cache<Majority, &str> = Cache::Election {
+    ///     caller: NodeId(1), time: Timestamp(2),
+    ///     supporters: node_set([1, 2]), config: Majority::new([1, 2, 3]),
+    /// };
+    /// assert_eq!(e.summary(), "E(S1 t2 v0 Q={S1,S2})");
+    /// ```
+    #[must_use]
+    pub fn summary(&self) -> String {
+        fn fmt_set(s: &NodeSet) -> String {
+            let inner: Vec<String> = s.iter().map(ToString::to_string).collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        match self {
+            Cache::Genesis { .. } => "G(t0 v0)".to_string(),
+            Cache::Election {
+                caller,
+                time,
+                supporters,
+                ..
+            } => format!("E({caller} {time} v0 Q={})", fmt_set(supporters)),
+            Cache::Method {
+                caller,
+                time,
+                vrsn,
+                method,
+                ..
+            } => format!("M({caller} {time} {vrsn} {method:?})"),
+            Cache::Reconfig {
+                caller, time, vrsn, ..
+            } => format!("R({caller} {time} {vrsn})"),
+            Cache::Commit {
+                caller,
+                time,
+                vrsn,
+                supporters,
+                ..
+            } => format!("C({caller} {time} {vrsn} Q={})", fmt_set(supporters)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::majority::Majority;
+    use crate::node_set;
+
+    fn cf() -> Majority {
+        Majority::new([1, 2, 3])
+    }
+
+    fn election(t: u64) -> Cache<Majority, &'static str> {
+        Cache::Election {
+            caller: NodeId(1),
+            time: Timestamp(t),
+            supporters: node_set([1, 2]),
+            config: cf(),
+        }
+    }
+
+    fn method(t: u64, v: u64) -> Cache<Majority, &'static str> {
+        Cache::Method {
+            caller: NodeId(1),
+            time: Timestamp(t),
+            vrsn: Version(v),
+            method: "m",
+            config: cf(),
+        }
+    }
+
+    fn commit(t: u64, v: u64) -> Cache<Majority, &'static str> {
+        Cache::Commit {
+            caller: NodeId(1),
+            time: Timestamp(t),
+            vrsn: Version(v),
+            supporters: node_set([1, 2]),
+            config: cf(),
+        }
+    }
+
+    #[test]
+    fn order_is_lexicographic_on_time_then_version() {
+        assert!(method(2, 0).key() > method(1, 9).key());
+        assert!(method(1, 2).key() > method(1, 1).key());
+        assert!(election(2).key() > method(1, 5).key());
+    }
+
+    #[test]
+    fn commit_breaks_ties_upward() {
+        assert!(commit(1, 1).key() > method(1, 1).key());
+        // But a larger (time, vrsn) still dominates the commit bit.
+        assert!(method(1, 2).key() > commit(1, 1).key());
+        assert!(method(2, 0).key() > commit(1, 9).key());
+    }
+
+    #[test]
+    fn genesis_is_minimal_and_commit_like() {
+        let g: Cache<Majority, &str> = Cache::Genesis { config: cf() };
+        assert!(g.is_commit_like());
+        assert_eq!(g.caller(), None);
+        assert_eq!(g.time(), Timestamp::ZERO);
+        assert!(election(1).key() > g.key());
+    }
+
+    #[test]
+    fn supporters_by_kind() {
+        let g: Cache<Majority, &str> = Cache::Genesis { config: cf() };
+        assert_eq!(g.supporters(), node_set([1, 2, 3]));
+        assert_eq!(method(1, 1).supporters(), node_set([1]));
+        assert_eq!(election(1).supporters(), node_set([1, 2]));
+        assert!(g.is_supporter(NodeId(3)));
+        assert!(!method(1, 1).is_supporter(NodeId(3)));
+    }
+
+    #[test]
+    fn reconfig_config_is_the_new_one() {
+        let newcf = Majority::new([1, 2]);
+        let r: Cache<Majority, &str> = Cache::Reconfig {
+            caller: NodeId(1),
+            time: Timestamp(1),
+            vrsn: Version(1),
+            config: newcf.clone(),
+        };
+        assert_eq!(r.config(), &newcf);
+        assert_eq!(r.supporters(), node_set([1]));
+    }
+
+    #[test]
+    fn elections_have_version_zero() {
+        assert_eq!(election(3).vrsn(), Version::ZERO);
+    }
+
+    #[test]
+    fn summary_is_compact() {
+        assert_eq!(method(1, 2).summary(), "M(S1 t1 v2 \"m\")");
+        assert_eq!(commit(1, 2).summary(), "C(S1 t1 v2 Q={S1,S2})");
+        let g: Cache<Majority, &str> = Cache::Genesis { config: cf() };
+        assert_eq!(g.summary(), "G(t0 v0)");
+    }
+}

@@ -1,0 +1,154 @@
+//! CADO: the configuration-aware model **without** reconfiguration.
+//!
+//! The paper obtains CADO from ADORE by deleting everything marked in blue:
+//! the `reconfig` operation and the `RCache` variant. Here the same
+//! restriction is expressed as a newtype that statically rules the
+//! operation out — a [`CadoState`] can only grow election, method, and
+//! commit caches, so its trees always have `tree_rdist = 0` and the
+//! rdist-0 lemmas apply unconditionally.
+//!
+//! CADO is also the model whose verification cost the evaluation (§7)
+//! compares against full ADORE; the `effort_table` bench regenerates that
+//! comparison.
+
+use serde::{Deserialize, Serialize};
+
+use adore_tree::CacheId;
+
+use crate::config::{Configuration, NodeId};
+use crate::state::{
+    AdoreState, LocalOutcome, OracleError, PullDecision, PullOutcome, PushDecision, PushOutcome,
+};
+
+/// An ADORE state that statically forbids reconfiguration.
+///
+/// All accessors of [`AdoreState`] are reachable through
+/// [`CadoState::inner`]; only the mutating subset excluding `reconfig` is
+/// re-exposed.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::cado::CadoState;
+/// use adore_core::majority::Majority;
+/// use adore_core::{node_set, NodeId, PullDecision, Timestamp};
+///
+/// let mut st: CadoState<Majority, &str> = CadoState::new(Majority::new([1, 2, 3]));
+/// st.pull(NodeId(1), &PullDecision::Ok {
+///     supporters: node_set([1, 2]),
+///     time: Timestamp(1),
+/// })?;
+/// st.invoke(NodeId(1), "put");
+/// assert_eq!(adore_core::invariants::tree_rdist(st.inner()), 0);
+/// # Ok::<(), adore_core::OracleError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CadoState<C, M>(AdoreState<C, M>);
+
+impl<C: Configuration, M: Clone> CadoState<C, M> {
+    /// Creates the initial CADO state under `conf0`.
+    #[must_use]
+    pub fn new(conf0: C) -> Self {
+        CadoState(AdoreState::new(conf0))
+    }
+
+    /// Read-only access to the underlying ADORE state.
+    #[must_use]
+    pub fn inner(&self) -> &AdoreState<C, M> {
+        &self.0
+    }
+
+    /// Unwraps into the underlying ADORE state (after which reconfiguration
+    /// becomes possible again).
+    #[must_use]
+    pub fn into_inner(self) -> AdoreState<C, M> {
+        self.0
+    }
+
+    /// `pull`: see [`AdoreState::pull`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OracleError`] from the underlying semantics.
+    pub fn pull(
+        &mut self,
+        nid: NodeId,
+        decision: &PullDecision,
+    ) -> Result<PullOutcome, OracleError> {
+        self.0.pull(nid, decision)
+    }
+
+    /// `invoke`: see [`AdoreState::invoke`].
+    pub fn invoke(&mut self, nid: NodeId, method: M) -> LocalOutcome {
+        self.0.invoke(nid, method)
+    }
+
+    /// `push`: see [`AdoreState::push`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OracleError`] from the underlying semantics.
+    pub fn push(
+        &mut self,
+        nid: NodeId,
+        decision: &PushDecision,
+    ) -> Result<PushOutcome, OracleError> {
+        self.0.push(nid, decision)
+    }
+
+    /// The new cache id helper mirroring [`LocalOutcome::applied`] for
+    /// convenience in straight-line client code.
+    #[must_use]
+    pub fn last_cache(&self) -> CacheId {
+        let mut last = adore_tree::Tree::<()>::ROOT;
+        for id in self.0.tree().ids() {
+            last = id;
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{node_set, Timestamp};
+    use crate::invariants;
+    use crate::majority::Majority;
+
+    #[test]
+    fn cado_runs_elections_and_commits() {
+        let mut st: CadoState<Majority, &str> = CadoState::new(Majority::new([1, 2, 3]));
+        let out = st
+            .pull(
+                NodeId(1),
+                &PullDecision::Ok {
+                    supporters: node_set([1, 2]),
+                    time: Timestamp(1),
+                },
+            )
+            .unwrap();
+        let PullOutcome::Elected(_) = out else {
+            panic!("expected election");
+        };
+        let m = st.invoke(NodeId(1), "a").applied().unwrap();
+        let out = st
+            .push(
+                NodeId(1),
+                &PushDecision::Ok {
+                    supporters: node_set([1, 2]),
+                    target: m,
+                },
+            )
+            .unwrap();
+        assert!(matches!(out, PushOutcome::Committed(_)));
+        assert!(invariants::check_all(st.inner()).is_empty());
+        assert_eq!(invariants::tree_rdist(st.inner()), 0);
+    }
+
+    #[test]
+    fn into_inner_round_trips() {
+        let st: CadoState<Majority, ()> = CadoState::new(Majority::new([1]));
+        let inner = st.clone().into_inner();
+        assert_eq!(&inner, st.inner());
+    }
+}

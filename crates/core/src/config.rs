@@ -1,0 +1,307 @@
+//! Identifiers, logical time, and the parameterized configuration interface.
+//!
+//! ADORE's safety proof is generic over *what a configuration is* and *what
+//! counts as a quorum*: the only facts it uses are the REFLEXIVE and OVERLAP
+//! assumptions of Fig. 7. The [`Configuration`] trait captures exactly that
+//! interface; the `adore-schemes` crate provides the paper's instantiations.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a replica (the paper's `N_nid`).
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::NodeId;
+/// let s1 = NodeId(1);
+/// assert_eq!(s1.to_string(), "S1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Logical timestamp (a Paxos ballot / Raft term; the paper's `N_time`).
+///
+/// Timestamps start at [`Timestamp::ZERO`] (the genesis time) and are chosen
+/// strictly increasing by elections.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::Timestamp;
+/// assert!(Timestamp(3) > Timestamp::ZERO);
+/// assert_eq!(Timestamp(2).next(), Timestamp(3));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The genesis timestamp carried by the root cache.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The immediately following timestamp.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::Timestamp;
+    /// assert_eq!(Timestamp::ZERO.next(), Timestamp(1));
+    /// ```
+    #[must_use]
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Version number within a round (the paper's `N_vrsn`).
+///
+/// Resets to 0 at each election and increments on every `invoke`/`reconfig`.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::Version;
+/// assert_eq!(Version::ZERO.next(), Version(1));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// The version assigned to election caches.
+    pub const ZERO: Version = Version(0);
+
+    /// The immediately following version.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::Version;
+    /// assert_eq!(Version(4).next(), Version(5));
+    /// ```
+    #[must_use]
+    pub fn next(self) -> Version {
+        Version(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A set of replica identities, used for quorums and supporter sets.
+pub type NodeSet = BTreeSet<NodeId>;
+
+/// Builds a [`NodeSet`] from raw node numbers.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{node_set, NodeId};
+/// let q = node_set([1, 2, 3]);
+/// assert!(q.contains(&NodeId(2)));
+/// ```
+#[must_use]
+pub fn node_set<I: IntoIterator<Item = u32>>(ids: I) -> NodeSet {
+    ids.into_iter().map(NodeId).collect()
+}
+
+/// The parameterized configuration interface of Fig. 7.
+///
+/// A configuration describes the replica group plus whatever extra metadata
+/// a reconfiguration scheme needs (joint memberships, primaries, quorum
+/// sizes, …). The ADORE model only interacts with it through:
+///
+/// * [`members`](Configuration::members) — the paper's `mbrs`,
+/// * [`is_quorum`](Configuration::is_quorum) — the paper's `isQuorum`,
+/// * [`r1_plus`](Configuration::r1_plus) — the paper's `R1⁺` relation
+///   constraining which configurations may directly succeed this one.
+///
+/// # Safety assumptions
+///
+/// The model's safety theorem holds for every implementation satisfying the
+/// two assumptions of Fig. 7, which are *not* enforced by the compiler:
+///
+/// * **REFLEXIVE** — `cf.r1_plus(&cf)` for every `cf`;
+/// * **OVERLAP** — if `cf.r1_plus(&cf2)`, `cf.is_quorum(&q)`, and
+///   `cf2.is_quorum(&q2)`, then `q ∩ q2 ≠ ∅`.
+///
+/// Use [`check_reflexive`] and [`check_overlap`] (or the exhaustive
+/// validators in `adore-schemes`) to certify an implementation.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{node_set, Configuration, NodeSet};
+///
+/// /// Plain majority quorums over a fixed member set.
+/// #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// struct Majority(NodeSet);
+///
+/// impl Configuration for Majority {
+///     fn members(&self) -> NodeSet {
+///         self.0.clone()
+///     }
+///     fn is_quorum(&self, s: &NodeSet) -> bool {
+///         2 * s.intersection(&self.0).count() > self.0.len()
+///     }
+///     fn r1_plus(&self, next: &Self) -> bool {
+///         self == next
+///     }
+/// }
+///
+/// let cf = Majority(node_set([1, 2, 3]));
+/// assert!(cf.is_quorum(&node_set([1, 2])));
+/// assert!(!cf.is_quorum(&node_set([3])));
+/// ```
+pub trait Configuration: Clone + Eq + Ord + Hash + fmt::Debug {
+    /// The replicas that participate under this configuration (`mbrs`).
+    fn members(&self) -> NodeSet;
+
+    /// Whether `s` constitutes a quorum of this configuration (`isQuorum`).
+    ///
+    /// Implementations should only count members: nodes outside
+    /// [`members`](Configuration::members) must never help form a quorum.
+    fn is_quorum(&self, s: &NodeSet) -> bool;
+
+    /// The `R1⁺` relation: whether `next` may directly replace `self`.
+    fn r1_plus(&self, next: &Self) -> bool;
+}
+
+/// Checks the REFLEXIVE assumption of Fig. 7 for one configuration.
+///
+/// # Examples
+///
+/// ```
+/// # use adore_core::{node_set, Configuration, NodeSet};
+/// # #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// # struct Majority(NodeSet);
+/// # impl Configuration for Majority {
+/// #     fn members(&self) -> NodeSet { self.0.clone() }
+/// #     fn is_quorum(&self, s: &NodeSet) -> bool {
+/// #         2 * s.intersection(&self.0).count() > self.0.len()
+/// #     }
+/// #     fn r1_plus(&self, next: &Self) -> bool { self == next }
+/// # }
+/// use adore_core::check_reflexive;
+/// assert!(check_reflexive(&Majority(node_set([1, 2, 3]))));
+/// ```
+#[must_use]
+pub fn check_reflexive<C: Configuration>(cf: &C) -> bool {
+    cf.r1_plus(cf)
+}
+
+/// Checks the OVERLAP assumption of Fig. 7 for one pair of configurations
+/// and one pair of supporter sets.
+///
+/// Returns `true` if the instance is vacuous (the sets are not quorums or
+/// the configurations are not `R1⁺`-related) or the quorums intersect.
+///
+/// # Examples
+///
+/// ```
+/// # use adore_core::{node_set, Configuration, NodeSet};
+/// # #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// # struct Majority(NodeSet);
+/// # impl Configuration for Majority {
+/// #     fn members(&self) -> NodeSet { self.0.clone() }
+/// #     fn is_quorum(&self, s: &NodeSet) -> bool {
+/// #         2 * s.intersection(&self.0).count() > self.0.len()
+/// #     }
+/// #     fn r1_plus(&self, next: &Self) -> bool { self == next }
+/// # }
+/// use adore_core::check_overlap;
+/// let cf = Majority(node_set([1, 2, 3]));
+/// assert!(check_overlap(&cf, &cf, &node_set([1, 2]), &node_set([2, 3])));
+/// ```
+#[must_use]
+pub fn check_overlap<C: Configuration>(cf: &C, cf2: &C, q: &NodeSet, q2: &NodeSet) -> bool {
+    if !cf.r1_plus(cf2) || !cf.is_quorum(q) || !cf2.is_quorum(q2) {
+        return true;
+    }
+    q.intersection(q2).next().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct Majority(NodeSet);
+
+    impl Configuration for Majority {
+        fn members(&self) -> NodeSet {
+            self.0.clone()
+        }
+        fn is_quorum(&self, s: &NodeSet) -> bool {
+            2 * s.intersection(&self.0).count() > self.0.len()
+        }
+        fn r1_plus(&self, next: &Self) -> bool {
+            self == next
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "S3");
+        assert_eq!(Timestamp(4).to_string(), "t4");
+        assert_eq!(Version(5).to_string(), "v5");
+    }
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(Timestamp::ZERO.next(), Timestamp(1));
+        assert_eq!(Version::ZERO.next(), Version(1));
+    }
+
+    #[test]
+    fn node_set_builds_sorted_set() {
+        let s = node_set([3, 1, 2, 1]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().next(), Some(&NodeId(1)));
+    }
+
+    #[test]
+    fn majority_quorums_overlap() {
+        let cf = Majority(node_set([1, 2, 3]));
+        assert!(check_reflexive(&cf));
+        assert!(check_overlap(
+            &cf,
+            &cf,
+            &node_set([1, 2]),
+            &node_set([2, 3])
+        ));
+        // Vacuous case: not a quorum.
+        assert!(check_overlap(&cf, &cf, &node_set([1]), &node_set([2, 3])));
+    }
+
+    #[test]
+    fn quorum_counts_only_members() {
+        let cf = Majority(node_set([1, 2, 3]));
+        // Outsiders don't help.
+        assert!(!cf.is_quorum(&node_set([4, 5])));
+        assert!(cf.is_quorum(&node_set([1, 2, 99])));
+    }
+}

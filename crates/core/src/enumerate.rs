@@ -1,0 +1,228 @@
+//! Exhaustive enumeration of valid oracle decisions.
+//!
+//! The pull/push oracles of Fig. 11/27 are the only sources of
+//! nondeterminism in ADORE. Enumerating every decision they could validly
+//! return turns [`AdoreState`] into a finitely-branching
+//! transition system, which is what the `adore-checker` crate explores
+//! exhaustively.
+//!
+//! # Timestamp canonicalization
+//!
+//! A valid pull may draw *any* timestamp strictly greater than every
+//! supporter's observed time. All such draws produce order-isomorphic
+//! futures (the semantics only ever compares timestamps), so the
+//! enumeration returns only the **minimal** fresh timestamp. This is a
+//! standard symmetry reduction; it preserves reachability of every safety
+//! violation because violations are invariant under order-preserving
+//! timestamp renaming.
+
+use crate::config::{Configuration, NodeId, NodeSet};
+use crate::state::{AdoreState, PullDecision, PushDecision};
+
+/// All non-empty subsets of `universe` that contain `required`.
+///
+/// The universes in question are configuration member sets, which realistic
+/// model-checking instances keep below ~8 nodes; the count is `2^(n-1)`.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::enumerate::subsets_containing;
+/// use adore_core::{node_set, NodeId};
+/// let subs = subsets_containing(&node_set([1, 2, 3]), NodeId(1));
+/// assert_eq!(subs.len(), 4); // {1}, {1,2}, {1,3}, {1,2,3}
+/// ```
+#[must_use]
+pub fn subsets_containing(universe: &NodeSet, required: NodeId) -> Vec<NodeSet> {
+    if !universe.contains(&required) {
+        return Vec::new();
+    }
+    let others: Vec<NodeId> = universe
+        .iter()
+        .copied()
+        .filter(|n| *n != required)
+        .collect();
+    let mut out = Vec::with_capacity(1 << others.len());
+    for mask in 0u64..(1u64 << others.len()) {
+        let mut set: NodeSet = std::iter::once(required).collect();
+        for (i, &n) in others.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                set.insert(n);
+            }
+        }
+        out.push(set);
+    }
+    out
+}
+
+/// Every valid successful pull decision for `caller`, with the canonical
+/// minimal timestamp (see the module docs).
+///
+/// A decision is emitted for each supporter set `Q` such that the
+/// `ValidPullOracle` rule accepts it: `caller ∈ Q`, `mostRecent(Q)` exists,
+/// and `Q ⊆ mbrs(conf(mostRecent(Q)))`. Both quorum and non-quorum sets are
+/// included — the semantics decides which outcome they produce.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::enumerate::pull_decisions;
+/// use adore_core::majority::Majority;
+/// use adore_core::{AdoreState, NodeId};
+/// let st: AdoreState<Majority, ()> = AdoreState::new(Majority::new([1, 2, 3]));
+/// // S1 with each subset of {S2, S3}: four valid decisions.
+/// assert_eq!(pull_decisions(&st, NodeId(1)).len(), 4);
+/// ```
+#[must_use]
+pub fn pull_decisions<C: Configuration, M: Clone>(
+    st: &AdoreState<C, M>,
+    caller: NodeId,
+) -> Vec<PullDecision> {
+    let universe = st.known_nodes();
+    let mut out = Vec::new();
+    for supporters in subsets_containing(&universe, caller) {
+        let Some(max_id) = st.most_recent(&supporters) else {
+            continue;
+        };
+        if !supporters.is_subset(&st.cache(max_id).config().members()) {
+            continue;
+        }
+        let time = supporters
+            .iter()
+            .map(|s| st.observed_time(*s))
+            .max()
+            .expect("supporter set is non-empty")
+            .next();
+        out.push(PullDecision::Ok { supporters, time });
+    }
+    out
+}
+
+/// Every valid successful push decision for `caller`.
+///
+/// A decision is emitted for each commit target satisfying `canCommit` and
+/// each supporter set within the target configuration's members whose
+/// observed times do not exceed the target's timestamp.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::enumerate::push_decisions;
+/// use adore_core::majority::Majority;
+/// use adore_core::{AdoreState, NodeId};
+/// let st: AdoreState<Majority, ()> = AdoreState::new(Majority::new([1, 2, 3]));
+/// // Nothing to commit in the initial state.
+/// assert!(push_decisions(&st, NodeId(1)).is_empty());
+/// ```
+#[must_use]
+pub fn push_decisions<C: Configuration, M: Clone>(
+    st: &AdoreState<C, M>,
+    caller: NodeId,
+) -> Vec<PushDecision> {
+    let mut out = Vec::new();
+    for target in st.tree().ids() {
+        if !st.can_commit(target, caller) {
+            continue;
+        }
+        let cache = st.cache(target);
+        let time = cache.time();
+        let members = cache.config().members();
+        for supporters in subsets_containing(&members, caller) {
+            if supporters.iter().all(|s| st.observed_time(*s) <= time) {
+                out.push(PushDecision::Ok { supporters, target });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::node_set;
+    use crate::majority::Majority;
+    use crate::state::{PullOutcome, PushOutcome};
+    use crate::Timestamp;
+
+    type St = AdoreState<Majority, &'static str>;
+
+    fn three() -> St {
+        AdoreState::new(Majority::new([1, 2, 3]))
+    }
+
+    #[test]
+    fn subsets_containing_excludes_foreign_required() {
+        assert!(subsets_containing(&node_set([2, 3]), NodeId(1)).is_empty());
+        assert_eq!(subsets_containing(&node_set([1]), NodeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn every_enumerated_pull_decision_is_accepted() {
+        let mut st = three();
+        // Advance the state a bit first.
+        let d = PullDecision::Ok {
+            supporters: node_set([1, 2]),
+            time: Timestamp(1),
+        };
+        st.pull(NodeId(1), &d).unwrap();
+        st.invoke(NodeId(1), "x");
+        for caller in [NodeId(1), NodeId(2), NodeId(3)] {
+            for d in pull_decisions(&st, caller) {
+                let mut fork = st.clone();
+                let out = fork.pull(caller, &d).expect("enumerated decision rejected");
+                assert!(!matches!(out, PullOutcome::Failed));
+            }
+        }
+    }
+
+    #[test]
+    fn every_enumerated_push_decision_is_accepted() {
+        let mut st = three();
+        st.pull(
+            NodeId(1),
+            &PullDecision::Ok {
+                supporters: node_set([1, 2]),
+                time: Timestamp(1),
+            },
+        )
+        .unwrap();
+        st.invoke(NodeId(1), "x");
+        st.invoke(NodeId(1), "y");
+        let ds = push_decisions(&st, NodeId(1));
+        // Two commit targets ("x" and "y"), four subsets each.
+        assert_eq!(ds.len(), 8);
+        for d in ds {
+            let mut fork = st.clone();
+            let out = fork
+                .push(NodeId(1), &d)
+                .expect("enumerated decision rejected");
+            assert!(!matches!(out, PushOutcome::Failed));
+        }
+        // Other nodes have nothing to commit.
+        assert!(push_decisions(&st, NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn pull_timestamps_are_minimal_fresh() {
+        let mut st = three();
+        st.pull(
+            NodeId(1),
+            &PullDecision::Ok {
+                supporters: node_set([1, 2]),
+                time: Timestamp(4),
+            },
+        )
+        .unwrap();
+        for d in pull_decisions(&st, NodeId(3)) {
+            let PullDecision::Ok { supporters, time } = &d else {
+                unreachable!()
+            };
+            let max_seen = supporters
+                .iter()
+                .map(|s| st.observed_time(*s))
+                .max()
+                .unwrap();
+            assert_eq!(*time, max_seen.next());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Alternative reconfiguration styles sketched in §8 of the paper,
+//! implemented as conservative extensions of the core semantics.
+//!
+//! * **Stop-the-world** (Stoppable Paxos / WormSpace style): once a
+//!   reconfiguration commits, "delete all caches not on the active
+//!   branch ..., which simulates copying the committed commands to a new
+//!   cluster of servers". [`push_stop_the_world`] performs a normal `push`
+//!   and, when the committed prefix contains an `RCache`, prunes every
+//!   sibling branch.
+//! * **Lamport's α-window** (Reconfiguring a State Machine, "easy"
+//!   approach): a command committed in instance *i* takes effect at
+//!   *i + α*, so at most α instances may run ahead. [`invoke_windowed`]
+//!   blocks invocations once the active branch carries α uncommitted
+//!   caches — the paper's "block new methods from being invoked on an
+//!   active branch that has α uncommitted caches".
+//!
+//! Both extensions only ever *restrict* behavior relative to the core
+//! model (they remove branches or refuse operations), so every safety
+//! invariant of the core proof carries over — which the tests check.
+
+use std::collections::BTreeMap;
+
+use adore_tree::CacheId;
+
+use crate::cache::CacheKind;
+use crate::config::{Configuration, NodeId};
+use crate::state::{AdoreState, LocalOutcome, NoOpReason, OracleError, PushDecision, PushOutcome};
+
+/// Outcome of a stop-the-world push: the plain outcome plus, on a commit
+/// that contained a reconfiguration, the id remapping from the prune.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StopTheWorldOutcome {
+    /// The underlying push outcome. On `Committed`, the id refers to the
+    /// tree *after* pruning if `remap` is present.
+    pub outcome: PushOutcome,
+    /// Present when a committed `RCache` triggered a prune: maps old cache
+    /// ids to their post-prune ids (absent ids were deleted).
+    pub remap: Option<BTreeMap<CacheId, CacheId>>,
+}
+
+/// `push` with stop-the-world reconfiguration semantics (§8).
+///
+/// Behaves exactly like [`AdoreState::push`]; additionally, if the newly
+/// committed prefix contains an `RCache`, every cache not on the committed
+/// branch is deleted — the old configuration can no longer act, giving a
+/// clean break between configurations. Cache ids are compacted; use the
+/// returned remapping to translate ids held across the call.
+///
+/// # Errors
+///
+/// Propagates [`OracleError`] from the underlying push (state unchanged).
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::extensions::push_stop_the_world;
+/// use adore_core::majority::Majority;
+/// use adore_core::{node_set, AdoreState, NodeId, PullDecision, PushDecision, Timestamp};
+///
+/// let mut st: AdoreState<Majority, &str> = AdoreState::new(Majority::new([1, 2, 3]));
+/// st.pull(NodeId(1), &PullDecision::Ok { supporters: node_set([1, 2]), time: Timestamp(1) })?;
+/// let m = st.invoke(NodeId(1), "m").applied().unwrap();
+/// let out = push_stop_the_world(&mut st, NodeId(1), &PushDecision::Ok {
+///     supporters: node_set([1, 2]),
+///     target: m,
+/// })?;
+/// // No RCache in the prefix: an ordinary commit, no prune.
+/// assert!(out.remap.is_none());
+/// # Ok::<(), adore_core::OracleError>(())
+/// ```
+pub fn push_stop_the_world<C: Configuration, M: Clone>(
+    st: &mut AdoreState<C, M>,
+    nid: NodeId,
+    decision: &PushDecision,
+) -> Result<StopTheWorldOutcome, OracleError> {
+    let outcome = st.push(nid, decision)?;
+    let PushOutcome::Committed(ccache) = outcome else {
+        return Ok(StopTheWorldOutcome {
+            outcome,
+            remap: None,
+        });
+    };
+    // Did this commit certify a reconfiguration? Look for an RCache on the
+    // newly committed branch above the CCache, below the previous commit.
+    let mut saw_rcache = false;
+    for anc in st.tree().ancestors_inclusive(ccache).skip(1) {
+        match st.cache(anc).kind() {
+            CacheKind::Reconfig => {
+                saw_rcache = true;
+                break;
+            }
+            // Stop at the previous commit marker: earlier RCaches were
+            // handled by their own stop-the-world pushes.
+            CacheKind::Commit | CacheKind::Genesis => break,
+            _ => {}
+        }
+    }
+    if !saw_rcache {
+        return Ok(StopTheWorldOutcome {
+            outcome,
+            remap: None,
+        });
+    }
+    let remap = st.prune_to_branch(ccache);
+    let outcome = PushOutcome::Committed(remap[&ccache]);
+    Ok(StopTheWorldOutcome {
+        outcome,
+        remap: Some(remap),
+    })
+}
+
+/// `invoke` under Lamport's α-window: refuses once the active branch holds
+/// `alpha` or more uncommitted method/reconfiguration caches.
+///
+/// With `alpha == 1` this is fully synchronous consensus (each command
+/// must commit before the next is proposed); larger windows pipeline.
+///
+/// # Panics
+///
+/// Panics if `alpha` is zero — a zero window could never admit a command.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::extensions::invoke_windowed;
+/// use adore_core::majority::Majority;
+/// use adore_core::{node_set, AdoreState, LocalOutcome, NodeId, PullDecision, Timestamp};
+///
+/// let mut st: AdoreState<Majority, &str> = AdoreState::new(Majority::new([1, 2, 3]));
+/// st.pull(NodeId(1), &PullDecision::Ok { supporters: node_set([1, 2]), time: Timestamp(1) })?;
+/// assert!(invoke_windowed(&mut st, NodeId(1), "a", 2).applied().is_some());
+/// assert!(invoke_windowed(&mut st, NodeId(1), "b", 2).applied().is_some());
+/// // The window is full: the third invocation is refused.
+/// assert!(invoke_windowed(&mut st, NodeId(1), "c", 2).applied().is_none());
+/// # Ok::<(), adore_core::OracleError>(())
+/// ```
+pub fn invoke_windowed<C: Configuration, M: Clone>(
+    st: &mut AdoreState<C, M>,
+    nid: NodeId,
+    method: M,
+    alpha: usize,
+) -> LocalOutcome {
+    assert!(alpha > 0, "the window must admit at least one command");
+    let Some(active) = st.active_cache(nid) else {
+        return LocalOutcome::NoOp(NoOpReason::NoActiveCache);
+    };
+    // Count uncommitted M/R caches on the branch: those above the last
+    // commit marker.
+    let mut uncommitted = 0usize;
+    for anc in st.tree().ancestors_inclusive(active) {
+        match st.cache(anc).kind() {
+            CacheKind::Method | CacheKind::Reconfig => uncommitted += 1,
+            CacheKind::Commit | CacheKind::Genesis => break,
+            CacheKind::Election => {}
+        }
+    }
+    if uncommitted >= alpha {
+        return LocalOutcome::NoOp(NoOpReason::WindowFull);
+    }
+    st.invoke(nid, method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{node_set, Timestamp};
+    use crate::invariants;
+    use crate::majority::Majority;
+    use crate::state::{PullDecision, ReconfigGuard};
+
+    type St = AdoreState<Majority, &'static str>;
+
+    fn led(st: &mut St, nid: u32, supp: &[u32], t: u64) {
+        st.pull(
+            NodeId(nid),
+            &PullDecision::Ok {
+                supporters: node_set(supp.iter().copied()),
+                time: Timestamp(t),
+            },
+        )
+        .unwrap();
+    }
+
+    fn push(st: &mut St, nid: u32, supp: &[u32], target: CacheId) -> StopTheWorldOutcome {
+        push_stop_the_world(
+            st,
+            NodeId(nid),
+            &PushDecision::Ok {
+                supporters: node_set(supp.iter().copied()),
+                target,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plain_commits_do_not_prune() {
+        let mut st: St = AdoreState::new(Majority::new([1, 2, 3]));
+        led(&mut st, 1, &[1, 2], 1);
+        let m = st.invoke(NodeId(1), "a").applied().unwrap();
+        let before = st.tree().len();
+        let out = push(&mut st, 1, &[1, 2], m);
+        assert!(out.remap.is_none());
+        assert_eq!(st.tree().len(), before + 1);
+    }
+
+    #[test]
+    fn committed_reconfig_prunes_stale_branches() {
+        let mut st: St = AdoreState::new(Majority::new([1, 2, 3]));
+        // S1 leaves an uncommitted branch behind.
+        led(&mut st, 1, &[1, 2], 1);
+        st.invoke(NodeId(1), "stale").applied().unwrap();
+        // S2 leads, commits a method (R3), then a reconfiguration.
+        led(&mut st, 2, &[2, 3], 2);
+        let m = st.invoke(NodeId(2), "warm").applied().unwrap();
+        push(&mut st, 2, &[2, 3], m);
+        let r = st
+            .reconfig(NodeId(2), Majority::new([1, 2, 3]), ReconfigGuard::all())
+            .applied()
+            .unwrap();
+        let out = push(&mut st, 2, &[2, 3], r);
+        let remap = out.remap.expect("reconfiguration commit prunes");
+        // S1's stale branch is gone; the surviving tree is one branch.
+        assert!(st
+            .tree()
+            .ids()
+            .all(|id| st.cache(id).caller() != Some(NodeId(1))));
+        assert!(invariants::check_all(&st).is_empty());
+        // A clean break: exactly one branch remains.
+        assert_eq!(st.tree().leaves().count(), 1);
+        // The committed log survives the prune.
+        let log: Vec<_> = st
+            .committed_log()
+            .iter()
+            .map(|id| st.cache(*id).summary())
+            .collect();
+        assert_eq!(log.len(), 2); // warm + the reconfiguration
+        let _ = remap;
+    }
+
+    #[test]
+    fn stop_the_world_keeps_the_committed_suffix_viable() {
+        let mut st: St = AdoreState::new(Majority::new([1, 2, 3]));
+        led(&mut st, 1, &[1, 2], 1);
+        let m = st.invoke(NodeId(1), "a").applied().unwrap();
+        push(&mut st, 1, &[1, 2], m);
+        let r = st
+            .reconfig(NodeId(1), Majority::new([1, 2, 3]), ReconfigGuard::all())
+            .applied()
+            .unwrap();
+        // Uncommitted work below the reconfiguration survives the prune
+        // (it is on the active branch).
+        let below = st.invoke(NodeId(1), "below").applied().unwrap();
+        let out = push(&mut st, 1, &[1, 2], r);
+        let remap = out.remap.expect("prune happened");
+        assert!(remap.contains_key(&below), "active-branch work survives");
+        assert!(invariants::check_all(&st).is_empty());
+    }
+
+    #[test]
+    fn window_blocks_and_reopens_after_commit() {
+        let mut st: St = AdoreState::new(Majority::new([1, 2, 3]));
+        led(&mut st, 1, &[1, 2], 1);
+        let a = invoke_windowed(&mut st, NodeId(1), "a", 2)
+            .applied()
+            .unwrap();
+        invoke_windowed(&mut st, NodeId(1), "b", 2)
+            .applied()
+            .unwrap();
+        assert_eq!(
+            invoke_windowed(&mut st, NodeId(1), "c", 2),
+            LocalOutcome::NoOp(NoOpReason::WindowFull)
+        );
+        // Committing the first command reopens one slot.
+        st.push(
+            NodeId(1),
+            &PushDecision::Ok {
+                supporters: node_set([1, 2]),
+                target: a,
+            },
+        )
+        .unwrap();
+        assert!(invoke_windowed(&mut st, NodeId(1), "c", 2)
+            .applied()
+            .is_some());
+        assert!(invariants::check_all(&st).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must admit")]
+    fn zero_window_is_rejected() {
+        let mut st: St = AdoreState::new(Majority::new([1, 2]));
+        let _ = invoke_windowed(&mut st, NodeId(1), "a", 0);
+    }
+
+    #[test]
+    fn window_requires_leadership_like_plain_invoke() {
+        let mut st: St = AdoreState::new(Majority::new([1, 2]));
+        assert_eq!(
+            invoke_windowed(&mut st, NodeId(1), "a", 3),
+            LocalOutcome::NoOp(NoOpReason::NoActiveCache)
+        );
+    }
+}

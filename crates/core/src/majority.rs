@@ -1,0 +1,124 @@
+//! A minimal built-in configuration: static membership, majority quorums.
+//!
+//! This is the degenerate reconfiguration scheme in which `R1⁺` only relates
+//! a configuration to itself — i.e. the classic *static* consensus setting
+//! (and the natural instantiation for the CADO model). It lives in the core
+//! crate so that examples and tests have a scheme without depending on
+//! `adore-schemes`, which provides the paper's richer instantiations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Configuration, NodeSet};
+
+/// Static membership with majority quorums; `R1⁺` is equality.
+///
+/// REFLEXIVE holds trivially, and OVERLAP reduces to the textbook fact that
+/// two majorities of the same set intersect.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::majority::Majority;
+/// use adore_core::{node_set, Configuration};
+///
+/// let cf = Majority::new([1, 2, 3]);
+/// assert!(cf.is_quorum(&node_set([1, 3])));
+/// assert!(!cf.is_quorum(&node_set([2])));
+/// assert!(cf.r1_plus(&cf));
+/// assert!(!cf.r1_plus(&Majority::new([1, 2])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Majority {
+    members: NodeSet,
+}
+
+impl Majority {
+    /// Creates a configuration over the given node numbers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::majority::Majority;
+    /// use adore_core::Configuration;
+    /// assert_eq!(Majority::new([1, 2, 3]).members().len(), 3);
+    /// ```
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Majority {
+            members: crate::config::node_set(ids),
+        }
+    }
+
+    /// Creates a configuration from an existing node set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::majority::Majority;
+    /// use adore_core::node_set;
+    /// let cf = Majority::from_set(node_set([1, 2]));
+    /// assert_eq!(cf, Majority::new([1, 2]));
+    /// ```
+    #[must_use]
+    pub fn from_set(members: NodeSet) -> Self {
+        Majority { members }
+    }
+}
+
+impl Configuration for Majority {
+    fn members(&self) -> NodeSet {
+        self.members.clone()
+    }
+
+    fn is_quorum(&self, s: &NodeSet) -> bool {
+        2 * s.intersection(&self.members).count() > self.members.len()
+    }
+
+    fn r1_plus(&self, next: &Self) -> bool {
+        self == next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{check_overlap, check_reflexive, node_set};
+
+    #[test]
+    fn majority_threshold() {
+        let cf = Majority::new([1, 2, 3, 4]);
+        assert!(!cf.is_quorum(&node_set([1, 2])));
+        assert!(cf.is_quorum(&node_set([1, 2, 3])));
+    }
+
+    #[test]
+    fn assumptions_hold_exhaustively_for_three_nodes() {
+        let cf = Majority::new([1, 2, 3]);
+        assert!(check_reflexive(&cf));
+        // All subset pairs of a 3-node universe.
+        let universe: Vec<u32> = vec![1, 2, 3];
+        for mask_q in 0u32..8 {
+            for mask_q2 in 0u32..8 {
+                let q = node_set(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask_q & (1 << i) != 0).then_some(n)),
+                );
+                let q2 = node_set(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask_q2 & (1 << i) != 0).then_some(n)),
+                );
+                assert!(check_overlap(&cf, &cf, &q, &q2));
+            }
+        }
+    }
+
+    #[test]
+    fn outsiders_never_form_quorums() {
+        let cf = Majority::new([1, 2, 3]);
+        assert!(!cf.is_quorum(&node_set([4, 5, 6, 7])));
+    }
+}

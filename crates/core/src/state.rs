@@ -1,0 +1,1203 @@
+//! The ADORE abstract state and its operational semantics (Figs. 8–11, 26–28).
+//!
+//! [`AdoreState`] packs the cache tree and the per-replica observed-time map
+//! (`Σ_Adore ≜ CacheTree * TimeMap`). The four operations `pull`, `invoke`,
+//! `reconfig`, and `push` mutate it exactly as the paper's rules prescribe.
+//!
+//! Nondeterminism from the network is concentrated in *oracle decisions*
+//! ([`PullDecision`], [`PushDecision`]): the environment proposes an
+//! outcome, and the semantics **validates** it against the valid-oracle
+//! rules of Fig. 11/27 before applying it — an invalid decision is an
+//! [`OracleError`], never a silent acceptance. Enumerating all valid
+//! decisions (see [`crate::enumerate`]) turns the semantics into a
+//! model-checkable transition system.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use adore_tree::{CacheId, Tree};
+
+use crate::cache::{Cache, CacheKind, CacheOrderKey};
+use crate::config::{Configuration, NodeId, NodeSet, Timestamp};
+
+/// Reconfiguration guard switches: which of the paper's side conditions
+/// `reconfig` enforces.
+///
+/// The full ADORE model uses [`ReconfigGuard::all`]. Switching individual
+/// conditions off yields the historically buggy variants — most notably
+/// `ReconfigGuard::all().without_r3()`, which is Raft's original single-server
+/// membership-change algorithm whose violation (Fig. 4/12 of the paper) the
+/// model checker rediscovers.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::ReconfigGuard;
+/// let flawed = ReconfigGuard::all().without_r3();
+/// assert!(flawed.r1 && flawed.r2 && !flawed.r3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReconfigGuard {
+    /// Enforce `R1⁺(conf(C_A), ncf)`: consecutive configurations related.
+    pub r1: bool,
+    /// Enforce R2: no uncommitted `RCache` on the active branch.
+    pub r2: bool,
+    /// Enforce R3: a `CCache` with the current timestamp on the active branch.
+    pub r3: bool,
+}
+
+impl ReconfigGuard {
+    /// The sound guard enforcing all three conditions.
+    #[must_use]
+    pub fn all() -> Self {
+        ReconfigGuard {
+            r1: true,
+            r2: true,
+            r3: true,
+        }
+    }
+
+    /// Drops the `R1⁺` check.
+    #[must_use]
+    pub fn without_r1(mut self) -> Self {
+        self.r1 = false;
+        self
+    }
+
+    /// Drops the R2 check.
+    #[must_use]
+    pub fn without_r2(mut self) -> Self {
+        self.r2 = false;
+        self
+    }
+
+    /// Drops the R3 check — Raft's original flawed algorithm.
+    #[must_use]
+    pub fn without_r3(mut self) -> Self {
+        self.r3 = false;
+        self
+    }
+}
+
+impl Default for ReconfigGuard {
+    fn default() -> Self {
+        ReconfigGuard::all()
+    }
+}
+
+impl fmt::Display for ReconfigGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut on = Vec::new();
+        if self.r1 {
+            on.push("R1+");
+        }
+        if self.r2 {
+            on.push("R2");
+        }
+        if self.r3 {
+            on.push("R3");
+        }
+        if on.is_empty() {
+            f.write_str("{}")
+        } else {
+            write!(f, "{{{}}}", on.join(","))
+        }
+    }
+}
+
+/// A pull-oracle decision: the environment's answer to "who received the
+/// election request, and what timestamp was drawn?".
+///
+/// Corresponds to `O_pull` of Fig. 27; the remaining components of the
+/// paper's oracle tuple (`C_max`, `Q_ok`) are functions of the state and the
+/// supporter set, so they are computed — not chosen — here.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PullDecision {
+    /// The request reached `supporters`, who all adopt timestamp `time`.
+    Ok {
+        /// The replicas that voted (must include the caller).
+        supporters: NodeSet,
+        /// The fresh timestamp (must exceed every supporter's observed time).
+        time: Timestamp,
+    },
+    /// The network dropped the election entirely (`PullNoOp`).
+    Fail,
+}
+
+/// A push-oracle decision: the environment's answer to "which cache got
+/// committed, and who acknowledged it?".
+///
+/// Corresponds to `O_push` of Fig. 27.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PushDecision {
+    /// The commit request for cache `target` reached `supporters`.
+    Ok {
+        /// The replicas that acknowledged (must include the caller).
+        supporters: NodeSet,
+        /// The `MCache`/`RCache` being committed (an arbitrary prefix point
+        /// of the caller's active branch).
+        target: CacheId,
+    },
+    /// The network dropped the commit entirely (`PushNoOp`).
+    Fail,
+}
+
+/// Why an operation was a no-op (the paper's `*NoOp` rules and unmet
+/// premises of the `*Ok` rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NoOpReason {
+    /// The oracle returned `Fail`.
+    OracleFailed,
+    /// The caller has no active cache (never successfully pulled).
+    NoActiveCache,
+    /// The caller's active cache time differs from its observed time — it
+    /// has been preempted by a newer leader.
+    NotLeader,
+    /// `R1⁺(conf(C_A), ncf)` does not hold.
+    R1Violated,
+    /// An uncommitted `RCache` sits on the active branch (R2).
+    R2Violated,
+    /// No `CCache` with the current timestamp on the active branch (R3).
+    R3Violated,
+    /// The α-window of uncommitted commands is full
+    /// (see [`crate::extensions::invoke_windowed`]).
+    WindowFull,
+}
+
+impl fmt::Display for NoOpReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NoOpReason::OracleFailed => "oracle returned failure",
+            NoOpReason::NoActiveCache => "caller has no active cache",
+            NoOpReason::NotLeader => "caller is not the leader at its active cache's time",
+            NoOpReason::R1Violated => "new configuration is not R1+-related to the current one",
+            NoOpReason::R2Violated => "an uncommitted reconfiguration is already in flight",
+            NoOpReason::R3Violated => "no commit at the current timestamp yet",
+            NoOpReason::WindowFull => "the window of uncommitted commands is full",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An oracle decision that violates the valid-oracle rules of Fig. 11/27.
+///
+/// These are *caller errors*, not protocol outcomes: a conforming
+/// environment (such as [`crate::enumerate`]) never produces them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OracleError {
+    /// The supporter set does not include the caller.
+    CallerNotSupporter,
+    /// `mostRecent` is undefined: no cache is supported by any member of
+    /// the proposed supporter set.
+    NoMostRecent,
+    /// The supporter set is not a subset of the relevant configuration's
+    /// members (`validSupp`).
+    SupportersOutsideConfig,
+    /// A supporter has already observed a timestamp `>= t` (pull) or
+    /// `> time(C_M)` (push).
+    StaleTimestamp {
+        /// The offending supporter.
+        supporter: NodeId,
+    },
+    /// The push target is not in the tree.
+    UnknownTarget,
+    /// The push target fails `canCommit` (wrong kind, wrong caller, caller
+    /// not leader, or not newer than the caller's last commit).
+    CannotCommit,
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::CallerNotSupporter => f.write_str("caller missing from supporter set"),
+            OracleError::NoMostRecent => {
+                f.write_str("no cache is supported by any proposed supporter")
+            }
+            OracleError::SupportersOutsideConfig => {
+                f.write_str("supporter set is not within the configuration's members")
+            }
+            OracleError::StaleTimestamp { supporter } => {
+                write!(f, "supporter {supporter} has observed a newer timestamp")
+            }
+            OracleError::UnknownTarget => f.write_str("push target is not in the tree"),
+            OracleError::CannotCommit => f.write_str("push target fails canCommit"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Result of a [`AdoreState::pull`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PullOutcome {
+    /// A quorum voted; the new `ECache` was added at the returned id.
+    Elected(CacheId),
+    /// Votes were collected and timestamps advanced, but short of a quorum.
+    /// The election blocks older leaders without electing a new one.
+    NoQuorum,
+    /// The oracle failed; the state is unchanged.
+    Failed,
+}
+
+/// Result of an [`AdoreState::invoke`] or [`AdoreState::reconfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalOutcome {
+    /// The new `MCache`/`RCache` was appended at the returned id.
+    Applied(CacheId),
+    /// The operation was a no-op for the given reason.
+    NoOp(NoOpReason),
+}
+
+impl LocalOutcome {
+    /// The new cache id, if the operation applied.
+    #[must_use]
+    pub fn applied(self) -> Option<CacheId> {
+        match self {
+            LocalOutcome::Applied(id) => Some(id),
+            LocalOutcome::NoOp(_) => None,
+        }
+    }
+}
+
+/// Result of an [`AdoreState::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PushOutcome {
+    /// A quorum acknowledged; the new `CCache` was spliced in at the id.
+    Committed(CacheId),
+    /// Acknowledgements were collected and timestamps advanced, but short
+    /// of a quorum; nothing was committed.
+    NoQuorum,
+    /// The oracle failed; the state is unchanged.
+    Failed,
+}
+
+/// The ADORE abstract state: a cache tree plus each replica's largest
+/// observed timestamp (`Σ_Adore`, Fig. 6).
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::majority::Majority;
+/// use adore_core::{node_set, AdoreState, PullDecision, PullOutcome, Timestamp};
+/// # use adore_core::NodeId;
+///
+/// let mut st: AdoreState<Majority, &str> = AdoreState::new(Majority::new([1, 2, 3]));
+/// let outcome = st
+///     .pull(NodeId(1), &PullDecision::Ok {
+///         supporters: node_set([1, 2]),
+///         time: Timestamp(1),
+///     })?
+///     ;
+/// assert!(matches!(outcome, PullOutcome::Elected(_)));
+/// # Ok::<(), adore_core::OracleError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AdoreState<C, M> {
+    tree: Tree<Cache<C, M>>,
+    times: BTreeMap<NodeId, Timestamp>,
+}
+
+impl<C: Configuration, M: Clone> AdoreState<C, M> {
+    /// Creates the initial state: a genesis root under `conf0` and all
+    /// observed times at zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::majority::Majority;
+    /// use adore_core::AdoreState;
+    /// let st: AdoreState<Majority, ()> = AdoreState::new(Majority::new([1, 2, 3]));
+    /// assert_eq!(st.tree().len(), 1);
+    /// ```
+    #[must_use]
+    pub fn new(conf0: C) -> Self {
+        AdoreState {
+            tree: Tree::new(Cache::Genesis { config: conf0 }),
+            times: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying cache tree.
+    #[must_use]
+    pub fn tree(&self) -> &Tree<Cache<C, M>> {
+        &self.tree
+    }
+
+    /// The cache stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the tree; ids obtained from this state are
+    /// always valid because the tree is append-only.
+    #[must_use]
+    pub fn cache(&self, id: CacheId) -> &Cache<C, M> {
+        self.tree.payload(id).expect("cache id out of range")
+    }
+
+    /// The largest timestamp `nid` has observed (`times(st)[nid]`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::majority::Majority;
+    /// use adore_core::{AdoreState, NodeId, Timestamp};
+    /// let st: AdoreState<Majority, ()> = AdoreState::new(Majority::new([1, 2]));
+    /// assert_eq!(st.observed_time(NodeId(1)), Timestamp::ZERO);
+    /// ```
+    #[must_use]
+    pub fn observed_time(&self, nid: NodeId) -> Timestamp {
+        self.times.get(&nid).copied().unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Whether `nid` is the leader at time `t` (`isLeader`, Fig. 9): its
+    /// observed time equals `t`.
+    #[must_use]
+    pub fn is_leader(&self, nid: NodeId, t: Timestamp) -> bool {
+        self.observed_time(nid) == t
+    }
+
+    /// Every node id mentioned anywhere in the state (configuration members
+    /// throughout history plus any node with a recorded time). This is the
+    /// universe oracle enumeration draws supporter sets from.
+    #[must_use]
+    pub fn known_nodes(&self) -> NodeSet {
+        let mut all: NodeSet = self.times.keys().copied().collect();
+        for (_, cache) in self.tree.iter() {
+            all.extend(cache.config().members());
+            all.extend(cache.supporters());
+        }
+        all
+    }
+
+    fn max_by_key_then_id<'a>(
+        &self,
+        candidates: impl Iterator<Item = (CacheId, &'a Cache<C, M>)>,
+    ) -> Option<CacheId>
+    where
+        C: 'a,
+        M: 'a,
+    {
+        candidates
+            .map(|(id, c)| (c.key(), id))
+            .max()
+            .map(|(_, id)| id)
+    }
+
+    /// `mostRecent(tr, Q)`: the greatest cache **observed** by any member
+    /// of `q` (see [`Cache::observes`]), or `None` if no cache is
+    /// (Fig. 9 / Fig. 26).
+    ///
+    /// Ties on the order key (possible only in unsafe histories) are broken
+    /// deterministically by cache id.
+    #[must_use]
+    pub fn most_recent(&self, q: &NodeSet) -> Option<CacheId> {
+        self.max_by_key_then_id(
+            self.tree
+                .iter()
+                .filter(|(_, c)| q.iter().any(|n| c.observes(*n))),
+        )
+    }
+
+    /// `activeCache(tr, nid)`: the greatest cache called by `nid`, or
+    /// `None` if `nid` has never created one.
+    #[must_use]
+    pub fn active_cache(&self, nid: NodeId) -> Option<CacheId> {
+        self.max_by_key_then_id(self.tree.iter().filter(|(_, c)| c.caller() == Some(nid)))
+    }
+
+    /// `lastCommit(tr, nid)`: the greatest commit-like cache supported by
+    /// `nid`. Total because the genesis root is commit-like and supported
+    /// by every initial member; for nodes added later that have supported
+    /// no commit it returns `None`.
+    #[must_use]
+    pub fn last_commit(&self, nid: NodeId) -> Option<CacheId> {
+        self.max_by_key_then_id(
+            self.tree
+                .iter()
+                .filter(|(_, c)| c.is_commit_like() && c.is_supporter(nid)),
+        )
+    }
+
+    /// `setTimes(st, Q, t)`: records that every member of `q` observed `t`.
+    fn set_times(&mut self, q: &NodeSet, t: Timestamp) {
+        for &s in q {
+            self.times.insert(s, t);
+        }
+    }
+
+    /// R2 (Fig. 7): no uncommitted `RCache` on the branch from the root to
+    /// `below`, inclusive — every `RCache` on the branch must have a
+    /// `CCache` descendant on the same branch (up to and including `below`).
+    ///
+    /// Inclusivity matters at both ends: an active cache that is itself an
+    /// `RCache` is uncommitted (blocking stacked reconfigurations), while an
+    /// active cache that is the `CCache` certifying an earlier `RCache`
+    /// unblocks the next one.
+    #[must_use]
+    pub fn r2_holds(&self, below: CacheId) -> bool {
+        // Walk upward from `below` itself; at each RCache encountered, some
+        // commit must already have been seen at or below the current point.
+        let mut commits_seen = 0usize;
+        for anc in self.tree.ancestors_inclusive(below) {
+            match self.cache(anc).kind() {
+                CacheKind::Reconfig if commits_seen == 0 => return false,
+                CacheKind::Commit => commits_seen += 1,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// R3 (Fig. 7): some `CCache` on the branch from the root to `below`,
+    /// inclusive, carries the same timestamp as `below` — the leader's log
+    /// contains a committed command with the current timestamp.
+    #[must_use]
+    pub fn r3_holds(&self, below: CacheId) -> bool {
+        let t = self.cache(below).time();
+        self.tree
+            .ancestors_inclusive(below)
+            .any(|anc| self.cache(anc).kind() == CacheKind::Commit && self.cache(anc).time() == t)
+    }
+
+    /// `canCommit(C, nid, st)` (Fig. 9): whether `target` is a valid commit
+    /// point for leader `nid`.
+    #[must_use]
+    pub fn can_commit(&self, target: CacheId, nid: NodeId) -> bool {
+        let Some(cache) = self.tree.payload(target) else {
+            return false;
+        };
+        let kind_ok = matches!(cache.kind(), CacheKind::Method | CacheKind::Reconfig);
+        if !kind_ok || cache.caller() != Some(nid) || !self.is_leader(nid, cache.time()) {
+            return false;
+        }
+        match self.last_commit(nid) {
+            Some(lc) => cache.key() > self.cache(lc).key(),
+            None => true,
+        }
+    }
+
+    /// Performs `pull(nid)` under the supplied oracle decision
+    /// (rules `PullOk`/`PullNoOp`, Fig. 10).
+    ///
+    /// On a successful decision, every supporter's observed time advances to
+    /// the drawn timestamp; if the supporters form a quorum of
+    /// `conf(mostRecent(Q))`, a new `ECache` is appended below `mostRecent(Q)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OracleError`] (leaving the state unchanged) if the
+    /// decision violates `ValidPullOracle` (Fig. 11): the caller must be a
+    /// supporter, `mostRecent` must exist, supporters must be members of
+    /// its configuration, and the timestamp must exceed every supporter's
+    /// observed time.
+    pub fn pull(
+        &mut self,
+        nid: NodeId,
+        decision: &PullDecision,
+    ) -> Result<PullOutcome, OracleError> {
+        let PullDecision::Ok { supporters, time } = decision else {
+            return Ok(PullOutcome::Failed);
+        };
+        if !supporters.contains(&nid) {
+            return Err(OracleError::CallerNotSupporter);
+        }
+        let max_id = self
+            .most_recent(supporters)
+            .ok_or(OracleError::NoMostRecent)?;
+        let config = self.cache(max_id).config().clone();
+        if !supporters.is_subset(&config.members()) {
+            return Err(OracleError::SupportersOutsideConfig);
+        }
+        if let Some(&stale) = supporters.iter().find(|s| self.observed_time(**s) >= *time) {
+            return Err(OracleError::StaleTimestamp { supporter: stale });
+        }
+        self.set_times(supporters, *time);
+        if config.is_quorum(supporters) {
+            let ecache = Cache::Election {
+                caller: nid,
+                time: *time,
+                supporters: supporters.clone(),
+                config,
+            };
+            let id = self
+                .tree
+                .add_leaf(max_id, ecache)
+                .expect("mostRecent returned a valid id");
+            Ok(PullOutcome::Elected(id))
+        } else {
+            Ok(PullOutcome::NoQuorum)
+        }
+    }
+
+    /// Performs `invoke(nid, method)` (rules `InvokeOk`/`InvokeNoOp`).
+    ///
+    /// Appends an `MCache` after the caller's active cache if the caller is
+    /// still the leader at that cache's timestamp; otherwise a no-op.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::majority::Majority;
+    /// use adore_core::{AdoreState, LocalOutcome, NoOpReason, NodeId};
+    /// let mut st: AdoreState<Majority, &str> = AdoreState::new(Majority::new([1, 2, 3]));
+    /// // Without an election, invoking is a no-op.
+    /// let out = st.invoke(NodeId(1), "put");
+    /// assert_eq!(out, LocalOutcome::NoOp(NoOpReason::NoActiveCache));
+    /// ```
+    pub fn invoke(&mut self, nid: NodeId, method: M) -> LocalOutcome {
+        let Some(active) = self.active_cache(nid) else {
+            return LocalOutcome::NoOp(NoOpReason::NoActiveCache);
+        };
+        let (time, vrsn, config) = {
+            let c = self.cache(active);
+            (c.time(), c.vrsn(), c.config().clone())
+        };
+        if !self.is_leader(nid, time) {
+            return LocalOutcome::NoOp(NoOpReason::NotLeader);
+        }
+        let mcache = Cache::Method {
+            caller: nid,
+            time,
+            vrsn: vrsn.next(),
+            method,
+            config,
+        };
+        let id = self
+            .tree
+            .add_leaf(active, mcache)
+            .expect("active cache is a valid id");
+        LocalOutcome::Applied(id)
+    }
+
+    /// Performs `reconfig(nid, new_config)` under the given guard
+    /// (rules `ReconfigOk`/`ReconfigNoOp`).
+    ///
+    /// Appends an `RCache` carrying `new_config` after the caller's active
+    /// cache if the caller is the leader and `canReconf` — i.e. the enabled
+    /// subset of R1⁺/R2/R3 — holds. The new configuration takes effect
+    /// immediately for descendants ("hot" reconfiguration).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::majority::Majority;
+    /// use adore_core::{
+    ///     node_set, AdoreState, LocalOutcome, NoOpReason, NodeId, PullDecision, ReconfigGuard,
+    ///     Timestamp,
+    /// };
+    ///
+    /// let mut st: AdoreState<Majority, &str> = AdoreState::new(Majority::new([1, 2, 3]));
+    /// st.pull(NodeId(1), &PullDecision::Ok {
+    ///     supporters: node_set([1, 2]),
+    ///     time: Timestamp(1),
+    /// })?;
+    /// // R3 blocks reconfiguration before anything commits at this term.
+    /// let out = st.reconfig(NodeId(1), Majority::new([1, 2, 3]), ReconfigGuard::all());
+    /// assert_eq!(out, LocalOutcome::NoOp(NoOpReason::R3Violated));
+    /// # Ok::<(), adore_core::OracleError>(())
+    /// ```
+    pub fn reconfig(&mut self, nid: NodeId, new_config: C, guard: ReconfigGuard) -> LocalOutcome {
+        let Some(active) = self.active_cache(nid) else {
+            return LocalOutcome::NoOp(NoOpReason::NoActiveCache);
+        };
+        let (time, vrsn, config) = {
+            let c = self.cache(active);
+            (c.time(), c.vrsn(), c.config().clone())
+        };
+        if !self.is_leader(nid, time) {
+            return LocalOutcome::NoOp(NoOpReason::NotLeader);
+        }
+        if guard.r1 && !config.r1_plus(&new_config) {
+            return LocalOutcome::NoOp(NoOpReason::R1Violated);
+        }
+        if guard.r2 && !self.r2_holds(active) {
+            return LocalOutcome::NoOp(NoOpReason::R2Violated);
+        }
+        if guard.r3 && !self.r3_holds(active) {
+            return LocalOutcome::NoOp(NoOpReason::R3Violated);
+        }
+        let rcache = Cache::Reconfig {
+            caller: nid,
+            time,
+            vrsn: vrsn.next(),
+            config: new_config,
+        };
+        let id = self
+            .tree
+            .add_leaf(active, rcache)
+            .expect("active cache is a valid id");
+        LocalOutcome::Applied(id)
+    }
+
+    /// Performs `push(nid)` under the supplied oracle decision
+    /// (rules `PushOk`/`PushNoOp`).
+    ///
+    /// On a successful decision, every supporter's observed time advances to
+    /// the target's timestamp; if the supporters form a quorum of the
+    /// target's configuration, a `CCache` is spliced **between** the target
+    /// and its children (`insertBtw`), leaving uncommitted descendants
+    /// viable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OracleError`] (leaving the state unchanged) if the
+    /// decision violates `ValidPushOracle` (Fig. 11): the target must exist
+    /// and satisfy `canCommit`, the caller must be a supporter, supporters
+    /// must be members of the target's configuration, and no supporter may
+    /// have observed a time beyond the target's.
+    pub fn push(
+        &mut self,
+        nid: NodeId,
+        decision: &PushDecision,
+    ) -> Result<PushOutcome, OracleError> {
+        let PushDecision::Ok { supporters, target } = decision else {
+            return Ok(PushOutcome::Failed);
+        };
+        let Some(target_cache) = self.tree.payload(*target) else {
+            return Err(OracleError::UnknownTarget);
+        };
+        let (time, vrsn, config) = (
+            target_cache.time(),
+            target_cache.vrsn(),
+            target_cache.config().clone(),
+        );
+        if !supporters.contains(&nid) {
+            return Err(OracleError::CallerNotSupporter);
+        }
+        if !supporters.is_subset(&config.members()) {
+            return Err(OracleError::SupportersOutsideConfig);
+        }
+        if let Some(&stale) = supporters.iter().find(|s| self.observed_time(**s) > time) {
+            return Err(OracleError::StaleTimestamp { supporter: stale });
+        }
+        if !self.can_commit(*target, nid) {
+            return Err(OracleError::CannotCommit);
+        }
+        self.set_times(supporters, time);
+        if config.is_quorum(supporters) {
+            let ccache = Cache::Commit {
+                caller: nid,
+                time,
+                vrsn,
+                supporters: supporters.clone(),
+                config,
+            };
+            let id = self
+                .tree
+                .insert_between(*target, ccache)
+                .expect("push target is a valid id");
+            Ok(PushOutcome::Committed(id))
+        } else {
+            Ok(PushOutcome::NoQuorum)
+        }
+    }
+
+    /// Ids of all commit-like caches (genesis plus every `CCache`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::majority::Majority;
+    /// use adore_core::AdoreState;
+    /// let st: AdoreState<Majority, ()> = AdoreState::new(Majority::new([1, 2]));
+    /// assert_eq!(st.commits().count(), 1); // genesis only
+    /// ```
+    pub fn commits(&self) -> impl Iterator<Item = CacheId> + '_ {
+        self.tree
+            .iter()
+            .filter(|(_, c)| c.is_commit_like())
+            .map(|(id, _)| id)
+    }
+
+    /// The committed history: methods and reconfigurations that are
+    /// ancestors of some `CCache`, in root-to-leaf order.
+    ///
+    /// When replicated state safety holds, this is the unique agreed log.
+    /// It is computed from the deepest commit's branch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::majority::Majority;
+    /// use adore_core::{node_set, AdoreState, NodeId, PullDecision, PushDecision, Timestamp};
+    ///
+    /// let mut st: AdoreState<Majority, &str> = AdoreState::new(Majority::new([1, 2]));
+    /// st.pull(NodeId(1), &PullDecision::Ok {
+    ///     supporters: node_set([1, 2]),
+    ///     time: Timestamp(1),
+    /// })?;
+    /// let m = st.invoke(NodeId(1), "put").applied().unwrap();
+    /// assert!(st.committed_log().is_empty()); // not yet pushed
+    /// st.push(NodeId(1), &PushDecision::Ok {
+    ///     supporters: node_set([1, 2]),
+    ///     target: m,
+    /// })?;
+    /// assert_eq!(st.committed_log(), vec![m]);
+    /// # Ok::<(), adore_core::OracleError>(())
+    /// ```
+    #[must_use]
+    pub fn committed_log(&self) -> Vec<CacheId> {
+        let Some(deepest) = self.commits().max_by_key(|id| (self.tree.depth(*id), *id)) else {
+            return Vec::new();
+        };
+        let mut branch: Vec<CacheId> = self
+            .tree
+            .ancestors_inclusive(deepest)
+            .filter(|id| {
+                matches!(
+                    self.cache(*id).kind(),
+                    CacheKind::Method | CacheKind::Reconfig
+                )
+            })
+            .collect();
+        branch.reverse();
+        branch
+    }
+
+    /// The key of the order (Fig. 9) for the cache at `id`.
+    #[must_use]
+    pub fn key_of(&self, id: CacheId) -> CacheOrderKey {
+        self.cache(id).key()
+    }
+
+    /// Appends a cache verbatim under `parent`, without any semantic
+    /// validation — the escape hatch behind
+    /// [`crate::builder::StateBuilder`]. States assembled this way may
+    /// violate every invariant; that is the point (falsification-testing
+    /// the checkers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not in the tree.
+    pub fn attach_raw(&mut self, parent: CacheId, cache: Cache<C, M>) -> CacheId {
+        self.tree
+            .add_leaf(parent, cache)
+            .expect("parent id out of range")
+    }
+
+    /// Overwrites the observed times of `q` to `t`, without validation
+    /// (companion to [`AdoreState::attach_raw`]).
+    pub fn set_times_raw(&mut self, q: &NodeSet, t: Timestamp) {
+        self.set_times(q, t);
+    }
+
+    /// Deletes every cache not on the root-to-`keep` branch and not a
+    /// descendant of `keep`, compacting ids; returns the old-id → new-id
+    /// remapping. Observed times are unaffected.
+    ///
+    /// This is **not** a core ADORE operation: it implements the
+    /// stop-the-world reconfiguration extension of §8 — see
+    /// [`crate::extensions::push_stop_the_world`], its only intended
+    /// caller besides tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is not in the tree; ids obtained from this state
+    /// are always valid.
+    pub fn prune_to_branch(&mut self, keep: CacheId) -> BTreeMap<CacheId, CacheId> {
+        self.tree
+            .prune_to_branch(keep)
+            .expect("cache id out of range")
+    }
+
+    /// Renders the cache tree as indented ASCII, one cache per line.
+    ///
+    /// Useful in counterexample reports; the drawing is stable (children in
+    /// insertion order).
+    #[must_use]
+    pub fn render_tree(&self) -> String
+    where
+        M: fmt::Debug,
+    {
+        let mut out = String::new();
+        let mut stack = vec![(Tree::<Cache<C, M>>::ROOT, 0usize)];
+        while let Some((id, depth)) = stack.pop() {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("{id} {}\n", self.cache(id).summary()));
+            for &child in self.tree.children(id).iter().rev() {
+                stack.push((child, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::node_set;
+    use crate::majority::Majority;
+
+    type St = AdoreState<Majority, &'static str>;
+
+    fn three() -> St {
+        AdoreState::new(Majority::new([1, 2, 3]))
+    }
+
+    fn pull_ok(st: &mut St, nid: u32, supp: &[u32], t: u64) -> CacheId {
+        match st
+            .pull(
+                NodeId(nid),
+                &PullDecision::Ok {
+                    supporters: node_set(supp.iter().copied()),
+                    time: Timestamp(t),
+                },
+            )
+            .unwrap()
+        {
+            PullOutcome::Elected(id) => id,
+            other => panic!("expected election, got {other:?}"),
+        }
+    }
+
+    fn push_ok(st: &mut St, nid: u32, supp: &[u32], target: CacheId) -> CacheId {
+        match st
+            .push(
+                NodeId(nid),
+                &PushDecision::Ok {
+                    supporters: node_set(supp.iter().copied()),
+                    target,
+                },
+            )
+            .unwrap()
+        {
+            PushOutcome::Committed(id) => id,
+            other => panic!("expected commit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn initial_state_is_genesis_only() {
+        let st = three();
+        assert_eq!(st.tree().len(), 1);
+        assert_eq!(st.observed_time(NodeId(1)), Timestamp::ZERO);
+        assert_eq!(st.active_cache(NodeId(1)), None);
+        // Genesis is everyone's last commit.
+        assert!(st.last_commit(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn successful_pull_adds_ecache_and_advances_times() {
+        let mut st = three();
+        let e = pull_ok(&mut st, 1, &[1, 2], 1);
+        assert_eq!(st.cache(e).kind(), CacheKind::Election);
+        assert_eq!(st.observed_time(NodeId(1)), Timestamp(1));
+        assert_eq!(st.observed_time(NodeId(2)), Timestamp(1));
+        assert_eq!(st.observed_time(NodeId(3)), Timestamp::ZERO);
+        assert_eq!(st.active_cache(NodeId(1)), Some(e));
+        assert!(st.is_leader(NodeId(1), Timestamp(1)));
+    }
+
+    #[test]
+    fn non_quorum_pull_advances_times_without_ecache() {
+        let mut st = three();
+        let out = st
+            .pull(
+                NodeId(1),
+                &PullDecision::Ok {
+                    supporters: node_set([1]),
+                    time: Timestamp(5),
+                },
+            )
+            .unwrap();
+        assert_eq!(out, PullOutcome::NoQuorum);
+        assert_eq!(st.tree().len(), 1);
+        assert_eq!(st.observed_time(NodeId(1)), Timestamp(5));
+        // The failed election still blocks older leaders: S1's time is now 5.
+    }
+
+    #[test]
+    fn failed_pull_changes_nothing() {
+        let mut st = three();
+        assert_eq!(
+            st.pull(NodeId(1), &PullDecision::Fail),
+            Ok(PullOutcome::Failed)
+        );
+        assert_eq!(st, three());
+    }
+
+    #[test]
+    fn pull_rejects_stale_timestamp() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 3);
+        let err = st
+            .pull(
+                NodeId(2),
+                &PullDecision::Ok {
+                    supporters: node_set([1, 2]),
+                    time: Timestamp(3),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, OracleError::StaleTimestamp { .. }));
+    }
+
+    #[test]
+    fn pull_rejects_caller_outside_supporters() {
+        let mut st = three();
+        let err = st
+            .pull(
+                NodeId(1),
+                &PullDecision::Ok {
+                    supporters: node_set([2, 3]),
+                    time: Timestamp(1),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, OracleError::CallerNotSupporter);
+    }
+
+    #[test]
+    fn pull_rejects_supporters_outside_config() {
+        let mut st = three();
+        let err = st
+            .pull(
+                NodeId(1),
+                &PullDecision::Ok {
+                    supporters: node_set([1, 2, 9]),
+                    time: Timestamp(1),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, OracleError::SupportersOutsideConfig);
+    }
+
+    #[test]
+    fn invoke_appends_mcache_with_incremented_version() {
+        let mut st = three();
+        let e = pull_ok(&mut st, 1, &[1, 2], 1);
+        let m = st.invoke(NodeId(1), "a").applied().unwrap();
+        assert_eq!(st.tree().parent(m), Some(e));
+        assert_eq!(st.cache(m).vrsn(), crate::Version(1));
+        let m2 = st.invoke(NodeId(1), "b").applied().unwrap();
+        assert_eq!(st.tree().parent(m2), Some(m));
+        assert_eq!(st.cache(m2).vrsn(), crate::Version(2));
+        assert_eq!(st.active_cache(NodeId(1)), Some(m2));
+    }
+
+    #[test]
+    fn preempted_leader_cannot_invoke() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        pull_ok(&mut st, 2, &[1, 2, 3], 2); // preempts S1
+        assert_eq!(
+            st.invoke(NodeId(1), "x"),
+            LocalOutcome::NoOp(NoOpReason::NotLeader)
+        );
+    }
+
+    #[test]
+    fn push_commits_prefix_and_shifts_children() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        let m1 = st.invoke(NodeId(1), "a").applied().unwrap();
+        let m2 = st.invoke(NodeId(1), "b").applied().unwrap();
+        // Commit only m1: the CCache lands between m1 and m2.
+        let c = push_ok(&mut st, 1, &[1, 3], m1);
+        assert_eq!(st.tree().parent(c), Some(m1));
+        assert_eq!(st.tree().parent(m2), Some(c));
+        let cc = st.cache(c);
+        assert_eq!(cc.kind(), CacheKind::Commit);
+        assert_eq!(cc.time(), Timestamp(1));
+        assert_eq!(cc.vrsn(), crate::Version(1));
+        // Supporters observed the commit's time.
+        assert_eq!(st.observed_time(NodeId(3)), Timestamp(1));
+        assert_eq!(st.committed_log(), vec![m1]);
+    }
+
+    #[test]
+    fn push_rejects_foreign_or_committed_targets() {
+        let mut st = three();
+        let e = pull_ok(&mut st, 1, &[1, 2], 1);
+        let m1 = st.invoke(NodeId(1), "a").applied().unwrap();
+        // Can't commit an ECache.
+        let err = st
+            .push(
+                NodeId(1),
+                &PushDecision::Ok {
+                    supporters: node_set([1, 2]),
+                    target: e,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, OracleError::CannotCommit);
+        // Another node can't commit S1's cache.
+        let err = st
+            .push(
+                NodeId(2),
+                &PushDecision::Ok {
+                    supporters: node_set([1, 2]),
+                    target: m1,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, OracleError::CannotCommit);
+        // After committing m1, recommitting it fails (not > lastCommit).
+        push_ok(&mut st, 1, &[1, 2], m1);
+        let err = st
+            .push(
+                NodeId(1),
+                &PushDecision::Ok {
+                    supporters: node_set([1, 2]),
+                    target: m1,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, OracleError::CannotCommit);
+    }
+
+    #[test]
+    fn push_no_quorum_advances_times_only() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        let m1 = st.invoke(NodeId(1), "a").applied().unwrap();
+        let out = st
+            .push(
+                NodeId(1),
+                &PushDecision::Ok {
+                    supporters: node_set([1]),
+                    target: m1,
+                },
+            )
+            .unwrap();
+        assert_eq!(out, PushOutcome::NoQuorum);
+        assert_eq!(st.committed_log(), Vec::<CacheId>::new());
+    }
+
+    #[test]
+    fn push_rejects_supporter_beyond_target_time() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        let m1 = st.invoke(NodeId(1), "a").applied().unwrap();
+        // S3 moves to time 2 via a failed election by S2... S2 pulls with S3.
+        let out = st
+            .pull(
+                NodeId(2),
+                &PullDecision::Ok {
+                    supporters: node_set([2, 3]),
+                    time: Timestamp(2),
+                },
+            )
+            .unwrap();
+        assert!(matches!(out, PullOutcome::Elected(_)));
+        // S1 (still at time 1) tries to push m1 with supporter S3 (time 2).
+        let err = st
+            .push(
+                NodeId(1),
+                &PushDecision::Ok {
+                    supporters: node_set([1, 3]),
+                    target: m1,
+                },
+            )
+            .unwrap_err();
+        // S1 is no longer leader at m1's time? S1's observed time is still 1,
+        // so canCommit holds; the stale supporter S3 is the obstacle.
+        assert_eq!(
+            err,
+            OracleError::StaleTimestamp {
+                supporter: NodeId(3)
+            }
+        );
+    }
+
+    #[test]
+    fn pull_parent_is_most_recent_of_supporters() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        let m1 = st.invoke(NodeId(1), "a").applied().unwrap();
+        let c = push_ok(&mut st, 1, &[1, 2], m1);
+        let m2 = st.invoke(NodeId(1), "b").applied().unwrap();
+        // S2 and S3 have not seen m2 (only S1 supports it), so an election
+        // supported by {2, 3} attaches after the commit, not after m2.
+        let e = pull_ok(&mut st, 2, &[2, 3], 2);
+        assert_eq!(st.tree().parent(e), Some(c));
+        // m2 remains a sibling branch below c.
+        assert_eq!(st.tree().parent(m2), Some(c));
+    }
+
+    #[test]
+    fn reconfig_requires_guards() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        // R3 fails: nothing committed at time 1 yet.
+        let out = st.reconfig(NodeId(1), Majority::new([1, 2, 3]), ReconfigGuard::all());
+        assert_eq!(out, LocalOutcome::NoOp(NoOpReason::R3Violated));
+        // Commit something, then reconfig (to the same config — Majority's
+        // R1+ is equality) succeeds.
+        let m1 = st.invoke(NodeId(1), "a").applied().unwrap();
+        push_ok(&mut st, 1, &[1, 2], m1);
+        let out = st.reconfig(NodeId(1), Majority::new([1, 2, 3]), ReconfigGuard::all());
+        assert!(out.applied().is_some());
+        // R2 now fails for a second immediate reconfig.
+        let out = st.reconfig(NodeId(1), Majority::new([1, 2, 3]), ReconfigGuard::all());
+        assert_eq!(out, LocalOutcome::NoOp(NoOpReason::R2Violated));
+        // R1 fails for an unrelated configuration.
+        let out = st.reconfig(
+            NodeId(1),
+            Majority::new([1, 2]),
+            ReconfigGuard::all().without_r2().without_r3(),
+        );
+        assert_eq!(out, LocalOutcome::NoOp(NoOpReason::R1Violated));
+    }
+
+    #[test]
+    fn disabled_guards_allow_unsafe_reconfigs() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        let guard = ReconfigGuard::all().without_r1().without_r2().without_r3();
+        let out = st.reconfig(NodeId(1), Majority::new([1, 2]), guard);
+        assert!(out.applied().is_some());
+    }
+
+    #[test]
+    fn r2_and_r3_walk_the_active_branch() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        let m1 = st.invoke(NodeId(1), "a").applied().unwrap();
+        assert!(st.r2_holds(m1));
+        assert!(!st.r3_holds(m1));
+        let c = push_ok(&mut st, 1, &[1, 2], m1);
+        let m2 = st.invoke(NodeId(1), "b").applied().unwrap();
+        assert!(st.r3_holds(m2));
+        assert!(st.r2_holds(m2));
+        let r = st
+            .reconfig(NodeId(1), Majority::new([1, 2, 3]), ReconfigGuard::all())
+            .applied()
+            .unwrap();
+        // Below the uncommitted RCache, R2 fails.
+        let m3 = st.invoke(NodeId(1), "c").applied().unwrap();
+        assert!(!st.r2_holds(m3));
+        let _ = (c, r);
+    }
+
+    #[test]
+    fn committed_log_orders_root_to_leaf() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        let m1 = st.invoke(NodeId(1), "a").applied().unwrap();
+        let m2 = st.invoke(NodeId(1), "b").applied().unwrap();
+        push_ok(&mut st, 1, &[1, 2], m2);
+        assert_eq!(st.committed_log(), vec![m1, m2]);
+    }
+
+    #[test]
+    fn known_nodes_includes_config_members_and_timed_nodes() {
+        let mut st = three();
+        assert_eq!(st.known_nodes(), node_set([1, 2, 3]));
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        assert_eq!(st.known_nodes(), node_set([1, 2, 3]));
+    }
+
+    #[test]
+    fn render_tree_is_nonempty_and_mentions_kinds() {
+        let mut st = three();
+        pull_ok(&mut st, 1, &[1, 2], 1);
+        st.invoke(NodeId(1), "a").applied().unwrap();
+        let drawing = st.render_tree();
+        assert!(drawing.contains("G(t0 v0)"));
+        assert!(drawing.contains("E(S1 t1"));
+        assert!(drawing.contains("M(S1 t1 v1"));
+    }
+}

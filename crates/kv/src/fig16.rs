@@ -1,0 +1,201 @@
+//! The Fig. 16 workload: latency under live reconfiguration.
+//!
+//! "The experiment reconfigures after every 1000 client requests, starting
+//! with five nodes, dropping to three, then increasing back to five" (§7).
+//! [`run_fig16`] reproduces that schedule on the simulated cluster; the
+//! bench binary aggregates max/mean/min over eight seeded runs, exactly the
+//! series the paper plots.
+
+use adore_core::NodeId;
+use adore_schemes::SingleNode;
+
+use crate::command::KvCommand;
+use crate::sim::{Cluster, ClusterError, LatencyModel};
+
+/// Parameters for a Fig. 16 run.
+#[derive(Debug, Clone)]
+pub struct Fig16Params {
+    /// Client requests per configuration phase (the paper uses 1000).
+    pub requests_per_phase: usize,
+    /// The latency model of the simulated network.
+    pub latency: LatencyModel,
+}
+
+impl Default for Fig16Params {
+    fn default() -> Self {
+        Fig16Params {
+            requests_per_phase: 1000,
+            latency: LatencyModel::default(),
+        }
+    }
+}
+
+/// One client request's measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Global request index (0-based).
+    pub index: usize,
+    /// Latency in virtual microseconds.
+    pub latency_us: u64,
+    /// Cluster size while the request was served.
+    pub cluster_size: usize,
+}
+
+/// A complete Fig. 16 run.
+#[derive(Debug, Clone)]
+pub struct Fig16Run {
+    /// Per-request measurements, in submission order.
+    pub records: Vec<RequestRecord>,
+    /// `(request index, description)` of each reconfiguration step.
+    pub reconfigs: Vec<(usize, String)>,
+}
+
+/// Runs the 5 → 3 → 5 reconfiguration workload with a seeded simulated
+/// network and returns per-request latencies.
+///
+/// The 5→3 and 3→5 transitions each take two single-node steps (the
+/// single-node membership-change algorithm changes one server at a time).
+///
+/// # Errors
+///
+/// Propagates [`ClusterError`] if the simulation cannot make progress —
+/// which does not happen for a loss-free latency model.
+///
+/// # Examples
+///
+/// ```
+/// use adore_kv::{run_fig16, Fig16Params};
+///
+/// let run = run_fig16(&Fig16Params { requests_per_phase: 50, ..Fig16Params::default() }, 1)?;
+/// assert_eq!(run.records.len(), 150);
+/// assert_eq!(run.reconfigs.len(), 4);
+/// # Ok::<(), adore_kv::ClusterError>(())
+/// ```
+pub fn run_fig16(params: &Fig16Params, seed: u64) -> Result<Fig16Run, ClusterError> {
+    let mut cluster = Cluster::new(
+        SingleNode::new([1, 2, 3, 4, 5]),
+        params.latency.clone(),
+        seed,
+    );
+    cluster.elect(NodeId(1))?;
+
+    let mut run = Fig16Run {
+        records: Vec::with_capacity(3 * params.requests_per_phase),
+        reconfigs: Vec::new(),
+    };
+    let mut index = 0usize;
+    let serve_phase = |cluster: &mut Cluster<SingleNode>,
+                       run: &mut Fig16Run,
+                       index: &mut usize|
+     -> Result<(), ClusterError> {
+        for i in 0..params.requests_per_phase {
+            let latency_us = cluster.submit(KvCommand::put(
+                format!("key{}", *index % 64),
+                format!("v{i}"),
+            ))?;
+            run.records.push(RequestRecord {
+                index: *index,
+                latency_us,
+                cluster_size: cluster.size(),
+            });
+            *index += 1;
+        }
+        Ok(())
+    };
+
+    // Phase 1: five nodes.
+    serve_phase(&mut cluster, &mut run, &mut index)?;
+    // Drop to three, one node at a time.
+    cluster.reconfigure(SingleNode::new([1, 2, 3, 4]))?;
+    run.reconfigs.push((index, "5→4: remove S5".to_string()));
+    cluster.reconfigure(SingleNode::new([1, 2, 3]))?;
+    run.reconfigs.push((index, "4→3: remove S4".to_string()));
+    // Phase 2: three nodes.
+    serve_phase(&mut cluster, &mut run, &mut index)?;
+    // Grow back to five.
+    cluster.reconfigure(SingleNode::new([1, 2, 3, 4]))?;
+    run.reconfigs.push((index, "3→4: add S4".to_string()));
+    cluster.reconfigure(SingleNode::new([1, 2, 3, 4, 5]))?;
+    run.reconfigs.push((index, "4→5: add S5".to_string()));
+    // Phase 3: five nodes again.
+    serve_phase(&mut cluster, &mut run, &mut index)?;
+
+    debug_assert!(cluster.verify().is_ok());
+    Ok(run)
+}
+
+/// Aggregates several runs into per-request `(min, mean, max)` series —
+/// the three curves of Fig. 16.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or the runs have different lengths.
+#[must_use]
+pub fn aggregate(runs: &[Fig16Run]) -> Vec<(u64, u64, u64)> {
+    let n = runs.first().expect("at least one run").records.len();
+    assert!(
+        runs.iter().all(|r| r.records.len() == n),
+        "runs must have equal length"
+    );
+    (0..n)
+        .map(|i| {
+            let lats: Vec<u64> = runs.iter().map(|r| r.records[i].latency_us).collect();
+            let min = *lats.iter().min().expect("non-empty");
+            let max = *lats.iter().max().expect("non-empty");
+            let mean = lats.iter().sum::<u64>() / lats.len() as u64;
+            (min, mean, max)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Fig16Params {
+        Fig16Params {
+            requests_per_phase: 120,
+            ..Fig16Params::default()
+        }
+    }
+
+    #[test]
+    fn phases_have_the_right_sizes() {
+        let run = run_fig16(&small(), 3).unwrap();
+        assert_eq!(run.records.len(), 360);
+        assert!(run.records[..120].iter().all(|r| r.cluster_size == 5));
+        assert!(run.records[120..240].iter().all(|r| r.cluster_size == 3));
+        assert!(run.records[240..].iter().all(|r| r.cluster_size == 5));
+        assert_eq!(
+            run.reconfigs.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![120, 120, 240, 240]
+        );
+    }
+
+    #[test]
+    fn growth_spike_is_visible_at_the_3_to_5_transition() {
+        let run = run_fig16(&small(), 7).unwrap();
+        // The first request after growing back to five waits behind the
+        // catch-up transfer on the leader's egress link.
+        let spike = run.records[240].latency_us;
+        let steady: u64 = run.records[300..360]
+            .iter()
+            .map(|r| r.latency_us)
+            .sum::<u64>()
+            / 60;
+        assert!(
+            spike > 2 * steady,
+            "growth spike {spike}us vs steady {steady}us"
+        );
+    }
+
+    #[test]
+    fn aggregation_orders_min_mean_max() {
+        let runs: Vec<Fig16Run> = (0..4).map(|s| run_fig16(&small(), s).unwrap()).collect();
+        let agg = aggregate(&runs);
+        assert_eq!(agg.len(), 360);
+        for (min, mean, max) in agg {
+            assert!(min <= mean && mean <= max);
+        }
+    }
+}

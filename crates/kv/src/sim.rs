@@ -1,0 +1,641 @@
+//! A discrete-event cluster simulation over the executable Raft model.
+//!
+//! The paper evaluates an OCaml extraction of its Raft specification on an
+//! EC2 cluster (Fig. 16). This module is the simulated-testbed substitute:
+//! the same protocol logic (`adore_raft::NetState`) driven by a virtual
+//! clock, with per-message latencies drawn from a configurable
+//! [`LatencyModel`] — base network delay, uniform jitter, sporadic spikes
+//! (the "normal range of sporadic latency spikes" visible in the paper's
+//! plot), and a per-missing-entry state-transfer cost that makes adding a
+//! fresh replica measurably more expensive than removing one, exactly the
+//! asymmetry Fig. 16 reports.
+//!
+//! Determinism: everything (latencies included) derives from the seed, so
+//! experiment runs are exactly reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use adore_core::{Configuration, NodeId, ReconfigGuard};
+use adore_raft::{EventOutcome, MsgId, NetEvent, NetState, Role};
+
+use crate::command::{KvCommand, KvStore};
+
+/// Microsecond virtual-time latency distribution for one message hop.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Base one-way request-plus-acknowledgement cost.
+    pub base_us: u64,
+    /// Uniform jitter added on top, `[0, jitter_us)`.
+    pub jitter_us: u64,
+    /// Percent chance of a sporadic spike.
+    pub spike_pct: u32,
+    /// Spike magnitude range (uniform), added on top.
+    pub spike_us: (u64, u64),
+    /// Leader-side serialization cost per log entry the recipient is
+    /// missing: large catch-up transfers occupy the leader's egress link
+    /// and delay subsequent broadcasts (the growth spike of Fig. 16).
+    pub per_missing_entry_us: u64,
+    /// Fixed leader-side serialization cost per message.
+    pub send_us: u64,
+    /// Percent chance that a message copy is lost in flight (recovered by
+    /// the sender's retransmission).
+    pub drop_pct: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base_us: 400,
+            jitter_us: 150,
+            spike_pct: 1,
+            spike_us: (3_000, 12_000),
+            per_missing_entry_us: 12,
+            send_us: 20,
+            drop_pct: 0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Flight latency of one message (network only).
+    fn flight(&self, rng: &mut StdRng) -> u64 {
+        let mut lat = self.base_us;
+        if self.jitter_us > 0 {
+            lat += rng.gen_range(0..self.jitter_us);
+        }
+        if self.spike_pct > 0 && rng.gen_range(0..100) < self.spike_pct {
+            lat += rng.gen_range(self.spike_us.0..=self.spike_us.1);
+        }
+        lat
+    }
+
+    /// Leader-side serialization cost of one message.
+    fn send_cost(&self, missing_entries: usize) -> u64 {
+        self.send_us + self.per_missing_entry_us * missing_entries as u64
+    }
+}
+
+/// Why a cluster operation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No leader is established.
+    NoLeader,
+    /// The protocol rejected the operation (e.g. a guard).
+    Rejected,
+    /// The event queue drained before the operation completed.
+    Stalled,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ClusterError::NoLeader => "no leader established",
+            ClusterError::Rejected => "operation rejected by the protocol",
+            ClusterError::Stalled => "simulation stalled before completion",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// A simulated replicated KV cluster with a virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::NodeId;
+/// use adore_kv::{Cluster, KvCommand, LatencyModel};
+/// use adore_schemes::SingleNode;
+///
+/// let mut cluster = Cluster::new(SingleNode::new([1, 2, 3]), LatencyModel::default(), 7);
+/// cluster.elect(NodeId(1))?;
+/// let latency = cluster.submit(KvCommand::put("a", "1"))?;
+/// assert!(latency > 0);
+/// assert_eq!(cluster.committed_store().get("a"), Some("1"));
+/// # Ok::<(), adore_kv::ClusterError>(())
+/// ```
+#[derive(Debug)]
+pub struct Cluster<C: Configuration> {
+    net: NetState<C, KvCommand>,
+    now_us: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, MsgId, NodeId)>>,
+    seq: u64,
+    rng: StdRng,
+    latency: LatencyModel,
+    leader: Option<NodeId>,
+    /// Virtual time at which each sender's egress link becomes free.
+    egress_free: std::collections::BTreeMap<NodeId, u64>,
+}
+
+impl<C: Configuration> Cluster<C> {
+    /// Creates a cluster over `conf0` with the full reconfiguration guard.
+    #[must_use]
+    pub fn new(conf0: C, latency: LatencyModel, seed: u64) -> Self {
+        Cluster {
+            net: NetState::new(conf0, ReconfigGuard::all()),
+            now_us: 0,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            latency,
+            leader: None,
+            egress_free: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Current virtual time in microseconds.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// The current leader, if one is established.
+    #[must_use]
+    pub fn leader(&self) -> Option<NodeId> {
+        self.leader
+    }
+
+    /// The protocol state (for inspection and verification).
+    #[must_use]
+    pub fn net(&self) -> &NetState<C, KvCommand> {
+        &self.net
+    }
+
+    /// The current cluster size (members of the leader's configuration).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.leader
+            .and_then(|l| self.net.config_of(l))
+            .map_or(0, |c| c.members().len())
+    }
+
+    /// Materializes the store from the committed log prefix.
+    #[must_use]
+    pub fn committed_store(&self) -> KvStore {
+        let mut store = KvStore::new();
+        for entry in self.net.committed_prefix() {
+            if let adore_raft::Command::Method(cmd) = &entry.cmd {
+                store.apply(cmd);
+            }
+        }
+        store
+    }
+
+    /// Broadcasts the newest message to the given recipients: each copy is
+    /// first serialized on the sender's (shared) egress link — so a large
+    /// catch-up transfer delays everything the sender broadcasts next —
+    /// then flies with a sampled network latency.
+    fn broadcast(&mut self, msg: MsgId, recipients: impl IntoIterator<Item = NodeId>) {
+        let Some(request) = self.net.message(msg) else {
+            return;
+        };
+        let from = request.from();
+        let shipped_len = request.log_len();
+        let mut link_free = *self.egress_free.get(&from).unwrap_or(&0);
+        link_free = link_free.max(self.now_us);
+        for to in recipients {
+            let missing =
+                shipped_len.saturating_sub(self.net.server(to).map_or(0, |s| s.log.len()));
+            link_free += self.latency.send_cost(missing);
+            if self.latency.drop_pct > 0 && self.rng.gen_range(0..100) < self.latency.drop_pct {
+                continue; // lost in flight; the sender will retransmit
+            }
+            let arrival = link_free + self.latency.flight(&mut self.rng);
+            self.seq += 1;
+            self.queue.push(Reverse((arrival, self.seq, msg, to)));
+        }
+        self.egress_free.insert(from, link_free);
+    }
+
+    /// Pops and applies one delivery; returns `false` when the queue is
+    /// empty.
+    fn step_event(&mut self) -> bool {
+        let Some(Reverse((t, _, msg, to))) = self.queue.pop() else {
+            return false;
+        };
+        self.now_us = self.now_us.max(t);
+        let _ = self.net.step(&NetEvent::Deliver { msg, to });
+        true
+    }
+
+    /// Runs deliveries until `done` holds or the queue drains.
+    fn run_until(&mut self, mut done: impl FnMut(&NetState<C, KvCommand>) -> bool) -> bool {
+        while !done(&self.net) {
+            if !self.step_event() {
+                return done(&self.net);
+            }
+        }
+        true
+    }
+
+    /// Elects `nid` leader: starts a candidacy and plays deliveries until
+    /// it wins.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rejected`] if the candidacy is refused (non-member),
+    /// [`ClusterError::Stalled`] if the votes cannot elect it.
+    pub fn elect(&mut self, nid: NodeId) -> Result<(), ClusterError> {
+        let msg = MsgId(self.net.messages().len() as u32);
+        if self.net.step(&NetEvent::Elect { nid }) != EventOutcome::Applied {
+            return Err(ClusterError::Rejected);
+        }
+        let members: Vec<NodeId> = self
+            .net
+            .config_of(nid)
+            .map(|c| c.members().into_iter().filter(|m| *m != nid).collect())
+            .unwrap_or_default();
+        self.broadcast(msg, members);
+        let elected = self.run_until(|net| net.server(nid).is_some_and(|s| s.role == Role::Leader));
+        if elected {
+            self.leader = Some(nid);
+            Ok(())
+        } else {
+            Err(ClusterError::Stalled)
+        }
+    }
+
+    /// Replicates the leader's current log and waits until `target_len`
+    /// entries are committed, retransmitting (with a timeout penalty) when
+    /// message loss starves the quorum; returns the virtual time taken.
+    fn replicate_until_committed(&mut self, target_len: usize) -> Result<u64, ClusterError> {
+        let leader = self.leader.ok_or(ClusterError::NoLeader)?;
+        let start = self.now_us;
+        // Up to 32 retransmission rounds; with any drop rate below 100%
+        // this converges long before.
+        for round in 0..32 {
+            let msg = MsgId(self.net.messages().len() as u32);
+            let outcome = self.net.step(&NetEvent::Commit { nid: leader });
+            if outcome != EventOutcome::Applied {
+                return Err(ClusterError::Rejected);
+            }
+            let members: Vec<NodeId> = self
+                .net
+                .config_of(leader)
+                .map(|c| c.members().into_iter().filter(|m| *m != leader).collect())
+                .unwrap_or_default();
+            self.broadcast(msg, members);
+            let committed = self.run_until(|net| {
+                net.server(leader)
+                    .is_some_and(|s| s.commit_len >= target_len)
+            });
+            if committed {
+                return Ok(self.now_us - start);
+            }
+            // Retransmission timeout: the leader notices the missing acks.
+            self.now_us += self.latency.base_us * 4;
+            let _ = round;
+        }
+        Err(ClusterError::Stalled)
+    }
+
+    /// Submits one client command through the leader and waits for its
+    /// commit; returns the request latency in virtual microseconds.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoLeader`] without an established leader;
+    /// [`ClusterError::Rejected`]/[`ClusterError::Stalled`] on protocol or
+    /// quorum failures.
+    pub fn submit(&mut self, cmd: KvCommand) -> Result<u64, ClusterError> {
+        let leader = self.leader.ok_or(ClusterError::NoLeader)?;
+        if self.net.step(&NetEvent::Invoke {
+            nid: leader,
+            method: cmd,
+        }) != EventOutcome::Applied
+        {
+            return Err(ClusterError::Rejected);
+        }
+        let target = self.net.server(leader).expect("leader exists").log.len();
+        self.replicate_until_committed(target)
+    }
+
+    /// Crashes a replica: it stops receiving until [`Cluster::recover`].
+    /// If it was the leader, the cluster has no leader until the next
+    /// [`Cluster::elect`].
+    pub fn fail(&mut self, nid: NodeId) {
+        let _ = self.net.step(&NetEvent::Crash { nid });
+        if self.leader == Some(nid) {
+            self.leader = None;
+        }
+    }
+
+    /// Recovers a crashed replica (its log persisted).
+    pub fn recover(&mut self, nid: NodeId) {
+        let _ = self.net.step(&NetEvent::Recover { nid });
+    }
+
+    /// Performs a live ("hot") reconfiguration to `new_config` and waits
+    /// for the configuration entry to commit; returns the virtual time
+    /// taken.
+    ///
+    /// The leader keeps serving requests before and after — this is the
+    /// paper's hot-reconfiguration path, guarded by R1⁺/R2/R3.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Rejected`] if a guard refuses the change (e.g. R3
+    /// before the first commit of the term).
+    pub fn reconfigure(&mut self, new_config: C) -> Result<u64, ClusterError> {
+        let leader = self.leader.ok_or(ClusterError::NoLeader)?;
+        if self.net.step(&NetEvent::Reconfig {
+            nid: leader,
+            config: new_config,
+        }) != EventOutcome::Applied
+        {
+            return Err(ClusterError::Rejected);
+        }
+        let target = self.net.server(leader).expect("leader exists").log.len();
+        self.replicate_until_committed(target)
+    }
+
+    /// Performs a **stop-the-world** reconfiguration (the Stoppable
+    /// Paxos / WormSpace style of §8): after the configuration entry
+    /// commits, the cluster refuses further client requests until *every*
+    /// member of the new configuration holds the leader's full log — the
+    /// "copy the logs to the new configuration" barrier. Returns the total
+    /// virtual time the world was stopped.
+    ///
+    /// Contrast with [`Cluster::reconfigure`], which returns as soon as a
+    /// quorum commits and keeps serving throughout — the paper's hot path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::reconfigure`], plus [`ClusterError::Stalled`] if
+    /// stragglers cannot be brought up to date.
+    pub fn reconfigure_stop_the_world(&mut self, new_config: C) -> Result<u64, ClusterError> {
+        let start = self.now_us;
+        self.reconfigure(new_config)?;
+        let leader = self.leader.ok_or(ClusterError::NoLeader)?;
+        // Barrier: re-broadcast until every (non-crashed) member matches
+        // the leader's log.
+        for _ in 0..32 {
+            let target_len = self.net.server(leader).expect("leader exists").log.len();
+            let members: Vec<NodeId> = self
+                .net
+                .config_of(leader)
+                .map(|c| c.members().into_iter().collect())
+                .unwrap_or_default();
+            let all_synced = |net: &NetState<C, KvCommand>| {
+                members.iter().all(|m| {
+                    net.server(*m)
+                        .is_some_and(|s| s.crashed || s.log.len() >= target_len)
+                })
+            };
+            if all_synced(self.net()) {
+                return Ok(self.now_us - start);
+            }
+            let msg = MsgId(self.net.messages().len() as u32);
+            if self.net.step(&NetEvent::Commit { nid: leader }) != EventOutcome::Applied {
+                return Err(ClusterError::Rejected);
+            }
+            let recipients: Vec<NodeId> =
+                members.iter().copied().filter(|m| *m != leader).collect();
+            self.broadcast(msg, recipients);
+            self.run_until(all_synced);
+        }
+        Err(ClusterError::Stalled)
+    }
+
+    /// Serves a read through the leader's committed prefix.
+    ///
+    /// Linearizable under a stable leader: the leader's `commit_len` only
+    /// covers entries acknowledged by a quorum of its configuration, and a
+    /// competing leader would first have to preempt this one through a
+    /// quorum that the read's leader would learn about on its next commit
+    /// round. (A production system adds leases or a read-index round; the
+    /// simulation's virtual clock makes the stable-leader assumption
+    /// exact within a run.)
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoLeader`] without an established leader.
+    pub fn get(&self, key: &str) -> Result<Option<String>, ClusterError> {
+        let leader = self.leader.ok_or(ClusterError::NoLeader)?;
+        let server = self.net.server(leader).ok_or(ClusterError::NoLeader)?;
+        let mut store = KvStore::new();
+        for entry in &server.log[..server.commit_len] {
+            if let adore_raft::Command::Method(cmd) = &entry.cmd {
+                store.apply(cmd);
+            }
+        }
+        Ok(store.get(key).map(str::to_string))
+    }
+
+    /// Checks network-level replicated state safety.
+    ///
+    /// # Errors
+    ///
+    /// The pair of servers whose committed prefixes disagree.
+    pub fn verify(&self) -> Result<(), (NodeId, NodeId)> {
+        self.net.check_log_safety()
+    }
+}
+
+impl<C: Configuration> Cluster<C> {
+    /// The model's base per-hop latency (exposed for tests/benches).
+    #[must_use]
+    pub fn latency_base(&self) -> u64 {
+        self.latency.base_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adore_schemes::SingleNode;
+
+    fn cluster(seed: u64) -> Cluster<SingleNode> {
+        Cluster::new(
+            SingleNode::new([1, 2, 3, 4, 5]),
+            LatencyModel::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn elect_then_serve_requests() {
+        let mut c = cluster(1);
+        c.elect(NodeId(1)).unwrap();
+        assert_eq!(c.leader(), Some(NodeId(1)));
+        assert_eq!(c.size(), 5);
+        for i in 0..20 {
+            let lat = c.submit(KvCommand::put(format!("k{i}"), "v")).unwrap();
+            assert!(lat >= c.latency_base());
+        }
+        assert_eq!(c.committed_store().len(), 20);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn hot_reconfiguration_shrink_and_grow() {
+        let mut c = cluster(2);
+        c.elect(NodeId(1)).unwrap();
+        c.submit(KvCommand::put("warm", "up")).unwrap();
+        // Shrink 5 -> 4 -> 3, one node at a time (single-node scheme).
+        c.reconfigure(SingleNode::new([1, 2, 3, 4])).unwrap();
+        c.reconfigure(SingleNode::new([1, 2, 3])).unwrap();
+        assert_eq!(c.size(), 3);
+        c.submit(KvCommand::put("small", "cluster")).unwrap();
+        // Grow back 3 -> 4 -> 5.
+        c.reconfigure(SingleNode::new([1, 2, 3, 4])).unwrap();
+        c.reconfigure(SingleNode::new([1, 2, 3, 4, 5])).unwrap();
+        assert_eq!(c.size(), 5);
+        c.submit(KvCommand::put("big", "again")).unwrap();
+        c.verify().unwrap();
+        let store = c.committed_store();
+        assert_eq!(store.get("warm"), Some("up"));
+        assert_eq!(store.get("small"), Some("cluster"));
+        assert_eq!(store.get("big"), Some("again"));
+    }
+
+    #[test]
+    fn r3_rejects_reconfig_before_first_commit_of_term() {
+        let mut c = cluster(3);
+        c.elect(NodeId(1)).unwrap();
+        let err = c.reconfigure(SingleNode::new([1, 2, 3, 4])).unwrap_err();
+        assert_eq!(err, ClusterError::Rejected);
+    }
+
+    #[test]
+    fn lossy_network_recovers_by_retransmission() {
+        let mut c = Cluster::new(
+            SingleNode::new([1, 2, 3]),
+            LatencyModel {
+                drop_pct: 40,
+                ..LatencyModel::default()
+            },
+            8,
+        );
+        // Elections may need retries under loss; retry until elected.
+        let mut elected = false;
+        for _ in 0..20 {
+            if c.elect(NodeId(1)).is_ok() {
+                elected = true;
+                break;
+            }
+        }
+        assert!(elected, "leader election under 40% loss");
+        for i in 0..30 {
+            c.submit(KvCommand::put(format!("k{i}"), "v")).unwrap();
+        }
+        assert_eq!(c.committed_store().len(), 30);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn reads_see_exactly_the_committed_writes() {
+        let mut c = cluster(5);
+        c.elect(NodeId(1)).unwrap();
+        assert_eq!(c.get("a").unwrap(), None);
+        c.submit(KvCommand::put("a", "1")).unwrap();
+        assert_eq!(c.get("a").unwrap(), Some("1".to_string()));
+        c.submit(KvCommand::put("a", "2")).unwrap();
+        c.submit(KvCommand::delete("a")).unwrap();
+        assert_eq!(c.get("a").unwrap(), None);
+        c.fail(NodeId(1));
+        assert_eq!(c.get("a"), Err(ClusterError::NoLeader));
+    }
+
+    #[test]
+    fn leader_failover_preserves_the_store() {
+        let mut c = cluster(6);
+        c.elect(NodeId(1)).unwrap();
+        for i in 0..40 {
+            c.submit(KvCommand::put(format!("k{i}"), "v")).unwrap();
+        }
+        // The leader crashes; requests fail until a failover election.
+        c.fail(NodeId(1));
+        assert_eq!(
+            c.submit(KvCommand::put("lost", "x")),
+            Err(ClusterError::NoLeader)
+        );
+        c.elect(NodeId(2)).unwrap();
+        c.submit(KvCommand::put("after", "failover")).unwrap();
+        let store = c.committed_store();
+        assert_eq!(store.get("k0"), Some("v"));
+        assert_eq!(store.get("after"), Some("failover"));
+        assert_eq!(store.get("lost"), None);
+        c.verify().unwrap();
+        // The old leader recovers as a follower and catches up with the
+        // next replication round.
+        c.recover(NodeId(1));
+        c.submit(KvCommand::put("rejoin", "ok")).unwrap();
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn stop_the_world_waits_for_every_member() {
+        let mut c = cluster(7);
+        c.elect(NodeId(1)).unwrap();
+        for i in 0..200 {
+            c.submit(KvCommand::put(format!("k{i}"), "v")).unwrap();
+        }
+        c.reconfigure(SingleNode::new([1, 2, 3, 4])).unwrap();
+        let hot = {
+            // Hot growth: back to 5; returns at quorum.
+            let mut h = cluster(7);
+            h.elect(NodeId(1)).unwrap();
+            for i in 0..200 {
+                h.submit(KvCommand::put(format!("k{i}"), "v")).unwrap();
+            }
+            h.reconfigure(SingleNode::new([1, 2, 3, 4])).unwrap();
+            h.submit(KvCommand::put("x", "y")).unwrap();
+            h.reconfigure(SingleNode::new([1, 2, 3, 4, 5])).unwrap()
+        };
+        c.submit(KvCommand::put("x", "y")).unwrap();
+        let stw = c
+            .reconfigure_stop_the_world(SingleNode::new([1, 2, 3, 4, 5]))
+            .unwrap();
+        // The barrier waits for the fresh node's full catch-up transfer,
+        // which the hot path overlaps with serving.
+        assert!(stw > hot, "stop-the-world {stw}us vs hot {hot}us");
+        // Every member of the final configuration holds the full log.
+        let len = c.net().server(NodeId(1)).unwrap().log.len();
+        for n in 1..=5 {
+            assert_eq!(c.net().server(NodeId(n)).unwrap().log.len(), len);
+        }
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn determinism_under_a_fixed_seed() {
+        let run = |seed| {
+            let mut c = cluster(seed);
+            c.elect(NodeId(1)).unwrap();
+            (0..10)
+                .map(|i| c.submit(KvCommand::put(format!("k{i}"), "v")).unwrap())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn growth_delays_nearby_requests_more_than_shrink() {
+        // Adding a fresh node ships it the whole log over the leader's
+        // egress link, delaying the broadcasts right after — the Fig. 16
+        // growth spike. Removal has no such transfer.
+        let mut c = cluster(4);
+        c.elect(NodeId(1)).unwrap();
+        for i in 0..800 {
+            c.submit(KvCommand::put(format!("k{i}"), "v")).unwrap();
+        }
+        c.reconfigure(SingleNode::new([1, 2, 3, 4])).unwrap();
+        let after_shrink = c.submit(KvCommand::put("s", "v")).unwrap();
+        for i in 0..5 {
+            c.submit(KvCommand::put(format!("x{i}"), "v")).unwrap();
+        }
+        c.reconfigure(SingleNode::new([1, 2, 3, 4, 5])).unwrap();
+        let after_grow = c.submit(KvCommand::put("g", "v")).unwrap();
+        assert!(
+            after_grow > after_shrink,
+            "post-grow {after_grow}us should exceed post-shrink {after_shrink}us"
+        );
+    }
+}

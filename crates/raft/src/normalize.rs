@@ -1,0 +1,443 @@
+//! Trace normalization: the executable content of Lemmas C.3, C.7 and C.9.
+//!
+//! Any asynchronous trace is rewritten — preserving `ℝ_net` — into an
+//! equivalent "SRaft" trace in three steps:
+//!
+//! 1. [`filter_invalid`] (Lemma C.3): drop deliveries the recipient ignores
+//!    and local no-ops; invalid events have no effect, so the final state
+//!    is unchanged.
+//! 2. [`globally_order`] (Lemma C.7): reorder deliveries into logical-time
+//!    order. Only events touching disjoint server sets commute, so the
+//!    reordering is a priority-driven topological sort over the
+//!    "touches-intersect" dependency relation.
+//! 3. [`atomicize`] (Lemma C.9): group the (now adjacent) deliveries of
+//!    each request into one atomic step.
+//!
+//! Each step's equivalence claim is *checked*, not assumed:
+//! [`normalize`] replays original and rewritten traces and compares
+//! their [`NetState::net_relation`] projections.
+
+use adore_core::{Configuration, NodeId, ReconfigGuard};
+
+use crate::net::{EventOutcome, NetState};
+use crate::types::{MsgId, NetEvent};
+
+/// One step of a normalized ("SRaft") trace: a local operation, or the
+/// atomic delivery of one request to a batch of recipients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SraftStep<C, M> {
+    /// An `elect`/`invoke`/`reconfig`/`commit` local operation.
+    Local(NetEvent<C, M>),
+    /// All deliveries of request `msg`, applied back-to-back.
+    Deliveries {
+        /// The request being delivered.
+        msg: MsgId,
+        /// The recipients, in delivery order.
+        recipients: Vec<NodeId>,
+    },
+}
+
+impl<C: Clone, M: Clone> SraftStep<C, M> {
+    /// Expands the step back into plain network events.
+    #[must_use]
+    pub fn events(&self) -> Vec<NetEvent<C, M>> {
+        match self {
+            SraftStep::Local(ev) => vec![ev.clone()],
+            SraftStep::Deliveries { msg, recipients } => recipients
+                .iter()
+                .map(|to| NetEvent::Deliver { msg: *msg, to: *to })
+                .collect(),
+        }
+    }
+}
+
+/// A normalization failure: one of the lemma-backed rewrites did not
+/// preserve network equivalence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormalizeError {
+    /// Replaying the rewritten trace produced a different `ℝ_net`
+    /// projection than the original — the equivalence claim failed.
+    NotEquivalent {
+        /// Which rewrite broke it: "filter", "order", or "atomicize".
+        stage: &'static str,
+    },
+}
+
+impl std::fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalizeError::NotEquivalent { stage } => {
+                write!(f, "normalization stage '{stage}' changed the final state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+fn final_state<C: Configuration, M: Clone + Eq>(
+    conf0: &C,
+    guard: ReconfigGuard,
+    trace: &[NetEvent<C, M>],
+) -> NetState<C, M> {
+    let mut st = NetState::new(conf0.clone(), guard);
+    st.replay(trace);
+    st
+}
+
+/// Lemma C.3: drops ignored deliveries and ineffective local operations.
+///
+/// Returns the filtered trace; every remaining event has an effect when
+/// replayed in order.
+#[must_use]
+pub fn filter_invalid<C: Configuration, M: Clone + Eq>(
+    conf0: &C,
+    guard: ReconfigGuard,
+    trace: &[NetEvent<C, M>],
+) -> Vec<NetEvent<C, M>> {
+    let mut st = NetState::new(conf0.clone(), guard);
+    let mut out = Vec::with_capacity(trace.len());
+    for ev in trace {
+        if st.step(ev) == EventOutcome::Applied {
+            out.push(ev.clone());
+        }
+    }
+    out
+}
+
+/// Priority of an event for the global ordering: local events keep their
+/// original order; deliveries sort by the request's logical time, then
+/// elections before commits, then by shipped-log length (a leader's later
+/// requests carry longer logs), then request id.
+fn priority<C, M>(
+    ev: &NetEvent<C, M>,
+    orig_index: usize,
+    msg_time: impl Fn(MsgId) -> (u64, u8, usize),
+) -> (u8, u64, u8, usize, u32, usize) {
+    match ev {
+        NetEvent::Deliver { msg, .. } => {
+            let (time, kind, len) = msg_time(*msg);
+            // The request id keys before the original index so that
+            // same-priority deliveries of one request stay contiguous.
+            (1, time, kind, len, msg.0, orig_index)
+        }
+        _ => (0, orig_index as u64, 0, 0, 0, orig_index),
+    }
+}
+
+/// Lemma C.7: reorders deliveries into global logical-time order via a
+/// commutation-respecting topological sort.
+///
+/// Two events may swap only if they touch disjoint server sets (a delivery
+/// touches its recipient and — through the synchronous acknowledgement —
+/// its sender). Among the orderings respecting these dependencies, the
+/// lexicographically smallest by the delivery priority (logical time, then
+/// election-before-commit, then shipped-log length) is produced.
+#[must_use]
+pub fn globally_order<C: Configuration, M: Clone + Eq>(
+    conf0: &C,
+    guard: ReconfigGuard,
+    trace: &[NetEvent<C, M>],
+) -> Vec<NetEvent<C, M>> {
+    // Replay once to learn each message's metadata.
+    let st = final_state(conf0, guard, trace);
+    let meta = |msg: MsgId| -> (u64, u8, usize) {
+        st.message(msg)
+            .map(|r| (r.time().0, r.kind_rank(), r.log_len()))
+            .unwrap_or((u64::MAX, u8::MAX, usize::MAX))
+    };
+    let sender = |msg: MsgId| st.message(msg).map(|r| r.from());
+
+    let touches: Vec<Vec<NodeId>> = trace
+        .iter()
+        .map(|ev| ev.touches(|m| sender(m).unwrap_or(NodeId(u32::MAX))))
+        .collect();
+
+    // Two events conflict (must keep their order) when they touch a common
+    // server — EXCEPT a *commit* delivery against its own sender's
+    // *invoke*: the commit acknowledgement only updates the leader's ack
+    // counters and commit index, which a local method append neither reads
+    // nor writes, so the pair commutes. The exception is deliberately
+    // narrow: an *election* delivery may flip the sender to leader (read by
+    // invoke's precondition), and a *reconfig* reads the commit index
+    // (through R2/R3), so neither commutes. This rule is what lets a
+    // commit's deliveries slide together past the leader's interleaved
+    // invokes (Lemma C.9's key commutation).
+    let is_commit = |m: MsgId| matches!(st.message(m), Some(crate::types::Request::Commit { .. }));
+    let conflict = |i: usize, j: usize| -> bool {
+        let commuting_pair = |a: &NetEvent<C, M>, b: &NetEvent<C, M>| match (a, b) {
+            (NetEvent::Deliver { msg, to }, NetEvent::Invoke { nid, .. }) => {
+                is_commit(*msg) && sender(*msg) == Some(*nid) && to != nid
+            }
+            _ => false,
+        };
+        if commuting_pair(&trace[i], &trace[j]) || commuting_pair(&trace[j], &trace[i]) {
+            return false;
+        }
+        touches[i].iter().any(|a| touches[j].contains(a))
+    };
+
+    let n = trace.len();
+    // deps[j] = indices i < j that must stay before j.
+    let mut indegree = vec![0usize; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    #[allow(clippy::needless_range_loop)] // index pairs (i < j) are the point
+    for j in 0..n {
+        for i in 0..j {
+            if conflict(i, j) {
+                dependents[i].push(j);
+                indegree[j] += 1;
+            }
+        }
+    }
+
+    let mut available: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut last_msg: Option<MsgId> = None;
+    while !available.is_empty() {
+        // Group-continuation rule: if the previous event delivered request
+        // m and another delivery of m is available, emit it next so groups
+        // stay contiguous; otherwise take the minimum-priority event.
+        let continuation = last_msg.and_then(|m| {
+            available
+                .iter()
+                .position(|&i| matches!(&trace[i], NetEvent::Deliver { msg, .. } if *msg == m))
+        });
+        let pos = continuation.unwrap_or_else(|| {
+            available
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &i)| priority(&trace[i], i, meta))
+                .expect("available is non-empty")
+                .0
+        });
+        let best = available.swap_remove(pos);
+        last_msg = match &trace[best] {
+            NetEvent::Deliver { msg, .. } => Some(*msg),
+            _ => None,
+        };
+        order.push(best);
+        for &j in &dependents[best] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                available.push(j);
+            }
+        }
+    }
+
+    // Message ids are assigned in creation order, so reordering the
+    // generating `elect`/`commit` events re-binds the ids: renumber every
+    // delivery to keep it pointing at the *same* request.
+    let is_generator =
+        |ev: &NetEvent<C, M>| matches!(ev, NetEvent::Elect { .. } | NetEvent::Commit { .. });
+    // gen_pos[k] = trace index of the event that generated MsgId(k).
+    let gen_pos: Vec<usize> = (0..n).filter(|&i| is_generator(&trace[i])).collect();
+    // new_id[trace index of a generator] = its MsgId in the new order.
+    let mut new_id = vec![u32::MAX; n];
+    let mut count = 0u32;
+    for &i in &order {
+        if is_generator(&trace[i]) {
+            new_id[i] = count;
+            count += 1;
+        }
+    }
+    order
+        .into_iter()
+        .map(|i| match &trace[i] {
+            NetEvent::Deliver { msg, to } => NetEvent::Deliver {
+                msg: MsgId(new_id[gen_pos[msg.0 as usize]]),
+                to: *to,
+            },
+            ev => ev.clone(),
+        })
+        .collect()
+}
+
+/// Lemma C.9: groups maximal runs of deliveries of one request into atomic
+/// steps.
+///
+/// After [`globally_order`], a request's deliveries are contiguous except
+/// when a *genuine* dependency splits them — a straggler vote arriving
+/// after its candidate already started a newer election cannot be commuted
+/// past that election. Such splits yield multiple `Deliveries` steps for
+/// the same request; [`segment_counts`] reports how many.
+#[must_use]
+pub fn atomicize<C: Clone, M: Clone>(trace: &[NetEvent<C, M>]) -> Vec<SraftStep<C, M>> {
+    let mut steps: Vec<SraftStep<C, M>> = Vec::new();
+    for ev in trace {
+        match ev {
+            NetEvent::Deliver { msg, to } => match steps.last_mut() {
+                Some(SraftStep::Deliveries { msg: m, recipients }) if m == msg => {
+                    recipients.push(*to);
+                }
+                _ => steps.push(SraftStep::Deliveries {
+                    msg: *msg,
+                    recipients: vec![*to],
+                }),
+            },
+            other => steps.push(SraftStep::Local(other.clone())),
+        }
+    }
+    steps
+}
+
+/// How many `Deliveries` segments each request was split into (1 for a
+/// perfectly atomic group). Used by the refinement experiments to report
+/// how often Lemma C.9's contiguity holds outright.
+#[must_use]
+pub fn segment_counts<C, M>(steps: &[SraftStep<C, M>]) -> std::collections::BTreeMap<MsgId, usize> {
+    let mut counts = std::collections::BTreeMap::new();
+    for step in steps {
+        if let SraftStep::Deliveries { msg, .. } = step {
+            *counts.entry(*msg).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// The full pipeline with equivalence checking at every stage: filter,
+/// order, atomicize, verifying after each rewrite that the `ℝ_net`
+/// projection of the final state is unchanged (Lemma C.10).
+///
+/// # Errors
+///
+/// Returns the first failed stage; on success the returned steps replay to
+/// a state network-equivalent to the original trace's.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::ReconfigGuard;
+/// use adore_raft::{normalize, random_trace, ScheduleParams};
+/// use adore_schemes::SingleNode;
+///
+/// let conf0 = SingleNode::new([1, 2, 3]);
+/// let trace = random_trace(&conf0, ReconfigGuard::all(), &ScheduleParams::default(), 0, 3);
+/// let steps = normalize(&conf0, ReconfigGuard::all(), &trace)?;
+/// assert!(!steps.is_empty());
+/// # Ok::<(), adore_raft::NormalizeError>(())
+/// ```
+pub fn normalize<C: Configuration, M: Clone + Eq>(
+    conf0: &C,
+    guard: ReconfigGuard,
+    trace: &[NetEvent<C, M>],
+) -> Result<Vec<SraftStep<C, M>>, NormalizeError> {
+    let original = final_state(conf0, guard, trace).net_relation();
+
+    let filtered = filter_invalid(conf0, guard, trace);
+    if final_state(conf0, guard, &filtered).net_relation() != original {
+        return Err(NormalizeError::NotEquivalent { stage: "filter" });
+    }
+
+    let ordered = globally_order(conf0, guard, &filtered);
+    if final_state(conf0, guard, &ordered).net_relation() != original {
+        return Err(NormalizeError::NotEquivalent { stage: "order" });
+    }
+
+    let steps = atomicize(&ordered);
+    let flat: Vec<NetEvent<C, M>> = steps.iter().flat_map(SraftStep::events).collect();
+    if final_state(conf0, guard, &flat).net_relation() != original {
+        return Err(NormalizeError::NotEquivalent { stage: "atomicize" });
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{random_trace, ScheduleParams};
+    use adore_schemes::SingleNode;
+
+    #[test]
+    fn filter_drops_rejected_and_noop_events() {
+        let conf0 = SingleNode::new([1, 2, 3]);
+        let trace: Vec<NetEvent<SingleNode, u32>> = vec![
+            // Invoke by a non-leader: no-op.
+            NetEvent::Invoke {
+                nid: NodeId(1),
+                method: 0,
+            },
+            NetEvent::Elect { nid: NodeId(1) },
+            NetEvent::Deliver {
+                msg: MsgId(0),
+                to: NodeId(2),
+            },
+            // Duplicate delivery: stale, rejected.
+            NetEvent::Deliver {
+                msg: MsgId(0),
+                to: NodeId(2),
+            },
+        ];
+        let filtered = filter_invalid(&conf0, ReconfigGuard::all(), &trace);
+        assert_eq!(filtered.len(), 2);
+    }
+
+    #[test]
+    fn fig14_style_reordering_sorts_by_time() {
+        // Two rival candidates; their requests arrive out of time order at
+        // different servers (the Fig. 14 example shape).
+        let conf0 = SingleNode::new([1, 2, 3, 4, 5]);
+        let trace: Vec<NetEvent<SingleNode, u32>> = vec![
+            NetEvent::Elect { nid: NodeId(1) }, // m0 at t1
+            NetEvent::Elect { nid: NodeId(2) }, // m1 at t1 — S2 also picks t1
+            NetEvent::Deliver {
+                msg: MsgId(1),
+                to: NodeId(4),
+            },
+            NetEvent::Deliver {
+                msg: MsgId(0),
+                to: NodeId(3),
+            },
+            NetEvent::Deliver {
+                msg: MsgId(1),
+                to: NodeId(5),
+            },
+            NetEvent::Deliver {
+                msg: MsgId(0),
+                to: NodeId(5),
+            }, // stale at S5 (same t1): rejected -> filtered out
+        ];
+        let steps = normalize(&conf0, ReconfigGuard::all(), &trace).unwrap();
+        // After normalization, m0's deliveries precede... both are t1;
+        // tie-broken by id: m0's group first, then m1's.
+        let groups: Vec<MsgId> = steps
+            .iter()
+            .filter_map(|s| match s {
+                SraftStep::Deliveries { msg, .. } => Some(*msg),
+                SraftStep::Local(_) => None,
+            })
+            .collect();
+        assert_eq!(groups, vec![MsgId(0), MsgId(1)]);
+    }
+
+    #[test]
+    fn normalization_preserves_equivalence_on_random_traces() {
+        let conf0 = SingleNode::new([1, 2, 3, 4]);
+        for seed in 0..40 {
+            let trace = random_trace(
+                &conf0,
+                ReconfigGuard::all(),
+                &ScheduleParams {
+                    steps: 150,
+                    ..ScheduleParams::default()
+                },
+                1,
+                seed,
+            );
+            normalize(&conf0, ReconfigGuard::all(), &trace)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn normalization_also_holds_for_flawed_guards() {
+        // The rewrite lemmas are guard-independent: they hold for the
+        // unsafe no-R3 variant too (safety is a different question).
+        let conf0 = SingleNode::new([1, 2, 3, 4]);
+        let guard = ReconfigGuard::all().without_r3();
+        for seed in 0..20 {
+            let trace = random_trace(&conf0, guard, &ScheduleParams::default(), 1, seed);
+            normalize(&conf0, guard, &trace).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

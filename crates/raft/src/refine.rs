@@ -1,0 +1,786 @@
+//! Executable refinement from (S)Raft to ADORE (Appendix C, Lemma C.1 /
+//! Theorem C.11).
+//!
+//! [`check_refinement`] normalizes an asynchronous trace (Lemmas C.3–C.9),
+//! replays the normalized steps against the network model, and mirrors each
+//! protocol-level action into a **shadow ADORE state**:
+//!
+//! * an election's delivery group → one `pull` whose supporters are the
+//!   replicas that actually granted their vote;
+//! * a commit's delivery group → one `push` whose supporters are the
+//!   replicas that actually adopted the leader's log;
+//! * leader-local `invoke`/`reconfig` → the ADORE operations of the same
+//!   name.
+//!
+//! After every step it asserts the essence of the refinement relation `ℝ`
+//! (Fig. 17): **logMatch** — each replica's local log equals the
+//! method/reconfiguration caches along its active branch of the cache tree
+//! — plus replicated state safety of the shadow tree. Any discrepancy is
+//! reported as a [`RefinementViolation`]; a clean report over adversarial
+//! schedules is the executable counterpart of the simulation proof.
+
+use std::collections::BTreeMap;
+
+use adore_core::{
+    invariants, AdoreState, Cache, CacheId, CacheKind, Configuration, LocalOutcome, NodeId,
+    NodeSet, PullDecision, PullOutcome, PushDecision, PushOutcome, ReconfigGuard, Timestamp,
+};
+
+use crate::net::{EventOutcome, NetState};
+use crate::normalize::{normalize, segment_counts, NormalizeError, SraftStep};
+use crate::types::{Command, Entry, MsgId, NetEvent};
+
+/// A discrepancy between the network run and its ADORE shadow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefinementViolation {
+    /// An oracle decision derived from the network run was rejected by the
+    /// ADORE semantics.
+    OracleRejected {
+        /// Index of the normalized step.
+        step: usize,
+        /// Which operation was being mirrored.
+        op: &'static str,
+        /// The rejection, rendered.
+        error: String,
+    },
+    /// The network applied an operation that the ADORE shadow refused (or
+    /// produced a different outcome).
+    OutcomeMismatch {
+        /// Index of the normalized step.
+        step: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// `logMatch` failed: a replica's log diverged from its active branch.
+    LogMismatch {
+        /// Index of the normalized step.
+        step: usize,
+        /// The replica.
+        nid: NodeId,
+        /// Rendered expected (branch) vs actual (log).
+        detail: String,
+    },
+    /// The shadow ADORE state violated replicated state safety while the
+    /// guard was supposed to prevent it.
+    ShadowUnsafe {
+        /// Index of the normalized step.
+        step: usize,
+        /// The rendered violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RefinementViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RefinementViolation::OracleRejected { step, op, error } => {
+                write!(f, "step {step}: {op} decision rejected: {error}")
+            }
+            RefinementViolation::OutcomeMismatch { step, detail } => {
+                write!(f, "step {step}: outcome mismatch: {detail}")
+            }
+            RefinementViolation::LogMismatch { step, nid, detail } => {
+                write!(f, "step {step}: logMatch failed for {nid}: {detail}")
+            }
+            RefinementViolation::ShadowUnsafe { step, detail } => {
+                write!(f, "step {step}: shadow state unsafe: {detail}")
+            }
+        }
+    }
+}
+
+/// Statistics and violations from one refinement run.
+#[derive(Debug, Clone, Default)]
+pub struct RefinementReport {
+    /// Normalized steps replayed.
+    pub steps: usize,
+    /// ADORE `pull`s applied.
+    pub pulls: usize,
+    /// ADORE `push`es applied.
+    pub pushes: usize,
+    /// ADORE `invoke`s applied.
+    pub invokes: usize,
+    /// ADORE `reconfig`s applied.
+    pub reconfigs: usize,
+    /// Individual `logMatch` checks performed (servers × steps).
+    pub log_checks: u64,
+    /// Delivery groups that were perfectly contiguous.
+    pub atomic_groups: usize,
+    /// Requests whose deliveries required more than one segment.
+    pub split_groups: usize,
+    /// Elections won by a candidate whose log carries an *uncommitted
+    /// adopted suffix* — the one documented boundary of the ADORE
+    /// abstraction: `mostRecent` ranges over observed (supported) caches,
+    /// so a suffix adopted through a commit request that never reached a
+    /// quorum is invisible to the election, and the shadow branch is a
+    /// strict prefix of the leader's log. Checking stops at the first such
+    /// election (see `EXPERIMENTS.md`); the run is still counted clean if
+    /// no violation occurred before it.
+    pub partial_adoption_elections: usize,
+    /// Steps actually checked (less than `steps` if checking stopped at a
+    /// partial-adoption election or, for flawed guards, at the safety
+    /// violation itself).
+    pub checked_steps: usize,
+    /// The step at which network-level log safety first broke, if it did.
+    /// With a flawed guard this is where both models go unsafe together
+    /// and the refinement claim — stated for sound guards — ends.
+    pub unsafe_at: Option<usize>,
+    /// All discrepancies found (empty = refinement held).
+    pub violations: Vec<RefinementViolation>,
+}
+
+impl RefinementReport {
+    /// Whether the refinement held on every step.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Debug)]
+enum MsgMeta {
+    Elect {
+        caller: NodeId,
+        time: Timestamp,
+        voters: NodeSet,
+        applied: bool,
+        segs_left: usize,
+    },
+    Commit {
+        caller: NodeId,
+        len: usize,
+        branch_ids: Vec<CacheId>,
+        ackers: NodeSet,
+        applied: bool,
+        segs_left: usize,
+    },
+}
+
+struct Checker<C: Configuration, M: Clone + Eq + std::fmt::Debug> {
+    net: NetState<C, M>,
+    adore: AdoreState<C, M>,
+    guard: ReconfigGuard,
+    tip: BTreeMap<NodeId, CacheId>,
+    branch: BTreeMap<NodeId, Vec<CacheId>>,
+    meta: BTreeMap<MsgId, MsgMeta>,
+    segments: BTreeMap<MsgId, usize>,
+    report: RefinementReport,
+    check_safety: bool,
+    step: usize,
+    stop: bool,
+}
+
+impl<C: Configuration, M: Clone + Eq + std::fmt::Debug> Checker<C, M> {
+    fn new(
+        conf0: C,
+        guard: ReconfigGuard,
+        segments: BTreeMap<MsgId, usize>,
+        check_safety: bool,
+    ) -> Self {
+        let net = NetState::new(conf0.clone(), guard);
+        let tip = conf0
+            .members()
+            .into_iter()
+            .map(|n| (n, adore_core::Tree::<()>::ROOT))
+            .collect();
+        Checker {
+            net,
+            adore: AdoreState::new(conf0),
+            guard,
+            tip,
+            branch: BTreeMap::new(),
+            meta: BTreeMap::new(),
+            segments,
+            report: RefinementReport::default(),
+            check_safety,
+            step: 0,
+            stop: false,
+        }
+    }
+
+    /// `toLog` (Fig. 17): the method/reconfig payloads along the branch
+    /// ending at `tip`, root-to-leaf.
+    fn branch_log(&self, tip: CacheId) -> Vec<Entry<C, M>> {
+        let mut out: Vec<Entry<C, M>> = self
+            .adore
+            .tree()
+            .ancestors_inclusive(tip)
+            .filter_map(|id| match self.adore.cache(id) {
+                Cache::Method { time, method, .. } => Some(Entry {
+                    time: *time,
+                    cmd: Command::Method(method.clone()),
+                }),
+                Cache::Reconfig { time, config, .. } => Some(Entry {
+                    time: *time,
+                    cmd: Command::Config(config.clone()),
+                }),
+                _ => None,
+            })
+            .collect();
+        out.reverse();
+        out
+    }
+
+    /// The `logMatch` component of `ℝ`: every replica's local log equals
+    /// the log of its tracked active branch.
+    fn check_log_match(&mut self) {
+        let pairs: Vec<(NodeId, Vec<Entry<C, M>>)> = self
+            .net
+            .servers()
+            .map(|(nid, s)| (nid, s.log.clone()))
+            .collect();
+        for (nid, log) in pairs {
+            self.report.log_checks += 1;
+            let tip = self
+                .tip
+                .get(&nid)
+                .copied()
+                .unwrap_or(adore_core::Tree::<()>::ROOT);
+            let branch = self.branch_log(tip);
+            if branch != log {
+                self.report
+                    .violations
+                    .push(RefinementViolation::LogMismatch {
+                        step: self.step,
+                        nid,
+                        detail: format!("branch {branch:?} vs log {log:?}"),
+                    });
+            }
+        }
+        if self.check_safety {
+            if let Err(v) = invariants::check_safety(&self.adore) {
+                self.report
+                    .violations
+                    .push(RefinementViolation::ShadowUnsafe {
+                        step: self.step,
+                        detail: v.to_string(),
+                    });
+            }
+        }
+    }
+
+    /// Filters a supporter set to the members admissible for a pull, by
+    /// fixpoint over `mostRecent` (dropping outsiders can change which
+    /// cache is the most recent).
+    fn admissible_pull_supporters(&self, mut q: NodeSet) -> Option<NodeSet> {
+        loop {
+            let mr = self.adore.most_recent(&q)?;
+            let members = self.adore.cache(mr).config().members();
+            let filtered: NodeSet = q.intersection(&members).copied().collect();
+            if filtered == q {
+                return Some(q);
+            }
+            if filtered.is_empty() {
+                return None;
+            }
+            q = filtered;
+        }
+    }
+
+    fn apply_pull(&mut self, msg: MsgId) {
+        let (caller, time, voters) = match self.meta.get_mut(&msg) {
+            Some(MsgMeta::Elect {
+                caller,
+                time,
+                voters,
+                applied,
+                ..
+            }) if !*applied => {
+                *applied = true;
+                (*caller, *time, voters.clone())
+            }
+            _ => return,
+        };
+        // Prune voters whose ADORE-observed time already reached `time`:
+        // their votes are logically wasted (they belong to a newer round
+        // that, in the normalized order, has already been applied). The
+        // oracle is free to choose the smaller supporter set.
+        let live: NodeSet = voters
+            .into_iter()
+            .filter(|s| self.adore.observed_time(*s) < time)
+            .collect();
+        if !live.contains(&caller) {
+            // The candidate itself has moved on; the election can only be
+            // mirrored as a PullNoOp.
+            return;
+        }
+        let Some(supporters) = self.admissible_pull_supporters(live) else {
+            // No member of the supporter set has observed anything: the
+            // pull oracle has no valid `Ok` decision, so this election can
+            // only be a `PullNoOp` — e.g. an outside node campaigning with
+            // no votes yet. Not a refinement failure.
+            return;
+        };
+        if !supporters.contains(&caller) {
+            // The caller itself is not admissible under the observed
+            // configuration (an outsider whose voters are all members):
+            // likewise only expressible as a `PullNoOp`. The network-side
+            // election, if it succeeds, cannot lead to commits that ADORE
+            // misses, because the outsider never counts toward quorums of
+            // the configurations in the tree; the logMatch checks keep
+            // guarding every log.
+            return;
+        }
+        let decision = PullDecision::Ok { supporters, time };
+        match self.adore.pull(caller, &decision) {
+            Ok(PullOutcome::Elected(ecache)) => {
+                self.report.pulls += 1;
+                // Detect the partial-adoption boundary: the branch the
+                // election lands on must reproduce the leader's log; if it
+                // is a strict prefix, the leader won while holding a
+                // suffix it adopted through a never-quorate commit, which
+                // the ADORE state cannot see (module docs).
+                let branch_log = self.branch_log(ecache);
+                let net_log = self
+                    .net
+                    .server(caller)
+                    .map(|s| s.log.clone())
+                    .unwrap_or_default();
+                if branch_log != net_log && net_log.starts_with(&branch_log) {
+                    self.report.partial_adoption_elections += 1;
+                    self.stop = true;
+                    return;
+                }
+                // Rebuild the new leader's branch vector from the tree.
+                let mut ids: Vec<CacheId> = self
+                    .adore
+                    .tree()
+                    .ancestors_inclusive(ecache)
+                    .filter(|id| {
+                        matches!(
+                            self.adore.cache(*id).kind(),
+                            CacheKind::Method | CacheKind::Reconfig
+                        )
+                    })
+                    .collect();
+                ids.reverse();
+                self.branch.insert(caller, ids);
+                self.tip.insert(caller, ecache);
+            }
+            Ok(PullOutcome::NoQuorum) => {
+                self.report.pulls += 1;
+            }
+            Ok(PullOutcome::Failed) => unreachable!("decision is Ok"),
+            Err(e) => self
+                .report
+                .violations
+                .push(RefinementViolation::OracleRejected {
+                    step: self.step,
+                    op: "pull",
+                    error: e.to_string(),
+                }),
+        }
+    }
+
+    fn apply_push(&mut self, msg: MsgId) {
+        let (caller, len, branch_ids, ackers) = match self.meta.get_mut(&msg) {
+            Some(MsgMeta::Commit {
+                caller,
+                len,
+                branch_ids,
+                ackers,
+                applied,
+                ..
+            }) if !*applied => {
+                *applied = true;
+                (*caller, *len, branch_ids.clone(), ackers.clone())
+            }
+            _ => return,
+        };
+        if len == 0 || branch_ids.len() < len {
+            self.report
+                .violations
+                .push(RefinementViolation::OutcomeMismatch {
+                    step: self.step,
+                    detail: format!("commit of length {len} without a matching branch"),
+                });
+            return;
+        }
+        let target = branch_ids[len - 1];
+        let time = self.adore.cache(target).time();
+        if !self.adore.can_commit(target, caller) {
+            // Two legitimate no-op cases: a re-broadcast of an
+            // already-committed prefix (the matching push already
+            // happened), and a leader that has been preempted in the shadow
+            // state (the oracle can only answer Fail). Anything else is a
+            // genuine refinement failure.
+            let dup = self
+                .adore
+                .last_commit(caller)
+                .is_some_and(|lc| self.adore.key_of(lc) >= self.adore.key_of(target));
+            let preempted = !self.adore.is_leader(caller, time);
+            if !dup && !preempted {
+                self.report
+                    .violations
+                    .push(RefinementViolation::OracleRejected {
+                        step: self.step,
+                        op: "push",
+                        error: format!("target {target} fails canCommit"),
+                    });
+            }
+            return;
+        }
+        let members = self.adore.cache(target).config().members();
+        // Prune ackers outside the committed configuration and ackers whose
+        // ADORE-observed time has passed the target's (wasted acks).
+        let supporters: NodeSet = ackers
+            .intersection(&members)
+            .copied()
+            .filter(|s| self.adore.observed_time(*s) <= time)
+            .collect();
+        if !supporters.contains(&caller) {
+            // The leader left the configuration it is committing under —
+            // only expressible as a push failure.
+            return;
+        }
+        let decision = PushDecision::Ok { supporters, target };
+        match self.adore.push(caller, &decision) {
+            Ok(PushOutcome::Committed(_) | PushOutcome::NoQuorum) => {
+                self.report.pushes += 1;
+            }
+            Ok(PushOutcome::Failed) => unreachable!("decision is Ok"),
+            Err(e) => self
+                .report
+                .violations
+                .push(RefinementViolation::OracleRejected {
+                    step: self.step,
+                    op: "push",
+                    error: e.to_string(),
+                }),
+        }
+    }
+
+    /// Applies the pending operation for `msg` if its supporters already
+    /// form a quorum (the logical completion moment).
+    fn maybe_apply_on_quorum(&mut self, msg: MsgId) {
+        match self.meta.get(&msg) {
+            Some(MsgMeta::Elect {
+                voters,
+                time,
+                applied,
+                ..
+            }) if !*applied => {
+                let live: NodeSet = voters
+                    .iter()
+                    .copied()
+                    .filter(|s| self.adore.observed_time(*s) < *time)
+                    .collect();
+                if let Some(q) = self.admissible_pull_supporters(live) {
+                    if let Some(mr) = self.adore.most_recent(&q) {
+                        if self.adore.cache(mr).config().is_quorum(&q) {
+                            self.apply_pull(msg);
+                        }
+                    }
+                }
+            }
+            Some(MsgMeta::Commit {
+                len,
+                branch_ids,
+                ackers,
+                applied,
+                ..
+            }) if !*applied && *len >= 1 && branch_ids.len() >= *len => {
+                let target = branch_ids[*len - 1];
+                let config = self.adore.cache(target).config().clone();
+                if config.is_quorum(ackers) {
+                    self.apply_push(msg);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn end_segment(&mut self, msg: MsgId) {
+        let finished = match self.meta.get_mut(&msg) {
+            Some(MsgMeta::Elect { segs_left, .. } | MsgMeta::Commit { segs_left, .. }) => {
+                *segs_left = segs_left.saturating_sub(1);
+                *segs_left == 0
+            }
+            None => false,
+        };
+        if finished {
+            match self.meta.get(&msg) {
+                Some(MsgMeta::Elect { applied: false, .. }) => self.apply_pull(msg),
+                Some(MsgMeta::Commit { applied: false, .. }) => self.apply_push(msg),
+                _ => {}
+            }
+        }
+    }
+
+    fn on_local(&mut self, ev: &NetEvent<C, M>) {
+        let msg_id = MsgId(self.net.messages().len() as u32);
+        let outcome = self.net.step(ev);
+        match ev {
+            NetEvent::Elect { nid } => {
+                let time = self
+                    .net
+                    .server(*nid)
+                    .expect("elect creates the server")
+                    .time;
+                let segs = self.segments.get(&msg_id).copied().unwrap_or(0);
+                self.meta.insert(
+                    msg_id,
+                    MsgMeta::Elect {
+                        caller: *nid,
+                        time,
+                        voters: std::iter::once(*nid).collect(),
+                        applied: false,
+                        segs_left: segs,
+                    },
+                );
+                // Never-delivered non-quorum elections are invisible to the
+                // shadow state: applying them would advance the caller's
+                // observed time past operations that are still completing
+                // in logical-time order. Only a self-quorum applies here.
+                self.maybe_apply_on_quorum(msg_id);
+                let _ = segs;
+            }
+            NetEvent::Invoke { nid, method } => {
+                if outcome != EventOutcome::Applied {
+                    return;
+                }
+                match self.adore.invoke(*nid, method.clone()) {
+                    LocalOutcome::Applied(id) => {
+                        self.report.invokes += 1;
+                        self.branch.entry(*nid).or_default().push(id);
+                        self.tip.insert(*nid, id);
+                    }
+                    LocalOutcome::NoOp(reason) => {
+                        self.report
+                            .violations
+                            .push(RefinementViolation::OutcomeMismatch {
+                                step: self.step,
+                                detail: format!("net invoked but ADORE refused: {reason}"),
+                            });
+                    }
+                }
+            }
+            NetEvent::Reconfig { nid, config } => {
+                if outcome != EventOutcome::Applied {
+                    return;
+                }
+                match self.adore.reconfig(*nid, config.clone(), self.guard) {
+                    LocalOutcome::Applied(id) => {
+                        self.report.reconfigs += 1;
+                        self.branch.entry(*nid).or_default().push(id);
+                        self.tip.insert(*nid, id);
+                    }
+                    LocalOutcome::NoOp(reason) => {
+                        self.report
+                            .violations
+                            .push(RefinementViolation::OutcomeMismatch {
+                                step: self.step,
+                                detail: format!("net reconfigured but ADORE refused: {reason}"),
+                            });
+                    }
+                }
+            }
+            NetEvent::Commit { nid } => {
+                if outcome != EventOutcome::Applied {
+                    return;
+                }
+                let len = self.net.server(*nid).expect("leader exists").log.len();
+                let branch_ids = self.branch.get(nid).cloned().unwrap_or_default();
+                let segs = self.segments.get(&msg_id).copied().unwrap_or(0);
+                self.meta.insert(
+                    msg_id,
+                    MsgMeta::Commit {
+                        caller: *nid,
+                        len,
+                        branch_ids,
+                        ackers: std::iter::once(*nid).collect(),
+                        applied: false,
+                        segs_left: segs,
+                    },
+                );
+                // As for elections: a never-delivered commit either
+                // self-commits (single-member quorum) or is invisible.
+                self.maybe_apply_on_quorum(msg_id);
+                let _ = segs;
+            }
+            // Crashes and recoveries have no ADORE counterpart: the
+            // oracle's nondeterminism absorbs them (a crashed replica is
+            // one the oracle never selects into a supporter set). The
+            // logMatch relation is untouched because logs persist.
+            NetEvent::Crash { .. } | NetEvent::Recover { .. } => {}
+            NetEvent::Deliver { .. } => unreachable!("deliveries are grouped"),
+        }
+    }
+
+    fn on_deliveries(&mut self, msg: MsgId, recipients: &[NodeId]) {
+        for &to in recipients {
+            let outcome = self.net.step(&NetEvent::Deliver { msg, to });
+            if outcome != EventOutcome::Applied {
+                continue;
+            }
+            match self.meta.get_mut(&msg) {
+                Some(MsgMeta::Elect { voters, .. }) => {
+                    voters.insert(to);
+                }
+                Some(MsgMeta::Commit {
+                    ackers,
+                    branch_ids,
+                    len,
+                    ..
+                }) => {
+                    ackers.insert(to);
+                    // The adopter's log is now the shipped log; its active
+                    // branch ends at the shipped log's last cache.
+                    if *len >= 1 && branch_ids.len() >= *len {
+                        self.tip.insert(to, branch_ids[*len - 1]);
+                        self.branch.insert(to, branch_ids[..*len].to_vec());
+                    } else {
+                        self.tip.insert(to, adore_core::Tree::<()>::ROOT);
+                        self.branch.insert(to, Vec::new());
+                    }
+                }
+                None => {}
+            }
+            self.maybe_apply_on_quorum(msg);
+        }
+        self.end_segment(msg);
+    }
+
+    fn run(mut self, steps: &[SraftStep<C, M>]) -> RefinementReport {
+        for step in steps {
+            match step {
+                SraftStep::Local(ev) => self.on_local(ev),
+                SraftStep::Deliveries { msg, recipients } => self.on_deliveries(*msg, recipients),
+            }
+            if self.stop {
+                break;
+            }
+            if self.report.unsafe_at.is_none() && self.net.check_log_safety().is_err() {
+                self.report.unsafe_at = Some(self.step);
+                if !self.check_safety {
+                    // Flawed-guard mode: the simulation claim is only made
+                    // up to the safety violation; past it the two models
+                    // legitimately diverge.
+                    break;
+                }
+            }
+            self.check_log_match();
+            self.step += 1;
+        }
+        self.report.steps = steps.len();
+        self.report.checked_steps = self.step;
+        self.report
+    }
+}
+
+/// Normalizes `trace` and checks the SRaft→ADORE refinement step by step.
+///
+/// `check_shadow_safety` controls whether the shadow ADORE tree is also
+/// checked for replicated state safety at every step — enable it for sound
+/// guards (where a violation is a bug), disable it when deliberately
+/// running flawed guards (where both models are expected to go unsafe
+/// *together*; logMatch is still checked).
+///
+/// # Errors
+///
+/// Propagates [`NormalizeError`] if a normalization stage failed its
+/// equivalence check.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::ReconfigGuard;
+/// use adore_raft::{check_refinement, random_trace, ScheduleParams};
+/// use adore_schemes::SingleNode;
+///
+/// let conf0 = SingleNode::new([1, 2, 3]);
+/// let trace = random_trace(&conf0, ReconfigGuard::all(), &ScheduleParams::default(), 0, 1);
+/// let report = check_refinement(&conf0, ReconfigGuard::all(), &trace, true)?;
+/// assert!(report.is_clean(), "{:?}", report.violations);
+/// # Ok::<(), adore_raft::NormalizeError>(())
+/// ```
+pub fn check_refinement<C: Configuration, M: Clone + Eq + std::fmt::Debug>(
+    conf0: &C,
+    guard: ReconfigGuard,
+    trace: &[NetEvent<C, M>],
+    check_shadow_safety: bool,
+) -> Result<RefinementReport, NormalizeError> {
+    let steps = normalize(conf0, guard, trace)?;
+    let segments = segment_counts(&steps);
+    let mut checker = Checker::new(conf0.clone(), guard, segments.clone(), check_shadow_safety);
+    checker.report.atomic_groups = segments.values().filter(|c| **c == 1).count();
+    checker.report.split_groups = segments.values().filter(|c| **c > 1).count();
+    Ok(checker.run(&steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{random_trace, ScheduleParams};
+    use adore_schemes::SingleNode;
+
+    #[test]
+    fn refinement_holds_on_random_traces_with_sound_guard() {
+        let conf0 = SingleNode::new([1, 2, 3, 4]);
+        for seed in 0..25 {
+            let trace = random_trace(
+                &conf0,
+                ReconfigGuard::all(),
+                &ScheduleParams {
+                    steps: 150,
+                    ..ScheduleParams::default()
+                },
+                1,
+                seed,
+            );
+            let report = check_refinement(&conf0, ReconfigGuard::all(), &trace, true)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                report.is_clean(),
+                "seed {seed}: {:?}",
+                report.violations.first()
+            );
+            assert!(report.log_checks > 0);
+        }
+    }
+
+    #[test]
+    fn refinement_logmatch_holds_even_for_flawed_guards() {
+        // The simulation relation is guard-independent: the flawed no-R3
+        // variant refines the (equally flawed) ADORE configuration, with
+        // both going unsafe together; logMatch never breaks.
+        let conf0 = SingleNode::new([1, 2, 3, 4]);
+        let guard = ReconfigGuard::all().without_r3();
+        for seed in 0..15 {
+            let trace = random_trace(&conf0, guard, &ScheduleParams::default(), 1, seed);
+            let report = check_refinement(&conf0, guard, &trace, false)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                report.is_clean(),
+                "seed {seed}: {:?}",
+                report.violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn directed_scenario_maps_ops_one_to_one() {
+        let conf0 = SingleNode::new([1, 2, 3]);
+        let trace: Vec<NetEvent<SingleNode, u32>> = vec![
+            NetEvent::Elect { nid: NodeId(1) },
+            NetEvent::Deliver {
+                msg: MsgId(0),
+                to: NodeId(2),
+            },
+            NetEvent::Invoke {
+                nid: NodeId(1),
+                method: 7,
+            },
+            NetEvent::Commit { nid: NodeId(1) },
+            NetEvent::Deliver {
+                msg: MsgId(1),
+                to: NodeId(3),
+            },
+        ];
+        let report = check_refinement(&conf0, ReconfigGuard::all(), &trace, true).unwrap();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.pulls, 1);
+        assert_eq!(report.invokes, 1);
+        assert_eq!(report.pushes, 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Dynamic quorum sizes à la Vertical Paxos (§6, "Dynamic Quorum Sizes").
+//!
+//! The quorum size `q` is part of the configuration and may be tuned to
+//! trade reconfiguration agility against fault tolerance:
+//!
+//! ```text
+//! Config                  ≜ N * Set(N_nid)
+//! R1⁺((q,C), (q',C'))     ≜ (C ⊆ C' ∧ |C'| < q + q') ∨ (C' ⊆ C ∧ |C| < q + q')
+//! isQuorum(S, (q, C))     ≜ q ≤ |S ∩ C|
+//! ```
+//!
+//! Overlap follows from the pigeonhole principle: if the two quorum sizes
+//! together exceed the larger member set, any two quorums must share a node.
+//!
+//! **Soundness caveat (found by exhaustive validation):** the REFLEXIVE
+//! assumption instantiates the pigeonhole condition with `q + q`, so a
+//! configuration is only self-consistent when `2q > |C|`. A sub-majority
+//! quorum size (e.g. `q = 2` over four nodes) admits disjoint quorums of
+//! *itself*; the constructor therefore requires strict-majority-or-larger
+//! quorum sizes, which is also the regime Vertical Paxos operates in.
+
+use serde::{Deserialize, Serialize};
+
+use adore_core::{node_set, Configuration, NodeSet};
+
+/// A member set with an explicit quorum size.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{node_set, Configuration};
+/// use adore_schemes::DynamicQuorum;
+///
+/// // Five nodes with quorum size 4: up to three nodes may change at once.
+/// let big = DynamicQuorum::new(4, [1, 2, 3, 4, 5]);
+/// assert!(big.is_quorum(&node_set([1, 2, 3, 4])));
+/// assert!(!big.is_quorum(&node_set([1, 2, 3])));
+/// let shrunk = DynamicQuorum::new(2, [1, 2]);
+/// assert!(big.r1_plus(&shrunk)); // |{1..5}| = 5 < 4 + 2
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DynamicQuorum {
+    quorum_size: usize,
+    members: NodeSet,
+}
+
+impl DynamicQuorum {
+    /// Creates a configuration with quorum size `quorum_size` over the
+    /// given node numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `|members|/2 < quorum_size <= |members|`: sub-majority
+    /// quorum sizes admit disjoint quorums of the same configuration
+    /// (violating REFLEXIVE+OVERLAP), and oversized ones could never
+    /// commit.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = u32>>(quorum_size: usize, ids: I) -> Self {
+        let members = node_set(ids);
+        assert!(
+            2 * quorum_size > members.len() && quorum_size <= members.len(),
+            "quorum size must be within |members|/2+1..=|members|"
+        );
+        DynamicQuorum {
+            quorum_size,
+            members,
+        }
+    }
+
+    /// The configured quorum size.
+    #[must_use]
+    pub fn quorum_size(&self) -> usize {
+        self.quorum_size
+    }
+}
+
+impl Configuration for DynamicQuorum {
+    fn members(&self) -> NodeSet {
+        self.members.clone()
+    }
+
+    fn is_quorum(&self, s: &NodeSet) -> bool {
+        self.quorum_size <= s.intersection(&self.members).count()
+    }
+
+    fn r1_plus(&self, next: &Self) -> bool {
+        let sum = self.quorum_size + next.quorum_size;
+        (self.members.is_subset(&next.members) && next.members.len() < sum)
+            || (next.members.is_subset(&self.members) && self.members.len() < sum)
+    }
+}
+
+impl crate::space::ReconfigSpace for DynamicQuorum {
+    fn candidates(&self, universe: &NodeSet) -> Vec<Self> {
+        // Enumerate super- and subsets of the current members over the
+        // universe, with every quorum size that keeps R1⁺ satisfied.
+        let mut out = Vec::new();
+        let nodes: Vec<_> = universe.iter().copied().collect();
+        for mask in 1u64..(1 << nodes.len()) {
+            let members: NodeSet = nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n))
+                .collect();
+            if !(members.is_subset(&self.members) || self.members.is_subset(&members)) {
+                continue;
+            }
+            for q in (members.len() / 2 + 1)..=members.len() {
+                let cand = DynamicQuorum {
+                    quorum_size: q,
+                    members: members.clone(),
+                };
+                if cand != *self && self.r1_plus(&cand) {
+                    out.push(cand);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ReconfigSpace;
+    use adore_core::{check_overlap, check_reflexive};
+
+    #[test]
+    fn quorum_counts_member_intersection() {
+        let cf = DynamicQuorum::new(2, [1, 2, 3]);
+        assert!(cf.is_quorum(&node_set([1, 2])));
+        assert!(cf.is_quorum(&node_set([2, 3, 9])));
+        assert!(!cf.is_quorum(&node_set([3, 9])));
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum size must be within")]
+    fn sub_majority_quorum_is_rejected() {
+        // q = 2 over {1,2,3,4} admits the disjoint quorums {1,2} and {3,4}.
+        let _ = DynamicQuorum::new(2, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum size must be within")]
+    fn oversized_quorum_is_rejected() {
+        let _ = DynamicQuorum::new(3, [1, 2]);
+    }
+
+    #[test]
+    fn r1_plus_is_the_pigeonhole_condition() {
+        let five4 = DynamicQuorum::new(4, [1, 2, 3, 4, 5]);
+        assert!(check_reflexive(&five4));
+        // Shrinking to {1,2} with quorum 2: 5 < 4 + 2.
+        assert!(five4.r1_plus(&DynamicQuorum::new(2, [1, 2])));
+        // Growing to seven nodes with quorum 4: 7 < 4 + 4 holds.
+        assert!(five4.r1_plus(&DynamicQuorum::new(4, (1..=7).collect::<Vec<_>>())));
+        // But with quorum 5 of 9 members: 9 < 4 + 5 fails.
+        assert!(!five4.r1_plus(&DynamicQuorum::new(5, (1..=9).collect::<Vec<_>>())));
+        // Non-nested member sets are never related.
+        assert!(!five4.r1_plus(&DynamicQuorum::new(4, [2, 3, 4, 5, 6])));
+    }
+
+    #[test]
+    fn overlap_holds_exhaustively_over_small_universe() {
+        // All (q, members) configs over {1..4} and all supporter pairs.
+        let universe: Vec<u32> = (1..=4).collect();
+        let mut configs = Vec::new();
+        for mask in 1u64..16 {
+            let members: Vec<u32> = universe
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n))
+                .collect();
+            for q in (members.len() / 2 + 1)..=members.len() {
+                configs.push(DynamicQuorum::new(q, members.iter().copied()));
+            }
+        }
+        let subsets: Vec<NodeSet> = (0u64..16)
+            .map(|mask| {
+                node_set(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n)),
+                )
+            })
+            .collect();
+        for a in &configs {
+            for b in &configs {
+                for q in &subsets {
+                    for q2 in &subsets {
+                        assert!(
+                            check_overlap(a, b, q, q2),
+                            "overlap violated: {a:?} {b:?} {q:?} {q2:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_all_r1_related() {
+        let cf = DynamicQuorum::new(2, [1, 2, 3]);
+        let universe = node_set([1, 2, 3, 4]);
+        let cands = cf.candidates(&universe);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(cf.r1_plus(c), "candidate {c:?} not R1+-related");
+            assert_ne!(c, &cf);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Raft's joint consensus (§6, "Raft Joint Consensus").
+//!
+//! Arbitrary membership changes go through an intermediate *joint*
+//! configuration requiring majorities of **both** the old and new member
+//! sets:
+//!
+//! ```text
+//! Config        ≜ Set(N_nid) * Option(Set(N_nid))
+//! R1⁺(C, C')    ≜ (∃old. C = (old, ⊥) ∧ C' = (old, _)) ∨
+//!                 (∃new. C = (_, new) ∧ C' = (new, ⊥))
+//! isQuorum(S, (old, new)) ≜ |old| < 2·|S ∩ old| ∧
+//!                           (new = ⊥ ∨ |new| < 2·|S ∩ new|)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use adore_core::{node_set, Configuration, NodeSet};
+
+/// A (possibly joint) Raft configuration.
+///
+/// A *stable* configuration has only an `old` member set; a *joint*
+/// configuration additionally has the incoming `new` set and demands
+/// majorities of both.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{node_set, Configuration};
+/// use adore_schemes::Joint;
+///
+/// let stable = Joint::stable([1, 2, 3]);
+/// let joint = stable.enter_joint(node_set([3, 4, 5]));
+/// // The joint quorum needs majorities of BOTH {1,2,3} and {3,4,5}.
+/// assert!(joint.is_quorum(&node_set([1, 3, 4])));
+/// assert!(!joint.is_quorum(&node_set([1, 2, 3])));
+/// // Leaving the joint phase lands on the new stable configuration.
+/// assert!(joint.r1_plus(&Joint::stable([3, 4, 5])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Joint {
+    old: NodeSet,
+    new: Option<NodeSet>,
+}
+
+impl Joint {
+    /// A stable (non-joint) configuration over the given node numbers.
+    #[must_use]
+    pub fn stable<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        Joint {
+            old: node_set(ids),
+            new: None,
+        }
+    }
+
+    /// A stable configuration from an existing node set.
+    #[must_use]
+    pub fn stable_set(old: NodeSet) -> Self {
+        Joint { old, new: None }
+    }
+
+    /// The joint configuration transitioning from `self` (which must be
+    /// stable to be `R1⁺`-reachable) to `new`.
+    #[must_use]
+    pub fn enter_joint(&self, new: NodeSet) -> Self {
+        Joint {
+            old: self.old.clone(),
+            new: Some(new),
+        }
+    }
+
+    /// Whether this configuration is in the joint phase.
+    #[must_use]
+    pub fn is_joint(&self) -> bool {
+        self.new.is_some()
+    }
+
+    /// The stable configuration this joint phase transitions to, or `self`
+    /// if already stable.
+    #[must_use]
+    pub fn leave_joint(&self) -> Self {
+        match &self.new {
+            Some(new) => Joint {
+                old: new.clone(),
+                new: None,
+            },
+            None => self.clone(),
+        }
+    }
+
+    fn majority(set: &NodeSet, s: &NodeSet) -> bool {
+        set.len() < 2 * s.intersection(set).count()
+    }
+}
+
+impl Configuration for Joint {
+    fn members(&self) -> NodeSet {
+        let mut all = self.old.clone();
+        if let Some(new) = &self.new {
+            all.extend(new.iter().copied());
+        }
+        all
+    }
+
+    fn is_quorum(&self, s: &NodeSet) -> bool {
+        Self::majority(&self.old, s) && self.new.as_ref().is_none_or(|new| Self::majority(new, s))
+    }
+
+    fn r1_plus(&self, next: &Self) -> bool {
+        // Stable -> joint keeping the same old set,
+        // or joint -> its own stable successor,
+        // or no change at all (REFLEXIVE).
+        if self == next {
+            return true;
+        }
+        match (&self.new, &next.new) {
+            (None, Some(_)) => self.old == next.old,
+            (Some(new), None) => *new == next.old,
+            _ => false,
+        }
+    }
+}
+
+impl crate::space::ReconfigSpace for Joint {
+    fn candidates(&self, universe: &NodeSet) -> Vec<Self> {
+        match &self.new {
+            // From the joint phase, the only move is to the new stable set.
+            Some(_) => vec![self.leave_joint()],
+            // From a stable set, enter a joint phase toward any non-empty
+            // subset of the universe (bounded instances keep this small).
+            None => {
+                let nodes: Vec<_> = universe.iter().copied().collect();
+                let mut out = Vec::new();
+                for mask in 1u64..(1 << nodes.len()) {
+                    let new: NodeSet = nodes
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n))
+                        .collect();
+                    if new != self.old {
+                        out.push(self.enter_joint(new));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ReconfigSpace;
+    use adore_core::{check_overlap, check_reflexive};
+
+    #[test]
+    fn stable_quorum_is_plain_majority() {
+        let cf = Joint::stable([1, 2, 3]);
+        assert!(cf.is_quorum(&node_set([1, 2])));
+        assert!(!cf.is_quorum(&node_set([3])));
+        assert!(!cf.is_joint());
+    }
+
+    #[test]
+    fn joint_quorum_needs_both_majorities() {
+        let joint = Joint::stable([1, 2, 3]).enter_joint(node_set([4, 5, 6]));
+        assert!(joint.is_joint());
+        assert!(joint.is_quorum(&node_set([1, 2, 4, 5])));
+        assert!(!joint.is_quorum(&node_set([1, 2, 4])));
+        assert!(!joint.is_quorum(&node_set([4, 5, 6])));
+        assert_eq!(joint.members(), node_set([1, 2, 3, 4, 5, 6]));
+    }
+
+    #[test]
+    fn r1_plus_walks_stable_joint_stable() {
+        let old = Joint::stable([1, 2, 3]);
+        let joint = old.enter_joint(node_set([4, 5, 6]));
+        let new = Joint::stable([4, 5, 6]);
+        assert!(check_reflexive(&old));
+        assert!(check_reflexive(&joint));
+        assert!(old.r1_plus(&joint));
+        assert!(joint.r1_plus(&new));
+        // Skipping the joint phase is forbidden.
+        assert!(!old.r1_plus(&new));
+        // Entering a joint phase with a different old set is forbidden.
+        assert!(!old.r1_plus(&Joint::stable([1, 2]).enter_joint(node_set([4, 5, 6]))));
+    }
+
+    #[test]
+    fn overlap_holds_for_disjoint_membership_swap() {
+        // The most adversarial case: completely disjoint old/new sets.
+        let old = Joint::stable([1, 2, 3]);
+        let joint = old.enter_joint(node_set([4, 5, 6]));
+        let universe: Vec<u32> = (1..=6).collect();
+        let subsets: Vec<NodeSet> = (0u64..64)
+            .map(|mask| {
+                node_set(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n)),
+                )
+            })
+            .collect();
+        let new = Joint::stable([4, 5, 6]);
+        for q in &subsets {
+            for q2 in &subsets {
+                assert!(check_overlap(&old, &joint, q, q2));
+                assert!(check_overlap(&joint, &new, q, q2));
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_respect_the_phase_discipline() {
+        let stable = Joint::stable([1, 2]);
+        let universe = node_set([1, 2, 3]);
+        let from_stable = stable.candidates(&universe);
+        assert!(from_stable.iter().all(Joint::is_joint));
+        assert!(from_stable.iter().all(|c| stable.r1_plus(c)));
+        let joint = stable.enter_joint(node_set([2, 3]));
+        assert_eq!(joint.candidates(&universe), vec![Joint::stable([2, 3])]);
+    }
+}

@@ -1,0 +1,238 @@
+//! A managed primary *set* with free passive backups — the composition §6
+//! suggests to fix primary-backup's availability problem:
+//!
+//! > "A more reliable alternative is to use one of the previous approaches
+//! > to manage a set of primaries that can be replaced as needed.
+//! > Primaries can then be replaced one at a time, and passive backups can
+//! > still be freely added or removed."
+//!
+//! Quorums are majorities **of the primary set**; `R1⁺` lets the primary
+//! set change by at most one node (the single-node rule) while the backup
+//! set changes arbitrarily. OVERLAP reduces to single-node majority
+//! overlap on the primaries; backups never vote.
+
+use serde::{Deserialize, Serialize};
+
+use adore_core::{node_set, Configuration, NodeSet};
+
+/// A majority-managed primary set plus freely changeable passive backups.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{node_set, Configuration};
+/// use adore_schemes::ManagedPrimary;
+///
+/// let cf = ManagedPrimary::new([1, 2, 3], [4, 5]);
+/// // A majority of the primaries is a quorum; backups never count.
+/// assert!(cf.is_quorum(&node_set([1, 2])));
+/// assert!(!cf.is_quorum(&node_set([3, 4, 5])));
+/// // One primary may be replaced per step while backups swap wholesale.
+/// assert!(cf.r1_plus(&ManagedPrimary::new([1, 2, 3, 4], [6, 7, 8])));
+/// assert!(!cf.r1_plus(&ManagedPrimary::new([4, 5, 6], [])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ManagedPrimary {
+    primaries: NodeSet,
+    backups: NodeSet,
+}
+
+impl ManagedPrimary {
+    /// Creates a configuration from primary and backup node numbers; a
+    /// node listed in both is a primary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the primary set is empty (no quorums could ever form).
+    #[must_use]
+    pub fn new<I, J>(primaries: I, backups: J) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+        J: IntoIterator<Item = u32>,
+    {
+        let primaries = node_set(primaries);
+        assert!(!primaries.is_empty(), "the primary set must be non-empty");
+        let backups = node_set(backups).difference(&primaries).copied().collect();
+        ManagedPrimary { primaries, backups }
+    }
+
+    /// The active primary set.
+    #[must_use]
+    pub fn primaries(&self) -> &NodeSet {
+        &self.primaries
+    }
+
+    /// The passive backups (disjoint from the primaries).
+    #[must_use]
+    pub fn backups(&self) -> &NodeSet {
+        &self.backups
+    }
+
+    fn primaries_differ_by_at_most_one(&self, next: &Self) -> bool {
+        let added = next.primaries.difference(&self.primaries).count();
+        let removed = self.primaries.difference(&next.primaries).count();
+        added + removed <= 1
+    }
+}
+
+impl Configuration for ManagedPrimary {
+    fn members(&self) -> NodeSet {
+        self.primaries.union(&self.backups).copied().collect()
+    }
+
+    fn is_quorum(&self, s: &NodeSet) -> bool {
+        self.primaries.len() < 2 * s.intersection(&self.primaries).count()
+    }
+
+    fn r1_plus(&self, next: &Self) -> bool {
+        self.primaries_differ_by_at_most_one(next)
+    }
+}
+
+impl crate::space::ReconfigSpace for ManagedPrimary {
+    fn candidates(&self, universe: &NodeSet) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Primary changes: add or remove one (never emptying the set); the
+        // backups pick up/release the moved node.
+        for &n in universe {
+            if self.primaries.contains(&n) {
+                if self.primaries.len() > 1 {
+                    let mut p = self.primaries.clone();
+                    p.remove(&n);
+                    let mut b = self.backups.clone();
+                    b.insert(n);
+                    out.push(ManagedPrimary {
+                        primaries: p,
+                        backups: b,
+                    });
+                }
+            } else {
+                let mut p = self.primaries.clone();
+                p.insert(n);
+                let mut b = self.backups.clone();
+                b.remove(&n);
+                out.push(ManagedPrimary {
+                    primaries: p,
+                    backups: b,
+                });
+            }
+        }
+        // One representative backup-set change (full swap to the remaining
+        // universe); arbitrary backup changes are all R1⁺-admissible, so a
+        // single representative keeps model-checking branching bounded.
+        let swapped: NodeSet = universe
+            .difference(&self.primaries)
+            .copied()
+            .filter(|n| !self.backups.contains(n))
+            .collect();
+        if swapped != self.backups {
+            out.push(ManagedPrimary {
+                primaries: self.primaries.clone(),
+                backups: swapped,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ReconfigSpace;
+    use adore_core::{check_overlap, check_reflexive};
+
+    #[test]
+    fn quorums_are_primary_majorities() {
+        let cf = ManagedPrimary::new([1, 2, 3], [4, 5, 6]);
+        assert!(cf.is_quorum(&node_set([1, 2])));
+        assert!(cf.is_quorum(&node_set([2, 3, 4])));
+        assert!(!cf.is_quorum(&node_set([1, 4, 5, 6])));
+    }
+
+    #[test]
+    fn constructor_keeps_sets_disjoint_and_primaries_nonempty() {
+        let cf = ManagedPrimary::new([1, 2], [2, 3]);
+        assert_eq!(cf.primaries(), &node_set([1, 2]));
+        assert_eq!(cf.backups(), &node_set([3]));
+        assert_eq!(cf.members(), node_set([1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "primary set must be non-empty")]
+    fn empty_primary_set_is_rejected() {
+        let _ = ManagedPrimary::new([], [1, 2]);
+    }
+
+    #[test]
+    fn r1_plus_bounds_primary_churn_only() {
+        let cf = ManagedPrimary::new([1, 2, 3], [4]);
+        assert!(check_reflexive(&cf));
+        // Backups swap freely.
+        assert!(cf.r1_plus(&ManagedPrimary::new([1, 2, 3], [7, 8, 9])));
+        // Promote a backup (primary set +1).
+        assert!(cf.r1_plus(&ManagedPrimary::new([1, 2, 3, 4], [])));
+        // Demote a primary (primary set -1).
+        assert!(cf.r1_plus(&ManagedPrimary::new([1, 2], [3, 4])));
+        // Replacing a primary is two changes: rejected.
+        assert!(!cf.r1_plus(&ManagedPrimary::new([1, 2, 4], [3])));
+    }
+
+    #[test]
+    fn overlap_holds_exhaustively_over_small_universe() {
+        // All (primaries, backups) splits over {1..4}, all supporter pairs.
+        let universe: Vec<u32> = (1..=4).collect();
+        let mut configs = Vec::new();
+        for p_mask in 1u64..16 {
+            for b_mask in 0u64..16 {
+                if p_mask & b_mask != 0 {
+                    continue;
+                }
+                let prim: Vec<u32> = universe
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &n)| (p_mask & (1 << i) != 0).then_some(n))
+                    .collect();
+                let back: Vec<u32> = universe
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &n)| (b_mask & (1 << i) != 0).then_some(n))
+                    .collect();
+                configs.push(ManagedPrimary::new(prim, back));
+            }
+        }
+        let subsets: Vec<NodeSet> = (0u64..16)
+            .map(|mask| {
+                node_set(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n)),
+                )
+            })
+            .collect();
+        for a in &configs {
+            for b in &configs {
+                for q in &subsets {
+                    for q2 in &subsets {
+                        assert!(
+                            check_overlap(a, b, q, q2),
+                            "overlap violated: {a:?} {b:?} {q:?} {q2:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_preserve_r1_and_nonempty_primaries() {
+        let cf = ManagedPrimary::new([1, 2], [3]);
+        let universe = node_set([1, 2, 3, 4]);
+        let cands = cf.candidates(&universe);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(cf.r1_plus(c), "{c:?}");
+            assert!(!c.primaries().is_empty());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Primary-backup replication (§6, "Primary Backup").
+//!
+//! One distinguished replica (the primary) must acknowledge every election
+//! and commit; passive backups may be added and removed arbitrarily:
+//!
+//! ```text
+//! Config               ≜ N_nid * Set(N_nid)
+//! R1⁺((P, _), (P', _)) ≜ P = P'
+//! isQuorum(S, (P, _))  ≜ P ∈ S
+//! ```
+//!
+//! All quorums contain the primary, so they trivially intersect. The cost is
+//! availability: a crashed primary blocks all progress (the paper suggests
+//! layering a majority-managed primary *set* on top; see
+//! [`crate::DynamicQuorum`] for such a building block).
+
+use serde::{Deserialize, Serialize};
+
+use adore_core::{node_set, Configuration, NodeId, NodeSet};
+
+/// A primary plus a freely changeable set of passive backups.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{node_set, Configuration, NodeId};
+/// use adore_schemes::PrimaryBackup;
+///
+/// let cf = PrimaryBackup::new(1, [2, 3]);
+/// assert!(cf.is_quorum(&node_set([1])));       // primary alone suffices
+/// assert!(!cf.is_quorum(&node_set([2, 3])));   // backups alone never do
+/// // Backups may change arbitrarily in one step.
+/// assert!(cf.r1_plus(&PrimaryBackup::new(1, [4, 5, 6])));
+/// assert!(!cf.r1_plus(&PrimaryBackup::new(2, [1, 3])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PrimaryBackup {
+    primary: NodeId,
+    backups: NodeSet,
+}
+
+impl PrimaryBackup {
+    /// Creates a configuration with the given primary and backup numbers.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = u32>>(primary: u32, backups: I) -> Self {
+        let mut backups = node_set(backups);
+        backups.remove(&NodeId(primary));
+        PrimaryBackup {
+            primary: NodeId(primary),
+            backups,
+        }
+    }
+
+    /// The primary replica.
+    #[must_use]
+    pub fn primary(&self) -> NodeId {
+        self.primary
+    }
+
+    /// The passive backups (never containing the primary).
+    #[must_use]
+    pub fn backups(&self) -> &NodeSet {
+        &self.backups
+    }
+}
+
+impl Configuration for PrimaryBackup {
+    fn members(&self) -> NodeSet {
+        let mut all = self.backups.clone();
+        all.insert(self.primary);
+        all
+    }
+
+    fn is_quorum(&self, s: &NodeSet) -> bool {
+        s.contains(&self.primary)
+    }
+
+    fn r1_plus(&self, next: &Self) -> bool {
+        self.primary == next.primary
+    }
+}
+
+impl crate::space::ReconfigSpace for PrimaryBackup {
+    fn candidates(&self, universe: &NodeSet) -> Vec<Self> {
+        // Any backup set over the universe (minus the primary) is reachable
+        // in one step; enumerate them all for bounded instances.
+        let pool: Vec<NodeId> = universe
+            .iter()
+            .copied()
+            .filter(|n| *n != self.primary)
+            .collect();
+        let mut out = Vec::new();
+        for mask in 0u64..(1 << pool.len()) {
+            let backups: NodeSet = pool
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n))
+                .collect();
+            if backups != self.backups {
+                out.push(PrimaryBackup {
+                    primary: self.primary,
+                    backups,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ReconfigSpace;
+    use adore_core::{check_overlap, check_reflexive};
+
+    #[test]
+    fn primary_is_in_every_quorum() {
+        let cf = PrimaryBackup::new(1, [2, 3]);
+        assert!(cf.is_quorum(&node_set([1, 2, 3])));
+        assert!(cf.is_quorum(&node_set([1])));
+        assert!(!cf.is_quorum(&node_set([2])));
+    }
+
+    #[test]
+    fn constructor_strips_primary_from_backups() {
+        let cf = PrimaryBackup::new(1, [1, 2]);
+        assert_eq!(cf.backups(), &node_set([2]));
+        assert_eq!(cf.members(), node_set([1, 2]));
+    }
+
+    #[test]
+    fn overlap_holds_because_quorums_share_the_primary() {
+        let a = PrimaryBackup::new(1, [2, 3]);
+        let b = PrimaryBackup::new(1, [4, 5]);
+        assert!(check_reflexive(&a));
+        assert!(a.r1_plus(&b));
+        let universe: Vec<u32> = (1..=5).collect();
+        for mask_q in 0u64..32 {
+            for mask_q2 in 0u64..32 {
+                let q = node_set(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask_q & (1 << i) != 0).then_some(n)),
+                );
+                let q2 = node_set(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask_q2 & (1 << i) != 0).then_some(n)),
+                );
+                assert!(check_overlap(&a, &b, &q, &q2));
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_keep_the_primary_fixed() {
+        let cf = PrimaryBackup::new(1, [2]);
+        let universe = node_set([1, 2, 3]);
+        for c in cf.candidates(&universe) {
+            assert_eq!(c.primary(), NodeId(1));
+            assert!(cf.r1_plus(&c));
+        }
+        // {}, {3}, {2,3} — everything except the current {2}.
+        assert_eq!(cf.candidates(&universe).len(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Raft's single-node membership change (§6, "Raft Single-Node").
+//!
+//! ```text
+//! Config        ≜ Set(N_nid)
+//! R1⁺(C, C')    ≜ C = C' ∨ ∃s. C = C' ∪ {s} ∨ C' = C ∪ {s}
+//! isQuorum(S,C) ≜ |C| < 2·|S ∩ C|
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use adore_core::{node_set, Configuration, NodeId, NodeSet};
+
+/// Majority quorums over a member set that may change by at most one node
+/// per reconfiguration.
+///
+/// # Examples
+///
+/// ```
+/// use adore_schemes::SingleNode;
+/// use adore_core::Configuration;
+///
+/// let four = SingleNode::new([1, 2, 3, 4]);
+/// let three = SingleNode::new([1, 2, 3]);
+/// assert!(four.r1_plus(&three));          // remove one
+/// assert!(three.r1_plus(&four));          // add one
+/// assert!(!four.r1_plus(&SingleNode::new([1, 2]))); // two at once: no
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SingleNode {
+    members: NodeSet,
+}
+
+impl SingleNode {
+    /// Creates a configuration over the given node numbers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_schemes::SingleNode;
+    /// use adore_core::Configuration;
+    /// assert_eq!(SingleNode::new([1, 2, 3]).members().len(), 3);
+    /// ```
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = u32>>(ids: I) -> Self {
+        SingleNode {
+            members: node_set(ids),
+        }
+    }
+
+    /// Creates a configuration from an existing node set.
+    #[must_use]
+    pub fn from_set(members: NodeSet) -> Self {
+        SingleNode { members }
+    }
+
+    /// The configuration with `node` added.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::NodeId;
+    /// use adore_schemes::SingleNode;
+    /// let cf = SingleNode::new([1, 2]).with(NodeId(3));
+    /// assert_eq!(cf, SingleNode::new([1, 2, 3]));
+    /// ```
+    #[must_use]
+    pub fn with(&self, node: NodeId) -> Self {
+        let mut members = self.members.clone();
+        members.insert(node);
+        SingleNode { members }
+    }
+
+    /// The configuration with `node` removed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adore_core::NodeId;
+    /// use adore_schemes::SingleNode;
+    /// let cf = SingleNode::new([1, 2, 3]).without(NodeId(3));
+    /// assert_eq!(cf, SingleNode::new([1, 2]));
+    /// ```
+    #[must_use]
+    pub fn without(&self, node: NodeId) -> Self {
+        let mut members = self.members.clone();
+        members.remove(&node);
+        SingleNode { members }
+    }
+}
+
+impl Configuration for SingleNode {
+    fn members(&self) -> NodeSet {
+        self.members.clone()
+    }
+
+    fn is_quorum(&self, s: &NodeSet) -> bool {
+        self.members.len() < 2 * s.intersection(&self.members).count()
+    }
+
+    fn r1_plus(&self, next: &Self) -> bool {
+        let added = next.members.difference(&self.members).count();
+        let removed = self.members.difference(&next.members).count();
+        added + removed <= 1
+    }
+}
+
+impl crate::space::ReconfigSpace for SingleNode {
+    fn candidates(&self, universe: &NodeSet) -> Vec<Self> {
+        let mut out = Vec::new();
+        for &n in universe {
+            if self.members.contains(&n) {
+                // Never shrink to an empty configuration.
+                if self.members.len() > 1 {
+                    out.push(self.without(n));
+                }
+            } else {
+                out.push(self.with(n));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ReconfigSpace;
+    use adore_core::{check_overlap, check_reflexive};
+
+    #[test]
+    fn quorum_is_strict_majority_of_members() {
+        let cf = SingleNode::new([1, 2, 3, 4, 5]);
+        assert!(!cf.is_quorum(&node_set([1, 2])));
+        assert!(cf.is_quorum(&node_set([1, 2, 3])));
+        // Outsiders don't count.
+        assert!(!cf.is_quorum(&node_set([6, 7, 8])));
+        assert!(cf.is_quorum(&node_set([1, 2, 3, 9])));
+    }
+
+    #[test]
+    fn r1_plus_allows_at_most_one_change() {
+        let cf = SingleNode::new([1, 2, 3]);
+        assert!(check_reflexive(&cf));
+        assert!(cf.r1_plus(&cf.with(NodeId(4))));
+        assert!(cf.r1_plus(&cf.without(NodeId(3))));
+        // Replacement = one add + one remove: rejected.
+        assert!(!cf.r1_plus(&SingleNode::new([1, 2, 4])));
+    }
+
+    #[test]
+    fn overlap_holds_exhaustively_over_five_node_universe() {
+        // Every R1+-related pair of configs over {1..5}, every quorum pair.
+        let universe: Vec<u32> = (1..=5).collect();
+        let configs: Vec<SingleNode> = (1u32..32)
+            .map(|mask| {
+                SingleNode::new(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n)),
+                )
+            })
+            .collect();
+        let subsets: Vec<NodeSet> = (0u32..32)
+            .map(|mask| {
+                node_set(
+                    universe
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n)),
+                )
+            })
+            .collect();
+        for a in &configs {
+            for b in &configs {
+                for q in &subsets {
+                    for q2 in &subsets {
+                        assert!(
+                            check_overlap(a, b, q, q2),
+                            "overlap violated: {a:?} {b:?} {q:?} {q2:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_change_one_node_and_keep_nonempty() {
+        let cf = SingleNode::new([1, 2]);
+        let universe = node_set([1, 2, 3]);
+        let cands = cf.candidates(&universe);
+        assert!(cands.contains(&SingleNode::new([1, 2, 3])));
+        assert!(cands.contains(&SingleNode::new([1])));
+        assert!(cands.contains(&SingleNode::new([2])));
+        assert_eq!(cands.len(), 3);
+        // A singleton never proposes emptiness.
+        let single = SingleNode::new([1]);
+        assert!(!single
+            .candidates(&universe)
+            .iter()
+            .any(|c| c.members().is_empty()));
+        // All candidates are R1+-related.
+        for c in cf.candidates(&universe) {
+            assert!(cf.r1_plus(&c));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Reconfiguration candidate spaces for model checking.
+
+use adore_core::{Configuration, NodeSet};
+
+/// A [`Configuration`] whose one-step reconfiguration successors can be
+/// enumerated over a bounded node universe.
+///
+/// The model checker uses this to know *which* `reconfig` operations to try
+/// from a given state; every candidate must satisfy `self.r1_plus(&c)` so
+/// that the `R1⁺` guard never filters the whole set (implementations are
+/// tested for this).
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{node_set, Configuration};
+/// use adore_schemes::{ReconfigSpace, SingleNode};
+///
+/// let cf = SingleNode::new([1, 2, 3]);
+/// for cand in cf.candidates(&node_set([1, 2, 3, 4])) {
+///     assert!(cf.r1_plus(&cand));
+/// }
+/// ```
+pub trait ReconfigSpace: Configuration {
+    /// The configurations directly reachable from `self` by one
+    /// reconfiguration, drawn from `universe`.
+    fn candidates(&self, universe: &NodeSet) -> Vec<Self>;
+}

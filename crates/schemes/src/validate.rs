@@ -1,0 +1,188 @@
+//! Exhaustive validation of the REFLEXIVE and OVERLAP assumptions (Fig. 7).
+//!
+//! ADORE's safety theorem is conditional on the scheme satisfying these two
+//! assumptions; the paper discharges them in ~200 lines of Coq per scheme.
+//! Here they are *checked exhaustively* over bounded universes: every
+//! configuration pair related by `R1⁺` and every pair of supporter subsets
+//! of the combined membership. This is the engine behind the `schemes_table`
+//! experiment (E4 in `DESIGN.md`).
+
+use adore_core::{Configuration, NodeSet};
+
+/// Outcome of [`validate`]: work done plus any falsifying instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Number of configurations examined.
+    pub configs: usize,
+    /// Number of `R1⁺`-related ordered configuration pairs.
+    pub related_pairs: usize,
+    /// Number of `(pair, quorum, quorum)` OVERLAP instances checked.
+    pub overlap_instances: u64,
+    /// Configurations falsifying REFLEXIVE (as debug strings).
+    pub reflexive_failures: Vec<String>,
+    /// `(cf, cf2, q, q2)` instances falsifying OVERLAP (as debug strings).
+    pub overlap_failures: Vec<String>,
+}
+
+impl ValidationReport {
+    /// Whether both assumptions held on every checked instance.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.reflexive_failures.is_empty() && self.overlap_failures.is_empty()
+    }
+}
+
+fn subsets(universe: &NodeSet) -> Vec<NodeSet> {
+    let nodes: Vec<_> = universe.iter().copied().collect();
+    assert!(nodes.len() <= 20, "universe too large to enumerate");
+    (0u64..(1 << nodes.len()))
+        .map(|mask| {
+            nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &n)| (mask & (1 << i) != 0).then_some(n))
+                .collect()
+        })
+        .collect()
+}
+
+/// Exhaustively validates REFLEXIVE and OVERLAP over the given
+/// configuration population.
+///
+/// For every ordered pair `(cf, cf2)` with `cf.r1_plus(&cf2)`, every pair of
+/// subsets of `members(cf) ∪ members(cf2)` is tested: if both are quorums of
+/// their respective configurations they must intersect.
+///
+/// # Panics
+///
+/// Panics if a combined membership exceeds 20 nodes (2^20 subsets), which
+/// is far beyond any sensible exhaustive instance.
+///
+/// # Examples
+///
+/// ```
+/// use adore_schemes::{validate, SingleNode};
+/// let configs = vec![SingleNode::new([1, 2, 3]), SingleNode::new([1, 2])];
+/// let report = validate(&configs);
+/// assert!(report.is_valid());
+/// assert_eq!(report.configs, 2);
+/// ```
+#[must_use]
+pub fn validate<C: Configuration>(configs: &[C]) -> ValidationReport {
+    let mut report = ValidationReport {
+        configs: configs.len(),
+        related_pairs: 0,
+        overlap_instances: 0,
+        reflexive_failures: Vec::new(),
+        overlap_failures: Vec::new(),
+    };
+    for cf in configs {
+        if !cf.r1_plus(cf) {
+            report.reflexive_failures.push(format!("{cf:?}"));
+        }
+    }
+    for cf in configs {
+        for cf2 in configs {
+            if !cf.r1_plus(cf2) {
+                continue;
+            }
+            report.related_pairs += 1;
+            let mut universe = cf.members();
+            universe.extend(cf2.members());
+            let all_subsets = subsets(&universe);
+            for q in &all_subsets {
+                if !cf.is_quorum(q) {
+                    continue;
+                }
+                for q2 in &all_subsets {
+                    report.overlap_instances += 1;
+                    if cf2.is_quorum(q2) && q.intersection(q2).next().is_none() {
+                        report
+                            .overlap_failures
+                            .push(format!("{cf:?} / {cf2:?}: {q:?} ∩ {q2:?} = ∅"));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// All subset-based configurations over `universe`, for schemes whose
+/// population is the powerset of a node universe.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::node_set;
+/// use adore_schemes::{powerset_configs, SingleNode};
+/// let configs = powerset_configs(&node_set([1, 2]), SingleNode::from_set);
+/// assert_eq!(configs.len(), 3); // {1}, {2}, {1,2}
+/// ```
+#[must_use]
+pub fn powerset_configs<C>(universe: &NodeSet, make: impl Fn(NodeSet) -> C) -> Vec<C> {
+    subsets(universe)
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .map(make)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SingleNode;
+    use adore_core::{node_set, NodeId};
+
+    /// A deliberately broken scheme: quorums are any non-empty set.
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct AnyQuorum(NodeSet);
+
+    impl Configuration for AnyQuorum {
+        fn members(&self) -> NodeSet {
+            self.0.clone()
+        }
+        fn is_quorum(&self, s: &NodeSet) -> bool {
+            s.iter().any(|n| self.0.contains(n))
+        }
+        fn r1_plus(&self, _next: &Self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn valid_scheme_passes() {
+        let configs = powerset_configs(&node_set([1, 2, 3, 4]), SingleNode::from_set);
+        let report = validate(&configs);
+        assert!(report.is_valid(), "{report:?}");
+        assert!(report.related_pairs > 0);
+        assert!(report.overlap_instances > 0);
+    }
+
+    #[test]
+    fn broken_scheme_is_caught() {
+        let configs = vec![AnyQuorum(node_set([1, 2]))];
+        let report = validate(&configs);
+        assert!(!report.is_valid());
+        assert!(!report.overlap_failures.is_empty());
+    }
+
+    #[test]
+    fn broken_reflexivity_is_caught() {
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        struct NeverRelated;
+        impl Configuration for NeverRelated {
+            fn members(&self) -> NodeSet {
+                node_set([1])
+            }
+            fn is_quorum(&self, s: &NodeSet) -> bool {
+                s.contains(&NodeId(1))
+            }
+            fn r1_plus(&self, _next: &Self) -> bool {
+                false
+            }
+        }
+        let report = validate(&[NeverRelated]);
+        assert_eq!(report.reflexive_failures.len(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Weighted majority quorums (one of the "two other" schemes of §7).
+//!
+//! Each member carries a voting weight; a quorum is any set whose member
+//! weights sum past half the total. `R1⁺` is equality (a static scheme):
+//! two strict weighted majorities of the same weight assignment must share
+//! a member by a pigeonhole argument on weights, so OVERLAP holds without
+//! any constraint beyond REFLEXIVE.
+//!
+//! This instantiation demonstrates that ADORE's quorum parameter need not
+//! be cardinality-based at all.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use adore_core::{Configuration, NodeId, NodeSet};
+
+/// Static membership with per-node voting weights and strict-majority-of-
+/// weight quorums.
+///
+/// # Examples
+///
+/// ```
+/// use adore_core::{node_set, Configuration};
+/// use adore_schemes::WeightedMajority;
+///
+/// // One heavy node (weight 3) and three light ones (weight 1 each).
+/// let cf = WeightedMajority::new([(1, 3), (2, 1), (3, 1), (4, 1)]);
+/// // The heavy node plus any light one passes 3 + 1 > 6/2.
+/// assert!(cf.is_quorum(&node_set([1, 2])));
+/// // All light nodes together only reach 3, not > 3.
+/// assert!(!cf.is_quorum(&node_set([2, 3, 4])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WeightedMajority {
+    weights: BTreeMap<NodeId, u64>,
+}
+
+impl WeightedMajority {
+    /// Creates a configuration from `(node, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is zero — zero-weight members could never
+    /// matter and would bloat the member set.
+    #[must_use]
+    pub fn new<I: IntoIterator<Item = (u32, u64)>>(weights: I) -> Self {
+        let weights: BTreeMap<NodeId, u64> =
+            weights.into_iter().map(|(n, w)| (NodeId(n), w)).collect();
+        assert!(weights.values().all(|w| *w > 0), "weights must be positive");
+        WeightedMajority { weights }
+    }
+
+    /// The weight of `node`, or zero for non-members.
+    #[must_use]
+    pub fn weight(&self, node: NodeId) -> u64 {
+        self.weights.get(&node).copied().unwrap_or(0)
+    }
+
+    /// The total weight of all members.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.weights.values().sum()
+    }
+}
+
+impl Configuration for WeightedMajority {
+    fn members(&self) -> NodeSet {
+        self.weights.keys().copied().collect()
+    }
+
+    fn is_quorum(&self, s: &NodeSet) -> bool {
+        let weight: u64 = s.iter().map(|n| self.weight(*n)).sum();
+        2 * weight > self.total_weight()
+    }
+
+    fn r1_plus(&self, next: &Self) -> bool {
+        self == next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adore_core::{check_overlap, check_reflexive, node_set};
+
+    #[test]
+    fn quorum_weighs_members_only() {
+        let cf = WeightedMajority::new([(1, 2), (2, 1), (3, 1)]);
+        assert!(cf.is_quorum(&node_set([1, 2])));
+        assert!(!cf.is_quorum(&node_set([2, 3])));
+        // Outsiders carry zero weight.
+        assert!(!cf.is_quorum(&node_set([9, 10, 11])));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weights_are_rejected() {
+        let _ = WeightedMajority::new([(1, 0)]);
+    }
+
+    #[test]
+    fn heavy_node_can_dominate() {
+        let cf = WeightedMajority::new([(1, 10), (2, 1), (3, 1)]);
+        assert!(cf.is_quorum(&node_set([1])));
+    }
+
+    #[test]
+    fn overlap_holds_exhaustively_for_small_weightings() {
+        // All weight assignments over {1,2,3} with weights in 1..=3.
+        for w1 in 1..=3u64 {
+            for w2 in 1..=3u64 {
+                for w3 in 1..=3u64 {
+                    let cf = WeightedMajority::new([(1, w1), (2, w2), (3, w3)]);
+                    assert!(check_reflexive(&cf));
+                    for mask_q in 0u64..8 {
+                        for mask_q2 in 0u64..8 {
+                            let q = node_set((1..=3u32).filter(|n| mask_q & (1 << (n - 1)) != 0));
+                            let q2 = node_set((1..=3u32).filter(|n| mask_q2 & (1 << (n - 1)) != 0));
+                            assert!(check_overlap(&cf, &cf, &q, &q2));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

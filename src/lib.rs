@@ -1,0 +1,45 @@
+//! **Adore-rs** — atomic distributed objects with certified
+//! reconfiguration: an executable, from-scratch Rust reproduction of
+//! *"Adore: Atomic Distributed Objects with Certified Reconfiguration"*
+//! (Honoré, Shin, Kim, Shao — PLDI 2022).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `adore-core` | the ADORE model: cache tree, `pull`/`invoke`/`reconfig`/`push`, R1⁺/R2/R3 guards, safety invariants, CADO |
+//! | [`tree`] | `adore-tree` | the append-only cache-tree substrate |
+//! | [`schemes`] | `adore-schemes` | six reconfiguration-scheme instantiations + exhaustive REFLEXIVE/OVERLAP validation |
+//! | [`ado`] | `adore-ado` | the original ADO model (persistent log + cache tree, Appendix D) |
+//! | [`raft`] | `adore-raft` | network-based Raft, SRaft trace normalization, executable refinement to ADORE |
+//! | [`checker`] | `adore-checker` | bounded-exhaustive model checker, random walker, scripted scenarios (incl. the Fig. 4 bug) |
+//! | [`kv`] | `adore-kv` | replicated key-value store on a simulated cluster (the Fig. 16 workload) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adore::core::majority::Majority;
+//! use adore::core::{invariants, node_set, AdoreState, NodeId, PullDecision, PushDecision, Timestamp};
+//!
+//! let mut st: AdoreState<Majority, &str> = AdoreState::new(Majority::new([1, 2, 3]));
+//! st.pull(NodeId(1), &PullDecision::Ok { supporters: node_set([1, 2]), time: Timestamp(1) })?;
+//! let m = st.invoke(NodeId(1), "put(a, 1)").applied().unwrap();
+//! st.push(NodeId(1), &PushDecision::Ok { supporters: node_set([1, 3]), target: m })?;
+//! assert!(invariants::check_all(&st).is_empty());
+//! # Ok::<(), adore::core::OracleError>(())
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! results; the `examples/` directory contains runnable walkthroughs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use adore_ado as ado;
+pub use adore_checker as checker;
+pub use adore_core as core;
+pub use adore_kv as kv;
+pub use adore_raft as raft;
+pub use adore_schemes as schemes;
+pub use adore_tree as tree;

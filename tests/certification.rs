@@ -1,0 +1,114 @@
+//! The certification campaign: the heavyweight runs behind the repo's
+//! "executable certification" claim, sized so the default suite stays
+//! fast. The `#[ignore]`d tests are the deep versions reported in
+//! `EXPERIMENTS.md`; run them with:
+//!
+//! ```sh
+//! cargo test --release --test certification -- --ignored
+//! ```
+
+use adore::checker::{explore, random_walk, ExploreParams, InvariantSuite, WalkParams};
+use adore::core::ReconfigGuard;
+use adore::raft::{check_refinement, random_trace, ScheduleParams};
+use adore::schemes::{Joint, ManagedPrimary, PrimaryBackup, ReconfigSpace, SingleNode};
+
+/// Fast certification: every scheme's transition system explored
+/// exhaustively to depth 3 with the full invariant suite.
+#[test]
+fn quick_exhaustive_certification_across_schemes() {
+    let params = ExploreParams {
+        max_depth: 3,
+        spare_nodes: 1,
+        suite: InvariantSuite::Full,
+        ..ExploreParams::default()
+    };
+    assert!(explore(&SingleNode::new([1, 2, 3]), &params).is_safe());
+    assert!(explore(&Joint::stable([1, 2]), &params).is_safe());
+    assert!(explore(&PrimaryBackup::new(1, [2, 3]), &params).is_safe());
+    assert!(explore(&ManagedPrimary::new([1, 2], [3]), &params).is_safe());
+}
+
+/// Deep campaign: exhaustive to depth 5 on three nodes plus a spare —
+/// ~215k states under the full invariant suite (reported in
+/// `EXPERIMENTS.md`).
+#[test]
+#[ignore = "deep campaign: run with --release -- --ignored"]
+fn deep_exhaustive_certification_single_node() {
+    let params = ExploreParams {
+        max_depth: 5,
+        max_states: 5_000_000,
+        spare_nodes: 1,
+        suite: InvariantSuite::Full,
+        ..ExploreParams::default()
+    };
+    let report = explore(&SingleNode::new([1, 2, 3]), &params);
+    assert!(report.is_safe(), "{:?}", report.violation);
+    assert!(!report.truncated);
+    assert!(report.states > 100_000, "{} states", report.states);
+}
+
+/// Deep campaign: half a million random walk operations with the full
+/// invariant suite, across guards — only the sound one stays clean.
+#[test]
+#[ignore = "deep campaign: run with --release -- --ignored"]
+fn deep_random_walk_certification() {
+    let sound = random_walk(
+        &SingleNode::new([1, 2, 3, 4]),
+        &WalkParams {
+            walks: 2_000,
+            steps_per_walk: 50,
+            explore: ExploreParams {
+                suite: InvariantSuite::Full,
+                spare_nodes: 1,
+                ..ExploreParams::default()
+            },
+        },
+        2026,
+    );
+    assert!(sound.is_safe(), "{:?}", sound.violation);
+    assert!(sound.ops_applied > 50_000);
+
+    let flawed = random_walk(
+        &SingleNode::new([1, 2, 3, 4]),
+        &WalkParams {
+            walks: 2_000,
+            steps_per_walk: 50,
+            explore: ExploreParams {
+                guard: ReconfigGuard::all().without_r3(),
+                suite: InvariantSuite::SafetyOnly,
+                spare_nodes: 0,
+                ..ExploreParams::default()
+            },
+        },
+        2026,
+    );
+    assert!(flawed.violation.is_some(), "flawed guard must be caught");
+}
+
+/// Deep campaign: 500 adversarial schedules per scheme through the full
+/// refinement pipeline.
+#[test]
+#[ignore = "deep campaign: run with --release -- --ignored"]
+fn deep_refinement_certification() {
+    for seed in 0..500u64 {
+        let conf0 = SingleNode::new([1, 2, 3, 4]);
+        let trace = random_trace(
+            &conf0,
+            ReconfigGuard::all(),
+            &ScheduleParams {
+                steps: 250,
+                crash_weight: 1,
+                ..ScheduleParams::default()
+            },
+            2,
+            seed,
+        );
+        let report = check_refinement(&conf0, ReconfigGuard::all(), &trace, true)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(
+            report.is_clean(),
+            "seed {seed}: {:?}",
+            report.violations.first()
+        );
+    }
+}
