@@ -1,9 +1,15 @@
-//! Criterion microbenchmarks for the substrate costs behind the
-//! experiments: tree operations, ADORE step latencies, invariant
-//! evaluation (including the rdist ablation), checker throughput, trace
-//! normalization, and simulated-cluster request latency.
+//! Microbenchmarks for the substrate costs behind the experiments: tree
+//! operations, ADORE step latencies, invariant evaluation (including the
+//! rdist ablation), checker throughput, trace normalization, and
+//! simulated-cluster request latency.
+//!
+//! Plain `harness = false` timing loops (criterion is unavailable
+//! offline; see `vendor/README.md`): each benchmark runs a calibrated
+//! number of iterations and reports the mean wall-clock time per
+//! iteration. Run with `cargo bench -p adore-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use adore_checker::{explore, ExploreParams, InvariantSuite};
 use adore_core::majority::Majority;
@@ -14,6 +20,36 @@ use adore_kv::{Cluster, KvCommand, LatencyModel};
 use adore_raft::{normalize, random_trace, ScheduleParams};
 use adore_schemes::SingleNode;
 use adore_tree::Tree;
+
+/// Times `f`, repeating until ~50 ms have elapsed (at least 3, at most
+/// 10 000 iterations), and prints the mean per-iteration latency.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let budget = Duration::from_millis(50);
+    let mut iters = 0u32;
+    let start = Instant::now();
+    loop {
+        black_box(f());
+        iters += 1;
+        if (start.elapsed() >= budget && iters >= 3) || iters >= 10_000 {
+            break;
+        }
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<42} {:>12} /iter  (n={iters})", fmt_ns(per_iter));
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns}ns")
+    }
+}
 
 /// Builds an ADORE state with `rounds` election/invoke/commit rounds plus a
 /// guarded reconfiguration per round.
@@ -43,17 +79,14 @@ fn build_state(rounds: u64) -> AdoreState<SingleNode, &'static str> {
     st
 }
 
-fn bench_tree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tree");
-    group.bench_function("add_leaf_chain_1k", |b| {
-        b.iter(|| {
-            let mut tree = Tree::new(0u32);
-            let mut cur = Tree::<u32>::ROOT;
-            for i in 0..1_000 {
-                cur = tree.add_leaf(cur, i).expect("parent exists");
-            }
-            tree
-        });
+fn bench_tree() {
+    bench("tree/add_leaf_chain_1k", || {
+        let mut tree = Tree::new(0u32);
+        let mut cur = Tree::<u32>::ROOT;
+        for i in 0..1_000 {
+            cur = tree.add_leaf(cur, i).expect("parent exists");
+        }
+        tree
     });
     let mut tree = Tree::new(0u32);
     let mut tips = vec![Tree::<u32>::ROOT];
@@ -63,108 +96,88 @@ fn bench_tree(c: &mut Criterion) {
     }
     let a = tips[500];
     let b_node = tips[900];
-    group.bench_function("nca_1k_nodes", |b| {
-        b.iter(|| tree.nearest_common_ancestor(a, b_node));
+    bench("tree/nca_1k_nodes", || {
+        tree.nearest_common_ancestor(a, b_node)
     });
-    group.bench_function("path_interior_1k_nodes", |b| {
-        b.iter(|| tree.path_interior(a, b_node));
+    bench("tree/path_interior_1k_nodes", || {
+        tree.path_interior(a, b_node)
     });
-    group.bench_function("check_well_formed_1k", |b| {
-        b.iter(|| tree.check_well_formed());
-    });
-    group.finish();
+    bench("tree/check_well_formed_1k", || tree.check_well_formed());
 }
 
-fn bench_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adore_ops");
+fn bench_ops() {
     let st = build_state(8);
-    group.bench_function("pull_step", |b| {
-        b.iter(|| {
-            let mut s = st.clone();
-            s.pull(
-                NodeId(2),
-                &PullDecision::Ok {
-                    supporters: node_set([2, 3]),
-                    time: Timestamp(100),
-                },
-            )
-            .expect("valid pull")
-        });
+    bench("adore_ops/pull_step", || {
+        let mut s = st.clone();
+        s.pull(
+            NodeId(2),
+            &PullDecision::Ok {
+                supporters: node_set([2, 3]),
+                time: Timestamp(100),
+            },
+        )
+        .expect("valid pull")
     });
-    group.bench_function("invoke_step", |b| {
-        b.iter(|| {
-            let mut s = st.clone();
-            s.invoke(NodeId(1), "x")
-        });
+    bench("adore_ops/invoke_step", || {
+        let mut s = st.clone();
+        s.invoke(NodeId(1), "x")
     });
-    group.bench_function("enumerate_pull_decisions", |b| {
-        b.iter(|| adore_core::enumerate::pull_decisions(&st, NodeId(2)));
+    bench("adore_ops/enumerate_pull_decisions", || {
+        adore_core::enumerate::pull_decisions(&st, NodeId(2))
     });
-    group.bench_function("enumerate_push_decisions", |b| {
-        b.iter(|| adore_core::enumerate::push_decisions(&st, NodeId(1)));
+    bench("adore_ops/enumerate_push_decisions", || {
+        adore_core::enumerate::push_decisions(&st, NodeId(1))
     });
-    group.finish();
 }
 
-fn bench_invariants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("invariants");
+fn bench_invariants() {
     for rounds in [4u64, 16, 64] {
         let st = build_state(rounds);
-        group.bench_with_input(BenchmarkId::new("check_safety", rounds), &st, |b, st| {
-            b.iter(|| invariants::check_safety(st));
+        bench(&format!("invariants/check_safety/{rounds}"), || {
+            invariants::check_safety(&st)
         });
-        group.bench_with_input(BenchmarkId::new("check_all", rounds), &st, |b, st| {
-            b.iter(|| invariants::check_all(st));
+        bench(&format!("invariants/check_all/{rounds}"), || {
+            invariants::check_all(&st)
         });
-        group.bench_with_input(BenchmarkId::new("tree_rdist", rounds), &st, |b, st| {
-            b.iter(|| invariants::tree_rdist(st));
+        bench(&format!("invariants/tree_rdist/{rounds}"), || {
+            invariants::tree_rdist(&st)
         });
         // Ablation: the per-reconfig guard checks R2/R3 walk the active
         // branch; measure them on the deepest cache.
         let deepest = st.tree().ids().last().expect("non-empty tree");
-        group.bench_with_input(BenchmarkId::new("r2_r3_guards", rounds), &st, |b, st| {
-            b.iter(|| (st.r2_holds(deepest), st.r3_holds(deepest)));
+        bench(&format!("invariants/r2_r3_guards/{rounds}"), || {
+            (st.r2_holds(deepest), st.r3_holds(deepest))
         });
     }
-    group.finish();
 }
 
-fn bench_checker(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checker");
-    group.sample_size(10);
-    group.bench_function("explore_2n_depth4_cado", |b| {
-        b.iter(|| {
-            explore(
-                &SingleNode::new([1, 2]),
-                &ExploreParams {
-                    max_depth: 4,
-                    with_reconfig: false,
-                    spare_nodes: 0,
-                    suite: InvariantSuite::SafetyOnly,
-                    ..ExploreParams::default()
-                },
-            )
-        });
+fn bench_checker() {
+    bench("checker/explore_2n_depth4_cado", || {
+        explore(
+            &SingleNode::new([1, 2]),
+            &ExploreParams {
+                max_depth: 4,
+                with_reconfig: false,
+                spare_nodes: 0,
+                suite: InvariantSuite::SafetyOnly,
+                ..ExploreParams::default()
+            },
+        )
     });
-    group.bench_function("explore_2n_depth4_adore", |b| {
-        b.iter(|| {
-            explore(
-                &SingleNode::new([1, 2]),
-                &ExploreParams {
-                    max_depth: 4,
-                    spare_nodes: 1,
-                    suite: InvariantSuite::SafetyOnly,
-                    ..ExploreParams::default()
-                },
-            )
-        });
+    bench("checker/explore_2n_depth4_adore", || {
+        explore(
+            &SingleNode::new([1, 2]),
+            &ExploreParams {
+                max_depth: 4,
+                spare_nodes: 1,
+                suite: InvariantSuite::SafetyOnly,
+                ..ExploreParams::default()
+            },
+        )
     });
-    group.finish();
 }
 
-fn bench_refinement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("refinement");
-    group.sample_size(10);
+fn bench_refinement() {
     let conf0 = SingleNode::new([1, 2, 3]);
     let trace = random_trace(
         &conf0,
@@ -176,126 +189,98 @@ fn bench_refinement(c: &mut Criterion) {
         1,
         1,
     );
-    group.bench_function("normalize_150_events", |b| {
-        b.iter(|| normalize(&conf0, ReconfigGuard::all(), &trace).expect("equivalence holds"));
+    bench("refinement/normalize_150_events", || {
+        normalize(&conf0, ReconfigGuard::all(), &trace).expect("equivalence holds")
     });
-    group.bench_function("check_refinement_150_events", |b| {
-        b.iter(|| {
-            adore_raft::check_refinement(&conf0, ReconfigGuard::all(), &trace, true)
-                .expect("equivalence holds")
-        });
+    bench("refinement/check_refinement_150_events", || {
+        adore_raft::check_refinement(&conf0, ReconfigGuard::all(), &trace, true)
+            .expect("equivalence holds")
     });
-    group.finish();
 }
 
-fn bench_cluster(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kv_cluster");
-    group.sample_size(20);
-    group.bench_function("serve_100_requests_5n", |b| {
-        b.iter(|| {
-            let mut cluster =
-                Cluster::new(SingleNode::new([1, 2, 3, 4, 5]), LatencyModel::default(), 1);
-            cluster.elect(NodeId(1)).expect("election succeeds");
-            for i in 0..100 {
-                cluster
-                    .submit(KvCommand::put(format!("k{i}"), "v"))
-                    .expect("commit succeeds");
-            }
+fn bench_cluster() {
+    bench("kv_cluster/serve_100_requests_5n", || {
+        let mut cluster = Cluster::new(SingleNode::new([1, 2, 3, 4, 5]), LatencyModel::default(), 1);
+        cluster.elect(NodeId(1)).expect("election succeeds");
+        for i in 0..100 {
             cluster
-        });
+                .submit(KvCommand::put(format!("k{i}"), "v"))
+                .expect("commit succeeds");
+        }
+        cluster
     });
-    group.finish();
 }
 
-fn bench_majority_baseline(c: &mut Criterion) {
+fn bench_majority_baseline() {
     // The Majority scheme is the CADO baseline; compare a pull step under
     // it against the single-node scheme (the ablation DESIGN.md calls out:
     // scheme complexity does not leak into step cost).
-    let mut group = c.benchmark_group("scheme_ablation");
     let st_major: AdoreState<Majority, &'static str> = AdoreState::new(Majority::new([1, 2, 3]));
     let st_single: AdoreState<SingleNode, &'static str> =
         AdoreState::new(SingleNode::new([1, 2, 3]));
-    group.bench_function("pull_majority", |b| {
-        b.iter(|| {
-            let mut s = st_major.clone();
-            s.pull(
-                NodeId(1),
-                &PullDecision::Ok {
-                    supporters: node_set([1, 2]),
-                    time: Timestamp(1),
-                },
-            )
-            .expect("valid pull")
-        });
+    bench("scheme_ablation/pull_majority", || {
+        let mut s = st_major.clone();
+        s.pull(
+            NodeId(1),
+            &PullDecision::Ok {
+                supporters: node_set([1, 2]),
+                time: Timestamp(1),
+            },
+        )
+        .expect("valid pull")
     });
-    group.bench_function("pull_single_node", |b| {
-        b.iter(|| {
-            let mut s = st_single.clone();
-            s.pull(
-                NodeId(1),
-                &PullDecision::Ok {
-                    supporters: node_set([1, 2]),
-                    time: Timestamp(1),
-                },
-            )
-            .expect("valid pull")
-        });
+    bench("scheme_ablation/pull_single_node", || {
+        let mut s = st_single.clone();
+        s.pull(
+            NodeId(1),
+            &PullDecision::Ok {
+                supporters: node_set([1, 2]),
+                time: Timestamp(1),
+            },
+        )
+        .expect("valid pull")
     });
-    group.finish();
 }
 
-fn bench_schemes(c: &mut Criterion) {
+fn bench_schemes() {
     use adore_schemes::{powerset_configs, validate};
-    let mut group = c.benchmark_group("schemes");
     let universe = node_set([1, 2, 3, 4]);
     let configs = powerset_configs(&universe, SingleNode::from_set);
-    group.bench_function("validate_single_node_4n", |b| {
-        b.iter(|| validate(&configs));
-    });
-    group.finish();
+    bench("schemes/validate_single_node_4n", || validate(&configs));
 }
 
-fn bench_churn(c: &mut Criterion) {
+fn bench_churn() {
     use adore_kv::{run_churn, ChurnParams};
-    let mut group = c.benchmark_group("churn");
-    group.sample_size(10);
-    group.bench_function("repair_200_requests", |b| {
-        b.iter(|| {
-            run_churn(
-                &ChurnParams {
-                    crash_every: 40,
-                    total_requests: 200,
-                    ..ChurnParams::default()
-                },
-                1,
-            )
-        });
+    bench("churn/repair_200_requests", || {
+        run_churn(
+            &ChurnParams {
+                crash_every: 40,
+                total_requests: 200,
+                ..ChurnParams::default()
+            },
+            1,
+        )
     });
-    group.finish();
 }
 
-fn bench_shrink(c: &mut Criterion) {
+fn bench_shrink() {
     use adore_checker::{fig4_scenario, shrink_trace};
-    let mut group = c.benchmark_group("shrink");
-    group.sample_size(10);
     let scenario = fig4_scenario(ReconfigGuard::all().without_r3());
-    group.bench_function("shrink_fig4_trace", |b| {
-        b.iter(|| shrink_trace(&scenario.conf0, scenario.guard, &scenario.ops));
+    bench("shrink/shrink_fig4_trace", || {
+        shrink_trace(&scenario.conf0, scenario.guard, &scenario.ops)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tree,
-    bench_ops,
-    bench_invariants,
-    bench_checker,
-    bench_refinement,
-    bench_cluster,
-    bench_majority_baseline,
-    bench_schemes,
-    bench_churn,
-    bench_shrink
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<42} {:>18}", "benchmark", "mean latency");
+    bench_tree();
+    bench_ops();
+    bench_invariants();
+    bench_checker();
+    bench_refinement();
+    bench_cluster();
+    bench_majority_baseline();
+    bench_schemes();
+    bench_churn();
+    bench_shrink();
+}

@@ -44,5 +44,5 @@ pub use explore::{explore, ExploreParams, ExploreReport, InvariantSuite, CANONIC
 pub use net_explore::{explore_net, NetExploreParams, NetExploreReport};
 pub use op::CheckerOp;
 pub use scenario::{fig4_scenario, Scenario, ScenarioOutcome};
-pub use shrink::shrink_trace;
+pub use shrink::{ddmin_with, shrink_net_trace, shrink_sequence, shrink_trace};
 pub use walker::{random_walk, WalkParams, WalkReport, WalkViolation};

@@ -181,7 +181,10 @@ mod tests {
     #[test]
     fn no_r3_walks_find_the_fig4_violation() {
         let params = WalkParams {
-            walks: 400,
+            // The campaign stops at the first violation (seed 5 hits it
+            // after ~550 walks under the vendored RNG); the cap only
+            // bounds the failure case.
+            walks: 2000,
             steps_per_walk: 30,
             explore: ExploreParams {
                 guard: ReconfigGuard::all().without_r3(),

@@ -67,11 +67,9 @@ proptest! {
             for &b in &ids {
                 let ka = st.key_of(a);
                 let kb = st.key_of(b);
-                // Totality: exactly one of <, =, > — and key equality on a
-                // reachable tree implies commit/target pairing (a CCache
-                // shares (time, vrsn) only with its target, which differs
-                // in the commit bit) or identity.
-                prop_assert!(ka != kb || ka == kb);
+                // Key equality on a reachable tree implies commit/target
+                // pairing (a CCache shares (time, vrsn) only with its
+                // target, which differs in the commit bit) or identity.
                 if ka == kb && a != b {
                     prop_assert_eq!(
                         st.cache(a).kind() == CacheKind::Commit,

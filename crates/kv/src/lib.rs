@@ -37,9 +37,11 @@
 mod churn;
 mod command;
 mod fig16;
+mod links;
 mod sim;
 
 pub use churn::{run_churn, ChurnParams, ChurnReport};
 pub use command::{KvCommand, KvStore};
 pub use fig16::{aggregate, run_fig16, Fig16Params, Fig16Run, RequestRecord};
+pub use links::LinkMatrix;
 pub use sim::{Cluster, ClusterError, LatencyModel};

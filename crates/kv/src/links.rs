@@ -1,0 +1,159 @@
+//! A directed link-state matrix for fault injection.
+//!
+//! The scalar [`LatencyModel::drop_pct`](crate::LatencyModel) models
+//! uniform background loss; partitions are different — they are a
+//! property of specific *links*, they are usually asymmetric at onset,
+//! and they heal. [`LinkMatrix`] captures both: a set of cut directed
+//! links plus per-link loss overrides, layered over the scalar default.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use adore_core::NodeId;
+
+/// Per-link network fault state: cut links and loss overrides.
+///
+/// A link is directed: `(from, to)` covers messages from `from` to
+/// `to`; the reverse direction is a separate link, so asymmetric
+/// partitions (payloads flow, acks don't) are expressible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkMatrix {
+    cut: BTreeSet<(NodeId, NodeId)>,
+    drop_override: BTreeMap<(NodeId, NodeId), u32>,
+}
+
+impl LinkMatrix {
+    /// A matrix with every link up and no overrides.
+    #[must_use]
+    pub fn new() -> Self {
+        LinkMatrix::default()
+    }
+
+    /// Whether the directed link `from → to` is cut.
+    #[must_use]
+    pub fn is_cut(&self, from: NodeId, to: NodeId) -> bool {
+        self.cut.contains(&(from, to))
+    }
+
+    /// Whether no fault is active (no cuts, no overrides). The hot paths
+    /// use this to keep the no-fault behavior — including the RNG
+    /// consumption pattern — identical to the pre-matrix code.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.cut.is_empty() && self.drop_override.is_empty()
+    }
+
+    /// Cuts the directed link `from → to`.
+    pub fn cut_one_way(&mut self, from: NodeId, to: NodeId) {
+        self.cut.insert((from, to));
+    }
+
+    /// Cuts both directions between `a` and `b`.
+    pub fn cut_both_ways(&mut self, a: NodeId, b: NodeId) {
+        self.cut.insert((a, b));
+        self.cut.insert((b, a));
+    }
+
+    /// Partitions the nodes into groups: every link between nodes of
+    /// *different* groups is cut (both directions); links within a group
+    /// are left untouched.
+    pub fn partition(&mut self, groups: &[&[NodeId]]) {
+        for (i, ga) in groups.iter().enumerate() {
+            for gb in groups.iter().skip(i + 1) {
+                for &a in *ga {
+                    for &b in *gb {
+                        self.cut_both_ways(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Isolates `nid` from every node in `peers` (both directions).
+    pub fn isolate(&mut self, nid: NodeId, peers: impl IntoIterator<Item = NodeId>) {
+        for peer in peers {
+            if peer != nid {
+                self.cut_both_ways(nid, peer);
+            }
+        }
+    }
+
+    /// Heals the directed link `from → to` (cut and override).
+    pub fn heal_one_way(&mut self, from: NodeId, to: NodeId) {
+        self.cut.remove(&(from, to));
+        self.drop_override.remove(&(from, to));
+    }
+
+    /// Heals both directions between `a` and `b`.
+    pub fn heal_both_ways(&mut self, a: NodeId, b: NodeId) {
+        self.heal_one_way(a, b);
+        self.heal_one_way(b, a);
+    }
+
+    /// Heals everything: all links up, all overrides dropped.
+    pub fn heal_all(&mut self) {
+        self.cut.clear();
+        self.drop_override.clear();
+    }
+
+    /// Overrides the loss percentage of the directed link `from → to`
+    /// (otherwise the scalar model default applies).
+    pub fn set_drop_pct(&mut self, from: NodeId, to: NodeId, pct: u32) {
+        self.drop_override.insert((from, to), pct.min(100));
+    }
+
+    /// The loss-percentage override for `from → to`, if any.
+    #[must_use]
+    pub fn drop_pct(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        self.drop_override.get(&(from, to)).copied()
+    }
+
+    /// The currently cut directed links, for reporting.
+    pub fn cut_links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.cut.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn partition_cuts_exactly_the_cross_group_links() {
+        let mut links = LinkMatrix::new();
+        links.partition(&[&[n(1), n(2)], &[n(3)], &[n(4)]]);
+        // Cross-group: cut both ways.
+        assert!(links.is_cut(n(1), n(3)) && links.is_cut(n(3), n(1)));
+        assert!(links.is_cut(n(2), n(4)) && links.is_cut(n(4), n(2)));
+        assert!(links.is_cut(n(3), n(4)));
+        // Within-group: untouched.
+        assert!(!links.is_cut(n(1), n(2)) && !links.is_cut(n(2), n(1)));
+    }
+
+    #[test]
+    fn asymmetric_cut_and_heal() {
+        let mut links = LinkMatrix::new();
+        links.cut_one_way(n(1), n(2));
+        assert!(links.is_cut(n(1), n(2)));
+        assert!(!links.is_cut(n(2), n(1)));
+        links.heal_one_way(n(1), n(2));
+        assert!(links.is_quiet());
+    }
+
+    #[test]
+    fn isolate_and_heal_all() {
+        let mut links = LinkMatrix::new();
+        links.isolate(n(2), [n(1), n(2), n(3)]);
+        assert!(links.is_cut(n(2), n(1)) && links.is_cut(n(3), n(2)));
+        assert!(!links.is_cut(n(2), n(2)));
+        links.set_drop_pct(n(1), n(3), 250);
+        assert_eq!(links.drop_pct(n(1), n(3)), Some(100));
+        assert!(!links.is_quiet());
+        links.heal_all();
+        assert!(links.is_quiet());
+        assert_eq!(links.drop_pct(n(1), n(3)), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! The fault-injection engine: schedules in, verdicts out.
+//!
+//! [`run_schedule`] interprets a [`FaultSchedule`] against a simulated
+//! [`Cluster`], driving client traffic through the [`RobustClient`] and
+//! running the safety suite — committed-prefix agreement
+//! (`check_log_safety`) and read-your-committed-writes — after **every
+//! phase** and again after a final quiesce (heal everything, recover
+//! everyone, drain the network). A campaign that survives quiesce-time
+//! checks is genuinely safe for that schedule, not merely
+//! not-yet-caught.
+//!
+//! When a check fails, [`hunt`] turns the run into a [`Counterexample`]:
+//! the schedule is minimized with the checker's delta-debugging core
+//! ([`adore_checker::shrink_sequence`]) and serialized — a portable,
+//! deterministically replayable witness.
+
+use serde::{Deserialize, Serialize};
+
+use adore_core::NodeId;
+use adore_kv::{Cluster, LatencyModel};
+use adore_schemes::SingleNode;
+
+use crate::client::{ClientParams, OpOutcome, RobustClient, ViolationKind};
+use crate::schedule::{Fault, FaultSchedule};
+
+/// Engine knobs (everything else comes from the schedule).
+#[derive(Debug, Clone, Default)]
+pub struct EngineParams {
+    /// The simulated network's latency model.
+    pub latency: LatencyModel,
+    /// Client-side robustness parameters.
+    pub client: ClientParams,
+}
+
+/// Per-phase client statistics — one row per fault step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Debug rendering of the fault applied in this phase.
+    pub fault: String,
+    /// Client operations attempted during the phase.
+    pub attempted: u32,
+    /// Operations acknowledged.
+    pub acked: u32,
+    /// Operations that timed out.
+    pub timed_out: u32,
+    /// Operations that found no leader.
+    pub no_leader: u32,
+    /// Operations rejected by the protocol.
+    pub rejected: u32,
+    /// Mean acknowledged latency in virtual microseconds (0 if none).
+    pub mean_latency_us: u64,
+}
+
+/// The client's-eye view of the campaign: how availability degraded and
+/// recovered, phase by phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedReport {
+    /// One stat row per phase (fault step), in order.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl DegradedReport {
+    /// Fraction of attempted operations acknowledged in phase `i`
+    /// (1.0 for a phase with no traffic).
+    #[must_use]
+    pub fn availability(&self, i: usize) -> f64 {
+        let p = &self.phases[i];
+        if p.attempted == 0 {
+            1.0
+        } else {
+            f64::from(p.acked) / f64::from(p.attempted)
+        }
+    }
+
+    /// Total acknowledged operations across the campaign.
+    #[must_use]
+    pub fn total_acked(&self) -> u32 {
+        self.phases.iter().map(|p| p.acked).sum()
+    }
+
+    /// Total attempted operations across the campaign.
+    #[must_use]
+    pub fn total_attempted(&self) -> u32 {
+        self.phases.iter().map(|p| p.attempted).sum()
+    }
+}
+
+/// Outcome of one campaign.
+#[derive(Debug, Clone)]
+pub struct NemesisReport {
+    /// Per-phase availability and latency.
+    pub degraded: DegradedReport,
+    /// The first safety violation and the phase index where the checks
+    /// caught it (`phases.len()` means the quiesce-time check).
+    pub violation: Option<(ViolationKind, usize)>,
+    /// Entries in the cluster-wide committed prefix at the end.
+    pub committed_entries: usize,
+    /// Total client operations recorded.
+    pub history_len: usize,
+}
+
+impl NemesisReport {
+    /// Whether the campaign completed with every check passing.
+    #[must_use]
+    pub fn is_safe(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// A minimized, serializable, deterministically replayable witness of a
+/// safety violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// The minimized schedule — replaying it reproduces the violation.
+    pub schedule: FaultSchedule,
+    /// The violation the replay produces.
+    pub violation: ViolationKind,
+    /// Fault count of the schedule before minimization.
+    pub original_faults: usize,
+}
+
+fn members_of(schedule: &FaultSchedule) -> Vec<NodeId> {
+    schedule.members.iter().map(|&n| NodeId(n)).collect()
+}
+
+/// Applies one fault step; client traffic goes through `client`.
+fn apply_fault(
+    cluster: &mut Cluster<SingleNode>,
+    client: &mut RobustClient,
+    fault: &Fault,
+    write_seq: &mut u64,
+) {
+    match fault {
+        Fault::CutOneWay { from, to } => {
+            cluster.links_mut().cut_one_way(NodeId(*from), NodeId(*to));
+        }
+        Fault::CutBothWays { a, b } => {
+            cluster.links_mut().cut_both_ways(NodeId(*a), NodeId(*b));
+        }
+        Fault::Partition { groups } => {
+            cluster.links_mut().heal_all();
+            let groups: Vec<Vec<NodeId>> = groups
+                .iter()
+                .map(|g| g.iter().map(|&n| NodeId(n)).collect())
+                .collect();
+            let refs: Vec<&[NodeId]> = groups.iter().map(Vec::as_slice).collect();
+            cluster.links_mut().partition(&refs);
+        }
+        Fault::HealOneWay { from, to } => {
+            cluster.links_mut().heal_one_way(NodeId(*from), NodeId(*to));
+        }
+        Fault::HealAll => cluster.links_mut().heal_all(),
+        Fault::SetLinkLoss { from, to, pct } => {
+            cluster
+                .links_mut()
+                .set_drop_pct(NodeId(*from), NodeId(*to), *pct);
+        }
+        Fault::SetLoss { pct } => cluster.latency_mut().drop_pct = (*pct).min(100),
+        Fault::Crash { nid } => cluster.fail(NodeId(*nid)),
+        Fault::CrashLeader => {
+            if let Some(leader) = cluster.leader() {
+                cluster.fail(leader);
+            }
+        }
+        Fault::Recover { nid } => cluster.recover(NodeId(*nid)),
+        Fault::Elect { nid } => {
+            // One retry absorbs a term collision (a voter that already
+            // voted at the candidate's new term).
+            if cluster.elect(NodeId(*nid)).is_err() && cluster.leader() != Some(NodeId(*nid)) {
+                let _ = cluster.elect(NodeId(*nid));
+            }
+        }
+        Fault::Reconfig { members } => {
+            let _ = cluster.reconfigure(SingleNode::new(members.iter().copied()));
+        }
+        Fault::ReconfigAdd { nid } => {
+            if let Some(current) = cluster.leader().and_then(|l| cluster.net().config_of(l)) {
+                let _ = cluster.reconfigure(current.with(NodeId(*nid)));
+            }
+        }
+        Fault::ReconfigRemove { nid } => {
+            if let Some(current) = cluster.leader().and_then(|l| cluster.net().config_of(l)) {
+                use adore_core::Configuration;
+                // Never shrink to an empty configuration (no quorum could
+                // ever form again — a dead campaign, not an interesting one).
+                if current.members().len() > 1 {
+                    let _ = cluster.reconfigure(current.without(NodeId(*nid)));
+                }
+            }
+        }
+        Fault::Duplicate { copies } => cluster.duplicate_in_flight(*copies as usize),
+        Fault::Reorder { window_us } => cluster.reorder_in_flight(*window_us),
+        Fault::SkewTimeout { pct } => cluster.set_timeout_scale_pct(*pct),
+        Fault::ClientBurst { writes } => {
+            for _ in 0..*writes {
+                // A small rotating key space exercises overwrites; values
+                // are globally unique so the ghost can tell writes apart.
+                let key = format!("key{}", *write_seq % 8);
+                let value = format!("v{}", *write_seq);
+                *write_seq += 1;
+                client.put(cluster, &key, &value);
+            }
+        }
+        Fault::Idle { us } => cluster.run_idle(*us),
+    }
+}
+
+/// Runs the safety suite: committed-prefix agreement first, then the
+/// client's read-your-committed-writes obligation.
+fn check_safety(cluster: &Cluster<SingleNode>, client: &RobustClient) -> Option<ViolationKind> {
+    if let Err((a, b)) = cluster.verify() {
+        return Some(ViolationKind::LogDivergence { a: a.0, b: b.0 });
+    }
+    client.check_reads(cluster).err()
+}
+
+fn phase_stat(fault: &Fault, client: &RobustClient, history_mark: usize) -> PhaseStat {
+    let ops = &client.history[history_mark..];
+    let mut stat = PhaseStat {
+        fault: format!("{fault:?}"),
+        attempted: ops.len() as u32,
+        acked: 0,
+        timed_out: 0,
+        no_leader: 0,
+        rejected: 0,
+        mean_latency_us: 0,
+    };
+    let mut total_latency = 0u64;
+    for op in ops {
+        match &op.outcome {
+            OpOutcome::Acked { latency_us } => {
+                stat.acked += 1;
+                total_latency += latency_us;
+            }
+            OpOutcome::TimedOut => stat.timed_out += 1,
+            OpOutcome::NoLeader => stat.no_leader += 1,
+            OpOutcome::Rejected => stat.rejected += 1,
+        }
+    }
+    if stat.acked > 0 {
+        stat.mean_latency_us = total_latency / u64::from(stat.acked);
+    }
+    stat
+}
+
+/// Interprets `schedule` from a fresh cluster and returns the campaign
+/// report. Deterministic: the same schedule (and engine parameters)
+/// always produces the same report.
+#[must_use]
+pub fn run_schedule(schedule: &FaultSchedule, params: &EngineParams) -> NemesisReport {
+    let members = members_of(schedule);
+    let conf0 = SingleNode::new(schedule.members.iter().copied());
+    let mut cluster = Cluster::with_guard(
+        conf0,
+        schedule.guard,
+        params.latency.clone(),
+        schedule.seed,
+    );
+    let mut client = RobustClient::new(params.client.clone(), schedule.seed);
+    let mut write_seq = 0u64;
+
+    // Boot: elect the lowest member so every schedule starts from a
+    // serving cluster.
+    if let Some(&first) = members.first() {
+        let _ = cluster.elect(first);
+    }
+
+    let mut degraded = DegradedReport::default();
+    let mut violation = None;
+    for (i, fault) in schedule.faults.iter().enumerate() {
+        let mark = client.history.len();
+        apply_fault(&mut cluster, &mut client, fault, &mut write_seq);
+        degraded.phases.push(phase_stat(fault, &client, mark));
+        if let Some(v) = check_safety(&cluster, &client) {
+            violation = Some((v, i));
+            break;
+        }
+    }
+
+    // Quiesce: heal everything, recover everyone, re-establish a leader,
+    // drain, push a final burst through, and check once more. Violations
+    // that only manifest after the partition heals (the classic
+    // reconfiguration bugs) surface here.
+    if violation.is_none() {
+        cluster.links_mut().heal_all();
+        cluster.latency_mut().drop_pct = 0;
+        cluster.set_timeout_scale_pct(100);
+        for &nid in &members {
+            cluster.recover(nid);
+        }
+        cluster.run_idle(50_000);
+        if cluster.adopt_leader().is_none() {
+            for &nid in &members {
+                if cluster.elect(nid).is_ok() {
+                    break;
+                }
+            }
+        }
+        let mark = client.history.len();
+        for _ in 0..3 {
+            let key = format!("key{}", write_seq % 8);
+            let value = format!("v{write_seq}");
+            write_seq += 1;
+            client.put(&mut cluster, &key, &value);
+        }
+        cluster.run_idle(50_000);
+        let mut stat = phase_stat(&Fault::HealAll, &client, mark);
+        stat.fault = "quiesce".into();
+        degraded.phases.push(stat);
+        violation = check_safety(&cluster, &client).map(|v| (v, schedule.faults.len()));
+    }
+
+    NemesisReport {
+        degraded,
+        violation,
+        committed_entries: cluster.net().committed_prefix().len(),
+        history_len: client.history.len(),
+    }
+}
+
+/// Replays a schedule and returns the violation it produces, if any —
+/// the predicate behind minimization and the round-trip tests.
+#[must_use]
+pub fn replay(schedule: &FaultSchedule, params: &EngineParams) -> Option<ViolationKind> {
+    run_schedule(schedule, params).violation.map(|(v, _)| v)
+}
+
+/// Runs a campaign and, on violation, minimizes the schedule with the
+/// checker's delta-debugging core into a replayable [`Counterexample`].
+#[must_use]
+pub fn hunt(schedule: &FaultSchedule, params: &EngineParams) -> Option<Counterexample> {
+    run_schedule(schedule, params).violation?;
+    let minimal_faults = adore_checker::shrink_sequence(&schedule.faults, &mut |faults| {
+        let candidate = FaultSchedule {
+            faults: faults.to_vec(),
+            ..schedule.clone()
+        };
+        replay(&candidate, params).is_some()
+    });
+    let minimized = FaultSchedule {
+        faults: minimal_faults,
+        ..schedule.clone()
+    };
+    let violation = replay(&minimized, params).expect("minimized schedule still violates");
+    Some(Counterexample {
+        schedule: minimized,
+        violation,
+        original_faults: schedule.faults.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{random_schedule, RandomScheduleParams};
+    use adore_core::ReconfigGuard;
+
+    #[test]
+    fn a_quiet_schedule_is_safe_and_available() {
+        let schedule = FaultSchedule {
+            name: "quiet".into(),
+            seed: 1,
+            members: vec![1, 2, 3],
+            guard: ReconfigGuard::all(),
+            faults: vec![Fault::ClientBurst { writes: 5 }],
+        };
+        let report = run_schedule(&schedule, &EngineParams::default());
+        assert!(report.is_safe());
+        assert_eq!(report.degraded.phases[0].acked, 5);
+        assert!((report.degraded.availability(0) - 1.0).abs() < f64::EPSILON);
+        assert!(report.committed_entries >= 5);
+    }
+
+    #[test]
+    fn random_campaigns_under_the_sound_guard_stay_safe() {
+        let params = RandomScheduleParams::default();
+        for seed in 0..8 {
+            let schedule = random_schedule(&params, seed);
+            let report = run_schedule(&schedule, &EngineParams::default());
+            assert!(
+                report.is_safe(),
+                "seed {seed}: {:?}",
+                report.violation
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_reports_are_deterministic() {
+        let schedule = random_schedule(&RandomScheduleParams::default(), 17);
+        let a = run_schedule(&schedule, &EngineParams::default());
+        let b = run_schedule(&schedule, &EngineParams::default());
+        assert_eq!(a.degraded, b.degraded);
+        assert_eq!(a.committed_entries, b.committed_entries);
+    }
+}

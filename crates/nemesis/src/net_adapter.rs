@@ -1,0 +1,373 @@
+//! A thin nemesis harness over the network-level model.
+//!
+//! [`NetHarness`] drives [`adore_raft::NetState`] directly — no virtual
+//! clock, no latency model — delivering every broadcast request to the
+//! members of its shipped configuration through a [`LinkMatrix`]-gated
+//! [`NetState::deliver_via`] fixpoint pump. It understands the
+//! *structural* subset of [`Fault`]s (partitions, crashes, elections,
+//! reconfigurations, client traffic); timing faults (loss percentages,
+//! duplication, reordering, clock skew, idling) are no-ops here, because
+//! the untimed model already quantifies over all delivery orders.
+//!
+//! The point of the adapter is cross-validation: an ablation schedule
+//! that diverges in the latency-simulated [`adore_kv::Cluster`] should
+//! diverge at the network level too, and the sound guard should protect
+//! both. Running the same `FaultSchedule` against both backends keeps the
+//! nemesis honest about which layer a violation lives in.
+
+use std::collections::BTreeSet;
+
+use adore_core::{Configuration, NodeId, ReconfigGuard};
+use adore_kv::LinkMatrix;
+use adore_raft::{
+    effective_config, EventOutcome, MsgId, NetEvent, NetState, Rejection, Request, Role,
+};
+use adore_schemes::SingleNode;
+
+use crate::schedule::{Fault, FaultSchedule};
+
+/// The network-level fault harness: a [`NetState`] plus a link matrix and
+/// the delivery bookkeeping that turns the sent-message bag into a
+/// broadcast network.
+#[derive(Debug)]
+pub struct NetHarness {
+    st: NetState<SingleNode, String>,
+    links: LinkMatrix,
+    /// Every node id the harness has ever seen (initial members plus
+    /// reconfiguration targets): the candidate recipient set.
+    nodes: BTreeSet<NodeId>,
+    /// Deliveries that are finished: applied with the ack path up, or
+    /// rejected for a reason that cannot heal (stale term, outdated log).
+    /// Unreachable and crashed-recipient deliveries stay retryable.
+    done: BTreeSet<(u32, NodeId)>,
+    /// Client write sequence for burst payloads.
+    seq: u32,
+}
+
+impl NetHarness {
+    /// Creates a harness over `members` with `guard` in force.
+    #[must_use]
+    pub fn new(members: &[u32], guard: ReconfigGuard) -> Self {
+        let nodes: BTreeSet<NodeId> = members.iter().map(|&n| NodeId(n)).collect();
+        NetHarness {
+            st: NetState::new(SingleNode::from_set(nodes.iter().copied().collect()), guard),
+            links: LinkMatrix::new(),
+            nodes,
+            done: BTreeSet::new(),
+            seq: 0,
+        }
+    }
+
+    /// The underlying network state.
+    #[must_use]
+    pub fn state(&self) -> &NetState<SingleNode, String> {
+        &self.st
+    }
+
+    /// The link matrix (mutable, for direct experiments).
+    pub fn links_mut(&mut self) -> &mut LinkMatrix {
+        &mut self.links
+    }
+
+    /// The acting leader: the non-crashed leader with the largest term.
+    #[must_use]
+    pub fn leader(&self) -> Option<NodeId> {
+        self.st
+            .servers()
+            .filter(|(_, s)| !s.crashed && s.role == Role::Leader)
+            .max_by_key(|(_, s)| s.time)
+            .map(|(nid, _)| nid)
+    }
+
+    /// Network-level log safety over all servers.
+    ///
+    /// # Errors
+    ///
+    /// The pair of servers whose committed prefixes disagree.
+    pub fn check(&self) -> Result<(), (NodeId, NodeId)> {
+        self.st.check_log_safety()
+    }
+
+    /// Delivers every sent request to every member of its shipped
+    /// configuration, through the link matrix, to a fixpoint. Finished
+    /// deliveries are remembered; ack-suppressed and unreachable ones are
+    /// retried by later pumps (the model's stand-in for retransmission).
+    ///
+    /// Returns the number of applied deliveries.
+    pub fn pump(&mut self) -> usize {
+        let mut applied = 0;
+        loop {
+            let mut progress = false;
+            let links = self.links.clone();
+            let reach = |a: NodeId, b: NodeId| !links.is_cut(a, b);
+            for m in 0..self.st.messages().len() {
+                let msg = MsgId(u32::try_from(m).expect("message table fits in u32"));
+                let (from, targets) = {
+                    let req = self.st.message(msg).expect("indexed");
+                    (req.from(), self.targets_of(req))
+                };
+                for to in targets {
+                    if to == from || self.done.contains(&(msg.0, to)) {
+                        continue;
+                    }
+                    match self.st.deliver_via(msg, to, &reach) {
+                        EventOutcome::Applied => {
+                            applied += 1;
+                            // An applied delivery whose ack path was down
+                            // stays open: the sender retransmits until it
+                            // hears back.
+                            if reach(to, from) {
+                                self.done.insert((msg.0, to));
+                                progress = true;
+                            }
+                        }
+                        EventOutcome::Rejected(
+                            Rejection::StaleTime | Rejection::OutdatedLog,
+                        ) => {
+                            // Terms and log up-to-dateness only grow:
+                            // these rejections cannot heal.
+                            self.done.insert((msg.0, to));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        applied
+    }
+
+    /// The recipients of a request: the members of the configuration in
+    /// effect at the end of its shipped log (what the sender believed its
+    /// cluster was at broadcast time).
+    fn targets_of(&self, req: &Request<SingleNode, String>) -> Vec<NodeId> {
+        let (Request::Elect { log, .. } | Request::Commit { log, .. }) = req;
+        effective_config(self.st.conf0(), log).members().into_iter().collect()
+    }
+
+    /// Applies one fault at the network level. Returns `false` for faults
+    /// that have no meaning in the untimed model (loss percentages,
+    /// duplication, reordering, skew, idling) — the delivery pump already
+    /// quantifies over those behaviors.
+    pub fn apply(&mut self, fault: &Fault) -> bool {
+        match fault {
+            Fault::CutOneWay { from, to } => {
+                self.links.cut_one_way(NodeId(*from), NodeId(*to));
+            }
+            Fault::CutBothWays { a, b } => {
+                self.links.cut_both_ways(NodeId(*a), NodeId(*b));
+            }
+            Fault::Partition { groups } => {
+                self.links.heal_all();
+                let groups: Vec<Vec<NodeId>> = groups
+                    .iter()
+                    .map(|g| g.iter().map(|&n| NodeId(n)).collect())
+                    .collect();
+                let refs: Vec<&[NodeId]> = groups.iter().map(Vec::as_slice).collect();
+                self.links.partition(&refs);
+            }
+            Fault::HealOneWay { from, to } => {
+                self.links.heal_one_way(NodeId(*from), NodeId(*to));
+                self.pump();
+            }
+            Fault::HealAll => {
+                self.links.heal_all();
+                self.pump();
+            }
+            Fault::Crash { nid } => {
+                self.st.step(&NetEvent::Crash { nid: NodeId(*nid) });
+            }
+            Fault::CrashLeader => {
+                if let Some(nid) = self.leader() {
+                    self.st.step(&NetEvent::Crash { nid });
+                }
+            }
+            Fault::Recover { nid } => {
+                self.st.step(&NetEvent::Recover { nid: NodeId(*nid) });
+                self.pump();
+            }
+            Fault::Elect { nid } => self.elect(NodeId(*nid)),
+            Fault::Reconfig { members } => {
+                self.reconfig(SingleNode::new(members.iter().copied()));
+            }
+            Fault::ReconfigAdd { nid } => {
+                if let Some(leader) = self.leader() {
+                    if let Some(config) = self.st.config_of(leader) {
+                        self.reconfig(config.with(NodeId(*nid)));
+                    }
+                }
+            }
+            Fault::ReconfigRemove { nid } => {
+                if let Some(leader) = self.leader() {
+                    if let Some(config) = self.st.config_of(leader) {
+                        if config.members().len() > 1 {
+                            self.reconfig(config.without(NodeId(*nid)));
+                        }
+                    }
+                }
+            }
+            Fault::ClientBurst { writes } => {
+                for _ in 0..*writes {
+                    self.put();
+                }
+            }
+            Fault::SetLinkLoss { .. }
+            | Fault::SetLoss { .. }
+            | Fault::Duplicate { .. }
+            | Fault::Reorder { .. }
+            | Fault::SkewTimeout { .. }
+            | Fault::Idle { .. } => return false,
+        }
+        true
+    }
+
+    /// Starts an election for `nid` and pumps; retries once at a fresh
+    /// term if the candidacy loses to a term collision (the same
+    /// randomized-timeout re-candidacy the engine grants).
+    fn elect(&mut self, nid: NodeId) {
+        for _ in 0..2 {
+            self.st.step(&NetEvent::Elect { nid });
+            self.pump();
+            if self.st.server(nid).is_some_and(|s| s.role == Role::Leader) {
+                break;
+            }
+        }
+    }
+
+    /// Proposes `config` through the acting leader and replicates.
+    fn reconfig(&mut self, config: SingleNode) {
+        self.nodes.extend(config.members());
+        let Some(leader) = self.leader() else {
+            return;
+        };
+        if self
+            .st
+            .step(&NetEvent::Reconfig { nid: leader, config })
+            .applied()
+        {
+            self.st.step(&NetEvent::Commit { nid: leader });
+            self.pump();
+        }
+    }
+
+    /// One client write through the acting leader.
+    fn put(&mut self) {
+        let Some(leader) = self.leader() else {
+            return;
+        };
+        self.seq += 1;
+        let method = format!("w{}", self.seq);
+        if self
+            .st
+            .step(&NetEvent::Invoke {
+                nid: leader,
+                method,
+            })
+            .applied()
+        {
+            self.st.step(&NetEvent::Commit { nid: leader });
+            self.pump();
+        }
+    }
+
+    /// Heals everything, recovers everyone, drains the network, and
+    /// pushes one committed write through a (re-elected if necessary)
+    /// leader — the net-level quiesce phase.
+    pub fn quiesce(&mut self) {
+        self.links.heal_all();
+        let nodes: Vec<NodeId> = self.nodes.iter().copied().collect();
+        for nid in &nodes {
+            self.st.step(&NetEvent::Recover { nid: *nid });
+        }
+        self.pump();
+        if self.leader().is_none() {
+            for nid in nodes {
+                self.elect(nid);
+                if self.leader().is_some() {
+                    break;
+                }
+            }
+        }
+        self.put();
+    }
+
+    /// Runs a whole schedule: boot-elects the lowest member, applies every
+    /// fault with a safety check after each, then quiesces and checks one
+    /// last time.
+    ///
+    /// # Errors
+    ///
+    /// The first committed-prefix divergence found.
+    pub fn run(schedule: &FaultSchedule) -> Result<(), (NodeId, NodeId)> {
+        let mut harness = NetHarness::new(&schedule.members, schedule.guard);
+        if let Some(&first) = schedule.members.iter().min() {
+            harness.elect(NodeId(first));
+        }
+        for fault in &schedule.faults {
+            harness.apply(fault);
+            harness.check()?;
+        }
+        harness.quiesce();
+        harness.check()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scripted::ablation_suite;
+
+    #[test]
+    fn a_healthy_run_commits_through_the_pump() {
+        let mut h = NetHarness::new(&[1, 2, 3], ReconfigGuard::all());
+        h.elect(NodeId(1));
+        assert_eq!(h.leader(), Some(NodeId(1)));
+        h.apply(&Fault::ClientBurst { writes: 3 });
+        assert_eq!(h.state().committed_prefix().len(), 3);
+        h.check().unwrap();
+    }
+
+    #[test]
+    fn ablation_schedules_diverge_at_the_network_level_too() {
+        for (label, schedule) in ablation_suite() {
+            assert!(
+                NetHarness::run(&schedule).is_err(),
+                "{label}: no net-level divergence"
+            );
+        }
+    }
+
+    #[test]
+    fn the_sound_guard_protects_the_network_level_too() {
+        for (label, schedule) in ablation_suite() {
+            let sound = schedule.with_guard(ReconfigGuard::all());
+            assert!(
+                NetHarness::run(&sound).is_ok(),
+                "{label}: net-level divergence under the sound guard"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_cuts_suppress_acks_but_not_payloads() {
+        let mut h = NetHarness::new(&[1, 2, 3], ReconfigGuard::all());
+        h.elect(NodeId(1));
+        // Cut every ack path back to the leader: payloads land, acks die.
+        h.links_mut().cut_one_way(NodeId(2), NodeId(1));
+        h.links_mut().cut_one_way(NodeId(3), NodeId(1));
+        h.apply(&Fault::ClientBurst { writes: 1 });
+        let s1 = h.state().server(NodeId(1)).unwrap();
+        assert_eq!(s1.commit_len, 0, "no quorum without ack paths");
+        assert_eq!(
+            h.state().server(NodeId(2)).unwrap().log.len(),
+            1,
+            "the payload still landed"
+        );
+        // Healing and pumping lets retransmission finish the commit.
+        h.apply(&Fault::HealAll);
+        assert_eq!(h.state().server(NodeId(1)).unwrap().commit_len, 1);
+        h.check().unwrap();
+    }
+}

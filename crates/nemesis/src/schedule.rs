@@ -1,0 +1,333 @@
+//! Fault schedules: the serializable language of adversarial campaigns.
+//!
+//! A [`FaultSchedule`] is a seed, an initial membership, a guard, and a
+//! sequence of [`Fault`] steps. Everything is data — schedules round-trip
+//! through JSON, replay deterministically, and shrink with the checker's
+//! delta-debugging machinery, so a violating campaign is a *portable*
+//! counterexample, not a flaky observation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use adore_core::ReconfigGuard;
+
+/// One composable fault-injection step.
+///
+/// Node ids are raw `u32`s (not [`adore_core::NodeId`]) so schedules stay
+/// trivially readable in their JSON form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Cut the directed link `from → to` (asymmetric partition onset).
+    CutOneWay {
+        /// Sending side of the cut link.
+        from: u32,
+        /// Receiving side of the cut link.
+        to: u32,
+    },
+    /// Cut both directions between `a` and `b`.
+    CutBothWays {
+        /// One endpoint.
+        a: u32,
+        /// The other endpoint.
+        b: u32,
+    },
+    /// Replace the current link state with a clean partition into groups:
+    /// all previous cuts heal, then every cross-group link is cut.
+    Partition {
+        /// The partition groups (nodes not listed keep all their links).
+        groups: Vec<Vec<u32>>,
+    },
+    /// Heal the directed link `from → to`.
+    HealOneWay {
+        /// Sending side.
+        from: u32,
+        /// Receiving side.
+        to: u32,
+    },
+    /// Heal every link and clear every per-link loss override.
+    HealAll,
+    /// Override the loss percentage of the directed link `from → to`.
+    SetLinkLoss {
+        /// Sending side.
+        from: u32,
+        /// Receiving side.
+        to: u32,
+        /// Loss percentage, clamped to 100.
+        pct: u32,
+    },
+    /// Set the scalar background loss percentage for all links.
+    SetLoss {
+        /// Loss percentage.
+        pct: u32,
+    },
+    /// Crash a replica (benign: its log persists).
+    Crash {
+        /// The replica to crash.
+        nid: u32,
+    },
+    /// Crash whichever node currently leads (leader-targeted nemesis).
+    CrashLeader,
+    /// Recover a crashed replica.
+    Recover {
+        /// The replica to recover.
+        nid: u32,
+    },
+    /// Start an election for `nid` (retried once on a term collision).
+    Elect {
+        /// The candidate.
+        nid: u32,
+    },
+    /// Reconfigure to an explicit member set through the current leader.
+    Reconfig {
+        /// The target membership.
+        members: Vec<u32>,
+    },
+    /// Reconfigure by adding one node to the leader's current config.
+    ReconfigAdd {
+        /// The node to add.
+        nid: u32,
+    },
+    /// Reconfigure by removing one node from the leader's current config.
+    ReconfigRemove {
+        /// The node to remove.
+        nid: u32,
+    },
+    /// Duplicate up to `copies` random in-flight messages.
+    Duplicate {
+        /// Number of duplicates to inject.
+        copies: u32,
+    },
+    /// Re-jitter every in-flight arrival by up to `window_us`.
+    Reorder {
+        /// Reordering window in virtual microseconds.
+        window_us: u64,
+    },
+    /// Skew the leader's retransmission timeout (100 = nominal).
+    SkewTimeout {
+        /// Scale in percent, clamped to `[10, 1000]` by the cluster.
+        pct: u32,
+    },
+    /// Drive a burst of client writes through the robust client.
+    ClientBurst {
+        /// Number of writes.
+        writes: u32,
+    },
+    /// Let the network drain for a stretch of virtual time.
+    Idle {
+        /// Duration in virtual microseconds.
+        us: u64,
+    },
+}
+
+/// A complete, replayable adversarial campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Human-readable campaign name (carried through reports).
+    pub name: String,
+    /// Seed for every random choice in the run (latencies, jitter,
+    /// duplication picks — the whole campaign is a function of this).
+    pub seed: u64,
+    /// Initial cluster membership.
+    pub members: Vec<u32>,
+    /// The reconfiguration guard in force (ablations turn bits off).
+    pub guard: ReconfigGuard,
+    /// The fault steps, applied in order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// The same schedule under a different guard (e.g. to confirm that a
+    /// violating ablation schedule is harmless under the sound guard).
+    #[must_use]
+    pub fn with_guard(mut self, guard: ReconfigGuard) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// The same schedule with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Bounds for [`random_schedule`].
+#[derive(Debug, Clone)]
+pub struct RandomScheduleParams {
+    /// Initial membership.
+    pub members: Vec<u32>,
+    /// Number of fault steps to generate.
+    pub steps: usize,
+    /// The guard the schedule will run under.
+    pub guard: ReconfigGuard,
+}
+
+impl Default for RandomScheduleParams {
+    fn default() -> Self {
+        RandomScheduleParams {
+            members: vec![1, 2, 3, 4, 5],
+            steps: 12,
+            guard: ReconfigGuard::all(),
+        }
+    }
+}
+
+/// Generates a seeded random [`FaultSchedule`]: a weighted mix of
+/// partitions, asymmetric cuts, crash-restart churn, leader flaps,
+/// message tampering, clock skew, reconfiguration churn, and client
+/// traffic. The same `(params, seed)` always yields the same schedule.
+///
+/// Crash steps are bounded so that a majority of the initial membership
+/// stays up: the generator explores degraded-but-live schedules, and the
+/// quiesce phase the engine appends can always make progress.
+#[must_use]
+pub fn random_schedule(params: &RandomScheduleParams, seed: u64) -> FaultSchedule {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x006e_656d_6573_6973); // "nemesis"
+    let n = params.members.len();
+    let pick = |rng: &mut StdRng| params.members[rng.gen_range(0..n)];
+    let mut crashed: Vec<u32> = Vec::new();
+    // Leader-flap crashes target a node only known at runtime; they hold a
+    // crash slot for the rest of the schedule (the engine's quiesce phase
+    // recovers everyone).
+    let mut leader_crashes = 0usize;
+    let max_crashed = (n - 1) / 2;
+    let mut faults = Vec::with_capacity(params.steps + 1);
+    for _ in 0..params.steps {
+        match rng.gen_range(0..100u32) {
+            // Partition into two random groups (always at least one node
+            // per side).
+            0..=11 => {
+                let split = rng.gen_range(1..n);
+                let mut shuffled = params.members.clone();
+                use rand::seq::SliceRandom;
+                shuffled.shuffle(&mut rng);
+                faults.push(Fault::Partition {
+                    groups: vec![shuffled[..split].to_vec(), shuffled[split..].to_vec()],
+                });
+            }
+            12..=19 => {
+                let (from, to) = (pick(&mut rng), pick(&mut rng));
+                if from != to {
+                    faults.push(Fault::CutOneWay { from, to });
+                }
+            }
+            20..=29 => faults.push(Fault::HealAll),
+            30..=35 => {
+                let (from, to) = (pick(&mut rng), pick(&mut rng));
+                if from != to {
+                    faults.push(Fault::SetLinkLoss {
+                        from,
+                        to,
+                        pct: rng.gen_range(10..80),
+                    });
+                }
+            }
+            36..=43 => {
+                if crashed.len() + leader_crashes < max_crashed {
+                    let nid = pick(&mut rng);
+                    if !crashed.contains(&nid) {
+                        crashed.push(nid);
+                        faults.push(Fault::Crash { nid });
+                    }
+                }
+            }
+            44..=47 => {
+                // Leader flap: kill the leader, elect a survivor.
+                if crashed.len() + leader_crashes < max_crashed {
+                    leader_crashes += 1;
+                    faults.push(Fault::CrashLeader);
+                    faults.push(Fault::Elect {
+                        nid: pick(&mut rng),
+                    });
+                }
+            }
+            48..=55 => {
+                if let Some(nid) = crashed.pop() {
+                    faults.push(Fault::Recover { nid });
+                }
+            }
+            56..=62 => faults.push(Fault::Elect {
+                nid: pick(&mut rng),
+            }),
+            // Reconfiguration churn racing the client traffic below.
+            63..=69 => faults.push(Fault::ReconfigRemove {
+                nid: pick(&mut rng),
+            }),
+            70..=76 => faults.push(Fault::ReconfigAdd {
+                nid: pick(&mut rng),
+            }),
+            77..=80 => faults.push(Fault::Duplicate {
+                copies: rng.gen_range(1..6),
+            }),
+            81..=84 => faults.push(Fault::Reorder {
+                window_us: rng.gen_range(500..8_000),
+            }),
+            85..=88 => faults.push(Fault::SkewTimeout {
+                pct: rng.gen_range(25..400),
+            }),
+            89..=93 => faults.push(Fault::Idle {
+                us: rng.gen_range(1_000..20_000),
+            }),
+            _ => faults.push(Fault::ClientBurst {
+                writes: rng.gen_range(1..5),
+            }),
+        }
+        // Keep traffic flowing through every campaign: a schedule with no
+        // client ops exercises nothing.
+        if rng.gen_range(0..100) < 40 {
+            faults.push(Fault::ClientBurst {
+                writes: rng.gen_range(1..4),
+            });
+        }
+    }
+    FaultSchedule {
+        name: format!("random-{seed}"),
+        seed,
+        members: params.members.clone(),
+        guard: params.guard,
+        faults,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schedules_are_deterministic_per_seed() {
+        let params = RandomScheduleParams::default();
+        assert_eq!(random_schedule(&params, 3), random_schedule(&params, 3));
+        assert_ne!(
+            random_schedule(&params, 3).faults,
+            random_schedule(&params, 4).faults
+        );
+    }
+
+    #[test]
+    fn random_schedules_never_crash_a_majority() {
+        for seed in 0..50 {
+            let schedule = random_schedule(&RandomScheduleParams::default(), seed);
+            let mut down = 0usize;
+            let mut worst = 0usize;
+            for fault in &schedule.faults {
+                match fault {
+                    Fault::Crash { .. } | Fault::CrashLeader => down += 1,
+                    Fault::Recover { .. } => down = down.saturating_sub(1),
+                    _ => {}
+                }
+                worst = worst.max(down);
+            }
+            assert!(worst <= 2, "seed {seed} crashed {worst} of 5");
+        }
+    }
+
+    #[test]
+    fn schedules_round_trip_through_json() {
+        let schedule = random_schedule(&RandomScheduleParams::default(), 7);
+        let json = serde_json::to_string(&schedule).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(schedule, back);
+    }
+}

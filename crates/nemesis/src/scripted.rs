@@ -1,0 +1,172 @@
+//! Hand-crafted adversarial schedules targeting each guard ablation.
+//!
+//! Each schedule is safe under the sound guard (`ReconfigGuard::all()`)
+//! and drives the corresponding flawed variant into a committed-prefix
+//! divergence — the network-and-latency-level re-enactments of the
+//! paper's Fig. 4/Fig. 12 violations, expressed purely as composable
+//! faults against the simulated cluster.
+
+use adore_core::ReconfigGuard;
+
+use crate::schedule::{Fault, FaultSchedule};
+
+/// The Fig. 4/Fig. 12 schedule against a guard missing **R3** ("commit a
+/// current-term entry before reconfiguring" — the Raft single-server
+/// membership-change bug).
+///
+/// Shape: S1 proposes a removal while partitioned away (never
+/// replicated); S2 is elected by the majority and commits a *different*
+/// removal through the shrunk quorum `{2, 4}`; the partition then flips
+/// so S1 and S3 form a quorum of S1's stale effective configuration
+/// `{1, 2, 3}` and commit on top of the unreplicated entry. Two disjoint
+/// quorums have now committed incompatible prefixes.
+#[must_use]
+pub fn r3_ablation_schedule() -> FaultSchedule {
+    FaultSchedule {
+        name: "r3-ablation-fig4".into(),
+        seed: 4,
+        members: vec![1, 2, 3, 4],
+        guard: ReconfigGuard::all().without_r3(),
+        faults: vec![
+            // S1 (the boot leader) is cut off and proposes removing S4;
+            // with R3 off nothing requires a committed entry of its term
+            // first, so the config entry sits unreplicated in its log.
+            Fault::Partition {
+                groups: vec![vec![1], vec![2, 3, 4]],
+            },
+            Fault::Reconfig {
+                members: vec![1, 2, 3],
+            },
+            // The majority side elects S2, which removes S3. The new
+            // configuration {1,2,4} commits with acks from just {2,4} —
+            // S3 is not a member and never hears about it.
+            Fault::Elect { nid: 2 },
+            Fault::Reconfig {
+                members: vec![1, 2, 4],
+            },
+            // The partition flips: S1 rejoins exactly S3. Under S1's
+            // *effective* configuration {1,2,3} (its own uncommitted
+            // entry), {1,3} is a quorum — S1 wins an election and commits
+            // a client write that diverges from S2's committed prefix.
+            Fault::Partition {
+                groups: vec![vec![1, 3], vec![2, 4]],
+            },
+            Fault::Elect { nid: 1 },
+            Fault::ClientBurst { writes: 1 },
+        ],
+    }
+}
+
+/// A schedule against a guard missing **R2** ("no stacked uncommitted
+/// configuration entries").
+///
+/// A partitioned leader stacks shrinking reconfigurations
+/// `{1..5} → {1,2,3,4} → {1,2,3} → {1,2} → {1}`; once the effective
+/// configuration is `{1}` its own ack is a quorum and everything
+/// commits unilaterally, while the healthy majority elects S2 and
+/// commits its own writes under the original configuration.
+#[must_use]
+pub fn r2_ablation_schedule() -> FaultSchedule {
+    FaultSchedule {
+        name: "r2-ablation-stacked".into(),
+        seed: 2,
+        members: vec![1, 2, 3, 4, 5],
+        guard: ReconfigGuard::all().without_r2(),
+        faults: vec![
+            // A committed write at the leader's term satisfies R3, so R2
+            // is the only guard standing between S1 and the stack.
+            Fault::ClientBurst { writes: 1 },
+            Fault::Partition {
+                groups: vec![vec![1], vec![2, 3, 4, 5]],
+            },
+            Fault::Reconfig {
+                members: vec![1, 2, 3, 4],
+            },
+            Fault::Reconfig {
+                members: vec![1, 2, 3],
+            },
+            Fault::Reconfig {
+                members: vec![1, 2],
+            },
+            Fault::Reconfig { members: vec![1] },
+            // Effective config {1}: this write "commits" with S1's own ack.
+            Fault::ClientBurst { writes: 1 },
+            // The majority, which never saw any of it, commits its own.
+            Fault::Elect { nid: 2 },
+            Fault::ClientBurst { writes: 1 },
+        ],
+    }
+}
+
+/// A schedule against a guard missing **R1⁺** (quorum-overlapping
+/// consecutive configurations; for the single-node scheme, at most one
+/// membership change at a time).
+///
+/// The leader jumps straight from `{1..5}` to `{1,2}` — a three-node
+/// change whose quorums do not overlap the old configuration's. The
+/// minority pair commits through the new tiny quorum while the untouched
+/// majority `{3,4,5}` elects S3 and commits under the old one.
+#[must_use]
+pub fn r1_ablation_schedule() -> FaultSchedule {
+    FaultSchedule {
+        name: "r1-ablation-disjoint-quorums".into(),
+        seed: 1,
+        members: vec![1, 2, 3, 4, 5],
+        guard: ReconfigGuard::all().without_r1(),
+        faults: vec![
+            Fault::ClientBurst { writes: 1 },
+            Fault::Partition {
+                groups: vec![vec![1, 2], vec![3, 4, 5]],
+            },
+            // The illegal multi-node jump: {1,2,3,4,5} -> {1,2}.
+            Fault::Reconfig {
+                members: vec![1, 2],
+            },
+            Fault::ClientBurst { writes: 1 },
+            Fault::Elect { nid: 3 },
+            Fault::ClientBurst { writes: 1 },
+        ],
+    }
+}
+
+/// All three ablation schedules, labeled by the guard bit they defeat.
+#[must_use]
+pub fn ablation_suite() -> Vec<(&'static str, FaultSchedule)> {
+    vec![
+        ("no-R1+", r1_ablation_schedule()),
+        ("no-R2", r2_ablation_schedule()),
+        ("no-R3", r3_ablation_schedule()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{replay, run_schedule, EngineParams};
+    use crate::client::ViolationKind;
+
+    #[test]
+    fn every_ablation_schedule_finds_its_violation() {
+        for (label, schedule) in ablation_suite() {
+            let report = run_schedule(&schedule, &EngineParams::default());
+            let (violation, _) = report
+                .violation
+                .unwrap_or_else(|| panic!("{label}: no violation found"));
+            assert!(
+                matches!(violation, ViolationKind::LogDivergence { .. }),
+                "{label}: unexpected violation {violation:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_ablation_schedule_is_safe_under_the_sound_guard() {
+        for (label, schedule) in ablation_suite() {
+            let sound = schedule.with_guard(adore_core::ReconfigGuard::all());
+            assert!(
+                replay(&sound, &EngineParams::default()).is_none(),
+                "{label}: violation under the sound guard"
+            );
+        }
+    }
+}

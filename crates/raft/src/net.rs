@@ -79,6 +79,10 @@ pub enum Rejection {
     RecipientCrashed,
     /// The request id is unknown or was never sent.
     UnknownMessage,
+    /// The link from the sender to the recipient is down (partitions are
+    /// a property of the delivery attempt, not of the message: the same
+    /// message can be re-delivered after the link heals).
+    Unreachable,
 }
 
 /// The result of replaying one event.
@@ -346,9 +350,42 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
         EventOutcome::Applied
     }
 
+    /// [`NetEvent::Deliver`] gated by a reachability predicate over
+    /// directed links: the delivery is rejected as
+    /// [`Rejection::Unreachable`] — without touching the recipient — when
+    /// the `sender → recipient` link is down, and the synchronous
+    /// acknowledgement is suppressed when the reverse `recipient → sender`
+    /// link is down (an asymmetric partition loses acks but not
+    /// payloads).
+    ///
+    /// The message stays in the sent bag either way, so it can be
+    /// re-delivered after the partition heals.
+    pub fn deliver_via(
+        &mut self,
+        msg: MsgId,
+        to: NodeId,
+        reachable: &dyn Fn(NodeId, NodeId) -> bool,
+    ) -> EventOutcome {
+        let Some(req) = self.messages.get(msg.0 as usize) else {
+            return EventOutcome::Rejected(Rejection::UnknownMessage);
+        };
+        let from = req.from();
+        if !reachable(from, to) {
+            return EventOutcome::Rejected(Rejection::Unreachable);
+        }
+        self.deliver_gated(msg, to, reachable(to, from))
+    }
+
     /// `deliver(msg, to)`: the recipient validates and applies the request;
     /// the acknowledgement is processed by the sender synchronously.
     fn deliver(&mut self, msg: MsgId, to: NodeId) -> EventOutcome {
+        self.deliver_gated(msg, to, true)
+    }
+
+    /// [`Self::deliver`] with the synchronous acknowledgement made
+    /// conditional (`ack_ok`): the recipient's adoption always applies,
+    /// but the sender only learns of it when the return path is up.
+    fn deliver_gated(&mut self, msg: MsgId, to: NodeId, ack_ok: bool) -> EventOutcome {
         let Some(req) = self.messages.get(msg.0 as usize).cloned() else {
             return EventOutcome::Rejected(Rejection::UnknownMessage);
         };
@@ -372,7 +409,10 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
                 // but the recipient's state still changed, so the delivery
                 // counts as applied (it is NOT an ignorable message).
                 let candidate = self.ensure_server(from);
-                if !candidate.crashed && candidate.role == Role::Candidate && candidate.time == time
+                if ack_ok
+                    && !candidate.crashed
+                    && candidate.role == Role::Candidate
+                    && candidate.time == time
                 {
                     candidate.votes.insert(to);
                     self.maybe_win(from);
@@ -406,7 +446,7 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
                 // Synchronous acknowledgement: the leader counts the ack
                 // unless it has moved on (the adoption above still counts).
                 let leader = self.ensure_server(from);
-                if !leader.crashed && leader.role == Role::Leader && leader.time == time {
+                if ack_ok && !leader.crashed && leader.role == Role::Leader && leader.time == time {
                     leader.acks.entry(len).or_default().insert(to);
                     self.maybe_advance_commit(from, len);
                 }
@@ -470,14 +510,20 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
 
     /// The committed prefix agreed by the cluster: the longest committed
     /// prefix of any server (used by safety checks and the KV store).
+    ///
+    /// `commit_len` is clamped to the log length: in diverging runs under
+    /// a flawed guard, a server can adopt a newer-but-shorter log over
+    /// entries it had committed, leaving `commit_len` dangling past the
+    /// end. [`Self::check_log_safety`] reports that state as a violation;
+    /// this accessor must still be total so the checker can run at all.
     #[must_use]
     pub fn committed_prefix(&self) -> &[Entry<C, M>] {
         let best = self
             .servers
             .values()
-            .max_by_key(|s| s.commit_len)
+            .max_by_key(|s| s.commit_len.min(s.log.len()))
             .expect("cluster has at least one server");
-        &best.log[..best.commit_len]
+        &best.log[..best.commit_len.min(best.log.len())]
     }
 
     /// Checks replicated state safety at the network level: every pair of
@@ -485,9 +531,17 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
     ///
     /// # Errors
     ///
-    /// Returns the two servers whose committed prefixes disagree.
+    /// Returns the two servers whose committed prefixes disagree. A server
+    /// whose `commit_len` exceeds its log length — committed entries were
+    /// overwritten by an adopted log, which only a flawed guard permits —
+    /// disagrees with its own history and is reported against itself.
     pub fn check_log_safety(&self) -> Result<(), (NodeId, NodeId)> {
         let ids: Vec<NodeId> = self.servers.keys().copied().collect();
+        for &a in &ids {
+            if self.servers[&a].commit_len > self.servers[&a].log.len() {
+                return Err((a, a));
+            }
+        }
         for (i, &a) in ids.iter().enumerate() {
             for &b in &ids[i + 1..] {
                 let sa = &self.servers[&a];
@@ -732,6 +786,48 @@ mod tests {
         assert!(st.server(NodeId(1)).unwrap().commit_len >= 1);
         // Committed prefixes now disagree: S1/S3 vs S2/S4.
         assert!(st.check_log_safety().is_err());
+    }
+
+    #[test]
+    fn partitioned_links_reject_deliveries_without_side_effects() {
+        let mut st = three();
+        st.step(&ev_elect(1)); // m0 at t1
+        let down = |from: NodeId, to: NodeId| !(from == NodeId(1) && to == NodeId(2));
+        let out = st.deliver_via(MsgId(0), NodeId(2), &down);
+        assert_eq!(out, EventOutcome::Rejected(Rejection::Unreachable));
+        // The recipient was never touched, and the vote was not counted.
+        assert_eq!(st.server(NodeId(2)).map(|s| s.time), Some(Timestamp(0)));
+        assert_eq!(st.server(NodeId(1)).unwrap().role, Role::Candidate);
+        // The message survives in the sent bag: after the heal, the same
+        // delivery applies.
+        let up = |_: NodeId, _: NodeId| true;
+        assert_eq!(st.deliver_via(MsgId(0), NodeId(2), &up), EventOutcome::Applied);
+        assert_eq!(st.server(NodeId(1)).unwrap().role, Role::Leader);
+    }
+
+    #[test]
+    fn asymmetric_cut_loses_the_ack_but_not_the_payload() {
+        let mut st = three();
+        st.step(&ev_elect(1)); // m0 at t1
+        st.step(&ev_deliver(0, 2)); // S1 leads
+        st.step(&NetEvent::Invoke {
+            nid: NodeId(1),
+            method: "a",
+        });
+        st.step(&NetEvent::Commit { nid: NodeId(1) }); // m1
+        // The return path S2 -> S1 is cut: S2 adopts the log, S1 never
+        // hears the ack, so nothing commits.
+        let ack_cut = |from: NodeId, to: NodeId| !(from == NodeId(2) && to == NodeId(1));
+        assert_eq!(
+            st.deliver_via(MsgId(1), NodeId(2), &ack_cut),
+            EventOutcome::Applied
+        );
+        assert_eq!(st.server(NodeId(2)).unwrap().log.len(), 1);
+        assert_eq!(st.server(NodeId(1)).unwrap().commit_len, 0);
+        // Re-delivery after the heal completes the round.
+        let up = |_: NodeId, _: NodeId| true;
+        assert_eq!(st.deliver_via(MsgId(1), NodeId(2), &up), EventOutcome::Applied);
+        assert_eq!(st.server(NodeId(1)).unwrap().commit_len, 1);
     }
 
     #[test]

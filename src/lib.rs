@@ -14,6 +14,7 @@
 //! | [`raft`] | `adore-raft` | network-based Raft, SRaft trace normalization, executable refinement to ADORE |
 //! | [`checker`] | `adore-checker` | bounded-exhaustive model checker, random walker, scripted scenarios (incl. the Fig. 4 bug) |
 //! | [`kv`] | `adore-kv` | replicated key-value store on a simulated cluster (the Fig. 16 workload) |
+//! | [`nemesis`] | `adore-nemesis` | composable fault-injection engine: adversarial schedules, safety checking, minimized replayable counterexamples |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@ pub use adore_ado as ado;
 pub use adore_checker as checker;
 pub use adore_core as core;
 pub use adore_kv as kv;
+pub use adore_nemesis as nemesis;
 pub use adore_raft as raft;
 pub use adore_schemes as schemes;
 pub use adore_tree as tree;

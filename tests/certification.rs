@@ -10,7 +10,7 @@
 use adore::checker::{explore, random_walk, ExploreParams, InvariantSuite, WalkParams};
 use adore::core::ReconfigGuard;
 use adore::raft::{check_refinement, random_trace, ScheduleParams};
-use adore::schemes::{Joint, ManagedPrimary, PrimaryBackup, ReconfigSpace, SingleNode};
+use adore::schemes::{Joint, ManagedPrimary, PrimaryBackup, SingleNode};
 
 /// Fast certification: every scheme's transition system explored
 /// exhaustively to depth 3 with the full invariant suite.

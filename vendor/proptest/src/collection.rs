@@ -1,0 +1,94 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length bound for collection strategies (half-open).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+// Unsuffixed literal ranges (`1..40`) default to i32.
+impl From<Range<i32>> for SizeRange {
+    fn from(r: Range<i32>) -> Self {
+        SizeRange {
+            lo: usize::try_from(r.start).expect("nonnegative size"),
+            hi: usize::try_from(r.end).expect("nonnegative size"),
+        }
+    }
+}
+
+impl From<RangeInclusive<i32>> for SizeRange {
+    fn from(r: RangeInclusive<i32>) -> Self {
+        SizeRange {
+            lo: usize::try_from(*r.start()).expect("nonnegative size"),
+            hi: usize::try_from(*r.end()).expect("nonnegative size") + 1,
+        }
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.lo < self.size.hi, "empty size range");
+        let len = self.size.lo + rng.index(self.size.hi - self.size.lo);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Samples vectors whose elements come from `element` and whose length
+/// lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::for_case("collection::bounds", 0);
+        let s = vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Keeps the API shape the workspace uses — `Strategy` with a `Value`
+//! associated type, `any::<T>()`, `prop::collection::vec`, tuple and
+//! range strategies, `Just`, `prop_map`, weighted `prop_oneof!`, and
+//! the `proptest!` / `prop_assert*` macros — but implements plain
+//! deterministic sampling: each `#[test]` runs `cases` iterations with
+//! a per-(test, case) seeded RNG. There is no shrinking and no
+//! persistence; `.proptest-regressions` files are ignored.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Builds a weighted union of strategies with a common value type.
+///
+/// Both the weighted (`3 => strat`) and unweighted (`strat`) arm forms
+/// are supported; weights are relative sampling frequencies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here — the
+/// stand-in reports failures by panicking, which the test harness
+/// surfaces the same way).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ..)`
+/// becomes a plain test running `config.cases` sampled iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

@@ -1,0 +1,83 @@
+//! Per-test configuration and the deterministic sampling RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// How many sampled cases each property test runs.
+///
+/// The real crate defaults to 256 cases with shrinking; the stand-in
+/// defaults lower because it reruns deterministically anyway.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies: seeded from the test's module path and
+/// the case index, so every run samples the same inputs.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for one (test, case) pair.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let seed = h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniformly random 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniformly random index in `[0, n)`; `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_same_stream() {
+        let mut a = TestRng::for_case("t::x", 3);
+        let mut b = TestRng::for_case("t::x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_cases_differ() {
+        let mut a = TestRng::for_case("t::x", 0);
+        let mut b = TestRng::for_case("t::x", 1);
+        assert_ne!(
+            (a.next_u64(), a.next_u64()),
+            (b.next_u64(), b.next_u64())
+        );
+    }
+}

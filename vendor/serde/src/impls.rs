@@ -1,0 +1,376 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasher, Hash};
+
+use crate::de::Error;
+use crate::{Deserialize, Serialize, Value};
+
+fn type_err(expected: &str, found: &Value) -> Error {
+    Error::custom(format!("expected {expected}, found {}", found.kind()))
+}
+
+// ---- references and smart pointers -----------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser_value(&self) -> Value {
+        (**self).ser_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        T::deser_value(v).map(Box::new)
+    }
+}
+
+// ---- scalars ----------------------------------------------------------
+
+impl Serialize for bool {
+    fn ser_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_err("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deser_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range")),
+                    other => Err(type_err("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn ser_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        u64::deser_value(v)
+            .and_then(|n| usize::try_from(n).map_err(|_| Error::custom("integer out of range")))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n < 0 { Value::Int(n) } else { Value::UInt(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deser_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::Int(n) => i128::from(*n),
+                    Value::UInt(n) => i128::from(*n),
+                    other => return Err(type_err("integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn ser_value(&self) -> Value {
+        (*self as i64).ser_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        i64::deser_value(v)
+            .and_then(|n| isize::try_from(n).map_err(|_| Error::custom("integer out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn ser_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(type_err("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn ser_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        f64::deser_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for char {
+    fn ser_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| type_err("string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+// ---- strings ----------------------------------------------------------
+
+impl Serialize for str {
+    fn ser_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn ser_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| type_err("string", v))
+    }
+}
+
+// ---- unit and option --------------------------------------------------
+
+impl Serialize for () {
+    fn ser_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(type_err("null", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.ser_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deser_value(other).map(Some),
+        }
+    }
+}
+
+// ---- sequences --------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser_value(&self) -> Value {
+        self.as_slice().ser_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| type_err("array", v))?
+            .iter()
+            .map(T::deser_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::deser_value(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| type_err("array", v))?
+            .iter()
+            .map(T::deser_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn ser_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::ser_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| type_err("array", v))?
+            .iter()
+            .map(T::deser_value)
+            .collect()
+    }
+}
+
+// ---- maps (arrays of [key, value] pairs; see vendor/README.md) --------
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn ser_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.ser_value(), v.ser_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| type_err("array", v))?
+            .iter()
+            .map(|pair| {
+                let kv = crate::value::get_tuple(pair, 2)?;
+                Ok((K::deser_value(&kv[0])?, V::deser_value(&kv[1])?))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn ser_value(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.ser_value(), v.ser_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| type_err("array", v))?
+            .iter()
+            .map(|pair| {
+                let kv = crate::value::get_tuple(pair, 2)?;
+                Ok((K::deser_value(&kv[0])?, V::deser_value(&kv[1])?))
+            })
+            .collect()
+    }
+}
+
+// ---- tuples -----------------------------------------------------------
+
+macro_rules! impl_tuple {
+    ($n:expr => $($idx:tt $t:ident),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.ser_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deser_value(v: &Value) -> Result<Self, Error> {
+                let items = crate::value::get_tuple(v, $n)?;
+                Ok(($($t::deser_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => 0 A);
+impl_tuple!(2 => 0 A, 1 B);
+impl_tuple!(3 => 0 A, 1 B, 2 C);
+impl_tuple!(4 => 0 A, 1 B, 2 C, 3 D);
+impl_tuple!(5 => 0 A, 1 B, 2 C, 3 D, 4 E);
+impl_tuple!(6 => 0 A, 1 B, 2 C, 3 D, 4 E, 5 F);
+
+// ---- value itself -----------------------------------------------------
+
+impl Serialize for Value {
+    fn ser_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deser_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! The real serde is a zero-copy streaming framework; this stand-in
+//! instead serializes through an in-memory JSON value model
+//! ([`Value`]), which is all the workspace needs: derived structs and
+//! enums round-tripping through `serde_json` strings. The derive macros
+//! (re-exported from `serde_derive`) generate the same JSON *shapes* as
+//! real serde: struct fields in declaration order, externally tagged
+//! enums, transparent newtypes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::Value;
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// The value-model rendering of `self`.
+    fn ser_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value-model node.
+    ///
+    /// # Errors
+    ///
+    /// A [`de::Error`] describing the first shape mismatch.
+    fn deser_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization support types.
+pub mod de {
+    use std::fmt;
+
+    /// A deserialization failure: the value did not have the expected
+    /// shape.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Creates an error with the given message.
+        #[must_use]
+        pub fn custom(msg: impl Into<String>) -> Self {
+            Error { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Owned deserialization (the stand-in has no borrowed variant, so
+    /// every [`Deserialize`](crate::Deserialize) type qualifies).
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization support types (parity with the real crate's paths).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+mod impls;

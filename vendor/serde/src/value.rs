@@ -1,0 +1,102 @@
+//! The in-memory JSON value model shared by `serde` and `serde_json`.
+
+use crate::de::Error;
+
+/// One JSON value.
+///
+/// Objects keep insertion order (struct field order), matching how the
+/// real serde_json streams struct fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A one-word description of the value's shape, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Looks up a required object field (derive-macro support).
+///
+/// # Errors
+///
+/// When the field is missing.
+pub fn get_field<'a>(pairs: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+/// Checks an array's arity (derive-macro support for tuple shapes).
+///
+/// # Errors
+///
+/// When `v` is not an array of exactly `n` elements.
+pub fn get_tuple(v: &Value, n: usize) -> Result<&[Value], Error> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("expected array, found {}", v.kind())))?;
+    if items.len() == n {
+        Ok(items)
+    } else {
+        Err(Error::custom(format!(
+            "expected array of {n} elements, found {}",
+            items.len()
+        )))
+    }
+}

@@ -1,0 +1,601 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]`
+//! against the bare `proc_macro` API (no `syn`/`quote` available
+//! offline). Supports what the workspace's types use: named structs,
+//! tuple structs (newtypes are transparent), unit structs, and enums
+//! with unit / tuple / named-field variants, all with plain type
+//! parameters. Serde attributes (`#[serde(...)]`) are not supported —
+//! the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One generic parameter of the deriving type.
+struct Param {
+    /// The bare name (`C`, `'a`, `N`).
+    name: String,
+    /// The declaration with bounds but without defaults (`C: Clone`).
+    decl: String,
+    /// Whether a `Serialize`/`Deserialize` bound applies (type params only).
+    needs_bound: bool,
+}
+
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    params: Vec<Param>,
+    body: Body,
+}
+
+// ---- token-stream parsing --------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skips `#[...]` attributes (including doc comments).
+    fn skip_attrs(&mut self) {
+        while self.is_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in path)`.
+    fn skip_vis(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+}
+
+/// Parses `<...>` generics into parameter records. The cursor must sit on
+/// the opening `<`.
+fn parse_generics(c: &mut Cursor) -> Vec<Param> {
+    c.next(); // consume '<'
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    loop {
+        let t = c
+            .next()
+            .unwrap_or_else(|| panic!("serde derive: unterminated generics"));
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !current.is_empty() {
+                            params.push(param_from_tokens(&current));
+                        }
+                        return params;
+                    }
+                }
+                ',' if depth == 1 => {
+                    params.push(param_from_tokens(&current));
+                    current.clear();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t);
+    }
+}
+
+/// Builds a [`Param`] from one comma-separated generics segment.
+fn param_from_tokens(tokens: &[TokenTree]) -> Param {
+    // Drop a trailing `= Default` (defaults are illegal in impls).
+    let mut cut = tokens.len();
+    let mut angle = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                '=' if angle == 0 => {
+                    cut = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let tokens = &tokens[..cut];
+    let decl = render(tokens);
+    let (name, needs_bound) = match tokens.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+            let lt = match tokens.get(1) {
+                Some(TokenTree::Ident(i)) => format!("'{i}"),
+                other => panic!("serde derive: malformed lifetime, found {other:?}"),
+            };
+            (lt, false)
+        }
+        Some(TokenTree::Ident(i)) if i.to_string() == "const" => {
+            let n = match tokens.get(1) {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                other => panic!("serde derive: malformed const param, found {other:?}"),
+            };
+            (n, false)
+        }
+        Some(TokenTree::Ident(i)) => (i.to_string(), true),
+        other => panic!("serde derive: malformed generic param, found {other:?}"),
+    };
+    Param {
+        name,
+        decl,
+        needs_bound,
+    }
+}
+
+fn render(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses named fields inside a brace group: returns field names in
+/// declaration order.
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<String> {
+    let mut c = Cursor::new(g.stream());
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            return fields;
+        }
+        c.skip_vis();
+        fields.push(c.expect_ident("field name"));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected ':' after field, found {other:?}"),
+        }
+        // Skip the type: everything up to a comma at angle depth 0.
+        let mut angle = 0usize;
+        loop {
+            match c.peek() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => {
+                    let ch = p.as_char();
+                    if ch == '<' {
+                        angle += 1;
+                    } else if ch == '>' {
+                        angle = angle.saturating_sub(1);
+                    } else if ch == ',' && angle == 0 {
+                        c.next();
+                        break;
+                    }
+                    c.next();
+                }
+                Some(_) => {
+                    c.next();
+                }
+            }
+        }
+    }
+}
+
+/// Counts tuple fields inside a paren group (top-level commas + 1).
+fn count_tuple_fields(g: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0usize;
+    let mut count = 1;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(g: &proc_macro::Group) -> Vec<Variant> {
+    let mut c = Cursor::new(g.stream());
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            return variants;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(vg);
+                c.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(vg);
+                c.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        if c.is_punct('=') {
+            while !c.at_end() && !c.is_punct(',') {
+                c.next();
+            }
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut c = Cursor::new(ts);
+    c.skip_attrs();
+    c.skip_vis();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    let params = if c.is_punct('<') {
+        parse_generics(&mut c)
+    } else {
+        Vec::new()
+    };
+    // Skip a `where` clause if present (bounds are re-derived from the
+    // parameter declarations; the workspace's derived types have none).
+    if c.is_ident("where") {
+        while !c.at_end() {
+            match c.peek() {
+                Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Brace && keyword != "enum" =>
+                {
+                    break
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => break,
+                _ => {
+                    c.next();
+                }
+            }
+        }
+    }
+    let body = if keyword == "enum" {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            None => Body::Unit,
+            other => panic!("serde derive: expected struct body, found {other:?}"),
+        }
+    };
+    Input { name, params, body }
+}
+
+// ---- code generation --------------------------------------------------
+
+/// `impl<decls> Trait for Name<names> where P: Trait, ...` header parts.
+fn impl_header(input: &Input, trait_path: &str) -> (String, String, String) {
+    let decls: Vec<&str> = input.params.iter().map(|p| p.decl.as_str()).collect();
+    let names: Vec<&str> = input.params.iter().map(|p| p.name.as_str()).collect();
+    let impl_generics = if decls.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decls.join(", "))
+    };
+    let type_generics = if names.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", names.join(", "))
+    };
+    let bounds: Vec<String> = input
+        .params
+        .iter()
+        .filter(|p| p.needs_bound)
+        .map(|p| format!("{}: {trait_path}", p.name))
+        .collect();
+    let where_clause = if bounds.is_empty() {
+        String::new()
+    } else {
+        format!("where {}", bounds.join(", "))
+    };
+    (impl_generics, type_generics, where_clause)
+}
+
+/// Derives `Serialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (ig, tg, wc) = impl_header(&input, "::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::ser_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Body::Tuple(1) => "::serde::Serialize::ser_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::ser_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "Self::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "Self::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::ser_value(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::ser_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::ser_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl{ig} ::serde::Serialize for {name}{tg} {wc} {{\n\
+         fn ser_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde derive: generated impl parses")
+}
+
+/// Derives `Deserialize` (see the crate docs for supported shapes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let (ig, tg, wc) = impl_header(&input, "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deser_value(\
+                         ::serde::value::get_field(__obj, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deser_value(__v)?))")
+        }
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deser_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::value::get_tuple(__v, {n})?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Unit => format!(
+            "match __v {{ ::serde::Value::Null => Ok({name}), _ => \
+             Err(::serde::de::Error::custom(\"expected null for {name}\")) }}"
+        ),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok(Self::{vn}(\
+                             ::serde::Deserialize::deser_value(__inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deser_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __items = ::serde::value::get_tuple(__inner, {n})?;\n\
+                                 Ok(Self::{vn}({}))\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deser_value(\
+                                         ::serde::value::get_field(__obj, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __obj = __inner.as_object().ok_or_else(|| \
+                                 ::serde::de::Error::custom(\
+                                 \"expected object for variant {vn}\"))?;\n\
+                                 Ok(Self::{vn} {{ {} }})\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => Err(::serde::de::Error::custom(::std::format!(\n\
+                 \"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data}\n\
+                 __other => Err(::serde::de::Error::custom(::std::format!(\n\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::de::Error::custom(::std::format!(\n\
+                 \"expected variant of {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    let out = format!(
+        "impl{ig} ::serde::Deserialize for {name}{tg} {wc} {{\n\
+         fn deser_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("serde derive: generated impl parses")
+}
