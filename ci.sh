@@ -11,6 +11,12 @@ cargo build --release --workspace --offline
 echo "== cargo test -q =="
 cargo test -q --workspace --offline
 
+# The storage crate's recovery semantics are the foundation the nemesis
+# disk faults stand on; run its suite by name so a storage regression is
+# reported as such, not as a downstream nemesis failure.
+echo "== cargo test -p adore-storage =="
+cargo test -q -p adore-storage --offline
+
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
@@ -20,5 +26,14 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # minimized replayable counterexample per guard ablation.
 echo "== nemesis smoke run (fixed seeds) =="
 cargo run -p adore-bench --bin nemesis_table --release --offline >/dev/null
+
+# Same deal for the storage nemesis: seeded random campaigns mixing disk
+# faults with network/process faults under the strict policy and the
+# storage certification checker (self-asserts 0 violations), plus one
+# minimized replayable counterexample per storage ablation. A small seed
+# count keeps the gate fast; the full 100-seed table is E10.
+echo "== storage nemesis smoke run (fixed seeds) =="
+STORAGE_TABLE_SEEDS=10 \
+    cargo run -p adore-bench --bin storage_table --release --offline >/dev/null
 
 echo "ci: all green"

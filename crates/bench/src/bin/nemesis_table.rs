@@ -24,8 +24,8 @@
 use adore_bench::{fmt_duration, print_table};
 use adore_core::ReconfigGuard;
 use adore_nemesis::{
-    ablation_suite, hunt, random_schedule, replay, run_schedule, Counterexample, EngineParams,
-    Fault, FaultSchedule, NetHarness, RandomScheduleParams,
+    ablation_suite, hunt, random_schedule, replay, run_schedule, Counterexample,
+    DurabilityPolicy, EngineParams, Fault, FaultSchedule, NetHarness, RandomScheduleParams,
 };
 
 /// The availability demo: the client starts behind a minority-side
@@ -37,6 +37,7 @@ fn partition_recovery_schedule() -> FaultSchedule {
         seed: 9,
         members: vec![1, 2, 3, 4, 5],
         guard: ReconfigGuard::all(),
+        durability: DurabilityPolicy::strict(),
         faults: vec![
             Fault::ClientBurst { writes: 4 },
             // Drain in-flight replication so the majority side's logs are

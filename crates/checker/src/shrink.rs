@@ -365,6 +365,49 @@ mod tests {
     }
 
     #[test]
+    fn paired_steps_survive_shrinking_only_together() {
+        // The shape of a disk-fault counterexample: a crash step is
+        // meaningless without its recover step (and vice versa), so the
+        // pair-removal pass must strip both or neither — a single-step
+        // pass alone would be stuck, since removing either one of the
+        // pair "heals" the candidate.
+        #[derive(Clone, PartialEq, Debug)]
+        enum Step {
+            CrashDisk(u32),
+            Recover(u32),
+            Burst,
+            Noise,
+        }
+        let noisy = vec![
+            Step::Noise,
+            Step::CrashDisk(2),
+            Step::Noise,
+            Step::Recover(2),
+            Step::CrashDisk(3),
+            Step::Recover(3),
+            Step::Burst,
+            Step::Noise,
+        ];
+        // "Fails" iff it has a burst and every crash is balanced by its
+        // recover — an unbalanced candidate is an invalid schedule.
+        let mut fails = |xs: &[Step]| {
+            let balanced = |n: u32| {
+                xs.contains(&Step::CrashDisk(n)) == xs.contains(&Step::Recover(n))
+            };
+            xs.contains(&Step::Burst)
+                && xs.contains(&Step::CrashDisk(2))
+                && balanced(2)
+                && balanced(3)
+        };
+        let minimal = shrink_sequence(&noisy, &mut fails);
+        assert_eq!(
+            minimal,
+            vec![Step::CrashDisk(2), Step::Recover(2), Step::Burst],
+            "the required pair stays, the removable pair and the noise go"
+        );
+    }
+
+    #[test]
     fn net_traces_shrink_with_msg_id_renumbering() {
         use adore_core::NodeId;
         use adore_raft::{MsgId, NetEvent};

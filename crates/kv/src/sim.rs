@@ -14,13 +14,15 @@
 //! experiment runs are exactly reproducible.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{de, Serialize};
 
-use adore_core::{Configuration, NodeId, ReconfigGuard};
-use adore_raft::{EventOutcome, MsgId, NetEvent, NetState, Role};
+use adore_core::{Configuration, NodeId, ReconfigGuard, Timestamp};
+use adore_raft::{EventOutcome, Log, MsgId, NetEvent, NetState, Role};
+use adore_storage::{DiskFault, DurabilityPolicy, Recovery, StorageViolation, Wal, WalRecord};
 
 use crate::command::{KvCommand, KvStore};
 use crate::links::LinkMatrix;
@@ -137,9 +139,54 @@ pub struct Cluster<C: Configuration> {
     /// injection skews it to model clock drift between the leader's
     /// timer and the network.
     timeout_scale_pct: u32,
+    /// Per-replica durable storage: the WALs, the policy they run
+    /// under, and the recovery-invariant checker's findings.
+    storage: Storage<C>,
 }
 
-impl<C: Configuration> Cluster<C> {
+/// The cluster's durable-storage state: one write-ahead log per
+/// replica, journaled by state diff around every protocol event.
+///
+/// Under [`DurabilityPolicy::strict`] every acknowledgement — a vote
+/// grant, a replication ack, a leader's self-ack — is preceded by a WAL
+/// sync of the acking replica (the sync-before-ack rule), so recovery
+/// replays exactly what was promised. The ablated policies relax one
+/// rule each; the nemesis storage hunts demonstrate that each
+/// relaxation breaks committed-prefix agreement.
+#[derive(Debug)]
+struct Storage<C: Configuration> {
+    policy: DurabilityPolicy,
+    /// When set, the recovery-invariant checker runs: at every ack
+    /// point the acking replica's volatile `(time, log, commit_len)`
+    /// must equal the strict replay of its synced WAL, and every
+    /// recovery must install exactly that replay.
+    certify: bool,
+    wals: BTreeMap<NodeId, Wal<C, KvCommand>>,
+    violations: Vec<StorageViolation>,
+    /// Replicas that fail-stopped on a checksum mismatch: they stay
+    /// down for the rest of the run (corruption is not locally
+    /// repairable).
+    wrecked: BTreeSet<NodeId>,
+}
+
+impl<C: Configuration> Default for Storage<C> {
+    fn default() -> Self {
+        Storage {
+            policy: DurabilityPolicy::strict(),
+            certify: false,
+            wals: BTreeMap::new(),
+            violations: Vec::new(),
+            wrecked: BTreeSet::new(),
+        }
+    }
+}
+
+// The serde bounds ship configurations through the WAL record format
+// (every scheme in `adore-schemes` satisfies them).
+impl<C> Cluster<C>
+where
+    C: Configuration + Serialize + de::DeserializeOwned,
+{
     /// Creates a cluster over `conf0` with the full reconfiguration guard.
     #[must_use]
     pub fn new(conf0: C, latency: LatencyModel, seed: u64) -> Self {
@@ -158,9 +205,10 @@ impl<C: Configuration> Cluster<C> {
             rng: StdRng::seed_from_u64(seed),
             latency,
             leader: None,
-            egress_free: std::collections::BTreeMap::new(),
+            egress_free: BTreeMap::new(),
             links: LinkMatrix::new(),
             timeout_scale_pct: 100,
+            storage: Storage::default(),
         }
     }
 
@@ -250,15 +298,163 @@ impl<C: Configuration> Cluster<C> {
             return false;
         };
         self.now_us = self.now_us.max(t);
-        if self.links.is_quiet() {
-            let _ = self.net.step(&NetEvent::Deliver { msg, to });
+        let _ = self.deliver_logged(msg, to);
+        true
+    }
+
+    /// Delivers one message through the link matrix, journaling the
+    /// durable consequences: the recipient's adoption is written to its
+    /// WAL and synced *before* the synchronous acknowledgement counts
+    /// (the sync-before-ack rule — the ack already happened inside the
+    /// atomic step, but a crash between the two is impossible in this
+    /// model, so syncing here is equivalent); if the ack advanced the
+    /// sender's commit watermark, that advance is journaled and synced
+    /// too, so a later leader crash cannot roll the watermark back
+    /// below acknowledged writes.
+    fn deliver_logged(&mut self, msg: MsgId, to: NodeId) -> EventOutcome {
+        let from = self.net.message(msg).map(|r| r.from());
+        let before_to = self.snapshot(to);
+        let before_from = from.filter(|f| *f != to).map(|f| (f, self.snapshot(f)));
+        let outcome = if self.links.is_quiet() {
+            self.net.step(&NetEvent::Deliver { msg, to })
         } else {
             let links = &self.links;
-            let _ = self
-                .net
-                .deliver_via(msg, to, &|from, to| !links.is_cut(from, to));
+            self.net
+                .deliver_via(msg, to, &|from, to| !links.is_cut(from, to))
+        };
+        if outcome != EventOutcome::Applied {
+            return outcome; // rejected deliveries change no durable state
+        }
+        // The recipient adopted state and acknowledged: journal, sync,
+        // and (when certifying) check the ack against the mirror.
+        self.journal_diff(to, before_to);
+        self.sync_wal(to);
+        self.certify_ack(to);
+        // The sender's watermark may have advanced on the ack. Not an
+        // ack point itself, but left unsynced it would regress across a
+        // leader crash, silently forgetting acked commits.
+        if let Some((f, before)) = before_from {
+            if self.journal_diff(f, before) {
+                self.sync_wal(f);
+            }
+        }
+        outcome
+    }
+
+    /// Applies one local protocol event, journaling its durable
+    /// consequences. `Elect` (the candidate's self-vote) and `Commit`
+    /// (the leader's self-ack) are ack points: the WAL is synced and,
+    /// when certifying, checked. `Invoke`/`Reconfig` appends are
+    /// journaled but *not* synced — nothing was promised yet; the sync
+    /// rides on the commit broadcast that follows.
+    fn step_logged(&mut self, event: &NetEvent<C, KvCommand>) -> EventOutcome {
+        let touched = event.touches(|m| self.net.message(m).expect("sent message").from());
+        let before: Vec<_> = touched.iter().map(|&n| (n, self.snapshot(n))).collect();
+        let outcome = self.net.step(event);
+        if outcome != EventOutcome::Applied {
+            return outcome;
+        }
+        let is_ack_point = matches!(event, NetEvent::Elect { .. } | NetEvent::Commit { .. });
+        for (nid, prev) in before {
+            self.journal_diff(nid, prev);
+            if is_ack_point {
+                self.sync_wal(nid);
+                self.certify_ack(nid);
+            }
+        }
+        outcome
+    }
+
+    /// The durable projection of a replica's volatile state.
+    #[allow(clippy::type_complexity)]
+    fn snapshot(&self, nid: NodeId) -> Option<(Timestamp, Log<C, KvCommand>, usize)> {
+        self.net
+            .server(nid)
+            .map(|s| (s.time, s.log.clone(), s.commit_len))
+    }
+
+    /// The WAL of `nid`, created (with a synced boot record) on first use.
+    fn wal(&mut self, nid: NodeId) -> &mut Wal<C, KvCommand> {
+        self.storage.wals.entry(nid).or_insert_with(|| Wal::new(nid))
+    }
+
+    /// Appends the difference between `before` and the replica's current
+    /// durable projection to its WAL (term adoption, truncation of a
+    /// divergent suffix, new entries, watermark advance). Returns
+    /// whether anything was written.
+    fn journal_diff(
+        &mut self,
+        nid: NodeId,
+        before: Option<(Timestamp, Log<C, KvCommand>, usize)>,
+    ) -> bool {
+        let Some(s) = self.net.server(nid) else {
+            return false;
+        };
+        let (b_time, b_log, b_commit) = before.unwrap_or((Timestamp::ZERO, Vec::new(), 0));
+        let mut records: Vec<WalRecord<C, KvCommand>> = Vec::new();
+        if s.time != b_time {
+            records.push(WalRecord::Term { time: s.time.0 });
+        }
+        let prefix = s
+            .log
+            .iter()
+            .zip(b_log.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        if b_log.len() > prefix {
+            records.push(WalRecord::Truncate {
+                len: prefix as u64,
+            });
+        }
+        for entry in &s.log[prefix..] {
+            records.push(WalRecord::Append {
+                entry: entry.clone(),
+            });
+        }
+        if s.commit_len != b_commit {
+            records.push(WalRecord::CommitLen {
+                len: s.commit_len as u64,
+            });
+        }
+        if records.is_empty() {
+            return false;
+        }
+        let wal = self.wal(nid);
+        for rec in &records {
+            wal.append(rec);
         }
         true
+    }
+
+    /// Syncs a replica's WAL — unless the sync-before-ack rule is
+    /// ablated, in which case acknowledgements outrun durability and a
+    /// crash forgets them.
+    fn sync_wal(&mut self, nid: NodeId) {
+        if self.storage.policy.sync_before_ack {
+            self.wal(nid).sync();
+        }
+    }
+
+    /// The recovery invariant at an ack point: the acking replica's
+    /// volatile `(time, log, commit_len)` must equal the strict replay
+    /// of its synced WAL (the mirror) — otherwise a crash at this very
+    /// instant would forget the promise just made.
+    fn certify_ack(&mut self, nid: NodeId) {
+        if !self.storage.certify {
+            return;
+        }
+        let Some(s) = self.net.server(nid) else {
+            return;
+        };
+        let Some(wal) = self.storage.wals.get(&nid) else {
+            return;
+        };
+        let m = wal.mirror();
+        if s.time != m.time || s.log != m.log || s.commit_len != m.commit_len.min(m.log.len()) {
+            self.storage
+                .violations
+                .push(StorageViolation::AckNotDurable { nid: nid.0 });
+        }
     }
 
     /// Runs deliveries until `done` holds or the queue drains.
@@ -280,7 +476,7 @@ impl<C: Configuration> Cluster<C> {
     /// [`ClusterError::Stalled`] if the votes cannot elect it.
     pub fn elect(&mut self, nid: NodeId) -> Result<(), ClusterError> {
         let msg = MsgId(self.net.messages().len() as u32);
-        if self.net.step(&NetEvent::Elect { nid }) != EventOutcome::Applied {
+        if self.step_logged(&NetEvent::Elect { nid }) != EventOutcome::Applied {
             return Err(ClusterError::Rejected);
         }
         let members: Vec<NodeId> = self
@@ -320,7 +516,7 @@ impl<C: Configuration> Cluster<C> {
         // default 32-round budget.
         for round in 0..max_rounds {
             let msg = MsgId(self.net.messages().len() as u32);
-            let outcome = self.net.step(&NetEvent::Commit { nid: leader });
+            let outcome = self.step_logged(&NetEvent::Commit { nid: leader });
             if outcome != EventOutcome::Applied {
                 return Err(ClusterError::Rejected);
             }
@@ -355,7 +551,7 @@ impl<C: Configuration> Cluster<C> {
     /// quorum failures.
     pub fn submit(&mut self, cmd: KvCommand) -> Result<u64, ClusterError> {
         let leader = self.leader.ok_or(ClusterError::NoLeader)?;
-        if self.net.step(&NetEvent::Invoke {
+        if self.step_logged(&NetEvent::Invoke {
             nid: leader,
             method: cmd,
         }) != EventOutcome::Applied
@@ -377,7 +573,22 @@ impl<C: Configuration> Cluster<C> {
     /// queued deliveries would land the instant the node recovered,
     /// bypassing the retransmission path entirely.)
     pub fn fail(&mut self, nid: NodeId) {
+        // A plain process crash is a clean power loss at the disk level:
+        // the WAL's unsynced tail is gone, synced bytes survive. (Under
+        // the strict policy everything acked was synced, so this is
+        // exactly the benign crash the certified model assumes.)
+        self.fail_with(nid, &DiskFault::LoseTail);
+    }
+
+    /// [`Cluster::fail`] with an explicit crash-time [`DiskFault`]: the
+    /// replica goes down and its WAL suffers the given fault — a torn
+    /// record at the crash point, a bit-flip in a synced record, or
+    /// total media loss. What the replica remembers when it
+    /// [`Cluster::recover`]s is whatever a replay of the surviving
+    /// bytes reconstructs.
+    pub fn fail_with(&mut self, nid: NodeId, fault: &DiskFault) {
         let _ = self.net.step(&NetEvent::Crash { nid });
+        self.wal(nid).crash(fault);
         if self.leader == Some(nid) {
             self.leader = None;
         }
@@ -388,9 +599,62 @@ impl<C: Configuration> Cluster<C> {
             .collect();
     }
 
-    /// Recovers a crashed replica (its log persisted).
+    /// Recovers a crashed replica by replaying its write-ahead log:
+    /// volatile `(term, log, commit watermark)` are rebuilt from the
+    /// surviving records under the cluster's [`DurabilityPolicy`] —
+    /// nothing is assumed to have persisted beyond what was synced.
+    ///
+    /// - An intact replay rejoins the replica as a follower with the
+    ///   replayed state.
+    /// - Total WAL loss ([`Recovery::DataLoss`]) rejoins it as a
+    ///   permanently *abstaining* follower: it has forgotten which votes
+    ///   it granted, so it may never vote or campaign again, but it
+    ///   still catches up through ordinary retransmission.
+    /// - A checksum mismatch ([`Recovery::Corrupt`]) fail-stops the
+    ///   replica for the remainder of the run.
+    ///
+    /// When the recovery invariant is being certified, the installed
+    /// state is checked against the strict replay of the synced WAL; a
+    /// mismatch is recorded as [`StorageViolation::UnfaithfulRecovery`].
     pub fn recover(&mut self, nid: NodeId) {
-        let _ = self.net.step(&NetEvent::Recover { nid });
+        if self.storage.wrecked.contains(&nid) {
+            return; // fail-stopped on corruption: stays down
+        }
+        if !self.net.server(nid).is_some_and(|s| s.crashed) {
+            return; // nothing to recover
+        }
+        let policy = self.storage.policy;
+        match self.wal(nid).recover(&policy) {
+            Recovery::Intact(state) => {
+                let _ = self.net.install_recovery(
+                    nid,
+                    state.time,
+                    state.log,
+                    state.commit_len,
+                    false,
+                );
+                if self.storage.certify {
+                    let s = self.net.server(nid).expect("just installed");
+                    let m = self.storage.wals[&nid].mirror();
+                    if s.time != m.time
+                        || s.log != m.log
+                        || s.commit_len != m.commit_len.min(m.log.len())
+                    {
+                        self.storage
+                            .violations
+                            .push(StorageViolation::UnfaithfulRecovery { nid: nid.0 });
+                    }
+                }
+            }
+            Recovery::DataLoss => {
+                let _ = self
+                    .net
+                    .install_recovery(nid, Timestamp::ZERO, Vec::new(), 0, true);
+            }
+            Recovery::Corrupt { .. } => {
+                self.storage.wrecked.insert(nid);
+            }
+        }
     }
 
     /// Performs a live ("hot") reconfiguration to `new_config` and waits
@@ -406,7 +670,7 @@ impl<C: Configuration> Cluster<C> {
     /// before the first commit of the term).
     pub fn reconfigure(&mut self, new_config: C) -> Result<u64, ClusterError> {
         let leader = self.leader.ok_or(ClusterError::NoLeader)?;
-        if self.net.step(&NetEvent::Reconfig {
+        if self.step_logged(&NetEvent::Reconfig {
             nid: leader,
             config: new_config,
         }) != EventOutcome::Applied
@@ -454,7 +718,7 @@ impl<C: Configuration> Cluster<C> {
                 return Ok(self.now_us - start);
             }
             let msg = MsgId(self.net.messages().len() as u32);
-            if self.net.step(&NetEvent::Commit { nid: leader }) != EventOutcome::Applied {
+            if self.step_logged(&NetEvent::Commit { nid: leader }) != EventOutcome::Applied {
                 return Err(ClusterError::Rejected);
             }
             let recipients: Vec<NodeId> =
@@ -516,7 +780,10 @@ impl<C: Configuration> Cluster<C> {
 /// submission. None of them are used by the normal-path API above, and a
 /// cluster that never calls them behaves bit-identically to one built
 /// before these hooks existed.
-impl<C: Configuration> Cluster<C> {
+impl<C> Cluster<C>
+where
+    C: Configuration + Serialize + de::DeserializeOwned,
+{
     /// Read access to the per-link fault state.
     #[must_use]
     pub fn links(&self) -> &LinkMatrix {
@@ -640,7 +907,7 @@ impl<C: Configuration> Cluster<C> {
         max_rounds: u32,
     ) -> Result<u64, ClusterError> {
         let leader = self.leader.ok_or(ClusterError::NoLeader)?;
-        if self.net.step(&NetEvent::Invoke {
+        if self.step_logged(&NetEvent::Invoke {
             nid: leader,
             method: cmd,
         }) != EventOutcome::Applied
@@ -649,6 +916,68 @@ impl<C: Configuration> Cluster<C> {
         }
         let target = self.net.server(leader).expect("leader exists").log.len();
         self.replicate_rounds(target, max_rounds)
+    }
+
+    /// Sets the durability policy every replica's WAL runs under. The
+    /// storage-ablation hook: schedules carry a policy, and each
+    /// non-strict policy must be huntable to a committed-prefix
+    /// violation. Takes effect for subsequent syncs and recoveries.
+    pub fn set_durability(&mut self, policy: DurabilityPolicy) {
+        self.storage.policy = policy;
+    }
+
+    /// The active durability policy.
+    #[must_use]
+    pub fn durability(&self) -> DurabilityPolicy {
+        self.storage.policy
+    }
+
+    /// Turns the recovery-invariant checker on or off (off by default:
+    /// ablation hunts want the *protocol-level* divergence to surface,
+    /// not the storage-level early warning).
+    pub fn set_certify_storage(&mut self, on: bool) {
+        self.storage.certify = on;
+    }
+
+    /// Violations the recovery-invariant checker has recorded so far.
+    #[must_use]
+    pub fn storage_violations(&self) -> &[StorageViolation] {
+        &self.storage.violations
+    }
+
+    /// Whether `nid` fail-stopped on WAL corruption (permanently down).
+    #[must_use]
+    pub fn is_wrecked(&self, nid: NodeId) -> bool {
+        self.storage.wrecked.contains(&nid)
+    }
+
+    /// Summed WAL traffic across all replicas:
+    /// `(records, syncs, bytes_written)`.
+    #[must_use]
+    pub fn wal_traffic(&self) -> (usize, usize, usize) {
+        self.storage
+            .wals
+            .values()
+            .map(Wal::stats)
+            .fold((0, 0, 0), |(r, s, b), st| {
+                (r + st.records, s + st.syncs, b + st.bytes_written)
+            })
+    }
+
+    /// Appends a command at the leader *without* starting a replication
+    /// round: the command sits in the leader's log (and WAL buffer)
+    /// exactly as a request caught by a crash mid-flight would. Under
+    /// the strict policy it was never acked, so losing it is safe; it
+    /// is the canonical unsynced tail for torn-write fault injection.
+    /// Returns whether the append applied.
+    pub fn orphan_append(&mut self, cmd: KvCommand) -> bool {
+        let Some(leader) = self.leader else {
+            return false;
+        };
+        self.step_logged(&NetEvent::Invoke {
+            nid: leader,
+            method: cmd,
+        }) == EventOutcome::Applied
     }
 }
 
@@ -774,6 +1103,40 @@ mod tests {
         c.recover(NodeId(1));
         c.submit(KvCommand::put("rejoin", "ok")).unwrap();
         c.verify().unwrap();
+    }
+
+    #[test]
+    fn wiped_replica_rejoins_abstaining_and_catches_up_by_retransmission() {
+        let mut c = Cluster::new(SingleNode::new([1, 2, 3]), LatencyModel::default(), 11);
+        c.set_certify_storage(true);
+        c.elect(NodeId(1)).unwrap();
+        for i in 0..5 {
+            c.submit(KvCommand::put(format!("k{i}"), "v")).unwrap();
+        }
+        // S3's disk is wiped: even the boot record is gone.
+        c.fail_with(NodeId(3), &DiskFault::WipeAll);
+        c.recover(NodeId(3));
+        let s3 = c.net().server(NodeId(3)).unwrap();
+        assert!(s3.abstaining, "total WAL loss renounces voting");
+        assert!(s3.log.is_empty(), "everything it knew is gone");
+        // It must never campaign with forgotten state...
+        assert_eq!(c.elect(NodeId(3)).unwrap_err(), ClusterError::Rejected);
+        // ...and its vote must not count: with S2 down, S1 + the
+        // abstainer cannot form a quorum of {1,2,3}.
+        c.fail(NodeId(2));
+        assert_eq!(c.elect(NodeId(1)).unwrap_err(), ClusterError::Stalled);
+        // With a real voter back, elections work again.
+        c.recover(NodeId(2));
+        c.elect(NodeId(1)).unwrap();
+        c.submit(KvCommand::put("after", "wipe")).unwrap();
+        c.run_idle(100_000);
+        // The wiped replica caught up purely by replication traffic.
+        let leader_log = c.net().server(NodeId(1)).unwrap().log.clone();
+        let s3 = c.net().server(NodeId(3)).unwrap();
+        assert_eq!(s3.log, leader_log, "full catch-up by retransmission");
+        assert!(s3.abstaining, "catch-up does not restore voting rights");
+        c.verify().unwrap();
+        assert!(c.storage_violations().is_empty(), "strict policy certifies clean");
     }
 
     #[test]

@@ -105,6 +105,20 @@ pub enum ViolationKind {
         /// The inexplicable value.
         got: String,
     },
+    /// A replica acknowledged state (a vote, an entry, a commit) that its
+    /// synced WAL prefix does not justify — the sync-before-ack
+    /// discipline was violated (storage certification).
+    AckNotDurable {
+        /// The offending replica.
+        nid: u32,
+    },
+    /// A replica recovered to a state that is not the replay of its
+    /// synced WAL — recovery invented or reordered history (storage
+    /// certification).
+    UnfaithfulRecovery {
+        /// The offending replica.
+        nid: u32,
+    },
 }
 
 impl std::fmt::Display for ViolationKind {
@@ -124,6 +138,12 @@ impl std::fmt::Display for ViolationKind {
             }
             ViolationKind::PhantomWrite { key, got } => {
                 write!(f, "read {key}: phantom value {got}")
+            }
+            ViolationKind::AckNotDurable { nid } => {
+                write!(f, "S{nid} acknowledged state its synced WAL does not hold")
+            }
+            ViolationKind::UnfaithfulRecovery { nid } => {
+                write!(f, "S{nid} recovered to a state its WAL replay cannot produce")
             }
         }
     }

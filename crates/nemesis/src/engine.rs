@@ -17,8 +17,9 @@
 use serde::{Deserialize, Serialize};
 
 use adore_core::NodeId;
-use adore_kv::{Cluster, LatencyModel};
+use adore_kv::{Cluster, KvCommand, LatencyModel};
 use adore_schemes::SingleNode;
+use adore_storage::StorageViolation;
 
 use crate::client::{ClientParams, OpOutcome, RobustClient, ViolationKind};
 use crate::schedule::{Fault, FaultSchedule};
@@ -30,6 +31,10 @@ pub struct EngineParams {
     pub latency: LatencyModel,
     /// Client-side robustness parameters.
     pub client: ClientParams,
+    /// Run the storage certification checker: at every ack point, assert
+    /// the acked state is a projection of the synced WAL mirror; at every
+    /// recovery, assert the installed state is exactly the replay.
+    pub certify_storage: bool,
 }
 
 /// Per-phase client statistics — one row per fault step.
@@ -97,6 +102,12 @@ pub struct NemesisReport {
     pub committed_entries: usize,
     /// Total client operations recorded.
     pub history_len: usize,
+    /// WAL records journaled across all replicas.
+    pub wal_records: usize,
+    /// WAL syncs issued across all replicas.
+    pub wal_syncs: usize,
+    /// WAL bytes written across all replicas.
+    pub wal_bytes: usize,
 }
 
 impl NemesisReport {
@@ -157,6 +168,17 @@ fn apply_fault(
         }
         Fault::SetLoss { pct } => cluster.latency_mut().drop_pct = (*pct).min(100),
         Fault::Crash { nid } => cluster.fail(NodeId(*nid)),
+        Fault::CrashDisk { nid, fault } => cluster.fail_with(NodeId(*nid), fault),
+        Fault::OrphanWrite => {
+            // Never acked and never replicated: the canonical unsynced
+            // WAL tail for the torn-write faults to bite on. The value
+            // shares the global sequence so it stays unique, but the key
+            // lives outside the client's rotating key space — the ghost
+            // must never be obliged to explain it.
+            let value = format!("orphan{}", *write_seq);
+            *write_seq += 1;
+            cluster.orphan_append(KvCommand::put("orphan", &value));
+        }
         Fault::CrashLeader => {
             if let Some(leader) = cluster.leader() {
                 cluster.fail(leader);
@@ -206,10 +228,19 @@ fn apply_fault(
 }
 
 /// Runs the safety suite: committed-prefix agreement first, then the
-/// client's read-your-committed-writes obligation.
+/// storage certification ledger, then the client's
+/// read-your-committed-writes obligation.
 fn check_safety(cluster: &Cluster<SingleNode>, client: &RobustClient) -> Option<ViolationKind> {
     if let Err((a, b)) = cluster.verify() {
         return Some(ViolationKind::LogDivergence { a: a.0, b: b.0 });
+    }
+    if let Some(v) = cluster.storage_violations().first() {
+        return Some(match v {
+            StorageViolation::AckNotDurable { nid } => ViolationKind::AckNotDurable { nid: *nid },
+            StorageViolation::UnfaithfulRecovery { nid } => {
+                ViolationKind::UnfaithfulRecovery { nid: *nid }
+            }
+        });
     }
     client.check_reads(cluster).err()
 }
@@ -256,6 +287,8 @@ pub fn run_schedule(schedule: &FaultSchedule, params: &EngineParams) -> NemesisR
         params.latency.clone(),
         schedule.seed,
     );
+    cluster.set_durability(schedule.durability);
+    cluster.set_certify_storage(params.certify_storage);
     let mut client = RobustClient::new(params.client.clone(), schedule.seed);
     let mut write_seq = 0u64;
 
@@ -310,11 +343,15 @@ pub fn run_schedule(schedule: &FaultSchedule, params: &EngineParams) -> NemesisR
         violation = check_safety(&cluster, &client).map(|v| (v, schedule.faults.len()));
     }
 
+    let (wal_records, wal_syncs, wal_bytes) = cluster.wal_traffic();
     NemesisReport {
         degraded,
         violation,
         committed_entries: cluster.net().committed_prefix().len(),
         history_len: client.history.len(),
+        wal_records,
+        wal_syncs,
+        wal_bytes,
     }
 }
 
@@ -327,15 +364,20 @@ pub fn replay(schedule: &FaultSchedule, params: &EngineParams) -> Option<Violati
 
 /// Runs a campaign and, on violation, minimizes the schedule with the
 /// checker's delta-debugging core into a replayable [`Counterexample`].
+///
+/// Minimization preserves the violation's *kind*: a witness of a
+/// committed-prefix divergence stays one, rather than drifting to
+/// whatever smaller violation some sub-schedule happens to produce.
 #[must_use]
 pub fn hunt(schedule: &FaultSchedule, params: &EngineParams) -> Option<Counterexample> {
-    run_schedule(schedule, params).violation?;
+    let (original, _) = run_schedule(schedule, params).violation?;
+    let kind = std::mem::discriminant(&original);
     let minimal_faults = adore_checker::shrink_sequence(&schedule.faults, &mut |faults| {
         let candidate = FaultSchedule {
             faults: faults.to_vec(),
             ..schedule.clone()
         };
-        replay(&candidate, params).is_some()
+        replay(&candidate, params).is_some_and(|v| std::mem::discriminant(&v) == kind)
     });
     let minimized = FaultSchedule {
         faults: minimal_faults,
@@ -354,6 +396,7 @@ mod tests {
     use super::*;
     use crate::schedule::{random_schedule, RandomScheduleParams};
     use adore_core::ReconfigGuard;
+    use adore_storage::DurabilityPolicy;
 
     #[test]
     fn a_quiet_schedule_is_safe_and_available() {
@@ -362,6 +405,7 @@ mod tests {
             seed: 1,
             members: vec![1, 2, 3],
             guard: ReconfigGuard::all(),
+            durability: DurabilityPolicy::strict(),
             faults: vec![Fault::ClientBurst { writes: 5 }],
         };
         let report = run_schedule(&schedule, &EngineParams::default());
@@ -374,9 +418,13 @@ mod tests {
     #[test]
     fn random_campaigns_under_the_sound_guard_stay_safe() {
         let params = RandomScheduleParams::default();
+        let engine = EngineParams {
+            certify_storage: true,
+            ..EngineParams::default()
+        };
         for seed in 0..8 {
             let schedule = random_schedule(&params, seed);
-            let report = run_schedule(&schedule, &EngineParams::default());
+            let report = run_schedule(&schedule, &engine);
             assert!(
                 report.is_safe(),
                 "seed {seed}: {:?}",

@@ -31,6 +31,16 @@
 //! paper's guard-ablation bugs (Fig. 4/Fig. 12) purely as composable
 //! faults: each diverges under its ablated guard at *both* simulation
 //! levels and is harmless under [`adore_core::ReconfigGuard::all`].
+//!
+//! Since the durable-storage subsystem landed, schedules also carry a
+//! [`DurabilityPolicy`] and can inject crash-time disk faults
+//! ([`Fault::CrashDisk`] with a [`DiskFault`]: torn record, bit-flip
+//! corruption, media wipe) and unacked orphan writes
+//! ([`Fault::OrphanWrite`]). The storage counterparts of the guard
+//! ablations — [`storage_no_fsync_schedule`],
+//! [`storage_no_checksum_schedule`], [`storage_keep_tail_schedule`] —
+//! each defeat one ablated storage discipline and are harmless under
+//! [`DurabilityPolicy::strict`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,4 +60,10 @@ pub use net_adapter::NetHarness;
 pub use schedule::{random_schedule, Fault, FaultSchedule, RandomScheduleParams};
 pub use scripted::{
     ablation_suite, r1_ablation_schedule, r2_ablation_schedule, r3_ablation_schedule,
+    storage_ablation_suite, storage_keep_tail_schedule, storage_no_checksum_schedule,
+    storage_no_fsync_schedule,
 };
+
+// Re-exported so schedule authors need not depend on `adore-storage`
+// directly.
+pub use adore_storage::{DiskFault, DurabilityPolicy};

@@ -213,7 +213,12 @@ impl NetHarness {
                     self.put();
                 }
             }
-            Fault::SetLinkLoss { .. }
+            // Disk faults and orphan writes are storage-layer behaviors:
+            // the untimed model has no WAL (its crashes are benign), so
+            // they have no meaning here — like the timing faults below.
+            Fault::CrashDisk { .. }
+            | Fault::OrphanWrite
+            | Fault::SetLinkLoss { .. }
             | Fault::SetLoss { .. }
             | Fault::Duplicate { .. }
             | Fault::Reorder { .. }

@@ -8,9 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{de, value, Deserialize, Serialize, Value};
 
 use adore_core::ReconfigGuard;
+use adore_storage::{DiskFault, DurabilityPolicy};
 
 /// One composable fault-injection step.
 ///
@@ -61,11 +62,29 @@ pub enum Fault {
         /// Loss percentage.
         pct: u32,
     },
-    /// Crash a replica (benign: its log persists).
+    /// Crash a replica. At the disk this is a clean power loss
+    /// ([`DiskFault::LoseTail`]): the WAL's synced prefix survives, the
+    /// unsynced tail does not. Under the strict durability policy that
+    /// is indistinguishable from the old benign-crash reading, because
+    /// everything acked was synced.
     Crash {
         /// The replica to crash.
         nid: u32,
     },
+    /// Crash a replica with an explicit crash-time disk fault: a torn
+    /// record at the crash point, a bit-flip in a synced record, or
+    /// total media loss.
+    CrashDisk {
+        /// The replica to crash.
+        nid: u32,
+        /// What happens to its WAL.
+        fault: DiskFault,
+    },
+    /// Append one write at the leader without starting its replication
+    /// round — a request caught in the leader's WAL buffer by whatever
+    /// comes next. Never acked, so losing it is safe; it is the
+    /// canonical unsynced tail for torn-write injection.
+    OrphanWrite,
     /// Crash whichever node currently leads (leader-targeted nemesis).
     CrashLeader,
     /// Recover a crashed replica.
@@ -121,7 +140,7 @@ pub enum Fault {
 }
 
 /// A complete, replayable adversarial campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultSchedule {
     /// Human-readable campaign name (carried through reports).
     pub name: String,
@@ -132,8 +151,49 @@ pub struct FaultSchedule {
     pub members: Vec<u32>,
     /// The reconfiguration guard in force (ablations turn bits off).
     pub guard: ReconfigGuard,
+    /// The durability policy every replica's WAL runs under (storage
+    /// ablations turn one discipline off).
+    pub durability: DurabilityPolicy,
     /// The fault steps, applied in order.
     pub faults: Vec<Fault>,
+}
+
+// Hand-written serde: schedules from before the storage subsystem carry
+// no "durability" key, and those counterexamples must stay replayable —
+// a missing key deserializes to the strict policy, which is exactly the
+// model they were minimized under. (The derive macro has no
+// default-field support.)
+impl Serialize for FaultSchedule {
+    fn ser_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".to_string(), self.name.ser_value()),
+            ("seed".to_string(), self.seed.ser_value()),
+            ("members".to_string(), self.members.ser_value()),
+            ("guard".to_string(), self.guard.ser_value()),
+            ("durability".to_string(), self.durability.ser_value()),
+            ("faults".to_string(), self.faults.ser_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultSchedule {
+    fn deser_value(v: &Value) -> Result<Self, de::Error> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| de::Error::custom(format!("expected object, found {}", v.kind())))?;
+        let durability = match pairs.iter().find(|(k, _)| k == "durability") {
+            Some((_, v)) => DurabilityPolicy::deser_value(v)?,
+            None => DurabilityPolicy::strict(),
+        };
+        Ok(FaultSchedule {
+            name: String::deser_value(value::get_field(pairs, "name")?)?,
+            seed: u64::deser_value(value::get_field(pairs, "seed")?)?,
+            members: Vec::deser_value(value::get_field(pairs, "members")?)?,
+            guard: ReconfigGuard::deser_value(value::get_field(pairs, "guard")?)?,
+            durability,
+            faults: Vec::deser_value(value::get_field(pairs, "faults")?)?,
+        })
+    }
 }
 
 impl FaultSchedule {
@@ -149,6 +209,15 @@ impl FaultSchedule {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// The same schedule under a different durability policy (e.g. to
+    /// confirm that a violating storage-ablation schedule is harmless
+    /// under the strict policy).
+    #[must_use]
+    pub fn with_durability(mut self, durability: DurabilityPolicy) -> Self {
+        self.durability = durability;
         self
     }
 }
@@ -190,8 +259,12 @@ pub fn random_schedule(params: &RandomScheduleParams, seed: u64) -> FaultSchedul
     let mut crashed: Vec<u32> = Vec::new();
     // Leader-flap crashes target a node only known at runtime; they hold a
     // crash slot for the rest of the schedule (the engine's quiesce phase
-    // recovers everyone).
+    // recovers everyone). Disk damage (corruption, media wipe) holds a
+    // slot permanently: a corrupted replica fail-stops and a wiped one
+    // rejoins without voting rights, so either way it cannot help a
+    // quorum again.
     let mut leader_crashes = 0usize;
+    let mut permanent = 0usize;
     let max_crashed = (n - 1) / 2;
     let mut faults = Vec::with_capacity(params.steps + 1);
     for _ in 0..params.steps {
@@ -225,17 +298,31 @@ pub fn random_schedule(params: &RandomScheduleParams, seed: u64) -> FaultSchedul
                 }
             }
             36..=43 => {
-                if crashed.len() + leader_crashes < max_crashed {
+                // Recoverable crash: plain (lose-tail) or an explicit
+                // disk fault that still leaves the synced prefix usable.
+                if crashed.len() + leader_crashes + permanent < max_crashed {
                     let nid = pick(&mut rng);
                     if !crashed.contains(&nid) {
                         crashed.push(nid);
-                        faults.push(Fault::Crash { nid });
+                        faults.push(match rng.gen_range(0..3u32) {
+                            0 => Fault::Crash { nid },
+                            1 => Fault::CrashDisk {
+                                nid,
+                                fault: DiskFault::LoseTail,
+                            },
+                            _ => Fault::CrashDisk {
+                                nid,
+                                fault: DiskFault::TornTail {
+                                    keep_bytes: rng.gen_range(1..64),
+                                },
+                            },
+                        });
                     }
                 }
             }
             44..=47 => {
                 // Leader flap: kill the leader, elect a survivor.
-                if crashed.len() + leader_crashes < max_crashed {
+                if crashed.len() + leader_crashes + permanent < max_crashed {
                     leader_crashes += 1;
                     faults.push(Fault::CrashLeader);
                     faults.push(Fault::Elect {
@@ -267,7 +354,30 @@ pub fn random_schedule(params: &RandomScheduleParams, seed: u64) -> FaultSchedul
             85..=88 => faults.push(Fault::SkewTimeout {
                 pct: rng.gen_range(25..400),
             }),
-            89..=93 => faults.push(Fault::Idle {
+            89..=90 => {
+                // Disk damage: silent corruption of a synced record, or
+                // (rarely) total media loss. Either way the replica is
+                // out of the voting population for good — corruption
+                // fail-stops it, a wipe strips its voting rights — so it
+                // holds a crash slot permanently.
+                if crashed.len() + leader_crashes + permanent < max_crashed {
+                    let nid = pick(&mut rng);
+                    if !crashed.contains(&nid) {
+                        permanent += 1;
+                        let fault = if rng.gen_range(0..4u32) == 0 {
+                            DiskFault::WipeAll
+                        } else {
+                            DiskFault::CorruptRecord {
+                                record: rng.gen_range(0..12),
+                                bit: rng.gen_range(0..256),
+                            }
+                        };
+                        faults.push(Fault::CrashDisk { nid, fault });
+                        faults.push(Fault::Recover { nid });
+                    }
+                }
+            }
+            91..=93 => faults.push(Fault::Idle {
                 us: rng.gen_range(1_000..20_000),
             }),
             _ => faults.push(Fault::ClientBurst {
@@ -275,11 +385,15 @@ pub fn random_schedule(params: &RandomScheduleParams, seed: u64) -> FaultSchedul
             }),
         }
         // Keep traffic flowing through every campaign: a schedule with no
-        // client ops exercises nothing.
+        // client ops exercises nothing. An occasional orphan write keeps
+        // an unsynced tail in play for the disk faults above.
         if rng.gen_range(0..100) < 40 {
             faults.push(Fault::ClientBurst {
                 writes: rng.gen_range(1..4),
             });
+        }
+        if rng.gen_range(0..100) < 8 {
+            faults.push(Fault::OrphanWrite);
         }
     }
     FaultSchedule {
@@ -287,6 +401,7 @@ pub fn random_schedule(params: &RandomScheduleParams, seed: u64) -> FaultSchedul
         seed,
         members: params.members.clone(),
         guard: params.guard,
+        durability: DurabilityPolicy::strict(),
         faults,
     }
 }
@@ -306,20 +421,35 @@ mod tests {
     }
 
     #[test]
-    fn random_schedules_never_crash_a_majority() {
+    fn random_schedules_never_take_a_majority_out_of_action() {
         for seed in 0..50 {
             let schedule = random_schedule(&RandomScheduleParams::default(), seed);
-            let mut down = 0usize;
+            let mut down = std::collections::BTreeSet::new();
+            // Leader flaps and disk damage never return to the voting
+            // population within the schedule (the quiesce phase handles
+            // flaps; corruption fail-stops; a wipe strips voting rights).
+            let mut permanent = 0usize;
             let mut worst = 0usize;
             for fault in &schedule.faults {
                 match fault {
-                    Fault::Crash { .. } | Fault::CrashLeader => down += 1,
-                    Fault::Recover { .. } => down = down.saturating_sub(1),
+                    Fault::Crash { nid } => {
+                        down.insert(*nid);
+                    }
+                    Fault::CrashDisk { nid, fault } => match fault {
+                        DiskFault::CorruptRecord { .. } | DiskFault::WipeAll => permanent += 1,
+                        DiskFault::LoseTail | DiskFault::TornTail { .. } => {
+                            down.insert(*nid);
+                        }
+                    },
+                    Fault::CrashLeader => permanent += 1,
+                    Fault::Recover { nid } => {
+                        down.remove(nid);
+                    }
                     _ => {}
                 }
-                worst = worst.max(down);
+                worst = worst.max(down.len() + permanent);
             }
-            assert!(worst <= 2, "seed {seed} crashed {worst} of 5");
+            assert!(worst <= 2, "seed {seed} took {worst} of 5 out of action");
         }
     }
 

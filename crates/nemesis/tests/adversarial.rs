@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use adore_core::ReconfigGuard;
 use adore_nemesis::{
     hunt, r3_ablation_schedule, random_schedule, replay, run_schedule, Counterexample,
-    EngineParams, Fault, FaultSchedule, RandomScheduleParams,
+    DurabilityPolicy, EngineParams, Fault, FaultSchedule, RandomScheduleParams,
 };
 
 proptest! {
@@ -88,6 +88,7 @@ fn availability_recovers_after_a_partition_heals() {
         seed: 42,
         members: vec![1, 2, 3, 4, 5],
         guard: ReconfigGuard::all(),
+        durability: DurabilityPolicy::strict(),
         faults: vec![
             Fault::ClientBurst { writes: 3 },
             // Drain in-flight replication so every majority-side log is

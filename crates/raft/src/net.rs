@@ -49,9 +49,20 @@ pub struct Server<C, M> {
     /// Commit acknowledgements received per acked log length while leader
     /// at `time`.
     pub acks: BTreeMap<usize, NodeSet>,
-    /// Whether the replica is currently crashed (benign: the log
-    /// persists on stable storage).
+    /// Whether the replica is currently crashed. At this level crashes
+    /// are benign; what actually survives one is decided by the storage
+    /// layer (`adore-storage`): the simulation rebuilds `(time, log,
+    /// commit_len)` from a WAL replay on recovery, and injected disk
+    /// faults can lose an unsynced tail, tear a record, corrupt a synced
+    /// record, or wipe the media entirely.
     pub crashed: bool,
+    /// Whether the replica has permanently renounced voting. Recovery
+    /// from total WAL loss ([`adore-storage`'s `Recovery::DataLoss`])
+    /// sets this: a replica that has forgotten which votes it granted
+    /// must never vote (or campaign) again, or two leaders can win the
+    /// same term. It still adopts logs and acknowledges commits, so it
+    /// catches back up purely by retransmission.
+    pub abstaining: bool,
 }
 
 impl<C, M> Server<C, M> {
@@ -64,6 +75,7 @@ impl<C, M> Server<C, M> {
             votes: NodeSet::new(),
             acks: BTreeMap::new(),
             crashed: false,
+            abstaining: false,
         }
     }
 }
@@ -77,6 +89,9 @@ pub enum Rejection {
     OutdatedLog,
     /// The recipient is crashed.
     RecipientCrashed,
+    /// The recipient has renounced voting (it recovered from total WAL
+    /// loss and no longer remembers which votes it granted).
+    Abstaining,
     /// The request id is unknown or was never sent.
     UnknownMessage,
     /// The link from the sender to the recipient is down (partitions are
@@ -223,7 +238,13 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
 
     /// Crashes or recovers a replica. Crashing demotes a leader/candidate
     /// to follower (it will have lost its volatile election bookkeeping by
-    /// the time it returns); the log persists.
+    /// the time it returns). The bare [`NetEvent::Recover`] keeps the
+    /// benign-crash reading — `(time, log, commit_len)` intact — which is
+    /// what the certified refinement and the untimed harness model; the
+    /// simulation layer instead rebuilds those fields from a WAL replay
+    /// and installs the result with [`Self::install_recovery`], so what
+    /// actually survives a crash is decided by the storage policy and any
+    /// injected disk faults.
     fn set_crashed(&mut self, nid: NodeId, crashed: bool) -> EventOutcome {
         let s = self.ensure_server(nid);
         if s.crashed == crashed {
@@ -243,6 +264,39 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
         trace.iter().map(|ev| self.step(ev)).collect()
     }
 
+    /// Installs the state a crashed replica's WAL replay reconstructed
+    /// and brings the replica back up. This is the simulation's recovery
+    /// path; unlike [`NetEvent::Recover`] it does not assume the
+    /// pre-crash volatile state survived — the storage layer decides
+    /// what did.
+    ///
+    /// The replica returns as a follower with cleared election
+    /// bookkeeping and `commit_len` clamped to the recovered log.
+    /// `abstaining` marks a replica that lost its entire WAL
+    /// (`Recovery::DataLoss`): it no longer remembers which votes it
+    /// granted, so it must never vote or campaign again. Abstention is
+    /// permanent — once promises are forgotten, no later recovery can
+    /// restore trust in them.
+    pub fn install_recovery(
+        &mut self,
+        nid: NodeId,
+        time: Timestamp,
+        log: Log<C, M>,
+        commit_len: usize,
+        abstaining: bool,
+    ) -> EventOutcome {
+        let s = self.ensure_server(nid);
+        s.time = time;
+        s.commit_len = commit_len.min(log.len());
+        s.log = log;
+        s.role = Role::Follower;
+        s.votes.clear();
+        s.acks.clear();
+        s.crashed = false;
+        s.abstaining = s.abstaining || abstaining;
+        EventOutcome::Applied
+    }
+
     /// `elect(nid)`: become a candidate at a fresh term and broadcast
     /// election requests to the members of the candidate's configuration.
     ///
@@ -252,7 +306,10 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
         let conf0 = self.conf0.clone();
         {
             let s = self.ensure_server(nid);
-            if s.crashed || !effective_config(&conf0, &s.log).members().contains(&nid) {
+            if s.crashed
+                || s.abstaining
+                || !effective_config(&conf0, &s.log).members().contains(&nid)
+            {
                 return EventOutcome::LocalNoOp;
             }
             s.time = s.time.next();
@@ -396,6 +453,9 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
         match req {
             Request::Elect { from, time, log } => {
                 let recipient = self.ensure_server(to);
+                if recipient.abstaining {
+                    return EventOutcome::Rejected(Rejection::Abstaining);
+                }
                 if time <= recipient.time {
                     return EventOutcome::Rejected(Rejection::StaleTime);
                 }
@@ -840,5 +900,60 @@ mod tests {
         assert_eq!(rel[&NodeId(2)].0, Timestamp(1));
         // S3 never acted: pristine servers are omitted from the projection.
         assert!(!rel.contains_key(&NodeId(3)));
+    }
+
+    #[test]
+    fn install_recovery_clamps_the_watermark_and_resets_the_role() {
+        let mut st = three();
+        st.step(&ev_elect(1));
+        st.step(&ev_deliver(0, 2)); // S1 leads at t1
+        st.step(&NetEvent::Crash { nid: NodeId(1) });
+        // The WAL replay came back with a shorter log and a commit
+        // record that outlived the entries it covered.
+        let log = vec![Entry {
+            time: Timestamp(1),
+            cmd: Command::Method("a"),
+        }];
+        let out = st.install_recovery(NodeId(1), Timestamp(1), log, 7, false);
+        assert_eq!(out, EventOutcome::Applied);
+        let s = st.server(NodeId(1)).unwrap();
+        assert!(!s.crashed);
+        assert!(!s.abstaining);
+        assert_eq!(s.role, Role::Follower);
+        assert_eq!(s.log.len(), 1);
+        assert_eq!(s.commit_len, 1, "watermark clamped to the recovered log");
+        assert!(s.votes.is_empty() && s.acks.is_empty());
+    }
+
+    #[test]
+    fn abstaining_replicas_never_vote_or_campaign_but_still_replicate() {
+        let mut st = three();
+        // S3 lost its WAL entirely and rejoined without voting rights.
+        st.install_recovery(NodeId(3), Timestamp::ZERO, Vec::new(), 0, true);
+        st.step(&ev_elect(1)); // m0 at t1
+        assert_eq!(
+            st.step(&ev_deliver(0, 3)),
+            EventOutcome::Rejected(Rejection::Abstaining)
+        );
+        assert_eq!(st.server(NodeId(3)).unwrap().time, Timestamp::ZERO);
+        // It cannot campaign either.
+        assert_eq!(st.step(&ev_elect(3)), EventOutcome::LocalNoOp);
+        // A real voter still gets S1 elected, and the abstainer adopts
+        // the replicated log and acks it like any follower.
+        st.step(&ev_deliver(0, 2));
+        st.step(&NetEvent::Invoke {
+            nid: NodeId(1),
+            method: "a",
+        });
+        st.step(&NetEvent::Commit { nid: NodeId(1) }); // m1
+        assert_eq!(st.step(&ev_deliver(1, 3)), EventOutcome::Applied);
+        let s3 = st.server(NodeId(3)).unwrap();
+        assert_eq!(s3.log.len(), 1);
+        assert!(s3.abstaining, "replication does not restore voting rights");
+        let s3_log = s3.log.clone();
+        // Abstention survives a later, intact recovery.
+        st.step(&NetEvent::Crash { nid: NodeId(3) });
+        st.install_recovery(NodeId(3), Timestamp(1), s3_log, 1, false);
+        assert!(st.server(NodeId(3)).unwrap().abstaining);
     }
 }

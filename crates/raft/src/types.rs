@@ -205,13 +205,21 @@ pub enum NetEvent<C, M> {
         /// The recipient.
         to: NodeId,
     },
-    /// A benign crash: the replica stops sending and receiving until it
-    /// recovers. Its log persists (stable storage).
+    /// A crash: the replica stops sending and receiving until it
+    /// recovers. At this level the crash is benign — what actually
+    /// survives it is the storage layer's business: the simulation
+    /// journals every state change to a write-ahead log and rebuilds
+    /// the replica from a replay, under injectable disk faults
+    /// (lost unsynced tail, torn record, bit-flip corruption, total
+    /// media loss).
     Crash {
         /// The crashing replica.
         nid: NodeId,
     },
-    /// Recovery from a crash, with the pre-crash log intact.
+    /// Recovery from a crash. As a bare network event this assumes the
+    /// pre-crash state intact (the benign-crash reading used by the
+    /// certified refinement); the simulation instead installs whatever
+    /// the WAL replay reconstructed via `NetState::install_recovery`.
     Recover {
         /// The recovering replica.
         nid: NodeId,

@@ -1,0 +1,172 @@
+//! A deterministic simulated disk: an append-only byte device with an
+//! explicit synced/unsynced boundary and injectable crash faults.
+//!
+//! [`SimDisk`] models exactly what a write-ahead log needs from a block
+//! device and nothing more: `write` appends into a volatile tail,
+//! `sync` makes everything written so far durable, and a crash discards
+//! some suffix of the volatile tail — possibly mid-record (a torn
+//! write) — or flips a bit in the durable region (media corruption).
+//! Framing, checksums, and recovery semantics live one layer up, in
+//! [`crate::Wal`]; the disk knows only bytes.
+
+/// An in-memory byte device with a durability boundary.
+///
+/// Bytes below `synced` survive any crash; bytes at or above it are a
+/// volatile write cache that a crash truncates (entirely, or to an
+/// arbitrary prefix for a torn write). Deterministic: no entropy of its
+/// own — fault injection decides what is lost.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimDisk {
+    data: Vec<u8>,
+    synced: usize,
+}
+
+impl SimDisk {
+    /// An empty disk.
+    #[must_use]
+    pub fn new() -> Self {
+        SimDisk::default()
+    }
+
+    /// Appends bytes to the volatile write cache.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Makes everything written so far durable (`fsync`).
+    pub fn sync(&mut self) {
+        self.synced = self.data.len();
+    }
+
+    /// Total bytes on the device (durable + volatile cache).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the device holds no bytes at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes guaranteed to survive a clean crash.
+    #[must_use]
+    pub fn synced_len(&self) -> usize {
+        self.synced
+    }
+
+    /// Bytes sitting in the volatile write cache.
+    #[must_use]
+    pub fn unsynced_len(&self) -> usize {
+        self.data.len() - self.synced
+    }
+
+    /// The full device contents (durable prefix + volatile tail).
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The durable prefix only.
+    #[must_use]
+    pub fn synced_bytes(&self) -> &[u8] {
+        &self.data[..self.synced]
+    }
+
+    /// Truncates the device to `len` bytes (used by recovery to discard
+    /// an invalid tail). The surviving prefix is marked durable.
+    pub fn truncate_to(&mut self, len: usize) {
+        self.data.truncate(len);
+        self.synced = self.data.len();
+    }
+
+    /// A clean power loss: the volatile write cache vanishes, the
+    /// durable prefix survives.
+    pub fn crash_lose_tail(&mut self) {
+        self.data.truncate(self.synced);
+        self.synced = self.data.len();
+    }
+
+    /// A torn write: the crash catches the device mid-flush, so an
+    /// arbitrary prefix (`keep` bytes) of the volatile cache survives —
+    /// possibly ending in the middle of a record.
+    pub fn crash_torn(&mut self, keep: usize) {
+        let keep = keep.min(self.unsynced_len());
+        self.data.truncate(self.synced + keep);
+        self.synced = self.data.len();
+    }
+
+    /// Total media loss: every byte is gone.
+    pub fn crash_wipe(&mut self) {
+        self.data.clear();
+        self.synced = 0;
+    }
+
+    /// Flips one bit of a durable byte (silent media corruption). Out of
+    /// range indices are a no-op — there is nothing durable to corrupt.
+    pub fn flip_bit(&mut self, byte: usize, bit: u8) {
+        if byte < self.synced {
+            self.data[byte] ^= 1 << (bit % 8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_moves_the_durability_boundary() {
+        let mut d = SimDisk::new();
+        d.write(b"abc");
+        assert_eq!(d.synced_len(), 0);
+        assert_eq!(d.unsynced_len(), 3);
+        d.sync();
+        assert_eq!(d.synced_len(), 3);
+        d.write(b"de");
+        assert_eq!(d.unsynced_len(), 2);
+    }
+
+    #[test]
+    fn clean_crash_loses_exactly_the_unsynced_tail() {
+        let mut d = SimDisk::new();
+        d.write(b"durable");
+        d.sync();
+        d.write(b"volatile");
+        d.crash_lose_tail();
+        assert_eq!(d.bytes(), b"durable");
+        assert_eq!(d.unsynced_len(), 0);
+    }
+
+    #[test]
+    fn torn_crash_keeps_a_partial_tail() {
+        let mut d = SimDisk::new();
+        d.write(b"durable");
+        d.sync();
+        d.write(b"volatile");
+        d.crash_torn(3);
+        assert_eq!(d.bytes(), b"durablevol");
+        // Asking to keep more than exists clamps.
+        let mut d2 = SimDisk::new();
+        d2.write(b"x");
+        d2.crash_torn(100);
+        assert_eq!(d2.bytes(), b"x");
+    }
+
+    #[test]
+    fn wipe_loses_everything_and_flip_targets_only_durable_bytes() {
+        let mut d = SimDisk::new();
+        d.write(b"ab");
+        d.sync();
+        d.write(b"c");
+        d.flip_bit(0, 0);
+        assert_eq!(d.bytes()[0], b'a' ^ 1);
+        // The unsynced byte is not addressable by corruption.
+        d.flip_bit(2, 0);
+        assert_eq!(d.bytes()[2], b'c');
+        d.crash_wipe();
+        assert!(d.is_empty());
+        assert_eq!(d.synced_len(), 0);
+    }
+}

@@ -6,23 +6,31 @@
 
 use adore::core::ReconfigGuard;
 use adore::nemesis::{
-    hunt, r3_ablation_schedule, replay, run_schedule, EngineParams, Fault, FaultSchedule,
+    hunt, r3_ablation_schedule, replay, run_schedule, DiskFault, DurabilityPolicy, EngineParams,
+    Fault, FaultSchedule,
 };
 
 fn main() {
     let params = EngineParams::default();
 
-    // 1. Compose a campaign: crash-restart churn, an asymmetric link cut,
-    //    message tampering, clock skew, and a reconfiguration — all racing
-    //    client writes, all under the sound R1+^R2^R3 guard.
+    // 1. Compose a campaign: crash-restart churn (including a torn disk
+    //    write at the crash point), an asymmetric link cut, message
+    //    tampering, clock skew, and a reconfiguration — all racing client
+    //    writes, all under the sound R1+^R2^R3 guard and the strict
+    //    durability policy.
     let campaign = FaultSchedule {
         name: "demo".into(),
         seed: 7,
         members: vec![1, 2, 3, 4, 5],
         guard: ReconfigGuard::all(),
+        durability: DurabilityPolicy::strict(),
         faults: vec![
             Fault::ClientBurst { writes: 3 },
-            Fault::Crash { nid: 4 },
+            Fault::OrphanWrite,
+            Fault::CrashDisk {
+                nid: 4,
+                fault: DiskFault::TornTail { keep_bytes: 5 },
+            },
             Fault::CutOneWay { from: 5, to: 1 },
             Fault::Duplicate { copies: 3 },
             Fault::SkewTimeout { pct: 250 },

@@ -14,7 +14,8 @@
 //! | [`raft`] | `adore-raft` | network-based Raft, SRaft trace normalization, executable refinement to ADORE |
 //! | [`checker`] | `adore-checker` | bounded-exhaustive model checker, random walker, scripted scenarios (incl. the Fig. 4 bug) |
 //! | [`kv`] | `adore-kv` | replicated key-value store on a simulated cluster (the Fig. 16 workload) |
-//! | [`nemesis`] | `adore-nemesis` | composable fault-injection engine: adversarial schedules, safety checking, minimized replayable counterexamples |
+//! | [`storage`] | `adore-storage` | durable write-ahead log over a simulated disk: CRC-framed records, injectable crash faults, policy-gated recovery |
+//! | [`nemesis`] | `adore-nemesis` | composable fault-injection engine: adversarial schedules (network, process, and disk faults), safety checking, minimized replayable counterexamples |
 //!
 //! # Quickstart
 //!
@@ -44,4 +45,5 @@ pub use adore_kv as kv;
 pub use adore_nemesis as nemesis;
 pub use adore_raft as raft;
 pub use adore_schemes as schemes;
+pub use adore_storage as storage;
 pub use adore_tree as tree;
