@@ -17,6 +17,13 @@ cargo test -q --workspace --offline
 echo "== cargo test -p adore-storage =="
 cargo test -q -p adore-storage --offline
 
+# Source-level protocol discipline: determinism (L1), panic-free
+# recovery (L2), mutation encapsulation (L3), certificate hygiene (L4).
+# Exits non-zero on any unsuppressed finding (-D semantics); every
+# suppression pragma must carry a written reason. Config: adore-lint.toml.
+echo "== adore-lint =="
+cargo run -q -p adore-lint --offline
+
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -1,0 +1,100 @@
+//! Static-discipline table: `adore-lint` over the whole workspace,
+//! summarized per rule with the outstanding pragma debt.
+//!
+//! The per-rule counts make suppression auditable at a glance: every
+//! pragma carries a mandatory reason, and this table is where the total
+//! is watched so the debt does not quietly grow.
+//!
+//! Usage: `cargo run -p adore-bench --bin lint_table --release`
+//! (also writes `results/lint_table.txt`).
+
+use std::path::PathBuf;
+
+use adore_lint::config::Config;
+
+const RULES: &[(&str, &str)] = &[
+    ("L1", "determinism (no hash order / ambient clock / ambient RNG)"),
+    ("L2", "panic-free recovery (no unwrap / panic! / indexing)"),
+    ("L3", "mutation encapsulation (owner-only field assignment)"),
+    ("L4", "certificate hygiene (#[must_use] + consumed verdicts)"),
+    ("P0", "malformed suppression pragma"),
+    ("E0", "unparsable file"),
+];
+
+fn main() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg_text =
+        std::fs::read_to_string(root.join("adore-lint.toml")).expect("adore-lint.toml exists");
+    let cfg = Config::from_toml(&cfg_text).expect("adore-lint.toml parses");
+    let report = adore_lint::run_lint(&root, &cfg).expect("workspace scans");
+    let tally = report.tally();
+
+    let mut rows = Vec::new();
+    for (rule, desc) in RULES {
+        let (active, suppressed) = tally.get(*rule).copied().unwrap_or((0, 0));
+        rows.push(vec![
+            (*rule).to_string(),
+            (*desc).to_string(),
+            active.to_string(),
+            suppressed.to_string(),
+        ]);
+    }
+
+    let mut out = String::new();
+    out.push_str("static discipline — adore-lint over the workspace\n\n");
+    out.push_str(&render(
+        &["rule", "what it certifies", "findings", "suppressed (pragma debt)"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\n{} files scanned; {} unsuppressed findings, {} pragma-suppressed (each with a written reason)\n",
+        report.files_scanned,
+        report.active_count(),
+        report.suppressed_count()
+    ));
+
+    print!("{out}");
+
+    let results = root.join("results");
+    if std::fs::create_dir_all(&results).is_ok() {
+        let path = results.join("lint_table.txt");
+        if let Err(e) = std::fs::write(&path, &out) {
+            eprintln!("lint_table: cannot write {}: {e}", path.display());
+        }
+    }
+
+    // The table is also a gate: a dirty workspace fails the bench run
+    // the same way it fails `ci.sh`.
+    assert_eq!(
+        report.active_count(),
+        0,
+        "workspace has unsuppressed lint findings"
+    );
+}
+
+/// Markdown-style table as a string (print_table writes to stdout only).
+fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        let body: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", body.join(" | "))
+    };
+    let mut out = line(&header.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", dashes.join("-|-")));
+    for row in rows {
+        out.push_str(&line(row));
+    }
+    out
+}

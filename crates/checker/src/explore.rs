@@ -11,7 +11,7 @@
 //! four replicas and seven operations, comfortably within exhaustive
 //! range, and the checker *finds them* the moment a guard bit is dropped.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use adore_core::invariants::{self, Violation};
@@ -167,6 +167,7 @@ pub fn explore<C>(conf0: &C, params: &ExploreParams) -> ExploreReport<C, &'stati
 where
     C: Configuration + ReconfigSpace,
 {
+    // adore-lint: allow(L1, reason = "wall-clock timing reported in ExploreReport::elapsed only; never affects exploration order or results")
     let start = Instant::now();
     let initial: AdoreState<C, &'static str> = AdoreState::new(conf0.clone());
     let mut universe = conf0.members();
@@ -176,8 +177,10 @@ where
     }
 
     // Visited states -> index into `trace_info` for counterexample
-    // reconstruction.
-    let mut visited: HashMap<AdoreState<C, &'static str>, usize> = HashMap::new();
+    // reconstruction. Ordered map so exploration is deterministic (L1);
+    // it is only probed, never iterated, so the swap from hashing cannot
+    // change which states are visited.
+    let mut visited: BTreeMap<AdoreState<C, &'static str>, usize> = BTreeMap::new();
     // (parent index, op leading here); the initial state has no parent.
     let mut trace_info: Vec<Option<(usize, CheckerOp<C, &'static str>)>> = vec![None];
     let mut queue: VecDeque<(AdoreState<C, &'static str>, usize, usize)> = VecDeque::new();

@@ -9,7 +9,7 @@
 //! reasoning — here the network model's branching includes every message
 //! interleaving that ADORE's atomic operations collapse.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use adore_core::{Configuration, NodeId, ReconfigGuard};
@@ -114,6 +114,7 @@ pub fn explore_net<C: Configuration + ReconfigSpace>(
     conf0: &C,
     params: &NetExploreParams,
 ) -> NetExploreReport {
+    // adore-lint: allow(L1, reason = "wall-clock timing reported in NetExploreReport::elapsed only; never affects exploration order or results")
     let start = Instant::now();
     let initial: NetState<C, u32> = NetState::new(conf0.clone(), params.guard);
     let mut universe = conf0.members();
@@ -136,8 +137,10 @@ pub fn explore_net<C: Configuration + ReconfigSpace>(
         format!("{:?}|{:?}", st.net_relation(), st.messages())
     };
 
-    let mut visited: HashMap<String, ()> = HashMap::new();
-    visited.insert(fingerprint(&initial), ());
+    // Ordered set so exploration is deterministic (L1); probed only,
+    // never iterated, so the swap from hashing cannot change coverage.
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    visited.insert(fingerprint(&initial));
     let mut queue = VecDeque::new();
     queue.push_back((initial, 0usize));
 
@@ -153,10 +156,10 @@ pub fn explore_net<C: Configuration + ReconfigSpace>(
             }
             report.transitions += 1;
             let fp = fingerprint(&next);
-            if visited.contains_key(&fp) {
+            if visited.contains(&fp) {
                 continue;
             }
-            visited.insert(fp, ());
+            visited.insert(fp);
             report.states += 1;
             if next.check_log_safety().is_err() {
                 report.log_safety_violated = true;

@@ -184,7 +184,6 @@ where
 /// // The paper's schedule is already minimal: nothing can be removed.
 /// assert_eq!(minimal.len(), scenario.ops.len());
 /// ```
-#[must_use]
 pub fn shrink_trace<C, M>(
     conf0: &C,
     guard: ReconfigGuard,

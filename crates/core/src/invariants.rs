@@ -28,6 +28,7 @@ use crate::config::Configuration;
 use crate::state::AdoreState;
 
 /// A falsified invariant, with the witnesses that falsify it.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Violation {
     /// Two commit-like caches on diverging branches: replicated state

@@ -293,7 +293,7 @@ pub enum PushOutcome {
 /// assert!(matches!(outcome, PullOutcome::Elected(_)));
 /// # Ok::<(), adore_core::OracleError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AdoreState<C, M> {
     tree: Tree<Cache<C, M>>,
     times: BTreeMap<NodeId, Timestamp>,

@@ -329,7 +329,7 @@ where
         // and (when certifying) check the ack against the mirror.
         self.journal_diff(to, before_to);
         self.sync_wal(to);
-        self.certify_ack(to);
+        self.audit_ack_durability(to);
         // The sender's watermark may have advanced on the ack. Not an
         // ack point itself, but left unsynced it would regress across a
         // leader crash, silently forgetting acked commits.
@@ -359,7 +359,7 @@ where
             self.journal_diff(nid, prev);
             if is_ack_point {
                 self.sync_wal(nid);
-                self.certify_ack(nid);
+                self.audit_ack_durability(nid);
             }
         }
         outcome
@@ -439,7 +439,7 @@ where
     /// volatile `(time, log, commit_len)` must equal the strict replay
     /// of its synced WAL (the mirror) — otherwise a crash at this very
     /// instant would forget the promise just made.
-    fn certify_ack(&mut self, nid: NodeId) {
+    fn audit_ack_durability(&mut self, nid: NodeId) {
         if !self.storage.certify {
             return;
         }
@@ -634,12 +634,20 @@ where
                     false,
                 );
                 if self.storage.certify {
-                    let s = self.net.server(nid).expect("just installed");
-                    let m = self.storage.wals[&nid].mirror();
-                    if s.time != m.time
-                        || s.log != m.log
-                        || s.commit_len != m.commit_len.min(m.log.len())
-                    {
+                    // Certification must not panic mid-recovery (L2): a
+                    // replica or WAL that vanished between install and
+                    // audit is itself an unfaithful recovery, recorded
+                    // as a violation rather than aborting the run.
+                    let faithful = match (self.net.server(nid), self.storage.wals.get(&nid)) {
+                        (Some(s), Some(wal)) => {
+                            let m = wal.mirror();
+                            s.time == m.time
+                                && s.log == m.log
+                                && s.commit_len == m.commit_len.min(m.log.len())
+                        }
+                        _ => false,
+                    };
+                    if !faithful {
                         self.storage
                             .violations
                             .push(StorageViolation::UnfaithfulRecovery { nid: nid.0 });
@@ -940,7 +948,6 @@ where
     }
 
     /// Violations the recovery-invariant checker has recorded so far.
-    #[must_use]
     pub fn storage_violations(&self) -> &[StorageViolation] {
         &self.storage.violations
     }

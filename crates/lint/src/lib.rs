@@ -1,0 +1,349 @@
+//! `adore-lint`: a workspace static-analysis pass that certifies
+//! protocol discipline at the source level.
+//!
+//! The model checker, the nemesis, and the replay tooling all assume
+//! properties of the *source* that rustc does not enforce: seeded runs
+//! only reproduce if iteration order is deterministic (L1), recovery
+//! paths only report faults if they cannot panic on corrupted input
+//! (L2), the protocol state only obeys the paper's transition rules if
+//! nothing else assigns its fields (L3), and safety verdicts only mean
+//! something if every one is consumed (L4). This crate walks every
+//! `.rs` file in the workspace and enforces those four disciplines as
+//! token-pattern rules; see [`rules`] for the exact patterns and
+//! [`pragma`] for the `allow(...)`-with-reason escape hatch.
+//!
+//! Findings are deterministic (files walked in sorted order, findings
+//! sorted by position) so CI output is stable.
+
+pub mod config;
+pub mod pragma;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id: `L1`-`L4`, `P0` (malformed pragma), `E0` (parse error).
+    pub rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 0-based column (rendered 1-based).
+    pub col: usize,
+    /// Human-readable description.
+    pub msg: String,
+    /// Whether a pragma suppresses it.
+    pub suppressed: bool,
+    /// The pragma's reason, when suppressed.
+    pub reason: Option<String>,
+}
+
+/// The result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed ones included, in position order.
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not suppressed by a pragma — the ones that fail CI.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Number of unsuppressed findings.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+
+    /// Number of pragma-suppressed findings.
+    #[must_use]
+    pub fn suppressed_count(&self) -> usize {
+        self.findings.len() - self.active_count()
+    }
+
+    /// Per-rule `(active, suppressed)` counts, keyed by rule id.
+    #[must_use]
+    pub fn tally(&self) -> BTreeMap<String, (usize, usize)> {
+        let mut t: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        for f in &self.findings {
+            let e = t.entry(f.rule.clone()).or_default();
+            if f.suppressed {
+                e.1 += 1;
+            } else {
+                e.0 += 1;
+            }
+        }
+        t
+    }
+}
+
+/// Lints one file's source text. `rel` is the workspace-relative path
+/// used for scope matching and reporting.
+#[must_use]
+pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let pragmas = pragma::scan(source);
+    let mut findings = Vec::new();
+
+    for err in &pragmas.errors {
+        findings.push(Finding {
+            rule: "P0".into(),
+            file: rel.into(),
+            line: err.line,
+            col: 0,
+            msg: format!("malformed suppression pragma: {}", err.msg),
+            suppressed: false,
+            reason: None,
+        });
+    }
+
+    match syn::parse_file(source) {
+        Ok(file) => findings.extend(rules::scan_file(rel, &file, cfg)),
+        Err(e) => findings.push(Finding {
+            rule: "E0".into(),
+            file: rel.into(),
+            line: e.position().line,
+            col: e.position().column,
+            msg: format!("file does not parse: {e}"),
+            suppressed: false,
+            reason: None,
+        }),
+    }
+
+    for f in &mut findings {
+        if let Some(p) = pragmas
+            .pragmas
+            .iter()
+            .find(|p| p.target_line == f.line && p.rules.contains(&f.rule))
+        {
+            f.suppressed = true;
+            f.reason = Some(p.reason.clone());
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str()))
+    });
+    findings
+}
+
+/// Collects the workspace-relative paths of every `.rs` file under the
+/// configured roots, excluded prefixes removed, in sorted order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than a missing root.
+pub fn collect_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut rels = Vec::new();
+    for scan_root in &cfg.roots {
+        let dir = root.join(scan_root);
+        if !dir.is_dir() {
+            continue;
+        }
+        walk_dir(&dir, root, &mut rels)?;
+    }
+    rels.retain(|rel| {
+        !cfg.exclude
+            .iter()
+            .any(|ex| rel == ex || rel.strip_prefix(ex.as_str()).is_some_and(|r| r.starts_with('/')))
+    });
+    rels.sort();
+    rels.dedup();
+    Ok(rels)
+}
+
+fn walk_dir(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk_dir(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors reading the tree.
+pub fn run_lint(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let rels = collect_files(root, cfg)?;
+    let mut report = Report {
+        files_scanned: rels.len(),
+        ..Report::default()
+    };
+    for rel in &rels {
+        let source = fs::read_to_string(root.join(rel))?;
+        report.findings.extend(lint_source(rel, &source, cfg));
+    }
+    Ok(report)
+}
+
+/// Renders a report as compiler-style text, one finding per line.
+#[must_use]
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        if f.suppressed {
+            let reason = f.reason.as_deref().unwrap_or("");
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: {}: {} [suppressed: {}]",
+                f.file,
+                f.line,
+                f.col + 1,
+                f.rule,
+                f.msg,
+                reason
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: {}: {}",
+                f.file,
+                f.line,
+                f.col + 1,
+                f.rule,
+                f.msg
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "adore-lint: {} files scanned, {} findings ({} suppressed by pragma)",
+        report.files_scanned,
+        report.active_count(),
+        report.suppressed_count()
+    );
+    out
+}
+
+/// Renders a report as a JSON object (`--format json`).
+#[must_use]
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"msg\": \"{}\", \"suppressed\": {}",
+            json_escape(&f.rule),
+            json_escape(&f.file),
+            f.line,
+            f.col + 1,
+            json_escape(&f.msg),
+            f.suppressed
+        );
+        if let Some(r) = &f.reason {
+            let _ = write!(out, ", \"reason\": \"{}\"", json_escape(r));
+        }
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "\n  ],\n  \"files_scanned\": {},\n  \"active\": {},\n  \"suppressed\": {}\n}}\n",
+        report.files_scanned,
+        report.active_count(),
+        report.suppressed_count()
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pragma_line(rest: &str) -> String {
+        format!("// {} {rest}", concat!("adore-", "lint:"))
+    }
+
+    #[test]
+    fn suppression_marks_but_keeps_findings() {
+        let cfg = Config {
+            l1_crates: vec!["crates/core".into()],
+            ..Config::default()
+        };
+        let src = format!(
+            "fn f() {{\n    {}\n    let t = Instant::now();\n    let m = HashMap::new();\n}}\n",
+            pragma_line(r#"allow(L1, reason = "wall-clock timing only")"#)
+        );
+        let f = lint_source("crates/core/src/a.rs", &src, &cfg);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].suppressed && f[0].reason.as_deref() == Some("wall-clock timing only"));
+        assert!(!f[1].suppressed);
+    }
+
+    #[test]
+    fn parse_error_becomes_e0() {
+        let cfg = Config::default();
+        let f = lint_source("crates/core/src/a.rs", "fn broken( {", &cfg);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "E0");
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "L1".into(),
+                file: "a\"b.rs".into(),
+                line: 1,
+                col: 0,
+                msg: "quote \" and\nnewline".into(),
+                suppressed: false,
+                reason: None,
+            }],
+            files_scanned: 1,
+        };
+        let json = render_json(&report);
+        assert!(json.contains(r#""file": "a\"b.rs""#));
+        assert!(json.contains(r#"quote \" and\nnewline"#));
+    }
+}

@@ -1,0 +1,104 @@
+//! CLI entry point: `cargo run -p adore-lint [-- --format json]`.
+//!
+//! Exits non-zero when any unsuppressed finding (or a configuration /
+//! IO error) is present, so `ci.sh` can gate on it with `-D` semantics.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use adore_lint::config::Config;
+
+fn main() -> ExitCode {
+    let mut format = "text".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                other => {
+                    eprintln!("adore-lint: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("adore-lint: --root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--config" => match args.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("adore-lint: --config expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "adore-lint: certify protocol discipline at the source level\n\
+                     \n\
+                     USAGE: adore-lint [--format text|json] [--root DIR] [--config FILE]\n\
+                     \n\
+                     Scans the workspace for violations of rules L1 (determinism),\n\
+                     L2 (panic-free recovery), L3 (mutation encapsulation), and\n\
+                     L4 (certificate hygiene). Configuration: adore-lint.toml at\n\
+                     the workspace root. Exit status is non-zero when unsuppressed\n\
+                     findings exist."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("adore-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default to the workspace root this binary was built in.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+    let config_path = config_path.unwrap_or_else(|| root.join("adore-lint.toml"));
+
+    let cfg = match std::fs::read_to_string(&config_path) {
+        Ok(text) => match Config::from_toml(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("adore-lint: {}: {e}", config_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "adore-lint: cannot read {}: {e}",
+                config_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match adore_lint::run_lint(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("adore-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format.as_str() {
+        "json" => print!("{}", adore_lint::render_json(&report)),
+        _ => print!("{}", adore_lint::render_text(&report)),
+    }
+
+    if report.active_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,626 @@
+//! The four protocol-discipline rules.
+//!
+//! * **L1 — determinism**: protocol crates must not use hash-ordered
+//!   collections (`HashMap`/`HashSet`), ambient clocks (`SystemTime`,
+//!   `Instant::now`), or ambient randomness (`thread_rng`). Replaying a
+//!   counterexample or re-running a seeded exploration must visit states
+//!   in the same order every time.
+//! * **L2 — panic-free recovery**: configured (file, function) scopes —
+//!   WAL replay, crash recovery, counterexample replay — must not call
+//!   `.unwrap()`/`.expect()`, invoke panic-family macros, or index
+//!   slices. Recovery code runs on corrupted inputs by design; it must
+//!   return typed errors, not abort.
+//! * **L3 — mutation encapsulation**: protected protocol-state fields
+//!   may only be assigned inside their owning transition module. Within
+//!   a crate rustc's privacy cannot enforce this, so the lint does.
+//! * **L4 — certificate hygiene**: verdict types carry `#[must_use]`,
+//!   and a statement whose result is a `check_*`/`certify_*` call must
+//!   consume it — `#[must_use]` alone cannot flag `let _ = ...`, and
+//!   unit-returning "checkers" (which the attribute never catches) are
+//!   banned by naming convention.
+//!
+//! All rules are token-pattern passes over the item tree `syn` (the
+//! in-tree stand-in) produces — no type information. The patterns are
+//! deliberately conservative and syntactic; the suppression pragma
+//! (see [`crate::pragma`]) is the escape hatch for justified uses.
+
+use proc_macro2::{Delimiter, Group, Span, TokenTree};
+
+use crate::config::{Config, L2Scope};
+use crate::Finding;
+
+/// Runs every rule over one parsed file. `rel` is the workspace-relative
+/// path with forward slashes; it selects which rule scopes apply.
+pub fn scan_file(rel: &str, file: &syn::File, cfg: &Config) -> Vec<Finding> {
+    let l1 = cfg.l1_crates.iter().any(|c| in_dir(rel, c));
+    let l3: Vec<(&str, &str)> = cfg
+        .l3_types
+        .iter()
+        .filter(|t| in_dir(rel, &t.crate_dir) && !t.owners.iter().any(|o| o == rel))
+        .flat_map(|t| {
+            t.fields
+                .iter()
+                .map(move |f| (t.type_name.as_str(), f.as_str()))
+        })
+        .collect();
+    let l2_scopes: Vec<&L2Scope> = cfg.l2_scopes.iter().filter(|s| s.file == rel).collect();
+    let l4b = cfg.l4_paths.iter().any(|p| in_dir(rel, p));
+
+    let mut ctx = Ctx {
+        rel,
+        cfg,
+        l1,
+        l2_scopes,
+        l3,
+        l4b,
+        findings: Vec::new(),
+    };
+    walk_items(&mut ctx, &file.items, false);
+    ctx.findings
+}
+
+fn in_dir(rel: &str, dir: &str) -> bool {
+    rel.strip_prefix(dir)
+        .is_some_and(|rest| rest.starts_with('/'))
+}
+
+struct Ctx<'c> {
+    rel: &'c str,
+    cfg: &'c Config,
+    l1: bool,
+    l2_scopes: Vec<&'c L2Scope>,
+    /// Active (type name, protected field) pairs for this file.
+    l3: Vec<(&'c str, &'c str)>,
+    l4b: bool,
+    findings: Vec<Finding>,
+}
+
+impl Ctx<'_> {
+    fn push(&mut self, rule: &str, span: Span, msg: String) {
+        let lc = span.start();
+        self.findings.push(Finding {
+            rule: rule.to_string(),
+            file: self.rel.to_string(),
+            line: lc.line,
+            col: lc.column,
+            msg,
+            suppressed: false,
+            reason: None,
+        });
+    }
+}
+
+/// Which rules are live for the token stream being scanned. Signatures
+/// and type bodies get L1 only; function bodies get the full set the
+/// file's configuration enables; `#[cfg(test)]` subtrees get none.
+#[derive(Clone, Copy)]
+struct Flags {
+    l1: bool,
+    l2: bool,
+    l3: bool,
+    l4b: bool,
+}
+
+const OFF: Flags = Flags {
+    l1: false,
+    l2: false,
+    l3: false,
+    l4b: false,
+};
+
+fn walk_items(ctx: &mut Ctx<'_>, items: &[syn::Item], in_test: bool) {
+    for item in items {
+        let in_test = in_test || item.attrs().iter().any(syn::Attribute::is_cfg_test);
+        match item {
+            syn::Item::Fn(f) => walk_fn(ctx, f, in_test),
+            syn::Item::Mod(m) | syn::Item::Trait(m) => {
+                if let Some(content) = &m.content {
+                    walk_items(ctx, content, in_test);
+                }
+            }
+            syn::Item::Impl(i) => walk_items(ctx, &i.items, in_test),
+            syn::Item::Struct(syn::ItemStruct {
+                attrs,
+                ident,
+                span,
+                body,
+            })
+            | syn::Item::Enum(syn::ItemEnum {
+                attrs,
+                ident,
+                span,
+                body,
+            }) => {
+                if !in_test {
+                    flag_missing_must_use(ctx, attrs, ident, *span);
+                    let fl = Flags {
+                        l1: ctx.l1,
+                        ..OFF
+                    };
+                    if let Some(b) = body {
+                        scan(ctx, b.stream().trees(), fl);
+                    }
+                }
+            }
+            syn::Item::Other(o) => {
+                if !in_test {
+                    let fl = Flags {
+                        l1: ctx.l1,
+                        ..OFF
+                    };
+                    scan(ctx, o.tokens.trees(), fl);
+                }
+            }
+        }
+    }
+}
+
+fn walk_fn(ctx: &mut Ctx<'_>, f: &syn::ItemFn, in_test: bool) {
+    if in_test {
+        return;
+    }
+    let l2 = ctx
+        .l2_scopes
+        .iter()
+        .any(|s| s.functions.iter().any(|n| n == "*" || *n == f.ident));
+    let sig_flags = Flags {
+        l1: ctx.l1,
+        ..OFF
+    };
+    scan(ctx, f.signature.trees(), sig_flags);
+    if let Some(body) = &f.body {
+        let fl = Flags {
+            l1: ctx.l1,
+            l2,
+            l3: !ctx.l3.is_empty(),
+            l4b: ctx.l4b,
+        };
+        if fl.l4b {
+            flag_discarded_verdicts(ctx, body);
+        }
+        scan(ctx, body.stream().trees(), fl);
+    }
+}
+
+/// L4a: a configured verdict type must carry `#[must_use]`.
+fn flag_missing_must_use(
+    ctx: &mut Ctx<'_>,
+    attrs: &[syn::Attribute],
+    ident: &str,
+    span: Span,
+) {
+    if !ctx.l4b || !ctx.cfg.l4_must_use_types.iter().any(|t| t == ident) {
+        return;
+    }
+    if attrs.iter().any(|a| a.is("must_use")) {
+        return;
+    }
+    ctx.push(
+        "L4",
+        span,
+        format!("verdict type `{ident}` must be declared `#[must_use]`"),
+    );
+}
+
+fn scan(ctx: &mut Ctx<'_>, trees: &[TokenTree], fl: Flags) {
+    for i in 0..trees.len() {
+        match &trees[i] {
+            TokenTree::Ident(_) => {
+                if fl.l1 {
+                    l1_ident(ctx, trees, i);
+                }
+                if fl.l2 {
+                    l2_ident(ctx, trees, i);
+                }
+            }
+            TokenTree::Punct(p) if fl.l3 && p.as_char() == '.' => {
+                l3_dot(ctx, trees, i);
+            }
+            TokenTree::Group(g) => {
+                if fl.l2 && g.delimiter() == Delimiter::Bracket && is_index_position(trees, i) {
+                    ctx.push(
+                        "L2",
+                        g.span(),
+                        "slice indexing in a panic-free scope (use `.get(..)`)".to_string(),
+                    );
+                }
+                if fl.l4b && g.delimiter() == Delimiter::Brace {
+                    flag_discarded_verdicts(ctx, g);
+                }
+                scan(ctx, g.stream().trees(), fl);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L1: determinism
+// ---------------------------------------------------------------------------
+
+fn l1_ident(ctx: &mut Ctx<'_>, trees: &[TokenTree], i: usize) {
+    let TokenTree::Ident(id) = &trees[i] else {
+        return;
+    };
+    let msg = if *id == "HashMap" || *id == "HashSet" {
+        format!("hash-ordered collection `{id}` in a protocol crate (use BTreeMap/BTreeSet)")
+    } else if *id == "SystemTime" {
+        "ambient wall clock `SystemTime` in a protocol crate".to_string()
+    } else if *id == "thread_rng" {
+        "ambient RNG `thread_rng` in a protocol crate (thread a seeded RNG through instead)"
+            .to_string()
+    } else if *id == "Instant" && is_path_call(trees, i, "now") {
+        "ambient clock `Instant::now` in a protocol crate".to_string()
+    } else {
+        return;
+    };
+    ctx.push("L1", id.span(), msg);
+}
+
+/// Matches `<ident> :: <method>` starting at `trees[i]`.
+fn is_path_call(trees: &[TokenTree], i: usize, method: &str) -> bool {
+    let colon = |k: usize| matches!(trees.get(k), Some(TokenTree::Punct(p)) if p.as_char() == ':');
+    colon(i + 1)
+        && colon(i + 2)
+        && matches!(trees.get(i + 3), Some(TokenTree::Ident(m)) if *m == method)
+}
+
+// ---------------------------------------------------------------------------
+// L2: panic-free recovery
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+fn l2_ident(ctx: &mut Ctx<'_>, trees: &[TokenTree], i: usize) {
+    let TokenTree::Ident(id) = &trees[i] else {
+        return;
+    };
+    let prev_dot =
+        i > 0 && matches!(&trees[i - 1], TokenTree::Punct(p) if p.as_char() == '.');
+    if (*id == "unwrap" || *id == "expect") && prev_dot {
+        ctx.push(
+            "L2",
+            id.span(),
+            format!("`.{id}()` in a panic-free recovery scope (return a typed error)"),
+        );
+        return;
+    }
+    let next_bang =
+        matches!(trees.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '!');
+    if next_bang && PANIC_MACROS.iter().any(|m| *id == **m) {
+        ctx.push(
+            "L2",
+            id.span(),
+            format!("`{id}!` in a panic-free recovery scope"),
+        );
+    }
+}
+
+/// Idents that precede a bracket group without forming an indexing
+/// expression (`let [a, b] = ..`, `for [x] in ..`, `&mut [T; 4]`, ...).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "while", "match", "return", "else", "mut", "ref", "move", "as", "loop",
+    "break", "continue", "where", "dyn", "for", "unsafe", "use", "const", "static", "type",
+    "await", "impl",
+];
+
+/// Whether the bracket group at `trees[i]` sits in indexing position:
+/// directly after an expression-ish token (identifier, call/paren group,
+/// another index, or a literal).
+fn is_index_position(trees: &[TokenTree], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|k| trees.get(k)) else {
+        return false;
+    };
+    match prev {
+        TokenTree::Ident(id) => !NON_INDEX_KEYWORDS.iter().any(|k| *id == **k),
+        TokenTree::Group(g) => {
+            matches!(g.delimiter(), Delimiter::Parenthesis | Delimiter::Bracket)
+        }
+        TokenTree::Literal(_) => true,
+        TokenTree::Punct(_) => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L3: mutation encapsulation
+// ---------------------------------------------------------------------------
+
+fn l3_dot(ctx: &mut Ctx<'_>, trees: &[TokenTree], i: usize) {
+    let dot = |k: usize| matches!(trees.get(k), Some(TokenTree::Punct(p)) if p.as_char() == '.');
+    // `..` / `..=` ranges and struct-update syntax are not field access.
+    if dot(i + 1) || (i > 0 && dot(i - 1)) {
+        return;
+    }
+    let Some(TokenTree::Ident(field)) = trees.get(i + 1) else {
+        return;
+    };
+    let Some((ty, _)) = ctx.l3.iter().find(|(_, f)| *field == **f) else {
+        return;
+    };
+    if assignment_follows(trees, i + 2) {
+        let msg = format!(
+            "field `{field}` of `{ty}` assigned outside its owning transition module"
+        );
+        ctx.push("L3", field.span(), msg);
+    }
+}
+
+/// Whether the punct run starting at `trees[j]` is an assignment
+/// operator (`=`, `+=`, `<<=`, ...) rather than a comparison.
+fn assignment_follows(trees: &[TokenTree], j: usize) -> bool {
+    let c = |k: usize| match trees.get(j + k) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    };
+    let Some(c1) = c(0) else {
+        return false;
+    };
+    match c1 {
+        '=' => !matches!(c(1), Some('=' | '>')),
+        '+' | '-' | '*' | '/' | '%' | '^' => c(1) == Some('='),
+        '&' | '|' => c(1) == Some('='),
+        '<' | '>' => c(1) == Some(c1) && c(2) == Some('='),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L4b: discarded verdicts
+// ---------------------------------------------------------------------------
+
+/// Splits a brace group into top-level `;`-terminated statements and
+/// flags any whose value is a bare `check_*`/`certify_*` call that
+/// nothing consumes. `#[must_use]` cannot catch `let _ = check(..);`,
+/// and this also polices the naming convention itself: a function with
+/// a verdict prefix must return a value worth consuming.
+fn flag_discarded_verdicts(ctx: &mut Ctx<'_>, body: &Group) {
+    let trees = body.stream().trees();
+    let mut start = 0;
+    for i in 0..=trees.len() {
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                // Only `;`-terminated statements discard; a tail
+                // expression is the block's value.
+                flag_discarded_statement(ctx, &trees[start..i]);
+                start = i + 1;
+            }
+            // A top-level brace group ends a block statement
+            // (`if .. { }`, `match .. { }`) with no `;`; reset so the
+            // next statement does not absorb it as a prefix.
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn flag_discarded_statement(ctx: &mut Ctx<'_>, stmt: &[TokenTree]) {
+    let n = stmt.len();
+    if n < 2 {
+        return;
+    }
+    // The verdict call must be the statement's final expression:
+    // `... check_foo ( args )`.
+    let TokenTree::Group(gp) = &stmt[n - 1] else {
+        return;
+    };
+    if gp.delimiter() != Delimiter::Parenthesis {
+        return;
+    }
+    let TokenTree::Ident(name) = &stmt[n - 2] else {
+        return;
+    };
+    let name_s = name.to_string();
+    if !ctx
+        .cfg
+        .l4_consume_prefixes
+        .iter()
+        .any(|p| name_s.starts_with(p.as_str()))
+    {
+        return;
+    }
+    let is_kw = |k: usize, kw: &str| matches!(stmt.get(k), Some(TokenTree::Ident(i)) if *i == kw);
+    // `let _ = check(..);` discards despite the `=`.
+    let discard_binding = is_kw(0, "let") && is_kw(1, "_");
+    if !discard_binding {
+        if is_kw(0, "return") || is_kw(0, "break") {
+            return;
+        }
+        if has_top_level_assignment(stmt) {
+            return;
+        }
+    }
+    ctx.push(
+        "L4",
+        name.span(),
+        format!("result of `{name_s}(..)` discarded (verdicts must be consumed)"),
+    );
+}
+
+/// Whether the statement contains a top-level `=` that binds or assigns
+/// (as opposed to `==`, `=>`, `<=`, `>=`, `!=`).
+fn has_top_level_assignment(stmt: &[TokenTree]) -> bool {
+    for k in 0..stmt.len() {
+        let TokenTree::Punct(p) = &stmt[k] else {
+            continue;
+        };
+        if p.as_char() != '=' {
+            continue;
+        }
+        let ch = |t: Option<&TokenTree>| match t {
+            Some(TokenTree::Punct(q)) => Some(q.as_char()),
+            _ => None,
+        };
+        let prev = k.checked_sub(1).and_then(|j| ch(stmt.get(j)));
+        let next = ch(stmt.get(k + 1));
+        let comparison_prev = matches!(prev, Some('=' | '<' | '>' | '!'));
+        let comparison_next = matches!(next, Some('=' | '>'));
+        if !comparison_prev && !comparison_next {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, L2Scope, L3Type};
+
+    fn run(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+        let file = syn::parse_file(src).expect("fixture parses");
+        scan_file(rel, &file, cfg)
+    }
+
+    fn l1_cfg() -> Config {
+        Config {
+            l1_crates: vec!["crates/core".into()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn l1_flags_hash_collections_and_clocks() {
+        let cfg = l1_cfg();
+        let src = "use std::collections::HashMap;\n\
+                   fn f() { let t = Instant::now(); }\n\
+                   fn g(d: Duration) -> Instant { later(d) }\n";
+        let f = run("crates/core/src/state.rs", src, &cfg);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!((f[0].rule.as_str(), f[0].line), ("L1", 1));
+        assert_eq!((f[1].rule.as_str(), f[1].line), ("L1", 2));
+        // `Instant` as a type (no `::now`) is fine; other crates untouched.
+        assert!(run("crates/kv/src/sim.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn l1_skips_cfg_test_subtrees() {
+        let cfg = l1_cfg();
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(run("crates/core/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_unwrap_panic_and_indexing_in_scope() {
+        let cfg = Config {
+            l2_scopes: vec![L2Scope {
+                file: "crates/storage/src/wal.rs".into(),
+                functions: vec!["recover".into()],
+            }],
+            ..Config::default()
+        };
+        let src = "\
+fn recover(buf: &[u8]) {
+    let x = buf[0];
+    let y = parse(buf).unwrap();
+    let z = parse(buf).expect(\"frame\");
+    panic!(\"bad frame\");
+}
+fn other(buf: &[u8]) { let x = buf[0]; }
+";
+        let f = run("crates/storage/src/wal.rs", src, &cfg);
+        let rules: Vec<(&str, usize)> = f.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+        assert_eq!(
+            rules,
+            vec![("L2", 2), ("L2", 3), ("L2", 4), ("L2", 5)],
+            "{f:?}"
+        );
+        // Same code in a file with no scope: clean.
+        assert!(run("crates/storage/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn l2_patterns_do_not_flag_binding_or_array_types() {
+        let cfg = Config {
+            l2_scopes: vec![L2Scope {
+                file: "f.rs".into(),
+                functions: vec!["*".into()],
+            }],
+            ..Config::default()
+        };
+        let src = "\
+fn a(frame: [u8; 4]) -> Option<u8> {
+    let [x, _y] = [1u8, 2];
+    for [p, q] in pairs() {
+        consume(p, q);
+    }
+    frame.first().copied()
+}
+";
+        let f = run("f.rs", src, &cfg);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn l3_flags_assignment_outside_owner() {
+        let cfg = Config {
+            l3_types: vec![L3Type {
+                type_name: "Server".into(),
+                crate_dir: "crates/raft".into(),
+                fields: vec!["role".into(), "log".into()],
+                owners: vec!["crates/raft/src/net.rs".into()],
+            }],
+            ..Config::default()
+        };
+        let src = "\
+fn rogue(s: &mut Server) {
+    s.role = Role::Leader;
+    s.log.push(entry());
+    if s.role == Role::Leader { observe(&s.log); }
+    s.log += 1;
+}
+";
+        let f = run("crates/raft/src/refine.rs", src, &cfg);
+        let got: Vec<(&str, usize)> = f.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+        assert_eq!(got, vec![("L3", 2), ("L3", 5)], "{f:?}");
+        // The owner file may assign freely.
+        assert!(run("crates/raft/src/net.rs", src, &cfg).is_empty());
+        // Other crates are out of scope (privacy covers them).
+        assert!(run("crates/kv/src/sim.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn l4_requires_must_use_and_consumption() {
+        let cfg = Config {
+            l4_must_use_types: vec!["Violation".into()],
+            l4_consume_prefixes: vec!["check_".into(), "certify_".into()],
+            l4_paths: vec!["crates".into()],
+            ..Config::default()
+        };
+        let src = "\
+pub enum Violation { Bad }
+fn caller(s: &S) {
+    check_quorum(s);
+    let _ = certify_commit(s);
+    let v = check_quorum(s);
+    handle(v);
+    if check_quorum(s).is_none() { act(); }
+    return check_quorum(s);
+}
+";
+        let f = run("crates/core/src/x.rs", src, &cfg);
+        let got: Vec<(&str, usize)> = f.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+        assert_eq!(got, vec![("L4", 1), ("L4", 3), ("L4", 4)], "{f:?}");
+        // Outside the configured paths nothing fires.
+        assert!(run("tools/x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn l4_must_use_attribute_satisfies() {
+        let cfg = Config {
+            l4_must_use_types: vec!["Violation".into()],
+            ..Config::default()
+        };
+        let src = "#[must_use]\npub enum Violation { Bad }\n";
+        assert!(run("crates/core/src/x.rs", src, &cfg).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+// Known-bad fixture for rule L1 (determinism). Scanned by the fixture
+// tests with a config that puts it inside an L1 crate; excluded from
+// the real workspace scan by adore-lint.toml.
+use std::collections::HashMap;
+
+pub fn frontier() -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    m
+}
+
+pub fn dedup(xs: &[u32]) -> usize {
+    let s: HashSet<u32> = xs.iter().copied().collect();
+    s.len()
+}
+
+pub fn stamp() -> u64 {
+    let _wall = SystemTime::now();
+    let _mono = Instant::now();
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+pub fn fine() -> Instant {
+    // `Instant` as a type, with no ambient `::now`, is allowed.
+    later(Duration::from_millis(1))
+}

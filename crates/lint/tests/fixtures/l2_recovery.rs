@@ -1,0 +1,21 @@
+// Known-bad fixture for rule L2 (panic-free recovery). The fixture
+// config scopes `recover` and `replay`; `unscoped` shows the same
+// patterns passing outside the scope.
+pub fn recover(bytes: &[u8]) -> u32 {
+    let head = bytes[0];
+    let tail = bytes.get(1..).unwrap();
+    let word = parse(tail).expect("frame");
+    if head == 0 {
+        panic!("empty frame");
+    }
+    assert_eq!(word, 7);
+    unreachable!()
+}
+
+pub fn replay(log: &[u32]) -> u32 {
+    log[log.len() - 1]
+}
+
+pub fn unscoped(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

@@ -1,0 +1,16 @@
+// Known-bad fixture for rule L3 (mutation encapsulation). The fixture
+// config protects `Server { role, commit_len }` with a different file
+// as owner, so every assignment here is a violation; reads and
+// comparisons are not.
+pub fn usurp(s: &mut Server) {
+    s.role = Role::Leader;
+    s.commit_len += 1;
+    if s.role == Role::Leader {
+        observe(s.commit_len);
+    }
+    let snapshot = Server {
+        role: s.role,
+        commit_len: s.commit_len,
+    };
+    consume(snapshot);
+}

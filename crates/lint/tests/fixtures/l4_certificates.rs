@@ -1,0 +1,17 @@
+// Known-bad fixture for rule L4 (certificate hygiene): a verdict type
+// without #[must_use], a dropped check_* statement, and a `let _ =`
+// discard. Consuming uses are legal.
+pub enum Violation {
+    Divergence,
+}
+
+pub fn audit(s: &State) {
+    check_safety(s);
+    let _ = certify_commit(s);
+    let v = check_safety(s);
+    handle(v);
+    if check_safety(s).is_none() {
+        act();
+    }
+    return certify_commit(s);
+}

@@ -1,0 +1,2 @@
+// Fixture for E0: an unbalanced delimiter makes the file unlexable.
+pub fn broken(x: u32 -> u32 {

@@ -1,0 +1,17 @@
+// Fixture for the suppression pragma: both placement forms, plus the
+// malformed variants that become P0 findings.
+pub fn timed() {
+    let start = Instant::now(); // adore-lint: allow(L1, reason = "timing display only")
+    // adore-lint: allow(L1, reason = "probe map is never iterated")
+    let m = HashMap::new();
+    let s = HashSet::new();
+    consume(start, m, s);
+}
+
+pub fn bad_pragmas() {
+    let a = HashMap::new(); // adore-lint: allow(L1)
+    // adore-lint: allow(reason = "no rules listed")
+    let b = HashMap::new();
+    let c = HashMap::new(); // adore-lint: allow(L1, reason = "")
+    consume(a, b, c);
+}

@@ -72,6 +72,7 @@ pub struct OpRecord {
 }
 
 /// A safety violation observed by the client-side checks.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ViolationKind {
     /// Two servers' committed prefixes disagree (`check_log_safety`).

@@ -120,6 +120,7 @@ impl NemesisReport {
 
 /// A minimized, serializable, deterministically replayable witness of a
 /// safety violation.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Counterexample {
     /// The minimized schedule — replaying it reproduces the violation.
@@ -383,9 +384,16 @@ pub fn hunt(schedule: &FaultSchedule, params: &EngineParams) -> Option<Counterex
         faults: minimal_faults,
         ..schedule.clone()
     };
-    let violation = replay(&minimized, params).expect("minimized schedule still violates");
+    // The shrinker's predicate accepted every kept sub-schedule, so the
+    // minimized schedule replays the violation — but a hunt must not
+    // panic on that assumption (L2): if it somehow fails to replay,
+    // fall back to the unminimized schedule, which is known to violate.
+    let (witness, violation) = match replay(&minimized, params) {
+        Some(v) => (minimized, v),
+        None => (schedule.clone(), original),
+    };
     Some(Counterexample {
-        schedule: minimized,
+        schedule: witness,
         violation,
         original_faults: schedule.faults.len(),
     })

@@ -518,15 +518,16 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
     /// Promotes a candidate with a quorum of votes (per its own effective
     /// configuration) to leader.
     fn maybe_win(&mut self, nid: NodeId) {
-        let Some(s) = self.servers.get(&nid) else {
+        let conf0 = self.conf0.clone();
+        let Some(s) = self.servers.get_mut(&nid) else {
             return;
         };
         if s.role != Role::Candidate {
             return;
         }
-        let config = effective_config(&self.conf0, &s.log);
+        let config = effective_config(&conf0, &s.log);
         if config.is_quorum(&s.votes) {
-            self.servers.get_mut(&nid).expect("checked above").role = Role::Leader;
+            s.role = Role::Leader;
         }
     }
 
@@ -543,7 +544,8 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
         let Some(ackers) = s.acks.get(&len) else {
             return;
         };
-        let config = effective_config(&conf0, &s.log[..len.min(s.log.len())]);
+        let acked_prefix = s.log.get(..len.min(s.log.len())).unwrap_or(&[]);
+        let config = effective_config(&conf0, acked_prefix);
         if config.is_quorum(ackers) && len > s.commit_len {
             s.commit_len = len;
         }
@@ -578,12 +580,14 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
     /// this accessor must still be total so the checker can run at all.
     #[must_use]
     pub fn committed_prefix(&self) -> &[Entry<C, M>] {
-        let best = self
+        let Some(best) = self
             .servers
             .values()
             .max_by_key(|s| s.commit_len.min(s.log.len()))
-            .expect("cluster has at least one server");
-        &best.log[..best.commit_len.min(best.log.len())]
+        else {
+            return &[]; // no servers yet: nothing is committed
+        };
+        best.log.get(..best.commit_len.min(best.log.len())).unwrap_or(&[])
     }
 
     /// Checks replicated state safety at the network level: every pair of

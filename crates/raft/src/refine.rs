@@ -223,7 +223,7 @@ impl<C: Configuration, M: Clone + Eq + std::fmt::Debug> Checker<C, M> {
 
     /// The `logMatch` component of `ℝ`: every replica's local log equals
     /// the log of its tracked active branch.
-    fn check_log_match(&mut self) {
+    fn record_log_match(&mut self) {
         let pairs: Vec<(NodeId, Vec<Entry<C, M>>)> = self
             .net
             .servers()
@@ -659,7 +659,7 @@ impl<C: Configuration, M: Clone + Eq + std::fmt::Debug> Checker<C, M> {
                     break;
                 }
             }
-            self.check_log_match();
+            self.record_log_match();
             self.step += 1;
         }
         self.report.steps = steps.len();

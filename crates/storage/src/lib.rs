@@ -131,10 +131,18 @@ pub enum DiskFault {
     LoseTail,
     /// The crash catches the device mid-flush: `keep_bytes` of the
     /// unsynced tail survive, typically ending inside a frame.
-    TornTail { keep_bytes: u32 },
+    TornTail {
+        /// How many bytes of the unsynced tail survive the crash.
+        keep_bytes: u32,
+    },
     /// Silent media corruption: one payload bit of the
     /// `record`-th synced frame (modulo frame count) is flipped.
-    CorruptRecord { record: u32, bit: u32 },
+    CorruptRecord {
+        /// Index (modulo frame count) of the synced frame to corrupt.
+        record: u32,
+        /// Which payload bit (modulo payload length in bits) to flip.
+        bit: u32,
+    },
     /// Total media loss: every byte, including the boot record, is
     /// gone. Recovery reports [`Recovery::DataLoss`] and the replica
     /// must rejoin without voting rights.
@@ -156,16 +164,23 @@ impl fmt::Display for DiskFault {
 
 /// A violation found by the recovery-invariant checker: the durable
 /// storage failed to justify what the replica told the outside world.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StorageViolation {
     /// At an ack point (vote grant, replication ack, leader self-ack)
     /// the replica's volatile `(term, log, commit_len)` was not fully
     /// durable: a crash at that instant would forget a promise.
-    AckNotDurable { nid: u32 },
+    AckNotDurable {
+        /// The replica that acked without durable backing.
+        nid: u32,
+    },
     /// A recovered replica's state differs from the strict replay of
     /// its synced WAL: recovery resurrected (or dropped) state the
     /// device cannot justify.
-    UnfaithfulRecovery { nid: u32 },
+    UnfaithfulRecovery {
+        /// The replica whose recovered state diverged from its WAL.
+        nid: u32,
+    },
 }
 
 impl fmt::Display for StorageViolation {

@@ -84,19 +84,41 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 pub enum WalRecord<C, M> {
     /// Written (and synced) once at WAL creation; its absence on replay
     /// means total media loss, not an empty-but-intact log.
-    Boot { nid: u32 },
+    Boot {
+        /// The replica this WAL belongs to.
+        nid: u32,
+    },
     /// The replica adopted this timestamp — by campaigning or by
     /// granting a vote. This *is* the vote record (see the enum docs).
-    Term { time: u64 },
+    Term {
+        /// The adopted logical timestamp.
+        time: u64,
+    },
     /// The log was cut back to `len` entries (divergent suffix replaced
     /// during a full-log adoption).
-    Truncate { len: u64 },
+    Truncate {
+        /// Surviving log length after the cut.
+        len: u64,
+    },
     /// One log entry appended at the current end.
-    Append { entry: Entry<C, M> },
+    Append {
+        /// The appended entry.
+        entry: Entry<C, M>,
+    },
     /// The commit watermark advanced to `len`.
-    CommitLen { len: u64 },
+    CommitLen {
+        /// The new commit watermark.
+        len: u64,
+    },
     /// Compaction: replaces everything folded so far with this state.
-    Snapshot { time: u64, commit_len: u64, log: Log<C, M> },
+    Snapshot {
+        /// Logical timestamp at the snapshot point.
+        time: u64,
+        /// Commit watermark at the snapshot point.
+        commit_len: u64,
+        /// The full log at the snapshot point.
+        log: Log<C, M>,
+    },
 }
 
 /// The state a WAL replay reconstructs: the durable projection of a
@@ -146,6 +168,7 @@ impl<C: Clone, M: Clone> DurableState<C, M> {
 }
 
 /// What [`Wal::recover`] found on the device.
+#[must_use]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Recovery<C, M> {
     /// Replay succeeded; rejoin with this state.
@@ -155,7 +178,10 @@ pub enum Recovery<C, M> {
     DataLoss,
     /// A synced record failed its checksum (index of the bad frame).
     /// Fail-stop: silent corruption cannot be repaired locally.
-    Corrupt { record: usize },
+    Corrupt {
+        /// Index of the frame that failed its checksum.
+        record: usize,
+    },
 }
 
 /// Counters for the E10 table: how much WAL traffic the discipline costs.
@@ -183,8 +209,12 @@ fn split_frame(bytes: &[u8], off: usize) -> Option<Frame<'_>> {
     if rest.len() < HEADER {
         return None;
     }
-    let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+    let word = |range: std::ops::Range<usize>| -> Option<u32> {
+        let bytes: [u8; 4] = rest.get(range)?.try_into().ok()?;
+        Some(u32::from_le_bytes(bytes))
+    };
+    let len = word(0..4)? as usize;
+    let crc = word(4..8)?;
     let payload = rest.get(HEADER..HEADER + len)?;
     Some(Frame {
         payload,

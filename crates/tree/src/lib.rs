@@ -177,7 +177,7 @@ impl fmt::Display for WellFormedError {
 
 impl std::error::Error for WellFormedError {}
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 struct Node<T> {
     parent: CacheId,
     children: Vec<CacheId>,
@@ -199,7 +199,7 @@ struct Node<T> {
 /// assert_eq!(tree.len(), 2);
 /// assert_eq!(tree.parent(child), Some(Tree::<u32>::ROOT));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Tree<T> {
     nodes: Vec<Node<T>>,
 }

@@ -1,0 +1,918 @@
+//! Offline stand-in for the `proc-macro2` crate (see `vendor/README.md`).
+//!
+//! Implements the part of the real API that `syn`'s stand-in and
+//! `adore-lint` consume: lexing Rust source into a [`TokenStream`] of
+//! [`TokenTree`]s — groups, identifiers, punctuation, and literals —
+//! with [`Span`]s that carry real line/column positions (the real crate
+//! only exposes those on its `span-locations` feature).
+//!
+//! Comments are discarded during lexing, exactly like the real lexer;
+//! `adore-lint` scans raw source lines separately for its suppression
+//! pragmas. Doc comments are *also* discarded rather than being
+//! converted to `#[doc = "..."]` attributes — a divergence from rustc
+//! that none of our consumers observe, since they never inspect doc
+//! attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A line/column position in the original source.
+///
+/// `line` is 1-based and `column` is 0-based, matching the real crate's
+/// `span-locations` convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LineColumn {
+    /// 1-based line number.
+    pub line: usize,
+    /// 0-based UTF-8 column.
+    pub column: usize,
+}
+
+/// A region of source code, carried by every token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start: LineColumn,
+    end: LineColumn,
+}
+
+impl Span {
+    /// A span pointing at the start of an empty source ("call site").
+    #[must_use]
+    pub fn call_site() -> Self {
+        Span {
+            start: LineColumn { line: 1, column: 0 },
+            end: LineColumn { line: 1, column: 0 },
+        }
+    }
+
+    /// The position where this token begins.
+    #[must_use]
+    pub fn start(&self) -> LineColumn {
+        self.start
+    }
+
+    /// The position just past the end of this token.
+    #[must_use]
+    pub fn end(&self) -> LineColumn {
+        self.end
+    }
+}
+
+/// How a [`Punct`] relates to the following token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// The next character continues the punctuation run (`=` in `==`).
+    Joint,
+    /// The punctuation character stands alone.
+    Alone,
+}
+
+/// The bracket style of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( ... )`
+    Parenthesis,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+    /// An invisible delimiter (never produced by this lexer).
+    None,
+}
+
+/// An identifier or keyword.
+#[derive(Debug, Clone)]
+pub struct Ident {
+    sym: String,
+    span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with the given span.
+    #[must_use]
+    pub fn new(sym: &str, span: Span) -> Self {
+        Ident {
+            sym: sym.to_string(),
+            span,
+        }
+    }
+
+    /// The span of the identifier.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.sym)
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.sym == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.sym == *other
+    }
+}
+
+/// A single punctuation character.
+#[derive(Debug, Clone)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    /// The character itself.
+    #[must_use]
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    /// Whether the next token continues a multi-character operator.
+    #[must_use]
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    /// The span of the character.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A literal: string, raw string, byte string, char, or number.
+///
+/// The original source text is preserved verbatim in
+/// [`Literal::text`]; no unescaping is performed (none of our
+/// consumers need literal *values*).
+#[derive(Debug, Clone)]
+pub struct Literal {
+    text: String,
+    span: Span,
+}
+
+impl Literal {
+    /// The literal exactly as written in the source.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The span of the literal.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A delimited subsequence of tokens.
+#[derive(Debug, Clone)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span: Span,
+}
+
+impl Group {
+    /// The bracket style.
+    #[must_use]
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    /// The tokens between the delimiters.
+    #[must_use]
+    pub fn stream(&self) -> &TokenStream {
+        &self.stream
+    }
+
+    /// The span from opening to closing delimiter.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A single token tree.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    /// A delimited group of tokens.
+    Group(Group),
+    /// An identifier or keyword.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The span of the token.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span(),
+            TokenTree::Ident(i) => i.span(),
+            TokenTree::Punct(p) => p.span(),
+            TokenTree::Literal(l) => l.span(),
+        }
+    }
+}
+
+/// A sequence of token trees.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// An empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        TokenStream::default()
+    }
+
+    /// Whether the stream holds no tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Number of top-level token trees.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The top-level token trees as a slice.
+    #[must_use]
+    pub fn trees(&self) -> &[TokenTree] {
+        &self.trees
+    }
+
+    /// Appends one token tree.
+    pub fn push(&mut self, tt: TokenTree) {
+        self.trees.push(tt);
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = TokenTree;
+    type IntoIter = std::vec::IntoIter<TokenTree>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.into_iter()
+    }
+}
+
+impl FromIterator<TokenTree> for TokenStream {
+    fn from_iter<I: IntoIterator<Item = TokenTree>>(iter: I) -> Self {
+        TokenStream {
+            trees: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut joint = true; // no leading space
+        for tt in &self.trees {
+            if !joint {
+                f.write_str(" ")?;
+            }
+            joint = false;
+            match tt {
+                TokenTree::Group(g) => {
+                    let (open, close) = match g.delimiter() {
+                        Delimiter::Parenthesis => ("(", ")"),
+                        Delimiter::Brace => ("{ ", " }"),
+                        Delimiter::Bracket => ("[", "]"),
+                        Delimiter::None => ("", ""),
+                    };
+                    if g.stream().is_empty() {
+                        let trimmed: String =
+                            format!("{open}{close}").split_whitespace().collect();
+                        f.write_str(&trimmed)?;
+                    } else {
+                        write!(f, "{open}{}{close}", g.stream())?;
+                    }
+                }
+                TokenTree::Ident(i) => write!(f, "{i}")?,
+                TokenTree::Punct(p) => {
+                    write!(f, "{}", p.as_char())?;
+                    joint = p.spacing() == Spacing::Joint;
+                }
+                TokenTree::Literal(l) => write!(f, "{l}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A lexing failure with its position.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    msg: String,
+    pos: LineColumn,
+}
+
+impl LexError {
+    /// Where lexing failed.
+    #[must_use]
+    pub fn position(&self) -> LineColumn {
+        self.pos
+    }
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}:{}", self.msg, self.pos.line, self.pos.column)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl FromStr for TokenStream {
+    type Err = LexError;
+
+    /// Lexes Rust source into a token stream.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use proc_macro2::TokenStream;
+    /// let ts: TokenStream = "fn f() { x.unwrap() }".parse().unwrap();
+    /// assert_eq!(ts.to_string(), "fn f () { x . unwrap () }");
+    /// ```
+    fn from_str(src: &str) -> Result<Self, LexError> {
+        let mut lexer = Lexer::new(src);
+        let stream = lexer.lex_stream(None)?;
+        if lexer.peek().is_some() {
+            return Err(lexer.error("unexpected closing delimiter"));
+        }
+        Ok(stream)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 0,
+        }
+    }
+
+    fn here(&self) -> LineColumn {
+        LineColumn {
+            line: self.line,
+            column: self.col,
+        }
+    }
+
+    fn error(&self, msg: &str) -> LexError {
+        LexError {
+            msg: msg.to_string(),
+            pos: self.here(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lexes until EOF (outermost) or the matching close delimiter.
+    fn lex_stream(&mut self, close: Option<char>) -> Result<TokenStream, LexError> {
+        let mut out = TokenStream::new();
+        loop {
+            self.skip_trivia()?;
+            let Some(c) = self.peek() else {
+                if close.is_some() {
+                    return Err(self.error("unbalanced delimiter: unexpected end of input"));
+                }
+                return Ok(out);
+            };
+            if matches!(c, ')' | ']' | '}') {
+                if close == Some(c) {
+                    return Ok(out);
+                }
+                if close.is_none() {
+                    // Leave it for the caller, which reports the error.
+                    return Ok(out);
+                }
+                return Err(self.error("mismatched closing delimiter"));
+            }
+            let tt = self.lex_token()?;
+            out.push(tt);
+        }
+    }
+
+    fn lex_token(&mut self) -> Result<TokenTree, LexError> {
+        let start = self.here();
+        let c = self.peek().expect("caller checked non-empty");
+
+        // Delimited groups.
+        if let Some((delim, close)) = match c {
+            '(' => Some((Delimiter::Parenthesis, ')')),
+            '[' => Some((Delimiter::Bracket, ']')),
+            '{' => Some((Delimiter::Brace, '}')),
+            _ => None,
+        } {
+            self.bump();
+            let stream = self.lex_stream(Some(close))?;
+            self.bump(); // the close delimiter (lex_stream verified it)
+            return Ok(TokenTree::Group(Group {
+                delimiter: delim,
+                stream,
+                span: Span {
+                    start,
+                    end: self.here(),
+                },
+            }));
+        }
+
+        // String-ish literals and raw identifiers starting with letters.
+        if c == '"' {
+            return self.lex_string(start);
+        }
+        if c == 'r' || c == 'b' || c == 'c' {
+            if let Some(tt) = self.try_lex_prefixed(start)? {
+                return Ok(tt);
+            }
+        }
+        if c == '\'' {
+            return self.lex_quote(start);
+        }
+        if c.is_ascii_digit() {
+            return self.lex_number(start);
+        }
+        if is_ident_start(c) {
+            return Ok(self.lex_ident(start));
+        }
+
+        // Everything else is punctuation.
+        self.bump();
+        let spacing = match self.peek() {
+            Some(n) if is_punct_char(n) => Spacing::Joint,
+            _ => Spacing::Alone,
+        };
+        Ok(TokenTree::Punct(Punct {
+            ch: c,
+            spacing,
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        }))
+    }
+
+    /// `r"..."`, `r#"..."#`, `r#ident`, `b"..."`, `br#"..."#`, `b'x'`,
+    /// `c"..."` — or `None` when the `r`/`b`/`c` begins a plain ident.
+    fn try_lex_prefixed(&mut self, start: LineColumn) -> Result<Option<TokenTree>, LexError> {
+        let c = self.peek().expect("caller checked");
+        let c1 = self.peek_at(1);
+        let c2 = self.peek_at(2);
+        match (c, c1, c2) {
+            // Raw identifier r#foo (but not raw string r#"...).
+            ('r', Some('#'), Some(n)) if is_ident_start(n) => {
+                self.bump();
+                self.bump();
+                Ok(Some(self.lex_ident(start)))
+            }
+            ('r', Some('"'), _) | ('r', Some('#'), Some('"')) | ('r', Some('#'), Some('#')) => {
+                // lex_raw_string consumes the leading `r` itself.
+                Ok(Some(self.lex_raw_string(start)?))
+            }
+            ('b', Some('r'), Some('"')) | ('b', Some('r'), Some('#')) => {
+                self.bump(); // the `b`; lex_raw_string consumes the `r`
+                Ok(Some(self.lex_raw_string(start)?))
+            }
+            ('b', Some('"'), _) | ('c', Some('"'), _) => {
+                self.bump();
+                Ok(Some(self.lex_string(start)?))
+            }
+            ('b', Some('\''), _) => {
+                self.bump();
+                self.bump(); // opening quote
+                if self.peek() == Some('\\') {
+                    self.bump();
+                    self.bump();
+                } else {
+                    self.bump();
+                }
+                if self.peek() != Some('\'') {
+                    return Err(self.error("unterminated byte literal"));
+                }
+                self.bump();
+                Ok(Some(self.literal_from(start)))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn lex_string(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump();
+                }
+                Some('"') => break,
+                Some(_) => {}
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+        // Literal suffix, e.g. "..."suffix (rare; keep idents attached).
+        self.consume_ident_run();
+        Ok(self.literal_from(start))
+    }
+
+    fn lex_raw_string(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        self.bump(); // the 'r' was NOT yet consumed by callers; this is it
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek() != Some('"') {
+            return Err(self.error("malformed raw string"));
+        }
+        self.bump();
+        'scan: loop {
+            match self.bump() {
+                Some('"') => {
+                    for i in 0..hashes {
+                        if self.peek_at(i) != Some('#') {
+                            continue 'scan;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                Some(_) => {}
+                None => return Err(self.error("unterminated raw string")),
+            }
+        }
+        self.consume_ident_run();
+        Ok(self.literal_from(start))
+    }
+
+    /// `'x'`, `'\n'` char literals, or `'lifetime` (punct + ident).
+    fn lex_quote(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        self.bump(); // the quote
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal.
+                self.bump();
+                self.bump();
+                while self.peek().is_some() && self.peek() != Some('\'') {
+                    self.bump(); // \u{...} etc.
+                }
+                if self.peek() != Some('\'') {
+                    return Err(self.error("unterminated char literal"));
+                }
+                self.bump();
+                Ok(self.literal_from(start))
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be 'a' (char) or 'a (lifetime): a char literal has
+                // exactly one ident char followed by a closing quote.
+                let mut len = 0usize;
+                while self
+                    .peek_at(len)
+                    .is_some_and(is_ident_continue)
+                {
+                    len += 1;
+                }
+                if len == 1 && self.peek_at(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    Ok(self.literal_from(start))
+                } else {
+                    // Lifetime: emit a joint quote punct; the following
+                    // ident is produced by the next lex_token call.
+                    Ok(TokenTree::Punct(Punct {
+                        ch: '\'',
+                        spacing: Spacing::Joint,
+                        span: Span {
+                            start,
+                            end: self.here(),
+                        },
+                    }))
+                }
+            }
+            Some(c) if c != '\'' => {
+                // Non-alphanumeric char literal like '+' or ' '.
+                self.bump();
+                if self.peek() != Some('\'') {
+                    return Err(self.error("unterminated char literal"));
+                }
+                self.bump();
+                Ok(self.literal_from(start))
+            }
+            _ => Err(self.error("empty char literal")),
+        }
+    }
+
+    fn lex_number(&mut self, start: LineColumn) -> Result<TokenTree, LexError> {
+        // Integer part (decimal or prefixed).
+        if self.peek() == Some('0')
+            && matches!(self.peek_at(1), Some('x') | Some('o') | Some('b'))
+        {
+            self.bump();
+            self.bump();
+        }
+        self.consume_digit_run();
+        // Fractional part: consume '.' only when a digit follows, so
+        // ranges (1..n) and method calls (1.max(x)) lex as separate tokens.
+        if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+            self.consume_digit_run();
+        }
+        // Exponent.
+        if matches!(self.peek(), Some('e') | Some('E'))
+            && (self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek_at(1), Some('+') | Some('-'))
+                    && self.peek_at(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            self.bump();
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                self.bump();
+            }
+            self.consume_digit_run();
+        }
+        // Suffix (u32, f64, usize, ...).
+        self.consume_ident_run();
+        Ok(self.literal_tt(start))
+    }
+
+    fn lex_ident(&mut self, start: LineColumn) -> TokenTree {
+        self.consume_ident_run();
+        let text = self.text_from(start);
+        TokenTree::Ident(Ident {
+            sym: text,
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        })
+    }
+
+    fn consume_digit_run(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            self.bump();
+        }
+    }
+
+    fn consume_ident_run(&mut self) {
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+
+    /// Source text from `start` to the current position (same line spans
+    /// reconstruct from columns; multi-line falls back to a placeholder —
+    /// only string literals can span lines and consumers don't read them).
+    fn text_from(&self, start: LineColumn) -> String {
+        // Recover by replaying offsets: we track only line/col, so walk
+        // chars backwards is impractical; instead record by position.
+        // `pos` is a char index; find the char index of `start` by
+        // scanning: expensive in theory, but `text_from` is only called
+        // for single tokens, so we track a simpler invariant: callers
+        // bump linearly and the token began `self.pos - n` chars ago
+        // where n is unknown. To keep this O(1) we re-derive from spans:
+        // tokens never contain newlines except strings, which keep a
+        // placeholder body.
+        if start.line == self.line {
+            let n = self.col - start.column;
+            self.chars[self.pos - n..self.pos].iter().collect()
+        } else {
+            "\"...\"".to_string()
+        }
+    }
+
+    fn literal_from(&self, start: LineColumn) -> TokenTree {
+        self.literal_tt(start)
+    }
+
+    fn literal_tt(&self, start: LineColumn) -> TokenTree {
+        TokenTree::Literal(Literal {
+            text: self.text_from(start),
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        })
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+fn is_punct_char(c: char) -> bool {
+    matches!(
+        c,
+        '!' | '#'
+            | '$'
+            | '%'
+            | '&'
+            | '\''
+            | '*'
+            | '+'
+            | ','
+            | '-'
+            | '.'
+            | '/'
+            | ':'
+            | ';'
+            | '<'
+            | '='
+            | '>'
+            | '?'
+            | '@'
+            | '^'
+            | '|'
+            | '~'
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> TokenStream {
+        src.parse().expect("lexes")
+    }
+
+    #[test]
+    fn idents_puncts_and_groups_roundtrip() {
+        let ts = lex("fn main() { let x = a.b; }");
+        assert_eq!(ts.to_string(), "fn main () { let x = a . b ; }");
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let ts = lex("a // line\n/* block /* nested */ */ b");
+        assert_eq!(ts.to_string(), "a b");
+    }
+
+    #[test]
+    fn strings_chars_and_lifetimes() {
+        let ts = lex(r#"f("hi\"", 'x', '\n', &'a str)"#);
+        assert_eq!(ts.to_string(), r#"f ("hi\"" , 'x' , '\n' , &'a str)"#);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let ts = lex(r##"r#"raw "str""# r#type b"bytes""##);
+        assert_eq!(ts.len(), 3);
+        let ts = lex("r#fn");
+        match &ts.trees()[0] {
+            TokenTree::Ident(i) => assert_eq!(i.to_string(), "r#fn"),
+            other => panic!("expected ident, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        assert_eq!(lex("1..n").to_string(), "1 .. n");
+        assert_eq!(lex("1.5f64 + 0x_ff").to_string(), "1.5f64 + 0x_ff");
+        assert_eq!(lex("1.max(2)").to_string(), "1 . max (2)");
+    }
+
+    #[test]
+    fn spans_carry_line_and_column() {
+        let ts = lex("a\n  bcd");
+        let b = &ts.trees()[1];
+        assert_eq!(b.span().start(), LineColumn { line: 2, column: 2 });
+        assert_eq!(b.span().end(), LineColumn { line: 2, column: 5 });
+    }
+
+    #[test]
+    fn unbalanced_input_is_an_error() {
+        assert!("fn f( {".parse::<TokenStream>().is_err());
+        assert!("a }".parse::<TokenStream>().is_err());
+    }
+
+    #[test]
+    fn spacing_distinguishes_joint_runs() {
+        let ts = lex("a == b = c");
+        let puncts: Vec<(char, Spacing)> = ts
+            .trees()
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Punct(p) => Some((p.as_char(), p.spacing())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            puncts,
+            vec![
+                ('=', Spacing::Joint),
+                ('=', Spacing::Alone),
+                ('=', Spacing::Alone)
+            ]
+        );
+    }
+}

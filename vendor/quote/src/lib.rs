@@ -1,0 +1,80 @@
+//! Offline stand-in for the `quote` crate (see `vendor/README.md`).
+//!
+//! Supports the literal-token subset of `quote!`: the macro body is
+//! stringified and re-lexed through the `proc-macro2` stand-in. `#var`
+//! interpolation and repetition (`#(...)*`) are **not** supported — the
+//! workspace only uses `quote!` to build fixed token streams in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use proc_macro2::TokenStream;
+
+/// Types that can render themselves into a [`TokenStream`].
+pub trait ToTokens {
+    /// Appends `self` to the stream.
+    fn to_tokens(&self, tokens: &mut TokenStream);
+
+    /// Renders `self` as a fresh stream.
+    fn to_token_stream(&self) -> TokenStream {
+        let mut ts = TokenStream::new();
+        self.to_tokens(&mut ts);
+        ts
+    }
+}
+
+impl ToTokens for TokenStream {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        for tt in self.clone() {
+            tokens.push(tt);
+        }
+    }
+}
+
+impl ToTokens for proc_macro2::TokenTree {
+    fn to_tokens(&self, tokens: &mut TokenStream) {
+        tokens.push(self.clone());
+    }
+}
+
+/// Lexes stringified macro input; the backend of [`quote!`].
+///
+/// Not part of the real crate's API — do not call directly.
+#[must_use]
+pub fn __parse_quoted(src: &str) -> TokenStream {
+    src.parse().expect("quote! body must be lexable Rust tokens")
+}
+
+/// Builds a [`TokenStream`] from literal tokens.
+///
+/// # Examples
+///
+/// ```
+/// let ts = quote::quote! { fn answer() -> u32 { 42 } };
+/// assert_eq!(ts.to_string(), "fn answer () -> u32 { 42 }");
+/// ```
+#[macro_export]
+macro_rules! quote {
+    ($($tt:tt)*) => {
+        $crate::__parse_quoted(stringify!($($tt)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ToTokens;
+
+    #[test]
+    fn quote_builds_a_stream() {
+        let ts = quote! { let x = a.b; };
+        assert_eq!(ts.to_string(), "let x = a . b ;");
+    }
+
+    #[test]
+    fn to_tokens_appends() {
+        let a = quote! { a };
+        let mut out = quote! { start };
+        a.to_tokens(&mut out);
+        assert_eq!(out.to_string(), "start a");
+    }
+}

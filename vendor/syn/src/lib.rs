@@ -1,0 +1,871 @@
+//! Offline stand-in for the `syn` crate (see `vendor/README.md`).
+//!
+//! Parses Rust source at *item granularity*: a [`File`] of [`Item`]s —
+//! functions, impl blocks, modules, structs, enums, traits — each with
+//! its attributes, name, span, and body tokens. Expression-level syntax
+//! stays as raw [`proc_macro2`] token trees; `adore-lint`'s rules are
+//! token-pattern analyses, so they never need full expression ASTs.
+//!
+//! Known approximations (all irrelevant to this workspace, asserted by
+//! `adore-lint`'s self-check):
+//! * a `{ ... }` const-generic default in a signature would be taken
+//!   for the function body;
+//! * `impl` self-type names are resolved to the last path segment
+//!   before the generic arguments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro2::{Delimiter, Group, LineColumn, Span, TokenStream, TokenTree};
+
+/// A parse failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    pos: LineColumn,
+}
+
+impl Error {
+    /// Where parsing failed.
+    #[must_use]
+    pub fn position(&self) -> LineColumn {
+        self.pos
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at {}:{}", self.msg, self.pos.line, self.pos.column)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An attribute: `#[path(tokens)]` or `#![path(tokens)]`.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// Whether this is an inner (`#![...]`) attribute.
+    pub inner: bool,
+    /// The attribute path rendered as text (`derive`, `cfg`, `must_use`).
+    pub path: String,
+    /// Everything after the path, verbatim.
+    pub tokens: TokenStream,
+    /// Span of the whole attribute.
+    pub span: Span,
+}
+
+impl Attribute {
+    /// Whether the attribute path is exactly `name`.
+    #[must_use]
+    pub fn is(&self, name: &str) -> bool {
+        self.path == name
+    }
+
+    /// Whether this is `#[cfg(test)]`.
+    #[must_use]
+    pub fn is_cfg_test(&self) -> bool {
+        self.path == "cfg" && self.tokens.to_string().contains("test")
+    }
+}
+
+/// A function item (free or associated).
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The function name.
+    pub ident: String,
+    /// Span of the name.
+    pub span: Span,
+    /// Signature tokens between the name and the body (generics,
+    /// parameters, return type, where clause).
+    pub signature: TokenStream,
+    /// The `{ ... }` body; `None` for trait method declarations.
+    pub body: Option<Group>,
+}
+
+/// A module item.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The module name.
+    pub ident: String,
+    /// Span of the name.
+    pub span: Span,
+    /// Parsed contents for inline modules; `None` for `mod name;`.
+    pub content: Option<Vec<Item>>,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The self type's final path segment (`AdoreState` for
+    /// `impl<C, M> adore_core::AdoreState<C, M>`).
+    pub self_ty: String,
+    /// The implemented trait's final path segment, if a trait impl.
+    pub trait_: Option<String>,
+    /// Span of the `impl` keyword.
+    pub span: Span,
+    /// Parsed associated items.
+    pub items: Vec<Item>,
+}
+
+/// A struct declaration.
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The struct name.
+    pub ident: String,
+    /// Span of the name.
+    pub span: Span,
+    /// Field tokens: brace or paren group; `None` for unit structs.
+    pub body: Option<Group>,
+}
+
+/// An enum declaration.
+#[derive(Debug, Clone)]
+pub struct ItemEnum {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The enum name.
+    pub ident: String,
+    /// Span of the name.
+    pub span: Span,
+    /// The variant list group.
+    pub body: Option<Group>,
+}
+
+/// Any other item (use, const, static, type, macro invocation, ...),
+/// kept as raw tokens so analyses can still scan it.
+#[derive(Debug, Clone)]
+pub struct ItemOther {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The leading keyword if one was recognized (`use`, `const`, ...).
+    pub keyword: Option<String>,
+    /// Span of the first token.
+    pub span: Span,
+    /// The item's tokens, excluding attributes.
+    pub tokens: TokenStream,
+}
+
+/// One item in a file, module, impl, or trait body.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// `fn`
+    Fn(ItemFn),
+    /// `mod`
+    Mod(ItemMod),
+    /// `impl`
+    Impl(ItemImpl),
+    /// `struct`
+    Struct(ItemStruct),
+    /// `enum`
+    Enum(ItemEnum),
+    /// `trait` (items parsed like a module body)
+    Trait(ItemMod),
+    /// Anything else
+    Other(ItemOther),
+}
+
+impl Item {
+    /// The item's outer attributes.
+    #[must_use]
+    pub fn attrs(&self) -> &[Attribute] {
+        match self {
+            Item::Fn(i) => &i.attrs,
+            Item::Mod(i) | Item::Trait(i) => &i.attrs,
+            Item::Impl(i) => &i.attrs,
+            Item::Struct(i) => &i.attrs,
+            Item::Enum(i) => &i.attrs,
+            Item::Other(i) => &i.attrs,
+        }
+    }
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Inner (`#![...]`) attributes at the top of the file.
+    pub attrs: Vec<Attribute>,
+    /// Top-level items.
+    pub items: Vec<Item>,
+}
+
+/// Parses a whole source file.
+///
+/// # Errors
+///
+/// Returns an error when the source fails to lex (unbalanced
+/// delimiters, unterminated literals).
+///
+/// # Examples
+///
+/// ```
+/// let file = syn::parse_file("fn main() { println!(\"hi\"); }").unwrap();
+/// assert_eq!(file.items.len(), 1);
+/// match &file.items[0] {
+///     syn::Item::Fn(f) => assert_eq!(f.ident, "main"),
+///     other => panic!("expected fn, got {other:?}"),
+/// }
+/// ```
+pub fn parse_file(src: &str) -> Result<File> {
+    let src = src.strip_prefix('\u{feff}').unwrap_or(src);
+    // A shebang line is not Rust syntax; drop it before lexing.
+    let src_owned;
+    let src = if src.starts_with("#!") && !src.starts_with("#![") {
+        src_owned = match src.find('\n') {
+            Some(nl) => format!("{}{}", " ".repeat(nl), &src[nl..]),
+            None => String::new(),
+        };
+        &src_owned
+    } else {
+        src
+    };
+    let stream: TokenStream = src.parse().map_err(|e: proc_macro2::LexError| Error {
+        msg: e.to_string(),
+        pos: e.position(),
+    })?;
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut parser = Parser::new(&tokens);
+    let (attrs, items) = parser.parse_items(true)?;
+    Ok(File { attrs, items })
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    tokens: &'a [TokenTree],
+    pos: usize,
+}
+
+const MODIFIERS: &[&str] = &["pub", "default", "unsafe", "async", "extern", "auto"];
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [TokenTree]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&'a TokenTree> {
+        let t = self.tokens.get(self.pos)?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    fn peek_ident(&self) -> Option<String> {
+        match self.peek() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    fn peek_punct(&self) -> Option<char> {
+        match self.peek() {
+            Some(TokenTree::Punct(p)) => Some(p.as_char()),
+            _ => None,
+        }
+    }
+
+    /// Parses a sequence of items until the token list is exhausted.
+    /// Inner attributes are only collected when `top_level` is set.
+    fn parse_items(&mut self, top_level: bool) -> Result<(Vec<Attribute>, Vec<Item>)> {
+        let mut inner_attrs = Vec::new();
+        let mut items = Vec::new();
+        while self.peek().is_some() {
+            let attrs = self.parse_attrs(&mut inner_attrs, top_level)?;
+            if self.peek().is_none() {
+                break;
+            }
+            items.push(self.parse_item(attrs)?);
+        }
+        Ok((inner_attrs, items))
+    }
+
+    /// Collects outer attributes; inner ones go to `inner_attrs` (or are
+    /// discarded for non-top-level bodies).
+    fn parse_attrs(
+        &mut self,
+        inner_attrs: &mut Vec<Attribute>,
+        top_level: bool,
+    ) -> Result<Vec<Attribute>> {
+        let mut out = Vec::new();
+        loop {
+            let Some(TokenTree::Punct(p)) = self.peek() else {
+                return Ok(out);
+            };
+            if p.as_char() != '#' {
+                return Ok(out);
+            }
+            let span = p.span();
+            self.bump();
+            let inner = if self.peek_punct() == Some('!') {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let Some(TokenTree::Group(g)) = self.peek() else {
+                // A stray `#` (e.g. inside macro fragments): treat as
+                // ordinary tokens by rewinding one step and bailing out.
+                self.pos -= 1;
+                return Ok(out);
+            };
+            if g.delimiter() != Delimiter::Bracket {
+                self.pos -= 1;
+                return Ok(out);
+            }
+            let attr = attribute_from_group(inner, g, span);
+            self.bump();
+            if inner {
+                if top_level {
+                    inner_attrs.push(attr);
+                }
+                // Inner attributes elsewhere (e.g. inside fn bodies we
+                // never item-parse) are simply dropped.
+            } else {
+                out.push(attr);
+            }
+        }
+    }
+
+    fn parse_item(&mut self, attrs: Vec<Attribute>) -> Result<Item> {
+        let start_pos = self.pos;
+        let span = self.peek().map_or_else(Span::call_site, TokenTree::span);
+
+        // Skip visibility and modifiers: `pub`, `pub(crate)`, `unsafe`,
+        // `async`, `const fn`, `extern "C" fn`, ...
+        loop {
+            match self.peek_ident().as_deref() {
+                Some(m) if MODIFIERS.contains(&m) => {
+                    self.bump();
+                    // pub(crate) / extern "C"
+                    match self.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            self.bump();
+                        }
+                        Some(TokenTree::Literal(_)) if m == "extern" => {
+                            self.bump();
+                        }
+                        _ => {}
+                    }
+                }
+                Some("const") => {
+                    // `const fn` is a modifier; `const NAME: ...` an item.
+                    let next_is_fn = matches!(
+                        self.tokens.get(self.pos + 1),
+                        Some(TokenTree::Ident(i)) if *i == "fn"
+                    );
+                    if next_is_fn {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let keyword = self.peek_ident();
+        match keyword.as_deref() {
+            Some("fn") => self.parse_fn(attrs),
+            Some("mod") => self.parse_mod(attrs),
+            Some("trait") => self.parse_trait(attrs),
+            Some("impl") => self.parse_impl(attrs),
+            Some("struct") => self.parse_struct(attrs),
+            Some("enum") => self.parse_enum(attrs),
+            Some("union") => self.parse_struct(attrs),
+            _ => self.parse_other(attrs, keyword, span, start_pos),
+        }
+    }
+
+    fn parse_fn(&mut self, attrs: Vec<Attribute>) -> Result<Item> {
+        self.bump(); // `fn`
+        let (ident, span) = self.expect_name("fn")?;
+        let mut signature = TokenStream::new();
+        let mut body = None;
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    body = Some(g.clone());
+                    self.bump();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    signature.push(self.bump().expect("peeked").clone());
+                }
+            }
+        }
+        Ok(Item::Fn(ItemFn {
+            attrs,
+            ident,
+            span,
+            signature,
+            body,
+        }))
+    }
+
+    fn parse_mod(&mut self, attrs: Vec<Attribute>) -> Result<Item> {
+        self.bump(); // `mod`
+        let (ident, span) = self.expect_name("mod")?;
+        match self.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().trees().to_vec();
+                self.bump();
+                let mut sub = Parser::new(&inner);
+                let (_, items) = sub.parse_items(false)?;
+                Ok(Item::Mod(ItemMod {
+                    attrs,
+                    ident,
+                    span,
+                    content: Some(items),
+                }))
+            }
+            _ => {
+                // `mod name;`
+                if self.peek_punct() == Some(';') {
+                    self.bump();
+                }
+                Ok(Item::Mod(ItemMod {
+                    attrs,
+                    ident,
+                    span,
+                    content: None,
+                }))
+            }
+        }
+    }
+
+    fn parse_trait(&mut self, attrs: Vec<Attribute>) -> Result<Item> {
+        self.bump(); // `trait`
+        let (ident, span) = self.expect_name("trait")?;
+        // Skip generics / supertraits / where clause up to the body.
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().trees().to_vec();
+                    self.bump();
+                    let mut sub = Parser::new(&inner);
+                    let (_, items) = sub.parse_items(false)?;
+                    return Ok(Item::Trait(ItemMod {
+                        attrs,
+                        ident,
+                        span,
+                        content: Some(items),
+                    }));
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        Ok(Item::Trait(ItemMod {
+            attrs,
+            ident,
+            span,
+            content: None,
+        }))
+    }
+
+    fn parse_impl(&mut self, attrs: Vec<Attribute>) -> Result<Item> {
+        let span = self.peek().map_or_else(Span::call_site, TokenTree::span);
+        self.bump(); // `impl`
+        let mut header = Vec::new();
+        let mut body = None;
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    body = Some(g.clone());
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    header.push(self.bump().expect("peeked").clone());
+                }
+            }
+        }
+        let (self_ty, trait_) = split_impl_header(&header);
+        let items = match &body {
+            Some(g) => {
+                let inner: Vec<TokenTree> = g.stream().trees().to_vec();
+                let mut sub = Parser::new(&inner);
+                let (_, items) = sub.parse_items(false)?;
+                items
+            }
+            None => Vec::new(),
+        };
+        Ok(Item::Impl(ItemImpl {
+            attrs,
+            self_ty,
+            trait_,
+            span,
+            items,
+        }))
+    }
+
+    fn parse_struct(&mut self, attrs: Vec<Attribute>) -> Result<Item> {
+        self.bump(); // `struct` / `union`
+        let (ident, span) = self.expect_name("struct")?;
+        let mut body = None;
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Group(g)
+                    if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+                {
+                    body = Some(g.clone());
+                    self.bump();
+                    // Tuple structs end with `;` after the paren group.
+                    if g.delimiter() == Delimiter::Parenthesis
+                        && self.peek_punct() == Some(';')
+                    {
+                        self.bump();
+                    }
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        Ok(Item::Struct(ItemStruct {
+            attrs,
+            ident,
+            span,
+            body,
+        }))
+    }
+
+    fn parse_enum(&mut self, attrs: Vec<Attribute>) -> Result<Item> {
+        self.bump(); // `enum`
+        let (ident, span) = self.expect_name("enum")?;
+        let mut body = None;
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    body = Some(g.clone());
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        Ok(Item::Enum(ItemEnum {
+            attrs,
+            ident,
+            span,
+            body,
+        }))
+    }
+
+    /// Consumes an unrecognized item: tokens up to a top-level `;` or a
+    /// trailing brace group (macro_rules!, use, const, static, type, a
+    /// macro invocation in item position, ...).
+    fn parse_other(
+        &mut self,
+        attrs: Vec<Attribute>,
+        keyword: Option<String>,
+        span: Span,
+        start_pos: usize,
+    ) -> Result<Item> {
+        // Include any modifiers already skipped.
+        self.pos = start_pos;
+        let mut tokens = TokenStream::new();
+        let mut saw_any = false;
+        while let Some(tt) = self.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ';' => {
+                    tokens.push(self.bump().expect("peeked").clone());
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '#' && saw_any => {
+                    // Next item's attribute: stop here.
+                    break;
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    tokens.push(self.bump().expect("peeked").clone());
+                    break;
+                }
+                _ => {
+                    tokens.push(self.bump().expect("peeked").clone());
+                    saw_any = true;
+                }
+            }
+        }
+        Ok(Item::Other(ItemOther {
+            attrs,
+            keyword,
+            span,
+            tokens,
+        }))
+    }
+
+    fn expect_name(&mut self, what: &str) -> Result<(String, Span)> {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => Ok((i.to_string(), i.span())),
+            other => Err(Error {
+                msg: format!("expected {what} name, found {other:?}"),
+                pos: other
+                    .map(TokenTree::span)
+                    .unwrap_or_else(Span::call_site)
+                    .start(),
+            }),
+        }
+    }
+}
+
+fn attribute_from_group(inner: bool, g: &Group, span: Span) -> Attribute {
+    let trees = g.stream().trees();
+    let mut path = String::new();
+    let mut i = 0;
+    while let Some(tt) = trees.get(i) {
+        match tt {
+            TokenTree::Ident(id) => {
+                path.push_str(&id.to_string());
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                path.push(':');
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    let tokens: TokenStream = trees[i..].iter().cloned().collect();
+    Attribute {
+        inner,
+        path,
+        tokens,
+        span,
+    }
+}
+
+/// Splits an impl header (everything between `impl` and the body) into
+/// `(self_type, trait)` final path segments.
+fn split_impl_header(header: &[TokenTree]) -> (String, Option<String>) {
+    // Strip leading generics `<...>` by angle-bracket counting; `->`
+    // inside them must not count its `>`.
+    let mut i = 0;
+    if matches!(header.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        for (j, tt) in header.iter().enumerate() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i = j + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+        }
+    }
+    let rest = &header[i..];
+
+    // Cut a trailing where clause (top-level `where` ident).
+    let mut end = rest.len();
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for (j, tt) in rest.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            }
+            TokenTree::Ident(id) if depth == 0 && *id == "where" => {
+                end = j;
+                break;
+            }
+            _ => prev_dash = false,
+        }
+    }
+    let rest = &rest[..end];
+
+    // Split at a top-level `for` (trait impls); `for<'a>` HRTBs appear
+    // inside generics where depth > 0, so top-level `for` is reliable.
+    let mut split = None;
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    for (j, tt) in rest.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => depth -= 1,
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            }
+            TokenTree::Ident(id) if depth == 0 && *id == "for" => {
+                split = Some(j);
+                prev_dash = false;
+            }
+            _ => prev_dash = false,
+        }
+    }
+    match split {
+        Some(j) => (
+            last_path_segment(&rest[j + 1..]),
+            Some(last_path_segment(&rest[..j])),
+        ),
+        None => (last_path_segment(rest), None),
+    }
+}
+
+/// The final path segment of a type path, before its generic arguments:
+/// `adore_core::AdoreState<C, M>` → `AdoreState`.
+fn last_path_segment(tokens: &[TokenTree]) -> String {
+    let mut name = String::new();
+    for tt in tokens {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "dyn" || s == "mut" {
+                    continue;
+                }
+                name = s;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => break,
+            _ => {}
+        }
+    }
+    name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(src: &str) -> Vec<Item> {
+        parse_file(src).expect("parses").items
+    }
+
+    #[test]
+    fn functions_with_bodies_and_attrs() {
+        let its = items("#[must_use]\npub fn f(x: u32) -> u32 { x + 1 }\nfn g();");
+        match &its[0] {
+            Item::Fn(f) => {
+                assert_eq!(f.ident, "f");
+                assert!(f.attrs[0].is("must_use"));
+                assert!(f.body.is_some());
+                assert_eq!(f.span.start().line, 2);
+            }
+            other => panic!("expected fn, got {other:?}"),
+        }
+        match &its[1] {
+            Item::Fn(f) => assert!(f.body.is_none()),
+            other => panic!("expected fn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modules_nest_and_carry_cfg_test() {
+        let its = items("#[cfg(test)]\nmod tests { use super::*; fn helper() {} }");
+        match &its[0] {
+            Item::Mod(m) => {
+                assert!(m.attrs[0].is_cfg_test());
+                let content = m.content.as_ref().expect("inline");
+                assert_eq!(content.len(), 2);
+                assert!(matches!(content[1], Item::Fn(_)));
+            }
+            other => panic!("expected mod, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impl_headers_resolve_self_type_and_trait() {
+        let its = items(
+            "impl<C: Ord, M> adore_core::AdoreState<C, M> { fn a() {} }\n\
+             impl<T> Display for Wrapper<T> where T: Debug { }",
+        );
+        match &its[0] {
+            Item::Impl(i) => {
+                assert_eq!(i.self_ty, "AdoreState");
+                assert!(i.trait_.is_none());
+                assert_eq!(i.items.len(), 1);
+            }
+            other => panic!("expected impl, got {other:?}"),
+        }
+        match &its[1] {
+            Item::Impl(i) => {
+                assert_eq!(i.self_ty, "Wrapper");
+                assert_eq!(i.trait_.as_deref(), Some("Display"));
+            }
+            other => panic!("expected impl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structs_enums_and_others() {
+        let its = items(
+            "pub struct P { x: u32 }\nstruct Unit;\nstruct Tup(u8, u8);\n\
+             enum E { A, B }\nuse std::fmt;\nconst N: usize = 3;",
+        );
+        assert!(matches!(&its[0], Item::Struct(s) if s.ident == "P" && s.body.is_some()));
+        assert!(matches!(&its[1], Item::Struct(s) if s.body.is_none()));
+        assert!(matches!(&its[2], Item::Struct(s) if s.body.is_some()));
+        assert!(matches!(&its[3], Item::Enum(e) if e.ident == "E"));
+        assert!(matches!(&its[4], Item::Other(o) if o.keyword.as_deref() == Some("use")));
+        assert!(matches!(&its[5], Item::Other(o) if o.keyword.as_deref() == Some("const")));
+    }
+
+    #[test]
+    fn inner_attrs_collect_at_top_level() {
+        let file = parse_file("#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn a() {}")
+            .expect("parses");
+        assert_eq!(file.attrs.len(), 2);
+        assert!(file.attrs[0].is("forbid"));
+        assert_eq!(file.items.len(), 1);
+    }
+
+    #[test]
+    fn const_fn_and_extern_fn_are_functions() {
+        let its = items("pub const fn k() -> u8 { 0 }\npub extern \"C\" fn e() {}");
+        assert!(matches!(&its[0], Item::Fn(f) if f.ident == "k"));
+        assert!(matches!(&its[1], Item::Fn(f) if f.ident == "e"));
+    }
+
+    #[test]
+    fn macro_invocations_in_item_position() {
+        let its = items("macro_rules! m { () => {}; }\nthread_local! { static X: u8 = 0; }");
+        assert!(matches!(&its[0], Item::Other(_)));
+        assert!(matches!(&its[1], Item::Other(_)));
+    }
+}
