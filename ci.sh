@@ -18,7 +18,8 @@ echo "== cargo test -p adore-storage =="
 cargo test -q -p adore-storage --offline
 
 # Source-level protocol discipline: determinism (L1), panic-free
-# recovery (L2), mutation encapsulation (L3), certificate hygiene (L4).
+# recovery (L2), mutation encapsulation (L3), certificate hygiene (L4),
+# no stray console output in protocol crates (L5).
 # Exits non-zero on any unsuppressed finding (-D semantics); every
 # suppression pragma must carry a written reason. Config: adore-lint.toml.
 echo "== adore-lint =="
@@ -42,5 +43,17 @@ cargo run -p adore-bench --bin nemesis_table --release --offline >/dev/null
 echo "== storage nemesis smoke run (fixed seeds) =="
 STORAGE_TABLE_SEEDS=10 \
     cargo run -p adore-bench --bin storage_table --release --offline >/dev/null
+
+# Observability gate: run the E11 harness (self-asserts that tracing is
+# invisible to the simulation and that every ablation's audit reproduces
+# its live verdict), then re-audit the written journals with the
+# standalone auditor. The auditor reconstructs protocol state purely
+# from the trace; a non-zero exit means the audit's independent verdict
+# no longer matches the live run's — i.e. instrumentation and protocol
+# have drifted apart.
+echo "== observability gate (trace-certified audit) =="
+cargo run -p adore-bench --bin obs_table --release --offline >/dev/null
+cargo run -q -p adore-obs --release --offline -- --audit target/obs/r3-sound.jsonl >/dev/null
+cargo run -q -p adore-obs --release --offline -- --audit target/obs/no-R3-ablated.jsonl >/dev/null
 
 echo "ci: all green"

@@ -70,6 +70,36 @@ fn main() {
         &rows,
     );
 
+    // Per-phase latency percentiles, from the metrics registry's
+    // fixed-bucket histograms merged across the eight seeded runs.
+    // Percentiles resolve to bucket upper bounds; max is exact.
+    println!("\nper-phase latency percentiles (8 runs merged, registry histograms):\n");
+    let phases = runs[0].phase_latency.len();
+    let mut pct_rows = Vec::new();
+    for p in 0..phases {
+        let (label, mut merged) = runs[0].phase_latency[p].clone();
+        for run in &runs[1..] {
+            assert_eq!(run.phase_latency[p].0, label);
+            merged.merge(&run.phase_latency[p].1);
+        }
+        assert_eq!(merged.count, 8 * requests_per_phase as u64);
+        let ms = |v: u64| format!("{:.2}", v as f64 / 1000.0);
+        pct_rows.push(vec![
+            label,
+            format!("{}", merged.count),
+            ms(merged.quantile(0.5)),
+            ms(merged.quantile(0.95)),
+            ms(merged.quantile(0.99)),
+            ms(merged.max),
+        ]);
+    }
+    print_table(
+        &[
+            "phase", "samples", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)",
+        ],
+        &pct_rows,
+    );
+
     // Sparkline of the mean latency (log-ish bucketing of magnitude).
     let glyphs = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let means: Vec<u64> = agg.iter().map(|x| x.1).collect();

@@ -10,6 +10,7 @@
 
 use std::path::PathBuf;
 
+use adore_bench::render_table;
 use adore_lint::config::Config;
 
 const RULES: &[(&str, &str)] = &[
@@ -17,6 +18,7 @@ const RULES: &[(&str, &str)] = &[
     ("L2", "panic-free recovery (no unwrap / panic! / indexing)"),
     ("L3", "mutation encapsulation (owner-only field assignment)"),
     ("L4", "certificate hygiene (#[must_use] + consumed verdicts)"),
+    ("L5", "no stray console output (print macros only in bin targets)"),
     ("P0", "malformed suppression pragma"),
     ("E0", "unparsable file"),
 ];
@@ -42,7 +44,7 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("static discipline — adore-lint over the workspace\n\n");
-    out.push_str(&render(
+    out.push_str(&render_table(
         &["rule", "what it certifies", "findings", "suppressed (pragma debt)"],
         &rows,
     ));
@@ -72,29 +74,3 @@ fn main() {
     );
 }
 
-/// Markdown-style table as a string (print_table writes to stdout only).
-fn render(header: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if cell.len() > widths[i] {
-                widths[i] = cell.len();
-            }
-        }
-    }
-    let line = |cells: &[String]| -> String {
-        let body: Vec<String> = cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:<w$}"))
-            .collect();
-        format!("| {} |\n", body.join(" | "))
-    };
-    let mut out = line(&header.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
-    let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    out.push_str(&format!("|-{}-|\n", dashes.join("-|-")));
-    for row in rows {
-        out.push_str(&line(row));
-    }
-    out
-}

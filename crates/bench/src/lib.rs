@@ -7,6 +7,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Renders a fixed-width text table — a header row, a separator, and
+/// rows — as a string (for harnesses that also write a results file).
+#[must_use]
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        format!("| {} |\n", line.join(" | "))
+    };
+    let mut out = fmt_row(&header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
 /// Prints a fixed-width text table: a header row, a separator, and rows.
 ///
 /// # Examples
@@ -18,28 +47,7 @@
 /// );
 /// ```
 pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let print_row = |cells: &[String]| {
-        let line: Vec<String> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
-            .collect();
-        println!("| {} |", line.join(" | "));
-    };
-    print_row(&header.iter().map(|s| (*s).to_string()).collect::<Vec<_>>());
-    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    println!("|-{}-|", sep.join("-|-"));
-    for row in rows {
-        print_row(row);
-    }
+    print!("{}", render_table(header, rows));
 }
 
 /// Formats a `Duration` compactly (`12.3ms`, `4.56s`).

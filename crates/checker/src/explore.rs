@@ -15,10 +15,12 @@ use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use adore_core::invariants::{self, Violation};
-use adore_core::{AdoreState, Configuration, NodeId, ReconfigGuard};
+use adore_core::{telemetry, AdoreState, Configuration, NodeId, ReconfigGuard};
+use adore_obs::Metrics;
 use adore_schemes::ReconfigSpace;
 
 use crate::op::CheckerOp;
+use crate::profile::ExploreProfile;
 
 /// Which invariants to evaluate at each visited state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +37,32 @@ impl InvariantSuite {
         match self {
             InvariantSuite::SafetyOnly => invariants::check_safety(st).err(),
             InvariantSuite::Full => invariants::check_all(st).into_iter().next(),
+        }
+    }
+
+    /// [`InvariantSuite::check`] with per-lemma evaluation counters — the
+    /// profiler's "hottest invariants" source. Counts every lemma the
+    /// suite evaluates, whether or not it fires.
+    fn check_counted<C: Configuration, M: Clone>(
+        self,
+        st: &AdoreState<C, M>,
+        metrics: &mut Metrics,
+    ) -> Option<Violation> {
+        match self {
+            InvariantSuite::SafetyOnly => {
+                metrics.inc("invariant.safety");
+                invariants::check_safety(st).err()
+            }
+            InvariantSuite::Full => {
+                let mut first = None;
+                for (name, res) in invariants::check_all_named(st) {
+                    metrics.inc(&format!("invariant.{name}"));
+                    if first.is_none() {
+                        first = res.err();
+                    }
+                }
+                first
+            }
         }
     }
 }
@@ -55,6 +83,11 @@ pub struct ExploreParams {
     pub spare_nodes: u32,
     /// Invariants evaluated per state.
     pub suite: InvariantSuite,
+    /// Whether to collect an [`ExploreProfile`] (per-lemma evaluation
+    /// counters, per-kind transition counters, quorum-check counts,
+    /// states/sec). Off by default: profiling costs one counter bump per
+    /// evaluation and transition.
+    pub profile: bool,
 }
 
 impl Default for ExploreParams {
@@ -66,6 +99,7 @@ impl Default for ExploreParams {
             with_reconfig: true,
             spare_nodes: 1,
             suite: InvariantSuite::SafetyOnly,
+            profile: false,
         }
     }
 }
@@ -85,6 +119,8 @@ pub struct ExploreReport<C, M> {
     pub elapsed: Duration,
     /// The first violation found, with its shortest trace.
     pub violation: Option<(Violation, Vec<CheckerOp<C, M>>)>,
+    /// The run's profile, when [`ExploreParams::profile`] was set.
+    pub profile: Option<ExploreProfile>,
 }
 
 impl<C, M> ExploreReport<C, M> {
@@ -192,11 +228,29 @@ where
         truncated: false,
         elapsed: Duration::ZERO,
         violation: None,
+        profile: None,
     };
 
-    if let Some(v) = params.suite.check(&initial) {
+    // The profiler's quorum counter is process-global (the telemetry
+    // module in adore-core), so record the delta over this run only.
+    let mut metrics = if params.profile {
+        Some(Metrics::new())
+    } else {
+        None
+    };
+    let quorum_base = telemetry::quorum_checks();
+    let check = |st: &AdoreState<C, &'static str>, metrics: &mut Option<Metrics>| match metrics {
+        Some(m) => params.suite.check_counted(st, m),
+        None => params.suite.check(st),
+    };
+
+    if let Some(v) = check(&initial, &mut metrics) {
         report.violation = Some((v, Vec::new()));
         report.elapsed = start.elapsed();
+        if let Some(mut m) = metrics {
+            m.add("quorum.checks", telemetry::quorum_checks() - quorum_base);
+            report.profile = Some(ExploreProfile::new(&m, report.states, report.elapsed));
+        }
         return report;
     }
     visited.insert(initial.clone(), 0);
@@ -213,12 +267,15 @@ where
                 continue;
             }
             report.transitions += 1;
+            if let Some(m) = metrics.as_mut() {
+                m.inc(&format!("transition.{}", op.kind_name()));
+            }
             if visited.contains_key(&next) {
                 continue;
             }
             let next_index = trace_info.len();
             trace_info.push(Some((index, op.clone())));
-            if let Some(v) = params.suite.check(&next) {
+            if let Some(v) = check(&next, &mut metrics) {
                 // Reconstruct the shortest trace to the violation.
                 let mut ops = Vec::new();
                 let mut cur = next_index;
@@ -241,6 +298,10 @@ where
     }
 
     report.elapsed = start.elapsed();
+    if let Some(mut m) = metrics {
+        m.add("quorum.checks", telemetry::quorum_checks() - quorum_base);
+        report.profile = Some(ExploreProfile::new(&m, report.states, report.elapsed));
+    }
     report
 }
 
@@ -292,6 +353,40 @@ mod tests {
         );
         let adore = explore(&SingleNode::new([1, 2]), &base);
         assert!(adore.states > cado.states);
+    }
+
+    #[test]
+    fn profiling_reports_hottest_invariants_and_transitions() {
+        let params = ExploreParams {
+            max_depth: 4,
+            spare_nodes: 1,
+            suite: InvariantSuite::Full,
+            profile: true,
+            ..ExploreParams::default()
+        };
+        let report = explore(&SingleNode::new([1, 2, 3]), &params);
+        let profile = report.profile.expect("profile requested");
+        // Every lemma of the full suite was evaluated at every state.
+        let hot = profile.hottest_invariants();
+        assert_eq!(hot.len(), adore_core::invariants::LEMMA_NAMES.len());
+        assert!(hot.iter().all(|(_, n)| *n as usize == report.states));
+        // The transition mix covers the whole alphabet, pulls hottest
+        // (every node can always campaign).
+        let kinds = profile.hottest_transitions();
+        assert_eq!(kinds.first().map(|(k, _)| *k), Some("pull"));
+        let total: u64 = kinds.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, report.transitions);
+        assert!(profile.quorum_checks() > 0);
+        // Unprofiled runs carry no registry.
+        let plain = explore(
+            &SingleNode::new([1, 2, 3]),
+            &ExploreParams {
+                profile: false,
+                ..params
+            },
+        );
+        assert!(plain.profile.is_none());
+        assert_eq!(plain.states, report.states);
     }
 
     #[test]

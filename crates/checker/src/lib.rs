@@ -36,12 +36,14 @@
 pub mod explore;
 mod net_explore;
 mod op;
+mod profile;
 mod scenario;
 mod shrink;
 mod walker;
 
 pub use explore::{explore, ExploreParams, ExploreReport, InvariantSuite, CANONICAL_METHOD};
 pub use net_explore::{explore_net, NetExploreParams, NetExploreReport};
+pub use profile::ExploreProfile;
 pub use op::CheckerOp;
 pub use scenario::{fig4_scenario, Scenario, ScenarioOutcome};
 pub use shrink::{ddmin_with, shrink_net_trace, shrink_sequence, shrink_trace};

@@ -12,9 +12,12 @@
 use std::collections::{BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
-use adore_core::{Configuration, NodeId, ReconfigGuard};
+use adore_core::{telemetry, Configuration, NodeId, ReconfigGuard};
+use adore_obs::Metrics;
 use adore_raft::{MsgId, NetEvent, NetState};
 use adore_schemes::ReconfigSpace;
+
+use crate::profile::ExploreProfile;
 
 /// Parameters for [`explore_net`].
 #[derive(Debug, Clone)]
@@ -29,6 +32,10 @@ pub struct NetExploreParams {
     pub with_reconfig: bool,
     /// Extra node ids beyond the initial members.
     pub spare_nodes: u32,
+    /// Whether to collect an [`ExploreProfile`] (per-kind transition
+    /// counters, log-safety evaluation count, quorum-check counts,
+    /// states/sec). Off by default.
+    pub profile: bool,
 }
 
 impl Default for NetExploreParams {
@@ -39,6 +46,7 @@ impl Default for NetExploreParams {
             guard: ReconfigGuard::all(),
             with_reconfig: true,
             spare_nodes: 1,
+            profile: false,
         }
     }
 }
@@ -58,6 +66,8 @@ pub struct NetExploreReport {
     pub elapsed: Duration,
     /// Whether some reachable state had disagreeing committed prefixes.
     pub log_safety_violated: bool,
+    /// The run's profile, when [`NetExploreParams::profile`] was set.
+    pub profile: Option<ExploreProfile>,
 }
 
 /// The canonical method symbol (see [`crate::explore::CANONICAL_METHOD`]).
@@ -130,7 +140,17 @@ pub fn explore_net<C: Configuration + ReconfigSpace>(
         truncated: false,
         elapsed: Duration::ZERO,
         log_safety_violated: false,
+        profile: None,
     };
+
+    // As in `explore`: the quorum counter is process-global, so profile
+    // the delta over this run only.
+    let mut metrics = if params.profile {
+        Some(Metrics::new())
+    } else {
+        None
+    };
+    let quorum_base = telemetry::quorum_checks();
 
     // NetState is not `Hash`; dedup on its serialized relation + bags.
     let fingerprint = |st: &NetState<C, u32>| -> String {
@@ -155,12 +175,27 @@ pub fn explore_net<C: Configuration + ReconfigSpace>(
                 continue;
             }
             report.transitions += 1;
+            if let Some(m) = metrics.as_mut() {
+                let kind = match &ev {
+                    NetEvent::Elect { .. } => "elect",
+                    NetEvent::Invoke { .. } => "invoke",
+                    NetEvent::Reconfig { .. } => "reconfig",
+                    NetEvent::Commit { .. } => "commit",
+                    NetEvent::Deliver { .. } => "deliver",
+                    NetEvent::Crash { .. } => "crash",
+                    NetEvent::Recover { .. } => "recover",
+                };
+                m.inc(&format!("transition.{kind}"));
+            }
             let fp = fingerprint(&next);
             if visited.contains(&fp) {
                 continue;
             }
             visited.insert(fp);
             report.states += 1;
+            if let Some(m) = metrics.as_mut() {
+                m.inc("invariant.log-safety");
+            }
             if next.check_log_safety().is_err() {
                 report.log_safety_violated = true;
                 break 'bfs;
@@ -174,6 +209,10 @@ pub fn explore_net<C: Configuration + ReconfigSpace>(
     }
 
     report.elapsed = start.elapsed();
+    if let Some(mut m) = metrics {
+        m.add("quorum.checks", telemetry::quorum_checks() - quorum_base);
+        report.profile = Some(ExploreProfile::new(&m, report.states, report.elapsed));
+    }
     report
 }
 
@@ -194,6 +233,25 @@ mod tests {
         assert!(!report.log_safety_violated);
         assert!(!report.truncated);
         assert!(report.states > 10);
+    }
+
+    #[test]
+    fn net_profiling_counts_deliveries_and_quorum_checks() {
+        let params = NetExploreParams {
+            max_depth: 4,
+            with_reconfig: false,
+            spare_nodes: 0,
+            profile: true,
+            ..NetExploreParams::default()
+        };
+        let report = explore_net(&SingleNode::new([1, 2]), &params);
+        let profile = report.profile.expect("profile requested");
+        let kinds = profile.hottest_transitions();
+        let total: u64 = kinds.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, report.transitions);
+        assert!(kinds.iter().any(|(k, _)| *k == "deliver"));
+        assert_eq!(profile.invariant_evals(), report.states as u64 - 1);
+        assert!(profile.quorum_checks() > 0);
     }
 
     #[test]

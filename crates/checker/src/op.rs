@@ -68,6 +68,18 @@ impl<C: Configuration, M: Clone> CheckerOp<C, M> {
         }
     }
 
+    /// A short machine-readable name for the operation kind, used by the
+    /// profiler's per-kind transition counters.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            CheckerOp::Pull { .. } => "pull",
+            CheckerOp::Invoke { .. } => "invoke",
+            CheckerOp::Reconfig { .. } => "reconfig",
+            CheckerOp::Push { .. } => "push",
+        }
+    }
+
     /// The id of the cache a successful `Push` targets, if any.
     #[must_use]
     pub fn push_target(&self) -> Option<CacheId> {

@@ -1,0 +1,99 @@
+//! Per-run profiling for the explorers: which invariants burned the
+//! evaluations, which transition kinds dominated the frontier, and how
+//! fast states were visited.
+//!
+//! Built on the [`adore_obs`] metrics registry so the numbers share one
+//! schema with the rest of the stack: counters named `invariant.<lemma>`
+//! count evaluations per lemma, `transition.<kind>` counts applied
+//! transitions per operation kind, and `quorum.checks` records how many
+//! quorum-membership tests the run performed (the paper's cost model for
+//! protocol- vs network-level reasoning counts exactly these).
+
+use std::time::Duration;
+
+use adore_obs::{Metrics, MetricsSnapshot};
+
+/// A profile of one exploration run (requested via the `profile` flag on
+/// [`crate::ExploreParams`] / [`crate::NetExploreParams`]).
+#[derive(Debug, Clone)]
+pub struct ExploreProfile {
+    /// The raw registry snapshot: `invariant.*` evaluation counters,
+    /// `transition.*` applied-transition counters, `quorum.checks`.
+    pub metrics: MetricsSnapshot,
+    /// Distinct states visited per wall-clock second (0 when the run was
+    /// too fast to time).
+    pub states_per_sec: u64,
+}
+
+impl ExploreProfile {
+    /// Builds a profile from a run's registry, visit count, and elapsed
+    /// wall-clock time.
+    #[must_use]
+    pub fn new(metrics: &Metrics, states: usize, elapsed: Duration) -> Self {
+        let secs = elapsed.as_secs_f64();
+        let states_per_sec = if secs > 0.0 {
+            (states as f64 / secs) as u64
+        } else {
+            0
+        };
+        ExploreProfile {
+            metrics: metrics.snapshot(),
+            states_per_sec,
+        }
+    }
+
+    /// Invariant-evaluation counters, hottest first, with the
+    /// `invariant.` prefix stripped.
+    #[must_use]
+    pub fn hottest_invariants(&self) -> Vec<(&str, u64)> {
+        strip_prefix(self.metrics.hottest("invariant."), "invariant.")
+    }
+
+    /// Applied-transition counters, hottest first, with the
+    /// `transition.` prefix stripped.
+    #[must_use]
+    pub fn hottest_transitions(&self) -> Vec<(&str, u64)> {
+        strip_prefix(self.metrics.hottest("transition."), "transition.")
+    }
+
+    /// How many quorum-membership checks the run performed.
+    #[must_use]
+    pub fn quorum_checks(&self) -> u64 {
+        self.metrics.counter("quorum.checks")
+    }
+
+    /// Total invariant evaluations across all lemmas.
+    #[must_use]
+    pub fn invariant_evals(&self) -> u64 {
+        self.metrics.hottest("invariant.").iter().map(|(_, n)| n).sum()
+    }
+}
+
+fn strip_prefix<'a>(rows: Vec<(&'a str, u64)>, prefix: &str) -> Vec<(&'a str, u64)> {
+    rows.into_iter()
+        .map(|(k, v)| (k.strip_prefix(prefix).unwrap_or(k), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hottest_helpers_strip_their_prefixes() {
+        let mut m = Metrics::new();
+        m.add("invariant.safety", 10);
+        m.add("invariant.structure", 4);
+        m.add("transition.pull", 7);
+        m.add("quorum.checks", 3);
+        let p = ExploreProfile::new(&m, 100, Duration::from_millis(50));
+        assert_eq!(
+            p.hottest_invariants(),
+            vec![("safety", 10), ("structure", 4)]
+        );
+        assert_eq!(p.hottest_transitions(), vec![("pull", 7)]);
+        assert_eq!(p.quorum_checks(), 3);
+        assert_eq!(p.invariant_evals(), 14);
+        assert_eq!(p.states_per_sec, 2000);
+    }
+}

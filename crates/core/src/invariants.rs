@@ -447,7 +447,31 @@ pub fn check_structure<C: Configuration, M: Clone>(st: &AdoreState<C, M>) -> Res
 /// ```
 #[must_use]
 pub fn check_all<C: Configuration, M: Clone>(st: &AdoreState<C, M>) -> Vec<Violation> {
-    let mut out = Vec::new();
+    check_all_named(st)
+        .into_iter()
+        .filter_map(|(_, r)| r.err())
+        .collect()
+}
+
+/// Names of the lemmas [`check_all`] evaluates, in evaluation order.
+/// The observability layer keys its per-lemma evaluation counters on
+/// these names.
+pub const LEMMA_NAMES: [&str; 6] = [
+    "safety",
+    "descendant-order",
+    "leader-time-uniqueness",
+    "election-commit-order",
+    "ccache-in-rcache-fork",
+    "structure",
+];
+
+/// [`check_all`], with each lemma's verdict paired with its name from
+/// [`LEMMA_NAMES`] — the hook the checker's profiling mode uses to
+/// attribute evaluation counts (and violations) to individual lemmas.
+#[must_use]
+pub fn check_all_named<C: Configuration, M: Clone>(
+    st: &AdoreState<C, M>,
+) -> Vec<(&'static str, Result<(), Violation>)> {
     let checks: [Result<(), Violation>; 6] = [
         check_safety(st),
         check_descendant_order(st),
@@ -456,12 +480,7 @@ pub fn check_all<C: Configuration, M: Clone>(st: &AdoreState<C, M>) -> Vec<Viola
         check_ccache_in_rcache_fork(st),
         check_structure(st),
     ];
-    for c in checks {
-        if let Err(v) = c {
-            out.push(v);
-        }
-    }
-    out
+    LEMMA_NAMES.into_iter().zip(checks).collect()
 }
 
 #[cfg(test)]

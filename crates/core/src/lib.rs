@@ -77,6 +77,7 @@ pub mod invariants;
 pub mod majority;
 pub mod render;
 mod state;
+pub mod telemetry;
 
 pub use cache::{Cache, CacheKind, CacheOrderKey};
 pub use config::{

@@ -514,6 +514,7 @@ impl<C: Configuration, M: Clone> AdoreState<C, M> {
             return Err(OracleError::StaleTimestamp { supporter: stale });
         }
         self.set_times(supporters, *time);
+        crate::telemetry::count_quorum_check();
         if config.is_quorum(supporters) {
             let ecache = Cache::Election {
                 caller: nid,
@@ -676,6 +677,7 @@ impl<C: Configuration, M: Clone> AdoreState<C, M> {
             return Err(OracleError::CannotCommit);
         }
         self.set_times(supporters, time);
+        crate::telemetry::count_quorum_check();
         if config.is_quorum(supporters) {
             let ccache = Cache::Commit {
                 caller: nid,

@@ -1,0 +1,41 @@
+//! Process-wide observability counters for the protocol core.
+//!
+//! The quantities here are *measurements about* the protocol, never
+//! inputs to it: incrementing or reading them cannot influence a
+//! transition, so determinism of seeded runs is unaffected. They are
+//! plain relaxed atomics — cheap enough to leave permanently enabled —
+//! and monotone over the process lifetime, so consumers (the
+//! `adore-obs` metrics registry) record *deltas* around the region
+//! they measure rather than absolute values (the test harness runs
+//! many clusters in one process).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Quorum predicate evaluations (`isQuorum` at protocol decision
+/// points: vote counting, commit acknowledgement counting).
+static QUORUM_CHECKS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one quorum predicate evaluation.
+#[inline]
+pub fn count_quorum_check() {
+    QUORUM_CHECKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total quorum predicate evaluations so far in this process.
+#[must_use]
+pub fn quorum_checks() -> u64 {
+    QUORUM_CHECKS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_counter_is_monotone() {
+        let before = quorum_checks();
+        count_quorum_check();
+        count_quorum_check();
+        assert!(quorum_checks() >= before + 2);
+    }
+}

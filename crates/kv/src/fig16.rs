@@ -7,6 +7,7 @@
 //! series the paper plots.
 
 use adore_core::NodeId;
+use adore_obs::HistogramSnapshot;
 use adore_schemes::SingleNode;
 
 use crate::command::KvCommand;
@@ -19,6 +20,9 @@ pub struct Fig16Params {
     pub requests_per_phase: usize,
     /// The latency model of the simulated network.
     pub latency: LatencyModel,
+    /// Whether to record a trace journal of the run (off by default;
+    /// tracing never perturbs the simulation, only costs wall time).
+    pub tracing: bool,
 }
 
 impl Default for Fig16Params {
@@ -26,6 +30,7 @@ impl Default for Fig16Params {
         Fig16Params {
             requests_per_phase: 1000,
             latency: LatencyModel::default(),
+            tracing: false,
         }
     }
 }
@@ -48,6 +53,11 @@ pub struct Fig16Run {
     pub records: Vec<RequestRecord>,
     /// `(request index, description)` of each reconfiguration step.
     pub reconfigs: Vec<(usize, String)>,
+    /// Per-phase request-latency histograms, harvested from the
+    /// cluster's metrics registry after each phase: `(label, snapshot)`.
+    pub phase_latency: Vec<(String, HistogramSnapshot)>,
+    /// The run's trace journal (empty unless [`Fig16Params::tracing`]).
+    pub trace: Vec<adore_obs::TraceEvent>,
 }
 
 /// Runs the 5 → 3 → 5 reconfiguration workload with a seeded simulated
@@ -77,11 +87,18 @@ pub fn run_fig16(params: &Fig16Params, seed: u64) -> Result<Fig16Run, ClusterErr
         params.latency.clone(),
         seed,
     );
+    cluster.set_tracing(params.tracing);
+    cluster.trace(adore_obs::EventKind::RunStart {
+        name: format!("fig16-seed{seed}"),
+        members: vec![1, 2, 3, 4, 5],
+    });
     cluster.elect(NodeId(1))?;
 
     let mut run = Fig16Run {
         records: Vec::with_capacity(3 * params.requests_per_phase),
         reconfigs: Vec::new(),
+        phase_latency: Vec::new(),
+        trace: Vec::new(),
     };
     let mut index = 0usize;
     let serve_phase = |cluster: &mut Cluster<SingleNode>,
@@ -103,8 +120,18 @@ pub fn run_fig16(params: &Fig16Params, seed: u64) -> Result<Fig16Run, ClusterErr
         Ok(())
     };
 
+    let harvest = |cluster: &mut Cluster<SingleNode>, run: &mut Fig16Run, label: &str| {
+        let snap = cluster
+            .metrics_mut()
+            .take_histogram("request_latency_us")
+            .unwrap_or_default()
+            .snapshot();
+        run.phase_latency.push((label.to_string(), snap));
+    };
+
     // Phase 1: five nodes.
     serve_phase(&mut cluster, &mut run, &mut index)?;
+    harvest(&mut cluster, &mut run, "phase 1 (5 nodes)");
     // Drop to three, one node at a time.
     cluster.reconfigure(SingleNode::new([1, 2, 3, 4]))?;
     run.reconfigs.push((index, "5→4: remove S5".to_string()));
@@ -112,6 +139,7 @@ pub fn run_fig16(params: &Fig16Params, seed: u64) -> Result<Fig16Run, ClusterErr
     run.reconfigs.push((index, "4→3: remove S4".to_string()));
     // Phase 2: three nodes.
     serve_phase(&mut cluster, &mut run, &mut index)?;
+    harvest(&mut cluster, &mut run, "phase 2 (3 nodes)");
     // Grow back to five.
     cluster.reconfigure(SingleNode::new([1, 2, 3, 4]))?;
     run.reconfigs.push((index, "3→4: add S4".to_string()));
@@ -119,8 +147,20 @@ pub fn run_fig16(params: &Fig16Params, seed: u64) -> Result<Fig16Run, ClusterErr
     run.reconfigs.push((index, "4→5: add S5".to_string()));
     // Phase 3: five nodes again.
     serve_phase(&mut cluster, &mut run, &mut index)?;
+    harvest(&mut cluster, &mut run, "phase 3 (5 nodes)");
 
     debug_assert!(cluster.verify().is_ok());
+    if params.tracing {
+        let committed = cluster.net().committed_prefix().len() as u64;
+        cluster.trace(adore_obs::EventKind::Verdict {
+            safe: cluster.verify().is_ok(),
+            kind: None,
+            detail: None,
+            phase: 2,
+        });
+        cluster.trace(adore_obs::EventKind::RunEnd { committed });
+        run.trace = cluster.take_trace();
+    }
     Ok(run)
 }
 
@@ -187,6 +227,51 @@ mod tests {
             spike > 2 * steady,
             "growth spike {spike}us vs steady {steady}us"
         );
+    }
+
+    #[test]
+    fn phase_histograms_cover_every_request() {
+        let run = run_fig16(&small(), 3).unwrap();
+        assert_eq!(run.phase_latency.len(), 3);
+        for (phase, (label, hist)) in run.phase_latency.iter().enumerate() {
+            assert_eq!(
+                hist.count, 120,
+                "{label}: every request of the phase is sampled"
+            );
+            let records = &run.records[phase * 120..(phase + 1) * 120];
+            let max = records.iter().map(|r| r.latency_us).max().unwrap();
+            let min = records.iter().map(|r| r.latency_us).min().unwrap();
+            assert_eq!((hist.min, hist.max), (min, max), "{label}");
+            // Quantiles resolve to bucket upper bounds (so p99 may sit
+            // above the exact max); only q = 1.0 is exact.
+            assert!(hist.quantile(0.5) > 0);
+            assert!(hist.quantile(0.99) >= hist.quantile(0.5));
+            assert_eq!(hist.quantile(1.0), hist.max, "{label}");
+        }
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_runs_and_audit_clean() {
+        let plain = run_fig16(&small(), 5).unwrap();
+        let traced = run_fig16(
+            &Fig16Params {
+                tracing: true,
+                ..small()
+            },
+            5,
+        )
+        .unwrap();
+        // Tracing is invisible to the simulation.
+        assert_eq!(plain.records, traced.records);
+        assert_eq!(plain.phase_latency, traced.phase_latency);
+        assert!(plain.trace.is_empty());
+        assert!(!traced.trace.is_empty());
+        // The journal certifies: no structural errors, no divergence,
+        // and the recorded verdict matches the audit's.
+        let report = adore_obs::audit_events(&traced.trace);
+        assert!(report.consistent, "errors: {:?}", report.errors);
+        assert!(report.divergence.is_none());
+        assert_eq!(report.live_safe, Some(true));
     }
 
     #[test]

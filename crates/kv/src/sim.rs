@@ -21,11 +21,20 @@ use rand::{Rng, SeedableRng};
 use serde::{de, Serialize};
 
 use adore_core::{Configuration, NodeId, ReconfigGuard, Timestamp};
+use adore_obs::{EventKind, Metrics, TraceEvent, Tracer};
 use adore_raft::{EventOutcome, Log, MsgId, NetEvent, NetState, Role};
 use adore_storage::{DiskFault, DurabilityPolicy, Recovery, StorageViolation, Wal, WalRecord};
 
 use crate::command::{KvCommand, KvStore};
 use crate::links::LinkMatrix;
+
+/// Canonical compact-JSON rendering of a value, for embedding protocol
+/// payloads in trace events. Total (no panic): a value the vendored
+/// serde cannot render becomes an empty string, which the trace
+/// auditor will surface as a mismatch rather than silently pass.
+fn json_of<T: Serialize>(v: &T) -> String {
+    serde_json::to_string(v).unwrap_or_default()
+}
 
 /// Microsecond virtual-time latency distribution for one message hop.
 #[derive(Debug, Clone)]
@@ -142,6 +151,17 @@ pub struct Cluster<C: Configuration> {
     /// Per-replica durable storage: the WALs, the policy they run
     /// under, and the recovery-invariant checker's findings.
     storage: Storage<C>,
+    /// The structured trace journal (disabled by default). Recording
+    /// never touches `rng` or the clock, so a traced run is
+    /// bit-identical to an untraced one.
+    tracer: Tracer,
+    /// The metrics registry: message/WAL traffic counters and the
+    /// per-request latency histogram the experiments report.
+    metrics: Metrics,
+    /// Queue-sequence → trace event id of the matching `MsgSend`, so a
+    /// delivery can causally link its `MsgRecv` to the exact copy that
+    /// arrived. Populated only while tracing.
+    send_ids: BTreeMap<u64, u64>,
 }
 
 /// The cluster's durable-storage state: one write-ahead log per
@@ -209,6 +229,9 @@ where
             links: LinkMatrix::new(),
             timeout_scale_pct: 100,
             storage: Storage::default(),
+            tracer: Tracer::disabled(),
+            metrics: Metrics::new(),
+            send_ids: BTreeMap::new(),
         }
     }
 
@@ -228,6 +251,52 @@ where
     #[must_use]
     pub fn net(&self) -> &NetState<C, KvCommand> {
         &self.net
+    }
+
+    /// Turns trace recording on or off. Off (the default) costs
+    /// nothing: no events, no payload serialization, no RNG or clock
+    /// use either way.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// The trace journal recorded so far.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Takes the recorded trace events, resetting the journal.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.send_ids.clear();
+        self.tracer.take()
+    }
+
+    /// Records a root trace event stamped with the current virtual
+    /// time. Returns its sequence number, or `None` when tracing is
+    /// off. Exposed so drivers (the nemesis engine, experiments) can
+    /// interleave run-level events with the cluster's own.
+    pub fn trace(&mut self, kind: EventKind) -> Option<u64> {
+        self.tracer.record(self.now_us, kind)
+    }
+
+    /// Whether trace recording is on (callers should gate expensive
+    /// event-payload construction on this).
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// The metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry (e.g. for an experiment
+    /// to snapshot and reset a phase's latency histogram).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
     }
 
     /// The current cluster size (members of the leader's configuration).
@@ -260,6 +329,14 @@ where
         };
         let from = request.from();
         let shipped_len = request.log_len();
+        let msg_kind = request.kind_name();
+        // Wire-byte accounting serializes the request, so it only runs
+        // while tracing (the overhead shows up in the E11 table).
+        let wire_bytes = if self.tracer.is_enabled() {
+            json_of(request).len() as u64
+        } else {
+            0
+        };
         let mut link_free = *self.egress_free.get(&from).unwrap_or(&0);
         link_free = link_free.max(self.now_us);
         for to in recipients {
@@ -267,6 +344,15 @@ where
                 shipped_len.saturating_sub(self.net.server(to).map_or(0, |s| s.log.len()));
             link_free += self.latency.send_cost(missing);
             if self.links.is_cut(from, to) {
+                self.metrics.inc("net.msgs_dropped");
+                if self.tracer.is_enabled() {
+                    self.trace(EventKind::MsgDrop {
+                        msg: msg.0,
+                        from: from.0,
+                        to: to.0,
+                        reason: "cut".to_string(),
+                    });
+                }
                 continue; // link down at send time; the sender will retransmit
             }
             // Per-link loss decision: the link override, else the scalar
@@ -277,11 +363,34 @@ where
                 .drop_pct(from, to)
                 .unwrap_or(self.latency.drop_pct);
             if drop_pct > 0 && self.rng.gen_range(0..100) < drop_pct {
+                self.metrics.inc("net.msgs_dropped");
+                if self.tracer.is_enabled() {
+                    self.trace(EventKind::MsgDrop {
+                        msg: msg.0,
+                        from: from.0,
+                        to: to.0,
+                        reason: "loss".to_string(),
+                    });
+                }
                 continue; // lost in flight; the sender will retransmit
             }
             let arrival = link_free + self.latency.flight(&mut self.rng);
             self.seq += 1;
             self.queue.push(Reverse((arrival, self.seq, msg, to)));
+            self.metrics.inc("net.msgs_sent");
+            self.metrics.add("net.entries_shipped", shipped_len as u64);
+            self.metrics.add("net.msg_bytes", wire_bytes);
+            if self.tracer.is_enabled() {
+                if let Some(id) = self.trace(EventKind::MsgSend {
+                    msg: msg.0,
+                    from: from.0,
+                    to: to.0,
+                    kind: msg_kind.to_string(),
+                    dup: false,
+                }) {
+                    self.send_ids.insert(self.seq, id);
+                }
+            }
         }
         self.egress_free.insert(from, link_free);
     }
@@ -294,11 +403,12 @@ where
     /// an asymmetric cut of the return path loses the acknowledgement
     /// (see [`NetState::deliver_via`]).
     fn step_event(&mut self) -> bool {
-        let Some(Reverse((t, _, msg, to))) = self.queue.pop() else {
+        let Some(Reverse((t, qseq, msg, to))) = self.queue.pop() else {
             return false;
         };
         self.now_us = self.now_us.max(t);
-        let _ = self.deliver_logged(msg, to);
+        let send_id = self.send_ids.remove(&qseq);
+        let _ = self.deliver_logged(msg, to, send_id);
         true
     }
 
@@ -311,7 +421,7 @@ where
     /// sender's commit watermark, that advance is journaled and synced
     /// too, so a later leader crash cannot roll the watermark back
     /// below acknowledged writes.
-    fn deliver_logged(&mut self, msg: MsgId, to: NodeId) -> EventOutcome {
+    fn deliver_logged(&mut self, msg: MsgId, to: NodeId, send_id: Option<u64>) -> EventOutcome {
         let from = self.net.message(msg).map(|r| r.from());
         let before_to = self.snapshot(to);
         let before_from = from.filter(|f| *f != to).map(|f| (f, self.snapshot(f)));
@@ -322,19 +432,29 @@ where
             self.net
                 .deliver_via(msg, to, &|from, to| !links.is_cut(from, to))
         };
+        self.metrics.inc("net.msgs_delivered");
+        let recv_id = self.tracer.record_linked(
+            self.now_us,
+            send_id,
+            EventKind::MsgRecv {
+                msg: msg.0,
+                to: to.0,
+                applied: outcome == EventOutcome::Applied,
+            },
+        );
         if outcome != EventOutcome::Applied {
             return outcome; // rejected deliveries change no durable state
         }
         // The recipient adopted state and acknowledged: journal, sync,
         // and (when certifying) check the ack against the mirror.
-        self.journal_diff(to, before_to);
+        self.journal_diff(to, before_to, recv_id);
         self.sync_wal(to);
         self.audit_ack_durability(to);
         // The sender's watermark may have advanced on the ack. Not an
         // ack point itself, but left unsynced it would regress across a
         // leader crash, silently forgetting acked commits.
         if let Some((f, before)) = before_from {
-            if self.journal_diff(f, before) {
+            if self.journal_diff(f, before, recv_id) {
                 self.sync_wal(f);
             }
         }
@@ -351,12 +471,31 @@ where
         let touched = event.touches(|m| self.net.message(m).expect("sent message").from());
         let before: Vec<_> = touched.iter().map(|&n| (n, self.snapshot(n))).collect();
         let outcome = self.net.step(event);
+        let (op, step_nid) = match event {
+            NetEvent::Elect { nid } => ("step.elect", nid.0),
+            NetEvent::Commit { nid } => ("step.commit", nid.0),
+            NetEvent::Invoke { nid, .. } => ("step.invoke", nid.0),
+            NetEvent::Reconfig { nid, .. } => ("step.reconfig", nid.0),
+            NetEvent::Crash { nid } => ("step.crash", nid.0),
+            NetEvent::Recover { nid } => ("step.recover", nid.0),
+            NetEvent::Deliver { to, .. } => ("step.deliver", to.0),
+        };
+        self.metrics.inc(op);
+        let step_id = if self.tracer.is_enabled() {
+            self.trace(EventKind::LocalStep {
+                op: op["step.".len()..].to_string(),
+                nid: step_nid,
+                applied: outcome == EventOutcome::Applied,
+            })
+        } else {
+            None
+        };
         if outcome != EventOutcome::Applied {
             return outcome;
         }
         let is_ack_point = matches!(event, NetEvent::Elect { .. } | NetEvent::Commit { .. });
         for (nid, prev) in before {
-            self.journal_diff(nid, prev);
+            self.journal_diff(nid, prev, step_id);
             if is_ack_point {
                 self.sync_wal(nid);
                 self.audit_ack_durability(nid);
@@ -381,11 +520,16 @@ where
     /// Appends the difference between `before` and the replica's current
     /// durable projection to its WAL (term adoption, truncation of a
     /// divergent suffix, new entries, watermark advance). Returns
-    /// whether anything was written.
+    /// whether anything was written. When tracing, the diff is also
+    /// emitted as a [`EventKind::StateDelta`] (the auditor's
+    /// reconstruction source) and a [`EventKind::WalAppend`] carrying the
+    /// WAL traffic it caused, both causally linked to `parent` (the
+    /// delivery or local step that produced the change).
     fn journal_diff(
         &mut self,
         nid: NodeId,
         before: Option<(Timestamp, Log<C, KvCommand>, usize)>,
+        parent: Option<u64>,
     ) -> bool {
         let Some(s) = self.net.server(nid) else {
             return false;
@@ -419,9 +563,51 @@ where
         if records.is_empty() {
             return false;
         }
+        let delta = if self.tracer.is_enabled() {
+            let mut term = None;
+            let mut truncate = None;
+            let mut append = Vec::new();
+            let mut commit_len = None;
+            for rec in &records {
+                match rec {
+                    WalRecord::Term { time } => term = Some(*time),
+                    WalRecord::Truncate { len } => truncate = Some(*len),
+                    WalRecord::Append { entry } => append.push(json_of(entry)),
+                    WalRecord::CommitLen { len } => commit_len = Some(*len),
+                    _ => {}
+                }
+            }
+            Some(EventKind::StateDelta {
+                nid: nid.0,
+                term,
+                truncate,
+                append,
+                commit_len,
+            })
+        } else {
+            None
+        };
         let wal = self.wal(nid);
+        let before_stats = wal.stats();
         for rec in &records {
             wal.append(rec);
+        }
+        let after_stats = wal.stats();
+        let wrote_records = (after_stats.records - before_stats.records) as u64;
+        let wrote_bytes = (after_stats.bytes_written - before_stats.bytes_written) as u64;
+        self.metrics.add("wal.records", wrote_records);
+        self.metrics.add("wal.bytes", wrote_bytes);
+        if let Some(kind) = delta {
+            let delta_id = self.tracer.record_linked(self.now_us, parent, kind);
+            self.tracer.record_linked(
+                self.now_us,
+                delta_id,
+                EventKind::WalAppend {
+                    nid: nid.0,
+                    records: wrote_records,
+                    bytes: wrote_bytes,
+                },
+            );
         }
         true
     }
@@ -432,6 +618,10 @@ where
     fn sync_wal(&mut self, nid: NodeId) {
         if self.storage.policy.sync_before_ack {
             self.wal(nid).sync();
+            self.metrics.inc("wal.syncs");
+            if self.tracer.is_enabled() {
+                self.trace(EventKind::WalSync { nid: nid.0 });
+            }
         }
     }
 
@@ -488,6 +678,11 @@ where
         let elected = self.run_until(|net| net.server(nid).is_some_and(|s| s.role == Role::Leader));
         if elected {
             self.leader = Some(nid);
+            self.metrics.inc("cluster.elections_won");
+            if self.tracer.is_enabled() {
+                let term = self.net.server(nid).map_or(0, |s| s.time.0);
+                self.trace(EventKind::LeaderElected { nid: nid.0, term });
+            }
             Ok(())
         } else {
             Err(ClusterError::Stalled)
@@ -559,7 +754,24 @@ where
             return Err(ClusterError::Rejected);
         }
         let target = self.net.server(leader).expect("leader exists").log.len();
-        self.replicate_until_committed(target)
+        let res = self.replicate_until_committed(target);
+        self.note_request(&res);
+        res
+    }
+
+    /// Records the outcome of one client request in the metrics registry:
+    /// success/failure counters plus the per-request latency histogram
+    /// that backs the Fig. 16 percentile report.
+    fn note_request(&mut self, res: &Result<u64, ClusterError>) {
+        match res {
+            Ok(lat) => {
+                self.metrics.inc("requests.ok");
+                self.metrics.observe("request_latency_us", *lat);
+            }
+            Err(_) => {
+                self.metrics.inc("requests.failed");
+            }
+        }
     }
 
     /// Crashes a replica: it stops receiving until [`Cluster::recover`].
@@ -589,13 +801,27 @@ where
     pub fn fail_with(&mut self, nid: NodeId, fault: &DiskFault) {
         let _ = self.net.step(&NetEvent::Crash { nid });
         self.wal(nid).crash(fault);
+        self.metrics.inc("cluster.crashes");
+        if self.tracer.is_enabled() {
+            self.trace(EventKind::Crash {
+                nid: nid.0,
+                disk: fault.kind_name().to_string(),
+            });
+        }
         if self.leader == Some(nid) {
             self.leader = None;
         }
         let drained = std::mem::take(&mut self.queue);
+        let send_ids = &mut self.send_ids;
         self.queue = drained
             .into_iter()
-            .filter(|Reverse((_, _, _, to))| *to != nid)
+            .filter(|Reverse((_, qseq, _, to))| {
+                let keep = *to != nid;
+                if !keep {
+                    send_ids.remove(qseq);
+                }
+                keep
+            })
             .collect();
     }
 
@@ -624,7 +850,9 @@ where
             return; // nothing to recover
         }
         let policy = self.storage.policy;
-        match self.wal(nid).recover(&policy) {
+        let recovery = self.wal(nid).recover(&policy);
+        let outcome_name = recovery.kind_name();
+        match recovery {
             Recovery::Intact(state) => {
                 let _ = self.net.install_recovery(
                     nid,
@@ -633,6 +861,7 @@ where
                     state.commit_len,
                     false,
                 );
+                self.metrics.inc("recover.intact");
                 if self.storage.certify {
                     // Certification must not panic mid-recovery (L2): a
                     // replica or WAL that vanished between install and
@@ -658,10 +887,34 @@ where
                 let _ = self
                     .net
                     .install_recovery(nid, Timestamp::ZERO, Vec::new(), 0, true);
+                self.metrics.inc("recover.data_loss");
             }
             Recovery::Corrupt { .. } => {
                 self.storage.wrecked.insert(nid);
+                self.metrics.inc("recover.corrupt");
             }
+        }
+        if self.tracer.is_enabled() {
+            // The event carries the *installed* state (what the replica
+            // actually woke up with), so the trace auditor can check
+            // recovery faithfulness without re-reading any disk. A
+            // fail-stopped replica installs nothing; its event records
+            // the empty state.
+            let (term, log, commit_len) = match self.net.server(nid) {
+                Some(s) if outcome_name != "corrupt" => (
+                    s.time.0,
+                    s.log.iter().map(json_of).collect(),
+                    s.commit_len as u64,
+                ),
+                _ => (0, Vec::new(), 0),
+            };
+            self.trace(EventKind::WalRecover {
+                nid: nid.0,
+                outcome: outcome_name.to_string(),
+                term,
+                log,
+                commit_len,
+            });
         }
     }
 
@@ -686,7 +939,20 @@ where
             return Err(ClusterError::Rejected);
         }
         let target = self.net.server(leader).expect("leader exists").log.len();
-        self.replicate_until_committed(target)
+        let took = self.replicate_until_committed(target)?;
+        self.metrics.inc("cluster.reconfigs_committed");
+        if self.tracer.is_enabled() {
+            let members = self
+                .net
+                .config_of(leader)
+                .map(|c| c.members().into_iter().map(|n| n.0).collect())
+                .unwrap_or_default();
+            self.trace(EventKind::ReconfigCommitted {
+                nid: leader.0,
+                members,
+            });
+        }
+        Ok(took)
     }
 
     /// Performs a **stop-the-world** reconfiguration (the Stoppable
@@ -865,6 +1131,22 @@ where
             let arrival = self.now_us + self.latency.flight(&mut self.rng);
             self.seq += 1;
             self.queue.push(Reverse((arrival, self.seq, msg, to)));
+            self.metrics.inc("net.msgs_duplicated");
+            if self.tracer.is_enabled() {
+                let (from, kind) = self
+                    .net
+                    .message(msg)
+                    .map_or((0, "unknown"), |r| (r.from().0, r.kind_name()));
+                if let Some(id) = self.trace(EventKind::MsgSend {
+                    msg: msg.0,
+                    from,
+                    to: to.0,
+                    kind: kind.to_string(),
+                    dup: true,
+                }) {
+                    self.send_ids.insert(self.seq, id);
+                }
+            }
         }
     }
 
@@ -877,9 +1159,13 @@ where
             return;
         }
         let drained = std::mem::take(&mut self.queue);
-        for Reverse((t, _, msg, to)) in drained.into_iter() {
+        for Reverse((t, old_seq, msg, to)) in drained.into_iter() {
             let arrival = t + self.rng.gen_range(0..window_us);
             self.seq += 1;
+            // Keep the causal send→recv link alive across the re-keying.
+            if let Some(id) = self.send_ids.remove(&old_seq) {
+                self.send_ids.insert(self.seq, id);
+            }
             self.queue.push(Reverse((arrival, self.seq, msg, to)));
         }
     }
@@ -923,7 +1209,9 @@ where
             return Err(ClusterError::Rejected);
         }
         let target = self.net.server(leader).expect("leader exists").log.len();
-        self.replicate_rounds(target, max_rounds)
+        let res = self.replicate_rounds(target, max_rounds);
+        self.note_request(&res);
+        res
     }
 
     /// Sets the durability policy every replica's WAL runs under. The
@@ -1300,6 +1588,53 @@ mod tests {
                 .collect::<Vec<u64>>()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn tracing_is_invisible_to_the_simulation() {
+        // The observability layer must never perturb the run: a traced
+        // cluster and an untraced one on the same seed must produce the
+        // same latencies (same RNG stream, same schedule).
+        let run = |traced: bool| {
+            let mut c = cluster(14);
+            c.set_tracing(traced);
+            c.elect(NodeId(1)).unwrap();
+            let lats: Vec<u64> = (0..10)
+                .map(|i| c.submit(KvCommand::put(format!("k{i}"), "v")).unwrap())
+                .collect();
+            c.fail(NodeId(1));
+            c.recover(NodeId(1));
+            (lats, c.take_trace())
+        };
+        let (plain, empty) = run(false);
+        let (traced, events) = run(true);
+        assert_eq!(plain, traced);
+        assert!(empty.is_empty());
+        assert!(!events.is_empty());
+        // The journal round-trips through JSONL and certifies clean.
+        let text = adore_obs::to_jsonl(&events);
+        let parsed = adore_obs::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), events.len());
+        let report = adore_obs::audit_events(&events);
+        assert!(report.consistent, "audit failed: {:?}", report.errors);
+        assert!(report.divergence.is_none());
+    }
+
+    #[test]
+    fn metrics_count_protocol_work() {
+        let mut c = cluster(14);
+        c.elect(NodeId(1)).unwrap();
+        for i in 0..5 {
+            c.submit(KvCommand::put(format!("k{i}"), "v")).unwrap();
+        }
+        let snap = c.metrics().snapshot();
+        assert_eq!(snap.counter("cluster.elections_won"), 1);
+        assert_eq!(snap.counter("requests.ok"), 5);
+        assert!(snap.counter("net.msgs_sent") > 0);
+        assert!(snap.counter("wal.syncs") > 0);
+        let lat = snap.histogram("request_latency_us").unwrap();
+        assert_eq!(lat.count, 5);
+        assert!(lat.quantile(0.5) >= c.latency_base());
     }
 
     #[test]

@@ -105,6 +105,11 @@ pub struct Config {
     pub l4_consume_prefixes: Vec<String>,
     /// L4: path prefixes where the consumption check applies.
     pub l4_paths: Vec<String>,
+    /// L5: crate directories where stray console output is banned.
+    pub l5_crates: Vec<String>,
+    /// L5: path prefixes (files or directories) exempt from the ban —
+    /// bin entry points whose job *is* console output.
+    pub l5_allow: Vec<String>,
 }
 
 impl Default for Config {
@@ -118,6 +123,8 @@ impl Default for Config {
             l4_must_use_types: Vec::new(),
             l4_consume_prefixes: vec!["check_".into(), "certify_".into()],
             l4_paths: vec!["crates".into()],
+            l5_crates: Vec::new(),
+            l5_allow: Vec::new(),
         }
     }
 }
@@ -189,6 +196,14 @@ impl Config {
             }
             if let Some(v) = l4.get("paths") {
                 cfg.l4_paths = v.string_array();
+            }
+        }
+        if let Some(Value::Table(l5)) = rules.get("L5") {
+            if let Some(v) = l5.get("crates") {
+                cfg.l5_crates = v.string_array();
+            }
+            if let Some(v) = l5.get("allow") {
+                cfg.l5_allow = v.string_array();
             }
         }
         Ok(cfg)
@@ -482,6 +497,10 @@ owners = ["crates/core/src/state.rs"]
 must_use_types = ["Violation"]
 consume_prefixes = ["check_", "certify_"]
 paths = ["crates"]
+
+[rules.L5]
+crates = ["crates/core", "crates/obs"]
+allow = ["crates/obs/src/main.rs"]
 "#,
         )
         .expect("parses");
@@ -491,6 +510,8 @@ paths = ["crates"]
         assert_eq!(cfg.l2_scopes[1].functions, vec!["*"]);
         assert_eq!(cfg.l3_types[0].fields, vec!["tree", "times"]);
         assert_eq!(cfg.l4_must_use_types, vec!["Violation"]);
+        assert_eq!(cfg.l5_crates, vec!["crates/core", "crates/obs"]);
+        assert_eq!(cfg.l5_allow, vec!["crates/obs/src/main.rs"]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The four protocol-discipline rules.
+//! The five protocol-discipline rules.
 //!
 //! * **L1 — determinism**: protocol crates must not use hash-ordered
 //!   collections (`HashMap`/`HashSet`), ambient clocks (`SystemTime`,
@@ -18,6 +18,12 @@
 //!   consume it — `#[must_use]` alone cannot flag `let _ = ...`, and
 //!   unit-returning "checkers" (which the attribute never catches) are
 //!   banned by naming convention.
+//! * **L5 — no stray console output**: protocol crates must not call
+//!   the print-macro family (`println!`, `eprintln!`, `print!`,
+//!   `eprint!`, `dbg!`) outside the configured bin/bench entry points.
+//!   Observable behavior routes through the tracer and metrics registry
+//!   so it is journaled, deterministic, and auditable; ad-hoc prints
+//!   are invisible to the trace auditor and pollute table output.
 //!
 //! All rules are token-pattern passes over the item tree `syn` (the
 //! in-tree stand-in) produces — no type information. The patterns are
@@ -45,6 +51,8 @@ pub fn scan_file(rel: &str, file: &syn::File, cfg: &Config) -> Vec<Finding> {
         .collect();
     let l2_scopes: Vec<&L2Scope> = cfg.l2_scopes.iter().filter(|s| s.file == rel).collect();
     let l4b = cfg.l4_paths.iter().any(|p| in_dir(rel, p));
+    let l5 = cfg.l5_crates.iter().any(|c| in_dir(rel, c))
+        && !cfg.l5_allow.iter().any(|p| rel == p || in_dir(rel, p));
 
     let mut ctx = Ctx {
         rel,
@@ -53,6 +61,7 @@ pub fn scan_file(rel: &str, file: &syn::File, cfg: &Config) -> Vec<Finding> {
         l2_scopes,
         l3,
         l4b,
+        l5,
         findings: Vec::new(),
     };
     walk_items(&mut ctx, &file.items, false);
@@ -72,6 +81,7 @@ struct Ctx<'c> {
     /// Active (type name, protected field) pairs for this file.
     l3: Vec<(&'c str, &'c str)>,
     l4b: bool,
+    l5: bool,
     findings: Vec<Finding>,
 }
 
@@ -99,6 +109,7 @@ struct Flags {
     l2: bool,
     l3: bool,
     l4b: bool,
+    l5: bool,
 }
 
 const OFF: Flags = Flags {
@@ -106,6 +117,7 @@ const OFF: Flags = Flags {
     l2: false,
     l3: false,
     l4b: false,
+    l5: false,
 };
 
 fn walk_items(ctx: &mut Ctx<'_>, items: &[syn::Item], in_test: bool) {
@@ -174,6 +186,7 @@ fn walk_fn(ctx: &mut Ctx<'_>, f: &syn::ItemFn, in_test: bool) {
             l2,
             l3: !ctx.l3.is_empty(),
             l4b: ctx.l4b,
+            l5: ctx.l5,
         };
         if fl.l4b {
             flag_discarded_verdicts(ctx, body);
@@ -211,6 +224,9 @@ fn scan(ctx: &mut Ctx<'_>, trees: &[TokenTree], fl: Flags) {
                 }
                 if fl.l2 {
                     l2_ident(ctx, trees, i);
+                }
+                if fl.l5 {
+                    l5_ident(ctx, trees, i);
                 }
             }
             TokenTree::Punct(p) if fl.l3 && p.as_char() == '.' => {
@@ -300,6 +316,30 @@ fn l2_ident(ctx: &mut Ctx<'_>, trees: &[TokenTree], i: usize) {
             "L2",
             id.span(),
             format!("`{id}!` in a panic-free recovery scope"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L5: no stray console output
+// ---------------------------------------------------------------------------
+
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+fn l5_ident(ctx: &mut Ctx<'_>, trees: &[TokenTree], i: usize) {
+    let TokenTree::Ident(id) = &trees[i] else {
+        return;
+    };
+    let next_bang =
+        matches!(trees.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '!');
+    if next_bang && PRINT_MACROS.iter().any(|m| *id == **m) {
+        ctx.push(
+            "L5",
+            id.span(),
+            format!(
+                "`{id}!` in a protocol crate (route output through the tracer/metrics, \
+                 or move it to a bin target)"
+            ),
         );
     }
 }
@@ -612,6 +652,41 @@ fn caller(s: &S) {
         assert_eq!(got, vec![("L4", 1), ("L4", 3), ("L4", 4)], "{f:?}");
         // Outside the configured paths nothing fires.
         assert!(run("tools/x.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_print_macros_outside_allowed_paths() {
+        let cfg = Config {
+            l5_crates: vec!["crates/kv".into(), "crates/obs".into()],
+            l5_allow: vec!["crates/obs/src/main.rs".into(), "crates/kv/src/bin".into()],
+            ..Config::default()
+        };
+        let src = "\
+fn f() {
+    println!(\"leader is {x}\");
+    eprintln!(\"oops\");
+    let v = dbg!(compute());
+    print(\"a plain function named print is fine\");
+}
+";
+        let f = run("crates/kv/src/sim.rs", src, &cfg);
+        let got: Vec<(&str, usize)> = f.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+        assert_eq!(got, vec![("L5", 2), ("L5", 3), ("L5", 4)], "{f:?}");
+        // Allowed paths — a bin file and a bin directory — are exempt,
+        // as are crates not under the rule.
+        assert!(run("crates/obs/src/main.rs", src, &cfg).is_empty());
+        assert!(run("crates/kv/src/bin/tool.rs", src, &cfg).is_empty());
+        assert!(run("crates/bench/src/bin/fig16.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn l5_skips_cfg_test_subtrees() {
+        let cfg = Config {
+            l5_crates: vec!["crates/kv".into()],
+            ..Config::default()
+        };
+        let src = "#[cfg(test)]\nmod tests { fn t() { println!(\"dbg\"); } }\n";
+        assert!(run("crates/kv/src/sim.rs", src, &cfg).is_empty());
     }
 
     #[test]

@@ -37,6 +37,8 @@ fn fixture_config() -> Config {
             owners: vec!["crates/raft/src/net.rs".into()],
         }],
         l4_must_use_types: vec!["Violation".into()],
+        l5_crates: vec!["crates/core".into()],
+        l5_allow: vec!["crates/core/src/bin".into()],
         l4_consume_prefixes: vec!["check_".into(), "certify_".into()],
         l4_paths: vec!["crates".into()],
     }

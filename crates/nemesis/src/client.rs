@@ -58,6 +58,20 @@ pub enum OpOutcome {
     Rejected,
 }
 
+impl OpOutcome {
+    /// A short machine-readable name for the outcome, used by the
+    /// observability layer to label client-operation trace events.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OpOutcome::Acked { .. } => "acked",
+            OpOutcome::TimedOut => "timed-out",
+            OpOutcome::NoLeader => "no-leader",
+            OpOutcome::Rejected => "rejected",
+        }
+    }
+}
+
 /// One entry of the recorded operation history.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpRecord {
@@ -120,6 +134,23 @@ pub enum ViolationKind {
         /// The offending replica.
         nid: u32,
     },
+}
+
+impl ViolationKind {
+    /// The violation's variant name, used by the observability layer to
+    /// label verdict events: the trace auditor keys its
+    /// verdict-consistency rule on these tags.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ViolationKind::LogDivergence { .. } => "LogDivergence",
+            ViolationKind::LostWrite { .. } => "LostWrite",
+            ViolationKind::StaleRead { .. } => "StaleRead",
+            ViolationKind::PhantomWrite { .. } => "PhantomWrite",
+            ViolationKind::AckNotDurable { .. } => "AckNotDurable",
+            ViolationKind::UnfaithfulRecovery { .. } => "UnfaithfulRecovery",
+        }
+    }
 }
 
 impl std::fmt::Display for ViolationKind {
@@ -251,6 +282,18 @@ impl RobustClient {
             outcome: last.clone(),
             at_us: cluster.now_us(),
         });
+        if cluster.tracing() {
+            let latency_us = match &last {
+                OpOutcome::Acked { latency_us } => Some(*latency_us),
+                _ => None,
+            };
+            cluster.trace(adore_obs::EventKind::ClientOp {
+                op: "put".to_string(),
+                key: key.to_string(),
+                outcome: last.tag().to_string(),
+                latency_us,
+            });
+        }
         last
     }
 

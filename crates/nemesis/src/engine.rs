@@ -14,10 +14,11 @@
 //! ([`adore_checker::shrink_sequence`]) and serialized — a portable,
 //! deterministically replayable witness.
 
-use serde::{Deserialize, Serialize};
+use serde::{de, value, Deserialize, Serialize, Value};
 
 use adore_core::NodeId;
 use adore_kv::{Cluster, KvCommand, LatencyModel};
+use adore_obs::{EventKind, TraceEvent};
 use adore_schemes::SingleNode;
 use adore_storage::StorageViolation;
 
@@ -121,7 +122,7 @@ impl NemesisReport {
 /// A minimized, serializable, deterministically replayable witness of a
 /// safety violation.
 #[must_use]
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Counterexample {
     /// The minimized schedule — replaying it reproduces the violation.
     pub schedule: FaultSchedule,
@@ -129,6 +130,50 @@ pub struct Counterexample {
     pub violation: ViolationKind,
     /// Fault count of the schedule before minimization.
     pub original_faults: usize,
+    /// JSONL trace journal of the witness replay, when one was captured
+    /// — feed it to `adore-obs --audit` to certify that the trace alone
+    /// reproduces the violation verdict.
+    pub trace: Option<String>,
+}
+
+// Hand-written serde: counterexamples minted before the observability
+// subsystem carry no "trace" key, and those witnesses must stay
+// loadable — a missing key deserializes to `None`, and `None`
+// serializes to no key at all, so untraced counterexamples keep their
+// exact legacy JSON form.
+impl Serialize for Counterexample {
+    fn ser_value(&self) -> Value {
+        let mut fields = vec![
+            ("schedule".to_string(), self.schedule.ser_value()),
+            ("violation".to_string(), self.violation.ser_value()),
+            (
+                "original_faults".to_string(),
+                self.original_faults.ser_value(),
+            ),
+        ];
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".to_string(), trace.ser_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for Counterexample {
+    fn deser_value(v: &Value) -> Result<Self, de::Error> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| de::Error::custom(format!("expected object, found {}", v.kind())))?;
+        let trace = match pairs.iter().find(|(k, _)| k == "trace") {
+            Some((_, v)) => Some(String::deser_value(v)?),
+            None => None,
+        };
+        Ok(Counterexample {
+            schedule: FaultSchedule::deser_value(value::get_field(pairs, "schedule")?)?,
+            violation: ViolationKind::deser_value(value::get_field(pairs, "violation")?)?,
+            original_faults: usize::deser_value(value::get_field(pairs, "original_faults")?)?,
+            trace,
+        })
+    }
 }
 
 fn members_of(schedule: &FaultSchedule) -> Vec<NodeId> {
@@ -230,20 +275,37 @@ fn apply_fault(
 
 /// Runs the safety suite: committed-prefix agreement first, then the
 /// storage certification ledger, then the client's
-/// read-your-committed-writes obligation.
-fn check_safety(cluster: &Cluster<SingleNode>, client: &RobustClient) -> Option<ViolationKind> {
-    if let Err((a, b)) = cluster.verify() {
+/// read-your-committed-writes obligation. When the cluster is tracing,
+/// every check's outcome is journaled as an invariant-evaluation event
+/// (the trace auditor cross-checks these against its own reconstruction).
+fn check_safety(cluster: &mut Cluster<SingleNode>, client: &RobustClient) -> Option<ViolationKind> {
+    let log = cluster.verify().err();
+    let storage = cluster.storage_violations().first().cloned();
+    let reads = client.check_reads(cluster).err();
+    if cluster.tracing() {
+        for (name, ok) in [
+            ("committed-prefix-agreement", log.is_none()),
+            ("storage-certification", storage.is_none()),
+            ("read-your-writes", reads.is_none()),
+        ] {
+            cluster.trace(EventKind::InvariantEval {
+                name: name.to_string(),
+                ok,
+            });
+        }
+    }
+    if let Some((a, b)) = log {
         return Some(ViolationKind::LogDivergence { a: a.0, b: b.0 });
     }
-    if let Some(v) = cluster.storage_violations().first() {
+    if let Some(v) = storage {
         return Some(match v {
-            StorageViolation::AckNotDurable { nid } => ViolationKind::AckNotDurable { nid: *nid },
+            StorageViolation::AckNotDurable { nid } => ViolationKind::AckNotDurable { nid },
             StorageViolation::UnfaithfulRecovery { nid } => {
-                ViolationKind::UnfaithfulRecovery { nid: *nid }
+                ViolationKind::UnfaithfulRecovery { nid }
             }
         });
     }
-    client.check_reads(cluster).err()
+    reads
 }
 
 fn phase_stat(fault: &Fault, client: &RobustClient, history_mark: usize) -> PhaseStat {
@@ -280,6 +342,29 @@ fn phase_stat(fault: &Fault, client: &RobustClient, history_mark: usize) -> Phas
 /// always produces the same report.
 #[must_use]
 pub fn run_schedule(schedule: &FaultSchedule, params: &EngineParams) -> NemesisReport {
+    run_campaign(schedule, params, false).0
+}
+
+/// [`run_schedule`] with the observability layer on: the whole campaign
+/// is journaled as a causal trace (run/phase markers, fault injections,
+/// every message and state delta of the simulation, client operations,
+/// invariant evaluations, and the final verdict). The trace is the
+/// input to `adore-obs --audit`, which must reproduce the report's
+/// verdict from the journal alone. Tracing never perturbs the run: the
+/// report equals [`run_schedule`]'s bit for bit.
+#[must_use]
+pub fn run_schedule_traced(
+    schedule: &FaultSchedule,
+    params: &EngineParams,
+) -> (NemesisReport, Vec<TraceEvent>) {
+    run_campaign(schedule, params, true)
+}
+
+fn run_campaign(
+    schedule: &FaultSchedule,
+    params: &EngineParams,
+    traced: bool,
+) -> (NemesisReport, Vec<TraceEvent>) {
     let members = members_of(schedule);
     let conf0 = SingleNode::new(schedule.members.iter().copied());
     let mut cluster = Cluster::with_guard(
@@ -290,6 +375,13 @@ pub fn run_schedule(schedule: &FaultSchedule, params: &EngineParams) -> NemesisR
     );
     cluster.set_durability(schedule.durability);
     cluster.set_certify_storage(params.certify_storage);
+    cluster.set_tracing(traced);
+    if traced {
+        cluster.trace(EventKind::RunStart {
+            name: schedule.name.clone(),
+            members: schedule.members.clone(),
+        });
+    }
     let mut client = RobustClient::new(params.client.clone(), schedule.seed);
     let mut write_seq = 0u64;
 
@@ -302,10 +394,19 @@ pub fn run_schedule(schedule: &FaultSchedule, params: &EngineParams) -> NemesisR
     let mut degraded = DegradedReport::default();
     let mut violation = None;
     for (i, fault) in schedule.faults.iter().enumerate() {
+        if traced {
+            cluster.trace(EventKind::PhaseStart {
+                index: i as u32,
+                label: format!("{fault:?}"),
+            });
+            cluster.trace(EventKind::FaultInject {
+                fault: serde_json::to_string(fault).unwrap_or_default(),
+            });
+        }
         let mark = client.history.len();
         apply_fault(&mut cluster, &mut client, fault, &mut write_seq);
         degraded.phases.push(phase_stat(fault, &client, mark));
-        if let Some(v) = check_safety(&cluster, &client) {
+        if let Some(v) = check_safety(&mut cluster, &client) {
             violation = Some((v, i));
             break;
         }
@@ -316,6 +417,13 @@ pub fn run_schedule(schedule: &FaultSchedule, params: &EngineParams) -> NemesisR
     // that only manifest after the partition heals (the classic
     // reconfiguration bugs) surface here.
     if violation.is_none() {
+        if traced {
+            cluster.trace(EventKind::PhaseStart {
+                index: schedule.faults.len() as u32,
+                label: "quiesce".to_string(),
+            });
+            cluster.trace(EventKind::Heal);
+        }
         cluster.links_mut().heal_all();
         cluster.latency_mut().drop_pct = 0;
         cluster.set_timeout_scale_pct(100);
@@ -341,19 +449,34 @@ pub fn run_schedule(schedule: &FaultSchedule, params: &EngineParams) -> NemesisR
         let mut stat = phase_stat(&Fault::HealAll, &client, mark);
         stat.fault = "quiesce".into();
         degraded.phases.push(stat);
-        violation = check_safety(&cluster, &client).map(|v| (v, schedule.faults.len()));
+        violation = check_safety(&mut cluster, &client).map(|v| (v, schedule.faults.len()));
     }
 
     let (wal_records, wal_syncs, wal_bytes) = cluster.wal_traffic();
-    NemesisReport {
+    let committed_entries = cluster.net().committed_prefix().len();
+    if traced {
+        cluster.trace(EventKind::Verdict {
+            safe: violation.is_none(),
+            kind: violation.as_ref().map(|(v, _)| v.tag().to_string()),
+            detail: violation.as_ref().map(|(v, _)| v.to_string()),
+            phase: violation
+                .as_ref()
+                .map_or(schedule.faults.len() as u32, |(_, i)| *i as u32),
+        });
+        cluster.trace(EventKind::RunEnd {
+            committed: committed_entries as u64,
+        });
+    }
+    let report = NemesisReport {
         degraded,
         violation,
-        committed_entries: cluster.net().committed_prefix().len(),
+        committed_entries,
         history_len: client.history.len(),
         wal_records,
         wal_syncs,
         wal_bytes,
-    }
+    };
+    (report, cluster.take_trace())
 }
 
 /// Replays a schedule and returns the violation it produces, if any —
@@ -392,10 +515,20 @@ pub fn hunt(schedule: &FaultSchedule, params: &EngineParams) -> Option<Counterex
         Some(v) => (minimized, v),
         None => (schedule.clone(), original),
     };
+    // Replay the witness once more with the observability layer on: the
+    // embedded trace lets `adore-obs --audit` certify, from the journal
+    // alone, that the witness really produces its claimed verdict.
+    let (_, events) = run_schedule_traced(&witness, params);
+    let trace = if events.is_empty() {
+        None
+    } else {
+        Some(adore_obs::to_jsonl(&events))
+    };
     Some(Counterexample {
         schedule: witness,
         violation,
         original_faults: schedule.faults.len(),
+        trace,
     })
 }
 

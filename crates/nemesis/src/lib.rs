@@ -53,8 +53,8 @@ mod scripted;
 
 pub use client::{ClientParams, OpOutcome, OpRecord, RobustClient, ViolationKind};
 pub use engine::{
-    hunt, replay, run_schedule, Counterexample, DegradedReport, EngineParams, NemesisReport,
-    PhaseStat,
+    hunt, replay, run_schedule, run_schedule_traced, Counterexample, DegradedReport, EngineParams,
+    NemesisReport, PhaseStat,
 };
 pub use net_adapter::NetHarness;
 pub use schedule::{random_schedule, Fault, FaultSchedule, RandomScheduleParams};

@@ -12,7 +12,8 @@
 
 use adore_core::ReconfigGuard;
 use adore_nemesis::{
-    replay, DiskFault, DurabilityPolicy, EngineParams, Fault, FaultSchedule,
+    replay, Counterexample, DiskFault, DurabilityPolicy, EngineParams, Fault, FaultSchedule,
+    ViolationKind,
 };
 
 /// Every fault variant, paired with its pinned wire form.
@@ -166,6 +167,36 @@ fn the_schedule_envelope_is_pinned() {
             r#""truncate_invalid_tail":true},"faults":["HealAll"]}"#
         )
     );
+}
+
+/// A counterexample saved before the observability subsystem carries no
+/// `trace` key: it must load with `trace: None`, and an untraced
+/// counterexample must serialize without the key — byte-identical to
+/// its legacy form.
+#[test]
+fn counterexamples_without_a_trace_key_keep_their_legacy_wire_form() {
+    let legacy = concat!(
+        r#"{"schedule":{"name":"w","seed":1,"members":[1,2],"#,
+        r#""guard":{"r1":true,"r2":true,"r3":true},"#,
+        r#""durability":{"sync_before_ack":true,"verify_checksums":true,"#,
+        r#""truncate_invalid_tail":true},"faults":["HealAll"]},"#,
+        r#""violation":{"LogDivergence":{"a":1,"b":2}},"original_faults":3}"#
+    );
+    let cx: Counterexample = serde_json::from_str(legacy).unwrap();
+    assert_eq!(cx.trace, None, "a missing trace key must mean no trace");
+    assert_eq!(cx.violation, ViolationKind::LogDivergence { a: 1, b: 2 });
+    // Re-serializing an untraced counterexample reproduces the legacy
+    // bytes exactly — no spurious "trace" key appears.
+    assert_eq!(serde_json::to_string(&cx).unwrap(), legacy);
+    // A traced counterexample round-trips with the trace intact.
+    let traced = Counterexample {
+        trace: Some("{\"seq\":0}\n".to_string()),
+        ..cx
+    };
+    let json = serde_json::to_string(&traced).unwrap();
+    assert!(json.contains("\"trace\":"));
+    let back: Counterexample = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, traced);
 }
 
 /// A counterexample minimized before the storage subsystem existed has

@@ -1,0 +1,616 @@
+//! The trace auditor: re-certifies a run from its journal alone.
+//!
+//! The live run's verdict ("safe" / "violation") is computed by code
+//! holding the actual protocol state. The auditor trusts none of that:
+//! it reconstructs every replica's `(term, log, commit_len)` purely
+//! from the trace's [`EventKind::StateDelta`] and
+//! [`EventKind::WalRecover`] events and re-evaluates committed-prefix
+//! agreement (the paper's Def. 4.1, network form) over the
+//! reconstruction. A trace is *certified* when the journal is
+//! structurally sound (dense, causal, monotone) **and** the audit's
+//! independent verdict matches the live run's recorded one — including
+//! reproducing a violation verdict on an unsafe run.
+//!
+//! Trace invariants checked:
+//!
+//! - **T1 completeness/order** — sequence numbers dense from 0, the
+//!   virtual clock never runs backwards.
+//! - **T2 causality** — every receive links to an earlier send of the
+//!   same message to the same recipient.
+//! - **T3 committed-prefix agreement** — after every reconstructed
+//!   state change, all pairs of replicas agree slot-by-slot on their
+//!   common committed prefix (and no watermark dangles past its log).
+//! - **T4 commit monotonicity** — a replica's watermark never regresses
+//!   except through crash recovery.
+//! - **T5 recovery faithfulness** — a clean-crash (`lose-tail`)
+//!   recovery installs exactly the durable state the trace last synced;
+//!   a wiped disk recovers to nothing.
+//! - **T6 verdict consistency** — the audit's divergence verdict agrees
+//!   with the live run's recorded [`EventKind::Verdict`].
+
+use crate::event::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+
+/// How many structural errors the auditor collects before truncating
+/// (a mangled journal would otherwise report every line).
+const MAX_ERRORS: usize = 20;
+
+/// A committed-prefix disagreement found by the audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// First replica of the disagreeing pair (== `b` for a dangling
+    /// watermark).
+    pub a: u32,
+    /// Second replica of the disagreeing pair.
+    pub b: u32,
+    /// Sequence number of the event after which the disagreement first
+    /// held.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.a == self.b {
+            write!(
+                f,
+                "S{} commit watermark dangles past its log (event {})",
+                self.a, self.seq
+            )
+        } else {
+            write!(
+                f,
+                "S{} and S{} disagree on a committed slot (event {})",
+                self.a, self.b, self.seq
+            )
+        }
+    }
+}
+
+/// The auditor's findings over one trace journal.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct AuditReport {
+    /// Events audited.
+    pub events: usize,
+    /// Distinct replicas reconstructed.
+    pub nodes: usize,
+    /// Evaluation counts per trace invariant, in invariant order.
+    pub checks: Vec<(String, u64)>,
+    /// Structural failures (T1/T2/T4/T5), truncated at [`MAX_ERRORS`].
+    pub errors: Vec<String>,
+    /// The live run's final verdict, if the trace recorded one.
+    pub live_safe: Option<bool>,
+    /// The live violation's machine tag, when unsafe.
+    pub live_kind: Option<String>,
+    /// The audit's own committed-prefix verdict.
+    pub divergence: Option<Divergence>,
+    /// Whether the audit certifies the trace (see [`audit_events`]).
+    pub consistent: bool,
+}
+
+impl AuditReport {
+    /// One-line human summary of the audit outcome.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let live = match self.live_safe {
+            Some(true) => "safe".to_string(),
+            Some(false) => format!(
+                "violation ({})",
+                self.live_kind.as_deref().unwrap_or("unknown")
+            ),
+            None => "unrecorded".to_string(),
+        };
+        let audit = match &self.divergence {
+            Some(d) => format!("divergence: {d}"),
+            None => "no divergence".to_string(),
+        };
+        format!(
+            "{} events, {} nodes | live verdict: {live} | audit: {audit} | {} structural errors | {}",
+            self.events,
+            self.nodes,
+            self.errors.len(),
+            if self.consistent { "CERTIFIED" } else { "NOT CONSISTENT" },
+        )
+    }
+}
+
+/// One reconstructed replica.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    term: u64,
+    log: Vec<String>,
+    commit_len: usize,
+    /// State as of the last `WalSync` (what a clean crash preserves).
+    synced_term: u64,
+    synced_log: Vec<String>,
+    synced_commit: usize,
+    /// Disk fault of the most recent crash, if any.
+    last_disk: Option<String>,
+}
+
+/// Running audit state.
+#[derive(Debug, Default)]
+struct Auditor {
+    nodes: BTreeMap<u32, Node>,
+    checks: BTreeMap<&'static str, u64>,
+    errors: Vec<String>,
+    divergence: Option<Divergence>,
+    live_safe: Option<bool>,
+    live_kind: Option<String>,
+}
+
+impl Auditor {
+    fn error(&mut self, msg: String) {
+        if self.errors.len() < MAX_ERRORS {
+            self.errors.push(msg);
+        }
+    }
+
+    fn bump(&mut self, check: &'static str) {
+        *self.checks.entry(check).or_insert(0) += 1;
+    }
+
+    /// T3: after `changed` moved, compare it against every other
+    /// replica's committed prefix (and against its own log length).
+    fn track_agreement(&mut self, changed: u32, seq: u64) {
+        if self.divergence.is_some() {
+            return; // first divergence is the verdict; keep it
+        }
+        self.bump("T3.prefix-agreement");
+        let Some(n) = self.nodes.get(&changed) else {
+            return;
+        };
+        if n.commit_len > n.log.len() {
+            self.divergence = Some(Divergence {
+                a: changed,
+                b: changed,
+                seq,
+            });
+            return;
+        }
+        for (&other, o) in &self.nodes {
+            if other == changed {
+                continue;
+            }
+            let common = n.commit_len.min(o.commit_len).min(o.log.len());
+            if n.log[..common.min(n.log.len())] != o.log[..common] {
+                let (a, b) = if changed < other {
+                    (changed, other)
+                } else {
+                    (other, changed)
+                };
+                self.divergence = Some(Divergence { a, b, seq });
+                return;
+            }
+        }
+    }
+
+    fn apply(&mut self, ev: &TraceEvent, events: &[TraceEvent]) {
+        match &ev.kind {
+            EventKind::MsgRecv { msg, to, .. } => {
+                self.bump("T2.causality");
+                let linked = ev
+                    .parent
+                    .and_then(|p| events.get(p as usize))
+                    .is_some_and(|send| {
+                        send.seq < ev.seq
+                            && matches!(
+                                &send.kind,
+                                EventKind::MsgSend { msg: m, to: t, .. } if m == msg && t == to
+                            )
+                    });
+                if !linked {
+                    self.error(format!(
+                        "event {}: receive of msg {msg} at S{to} has no matching send (parent {:?})",
+                        ev.seq, ev.parent
+                    ));
+                }
+            }
+            EventKind::StateDelta {
+                nid,
+                term,
+                truncate,
+                append,
+                commit_len,
+            } => {
+                let mut regressed = false;
+                let node = self.nodes.entry(*nid).or_default();
+                if let Some(t) = term {
+                    node.term = *t;
+                }
+                if let Some(l) = truncate {
+                    node.log.truncate(*l as usize);
+                }
+                node.log.extend(append.iter().cloned());
+                if let Some(c) = commit_len {
+                    let c = *c as usize;
+                    regressed = c < node.commit_len;
+                    node.commit_len = c;
+                }
+                if commit_len.is_some() {
+                    self.bump("T4.commit-monotone");
+                    if regressed {
+                        self.error(format!(
+                            "event {}: S{nid} commit watermark regressed outside recovery",
+                            ev.seq
+                        ));
+                    }
+                }
+                self.track_agreement(*nid, ev.seq);
+            }
+            EventKind::WalSync { nid } => {
+                let node = self.nodes.entry(*nid).or_default();
+                node.synced_term = node.term;
+                node.synced_log = node.log.clone();
+                node.synced_commit = node.commit_len;
+            }
+            EventKind::Crash { nid, disk } => {
+                let node = self.nodes.entry(*nid).or_default();
+                node.last_disk = Some(disk.clone());
+            }
+            EventKind::WalRecover {
+                nid,
+                outcome,
+                term,
+                log,
+                commit_len,
+            } => {
+                self.bump("T5.recovery-faithful");
+                let seq = ev.seq;
+                let mut fault: Option<String> = None;
+                let node = self.nodes.entry(*nid).or_default();
+                let disk = node.last_disk.clone();
+                match outcome.as_str() {
+                    "intact" => {
+                        if disk.as_deref() == Some("lose-tail") {
+                            let want_commit = node.synced_commit.min(node.synced_log.len());
+                            let faithful = *term == node.synced_term
+                                && *log == node.synced_log
+                                && (*commit_len as usize == node.synced_commit
+                                    || *commit_len as usize == want_commit);
+                            if !faithful {
+                                fault = Some(format!(
+                                    "event {seq}: S{nid} clean-crash recovery does not match its last synced state"
+                                ));
+                            }
+                        }
+                        node.term = *term;
+                        node.log = log.clone();
+                        node.commit_len = *commit_len as usize;
+                    }
+                    "data-loss" => {
+                        if !log.is_empty() || *commit_len != 0 {
+                            fault = Some(format!(
+                                "event {seq}: S{nid} data-loss recovery installed non-empty state"
+                            ));
+                        }
+                        node.term = 0;
+                        node.log.clear();
+                        node.commit_len = 0;
+                        node.synced_term = 0;
+                        node.synced_log.clear();
+                        node.synced_commit = 0;
+                    }
+                    "corrupt" => {} // fail-stop: nothing installed
+                    other => {
+                        fault = Some(format!(
+                            "event {seq}: S{nid} unknown recovery outcome `{other}`"
+                        ));
+                    }
+                }
+                if let Some(msg) = fault {
+                    self.error(msg);
+                }
+                self.track_agreement(*nid, ev.seq);
+            }
+            EventKind::Verdict { safe, kind, .. } => {
+                self.bump("T6.verdict-consistency");
+                self.live_safe = Some(*safe);
+                if !safe {
+                    self.live_kind = kind.clone();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Audits a parsed trace journal.
+///
+/// Certification (`consistent == true`) means:
+///
+/// - the journal is non-empty, dense, clock-monotone, and causally
+///   linked (T1/T2), with no T4/T5 structural errors, **when** the live
+///   run recorded itself safe — an unsafe run is past the protocol's
+///   guarantees, so only its divergence must be reproduced; and
+/// - the audit's independent committed-prefix verdict matches the live
+///   one: a live `LogDivergence` verdict is reproduced from the
+///   reconstruction alone, and a live safe verdict is confirmed by
+///   finding no divergence.
+pub fn audit_events(events: &[TraceEvent]) -> AuditReport {
+    let mut a = Auditor::default();
+    if events.is_empty() {
+        a.error("empty trace".to_string());
+    }
+    let mut last_at = 0;
+    for (i, ev) in events.iter().enumerate() {
+        a.bump("T1.order");
+        if ev.seq != i as u64 {
+            a.error(format!(
+                "event at position {i} has sequence {} (journal incomplete?)",
+                ev.seq
+            ));
+        }
+        if ev.at_us < last_at {
+            a.error(format!(
+                "event {}: virtual clock ran backwards ({} < {last_at})",
+                ev.seq, ev.at_us
+            ));
+        }
+        last_at = ev.at_us;
+        a.apply(ev, events);
+    }
+
+    // T6: does the audit's independent verdict agree with the live one?
+    let consistent = match a.live_safe {
+        Some(true) | None => a.divergence.is_none() && a.errors.is_empty(),
+        Some(false) => {
+            if a.live_kind.as_deref() == Some("LogDivergence") {
+                // The trace must exhibit the divergence on its own.
+                a.divergence.is_some()
+            } else {
+                // Other violation kinds (lost writes, stale reads,
+                // durability breaches) are found by checkers whose
+                // evidence (client ghost state, WAL mirrors) is beyond
+                // the protocol-state reconstruction; the trace is
+                // consistent as long as it does not *contradict* the
+                // verdict.
+                true
+            }
+        }
+    };
+
+    AuditReport {
+        events: events.len(),
+        nodes: a.nodes.len(),
+        checks: a
+            .checks
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), *v))
+            .collect(),
+        errors: a.errors,
+        live_safe: a.live_safe,
+        live_kind: a.live_kind,
+        divergence: a.divergence,
+        consistent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, at_us: u64, parent: Option<u64>, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at_us,
+            parent,
+            kind,
+        }
+    }
+
+    fn delta(
+        seq: u64,
+        nid: u32,
+        append: &[&str],
+        commit_len: Option<u64>,
+    ) -> TraceEvent {
+        ev(
+            seq,
+            seq * 10,
+            None,
+            EventKind::StateDelta {
+                nid,
+                term: None,
+                truncate: None,
+                append: append.iter().map(|s| (*s).to_string()).collect(),
+                commit_len,
+            },
+        )
+    }
+
+    fn verdict(seq: u64, safe: bool, kind: Option<&str>) -> TraceEvent {
+        ev(
+            seq,
+            seq * 10,
+            None,
+            EventKind::Verdict {
+                safe,
+                kind: kind.map(str::to_string),
+                detail: None,
+                phase: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn clean_agreeing_trace_certifies() {
+        let events = vec![
+            delta(0, 1, &["x"], Some(1)),
+            delta(1, 2, &["x"], Some(1)),
+            verdict(2, true, None),
+        ];
+        let report = audit_events(&events);
+        assert!(report.consistent, "{:?}", report.errors);
+        assert_eq!(report.divergence, None);
+        assert_eq!(report.nodes, 2);
+    }
+
+    #[test]
+    fn committed_prefix_disagreement_is_found_and_matches_live_verdict() {
+        let events = vec![
+            delta(0, 1, &["x"], Some(1)),
+            delta(1, 2, &["y"], Some(1)),
+            verdict(2, false, Some("LogDivergence")),
+        ];
+        let report = audit_events(&events);
+        let d = report.divergence.expect("audit finds the divergence");
+        assert_eq!((d.a, d.b, d.seq), (1, 2, 1));
+        assert!(report.consistent, "divergence verdict reproduced");
+    }
+
+    #[test]
+    fn divergent_trace_claiming_safe_is_inconsistent() {
+        let events = vec![
+            delta(0, 1, &["x"], Some(1)),
+            delta(1, 2, &["y"], Some(1)),
+            verdict(2, true, None),
+        ];
+        assert!(!audit_events(&events).consistent);
+    }
+
+    #[test]
+    fn live_divergence_verdict_without_trace_evidence_is_inconsistent() {
+        let events = vec![
+            delta(0, 1, &["x"], Some(1)),
+            verdict(1, false, Some("LogDivergence")),
+        ];
+        assert!(!audit_events(&events).consistent);
+    }
+
+    #[test]
+    fn dangling_watermark_is_a_self_divergence() {
+        let events = vec![
+            delta(0, 1, &["x"], Some(5)),
+            verdict(1, false, Some("LogDivergence")),
+        ];
+        let report = audit_events(&events);
+        let d = report.divergence.unwrap();
+        assert_eq!((d.a, d.b), (1, 1));
+        assert!(report.consistent);
+    }
+
+    #[test]
+    fn sequence_gap_and_clock_regression_are_structural_errors() {
+        let mut events = vec![delta(0, 1, &["x"], Some(1)), delta(2, 1, &[], Some(1))];
+        events[1].at_us = 3; // before event 0's stamp of 0*10=0? make regression explicit
+        events[0].at_us = 100;
+        let report = audit_events(&events);
+        assert!(!report.consistent);
+        assert_eq!(report.errors.len(), 2, "{:?}", report.errors);
+    }
+
+    #[test]
+    fn receive_without_matching_send_is_a_causality_error() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                None,
+                EventKind::MsgSend {
+                    msg: 7,
+                    from: 1,
+                    to: 2,
+                    kind: "commit".into(),
+                    dup: false,
+                },
+            ),
+            ev(
+                1,
+                5,
+                Some(0),
+                EventKind::MsgRecv {
+                    msg: 7,
+                    to: 3, // wrong recipient: send was addressed to 2
+                    applied: true,
+                },
+            ),
+        ];
+        let report = audit_events(&events);
+        assert!(!report.consistent);
+        assert!(report.errors[0].contains("no matching send"));
+    }
+
+    #[test]
+    fn clean_crash_recovery_must_restore_the_synced_state() {
+        let mut events = vec![
+            delta(0, 1, &["x"], Some(1)),
+            ev(1, 20, None, EventKind::WalSync { nid: 1 }),
+            ev(
+                2,
+                30,
+                None,
+                EventKind::Crash {
+                    nid: 1,
+                    disk: "lose-tail".into(),
+                },
+            ),
+            ev(
+                3,
+                40,
+                None,
+                EventKind::WalRecover {
+                    nid: 1,
+                    outcome: "intact".into(),
+                    term: 0,
+                    log: vec!["x".into()],
+                    commit_len: 1,
+                },
+            ),
+        ];
+        assert!(audit_events(&events).consistent);
+        // Tamper: claim a different recovered log.
+        if let EventKind::WalRecover { log, .. } = &mut events[3].kind {
+            *log = vec!["forged".into()];
+        }
+        let report = audit_events(&events);
+        assert!(!report.consistent);
+        assert!(report.errors[0].contains("does not match its last synced state"));
+    }
+
+    #[test]
+    fn wiped_disk_must_recover_to_nothing() {
+        let events = vec![
+            delta(0, 1, &["x"], Some(1)),
+            ev(1, 10, None, EventKind::WalSync { nid: 1 }),
+            ev(
+                2,
+                20,
+                None,
+                EventKind::Crash {
+                    nid: 1,
+                    disk: "wipe-all".into(),
+                },
+            ),
+            ev(
+                3,
+                30,
+                None,
+                EventKind::WalRecover {
+                    nid: 1,
+                    outcome: "data-loss".into(),
+                    term: 0,
+                    log: vec!["x".into()],
+                    commit_len: 0,
+                },
+            ),
+        ];
+        let report = audit_events(&events);
+        assert!(!report.consistent);
+        assert!(report.errors[0].contains("non-empty state"));
+    }
+
+    #[test]
+    fn empty_trace_does_not_certify() {
+        assert!(!audit_events(&[]).consistent);
+    }
+
+    #[test]
+    fn non_divergence_violations_do_not_require_trace_evidence() {
+        let events = vec![
+            delta(0, 1, &["x"], Some(1)),
+            verdict(1, false, Some("LostWrite")),
+        ];
+        assert!(audit_events(&events).consistent);
+    }
+}

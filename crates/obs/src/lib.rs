@@ -1,0 +1,47 @@
+//! Deterministic observability for the ADORE reproduction.
+//!
+//! The paper's evaluation (§7) reasons from *observed* runs: latency
+//! under live reconfiguration, checking effort, counterexample traces.
+//! This crate makes every run of this workspace produce first-class
+//! evidence of the same kind:
+//!
+//! - [`Tracer`] — an append-only structured event journal stamped with
+//!   the simulation's **virtual** clocks (never wall clock, never RNG:
+//!   a traced run is bit-identical to an untraced one), serialized as
+//!   JSONL with causal parent links.
+//! - [`Metrics`] — a registry of counters, gauges, and fixed-bucket
+//!   [`Histogram`]s for the quantities the experiments report:
+//!   explorer states/sec, invariant evaluations per lemma, quorum
+//!   checks, message and WAL traffic, per-request latency.
+//! - [`audit_events`] — the trace auditor: reconstructs protocol state
+//!   purely from the journal and re-certifies committed-prefix
+//!   agreement over the reconstruction, confirming (or independently
+//!   reproducing) the live run's verdict. `adore-obs --audit
+//!   trace.jsonl` is the CLI form, wired into CI.
+//!
+//! The crate deliberately depends on nothing but the vendored serde
+//! stand-ins: instrumented crates (`adore-kv`, `adore-nemesis`,
+//! `adore-checker`) depend on it, never the reverse, and the auditor
+//! treats protocol payloads as opaque canonical-JSON strings.
+
+mod audit;
+mod event;
+mod metrics;
+mod trace;
+
+pub use audit::{audit_events, AuditReport, Divergence};
+pub use event::{EventKind, TraceEvent};
+pub use metrics::{
+    Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, LATENCY_BOUNDS_US,
+};
+pub use trace::{parse_jsonl, to_jsonl, TraceError, Tracer};
+
+/// Parses a JSONL journal and audits it in one step.
+///
+/// # Errors
+///
+/// A [`TraceError`] if any line fails to parse (the audit never runs
+/// over a partially parsed journal).
+pub fn audit_jsonl(text: &str) -> Result<AuditReport, TraceError> {
+    Ok(audit_events(&parse_jsonl(text)?))
+}

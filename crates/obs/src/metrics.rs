@@ -1,0 +1,417 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Everything is deterministic and allocation-light: names are plain
+//! strings in ordered maps (no hash iteration — the registry's
+//! serialized form must be stable across runs for the schema tests),
+//! histograms use fixed bucket bounds chosen at construction, and no
+//! wall clock is ever read.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default histogram bucket upper bounds for virtual-microsecond
+/// latencies: fine-grained (50µs steps) through the sub-millisecond
+/// range where steady-state request latencies live, then roughly
+/// geometric up to ~3.2s, with an implicit overflow bucket above the
+/// last bound.
+pub const LATENCY_BOUNDS_US: [u64; 24] = [
+    50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600, 700, 800, 1_000, 1_600, 3_200,
+    6_400, 12_800, 25_600, 51_200, 204_800, 819_200, 3_276_800,
+];
+
+/// A fixed-bucket histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>, // bounds.len() + 1 (overflow bucket)
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::with_bounds(&LATENCY_BOUNDS_US)
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the given (sorted, inclusive) upper
+    /// bucket bounds; samples above the last bound land in an overflow
+    /// bucket.
+    #[must_use]
+    pub fn with_bounds(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample, or 0 with no samples.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample, or 0 with no samples.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean sample, or 0 with no samples.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (0.0..=1.0), resolved to the upper bound of the
+    /// bucket holding that rank — except the overflow bucket and
+    /// `q = 1.0`, which report the exact maximum. 0 with no samples.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        snapshot_quantile(&self.bounds, &self.counts, self.count, self.max, q)
+    }
+
+    /// A serializable copy of the histogram's state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+        }
+    }
+}
+
+/// Quantile over bucket counts shared by [`Histogram`] and
+/// [`HistogramSnapshot`].
+fn snapshot_quantile(bounds: &[u64], counts: &[u64], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    if q >= 1.0 {
+        return max;
+    }
+    let rank = (q * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bounds.get(i).copied().unwrap_or(max);
+        }
+    }
+    max
+}
+
+/// The serialized form of a [`Histogram`] (pinned by the schema tests).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 with no samples).
+    pub min: u64,
+    /// Largest sample (0 with no samples).
+    pub max: u64,
+    /// Inclusive upper bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow last).
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile, as for [`Histogram::quantile`].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        snapshot_quantile(&self.bounds, &self.counts, self.count, self.max, q)
+    }
+
+    /// Mean sample, or 0 with no samples.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds another snapshot with identical bucket bounds into this
+    /// one (per-bucket counts add; min/max/sum/count combine), for
+    /// aggregating the same measurement across seeded runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "mismatched histogram bounds");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = match (self.count, other.count) {
+            (_, 0) => self.min,
+            (0, _) => other.min,
+            _ => self.min.min(other.min),
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increments counter `name` by 1.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments counter `name` by `n`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Reads counter `name` (0 if never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name`.
+    pub fn set_gauge(&mut self, name: &str, v: i64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Reads gauge `name` (0 if never set).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into histogram `name` (created with the default
+    /// latency bounds on first use).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Reads histogram `name`, if any samples were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Removes and returns histogram `name` — the per-phase hook: an
+    /// experiment snapshots a phase's latencies and starts the next
+    /// phase fresh.
+    pub fn take_histogram(&mut self, name: &str) -> Option<Histogram> {
+        self.histograms.remove(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// A serializable copy of the whole registry.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The serialized form of a [`Metrics`] registry (name-ordered, so
+/// byte-stable across identical runs; pinned by the schema tests).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, in name order.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, in name order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Reads counter `name` (0 if absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Reads histogram `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// Counters whose names start with `prefix`, hottest first — the
+    /// profiling helper behind "hottest invariants / transitions".
+    #[must_use]
+    pub fn hottest(&self, prefix: &str) -> Vec<(&str, u64)> {
+        let mut out: Vec<(&str, u64)> = self
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = Metrics::new();
+        m.inc("a");
+        m.add("a", 4);
+        m.set_gauge("g", -2);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), -2);
+    }
+
+    #[test]
+    fn histogram_quantiles_cover_the_buckets() {
+        let mut h = Histogram::with_bounds(&[10, 20, 40]);
+        for v in [1, 9, 11, 19, 21, 39, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(0.5), 20);
+        assert_eq!(h.quantile(1.0), 100);
+        // Overflow bucket resolves to the exact max.
+        assert_eq!(h.quantile(0.99), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(
+            (h.count(), h.min(), h.max(), h.mean(), h.quantile(0.5)),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn snapshot_quantiles_match_live_quantiles() {
+        let mut m = Metrics::new();
+        for v in [50, 150, 450, 90_000] {
+            m.observe("lat", v);
+        }
+        let snap = m.snapshot();
+        let live = m.histogram("lat").unwrap();
+        let hist = snap.histogram("lat").unwrap();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(hist.quantile(q), live.quantile(q));
+        }
+        assert_eq!(hist.mean(), live.mean());
+    }
+
+    #[test]
+    fn hottest_sorts_by_count_then_name() {
+        let mut m = Metrics::new();
+        m.add("inv.a", 3);
+        m.add("inv.b", 7);
+        m.add("inv.c", 7);
+        m.add("other", 99);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.hottest("inv."),
+            vec![("inv.b", 7), ("inv.c", 7), ("inv.a", 3)]
+        );
+    }
+
+    #[test]
+    fn merged_snapshots_aggregate_like_one_histogram() {
+        let mut a = Histogram::with_bounds(&[10, 20, 40]);
+        let mut b = Histogram::with_bounds(&[10, 20, 40]);
+        let mut whole = Histogram::with_bounds(&[10, 20, 40]);
+        for v in [1, 15, 100] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [9, 35] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+        // Merging into an empty snapshot preserves the other side's min.
+        let mut empty = Histogram::with_bounds(&[10, 20, 40]).snapshot();
+        empty.merge(&b.snapshot());
+        assert_eq!((empty.min, empty.max, empty.count), (9, 35, 2));
+    }
+
+    #[test]
+    fn take_histogram_resets_for_the_next_phase() {
+        let mut m = Metrics::new();
+        m.observe("lat", 5);
+        let h = m.take_histogram("lat").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(m.histogram("lat").is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! The tracer: an append-only, virtual-clock-stamped event journal.
+//!
+//! A [`Tracer`] starts disabled and records nothing until switched on,
+//! so instrumented code can keep a tracer threaded through its hot
+//! paths at zero allocation cost. Crucially for the seeded simulations,
+//! recording **never consumes randomness and never reads a clock** —
+//! the caller supplies the virtual timestamp — so a run traces
+//! bit-identically to an untraced one.
+
+use crate::event::{EventKind, TraceEvent};
+
+/// An append-only trace journal with dense sequence numbers.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer (records nothing).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Creates an enabled tracer.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Turns recording on or off. Already-recorded events are kept.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is on. Instrumented code should gate any
+    /// expensive payload construction (serialization, cloning) on this.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a root event (no causal parent) at virtual time `at_us`.
+    /// Returns the event's sequence number, or `None` when disabled.
+    pub fn record(&mut self, at_us: u64, kind: EventKind) -> Option<u64> {
+        self.record_linked(at_us, None, kind)
+    }
+
+    /// Records an event with an explicit causal parent.
+    /// Returns the event's sequence number, or `None` when disabled.
+    pub fn record_linked(
+        &mut self,
+        at_us: u64,
+        parent: Option<u64>,
+        kind: EventKind,
+    ) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let seq = self.events.len() as u64;
+        self.events.push(TraceEvent {
+            seq,
+            at_us,
+            parent,
+            kind,
+        });
+        Some(seq)
+    }
+
+    /// The events recorded so far.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Takes the recorded events, leaving the tracer empty (and its
+    /// sequence numbering reset).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Renders the journal as JSONL (one compact-JSON event per line,
+    /// trailing newline when non-empty).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        to_jsonl(&self.events)
+    }
+}
+
+/// Renders events as JSONL: one compact-JSON event per line.
+#[must_use]
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        if let Ok(line) = serde_json::to_string(ev) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A trace-journal parse failure: which line, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a JSONL trace journal. Blank lines are ignored; any
+/// malformed line is a typed error (never a panic — journals come from
+/// disk and may be truncated or hand-edited).
+///
+/// # Errors
+///
+/// The first malformed line, with its 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceEvent>(line) {
+            Ok(ev) => out.push(ev),
+            Err(e) => {
+                return Err(TraceError {
+                    line: i + 1,
+                    msg: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert_eq!(t.record(0, EventKind::Heal), None);
+        assert!(t.is_empty());
+        assert_eq!(t.to_jsonl(), "");
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_parents_kept() {
+        let mut t = Tracer::enabled();
+        let a = t.record(10, EventKind::Heal);
+        let b = t.record_linked(
+            20,
+            a,
+            EventKind::WalSync { nid: 1 },
+        );
+        assert_eq!((a, b), (Some(0), Some(1)));
+        assert_eq!(t.events()[1].parent, Some(0));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut t = Tracer::enabled();
+        t.record(0, EventKind::RunStart {
+            name: "r".into(),
+            members: vec![1, 2, 3],
+        });
+        t.record(5, EventKind::MsgSend {
+            msg: 0,
+            from: 1,
+            to: 2,
+            kind: "elect".into(),
+            dup: false,
+        });
+        let text = t.to_jsonl();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, t.events());
+    }
+
+    #[test]
+    fn blank_lines_are_ignored_and_bad_lines_located() {
+        assert_eq!(parse_jsonl("\n\n").unwrap(), Vec::new());
+        let err = parse_jsonl("\n{nope\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -526,6 +526,7 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
             return;
         }
         let config = effective_config(&conf0, &s.log);
+        adore_core::telemetry::count_quorum_check();
         if config.is_quorum(&s.votes) {
             s.role = Role::Leader;
         }
@@ -546,6 +547,7 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
         };
         let acked_prefix = s.log.get(..len.min(s.log.len())).unwrap_or(&[]);
         let config = effective_config(&conf0, acked_prefix);
+        adore_core::telemetry::count_quorum_check();
         if config.is_quorum(ackers) && len > s.commit_len {
             s.commit_len = len;
         }

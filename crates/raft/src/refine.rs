@@ -467,6 +467,7 @@ impl<C: Configuration, M: Clone + Eq + std::fmt::Debug> Checker<C, M> {
                     .collect();
                 if let Some(q) = self.admissible_pull_supporters(live) {
                     if let Some(mr) = self.adore.most_recent(&q) {
+                        adore_core::telemetry::count_quorum_check();
                         if self.adore.cache(mr).config().is_quorum(&q) {
                             self.apply_pull(msg);
                         }
@@ -482,6 +483,7 @@ impl<C: Configuration, M: Clone + Eq + std::fmt::Debug> Checker<C, M> {
             }) if !*applied && *len >= 1 && branch_ids.len() >= *len => {
                 let target = branch_ids[*len - 1];
                 let config = self.adore.cache(target).config().clone();
+                adore_core::telemetry::count_quorum_check();
                 if config.is_quorum(ackers) {
                     self.apply_push(msg);
                 }

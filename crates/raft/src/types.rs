@@ -165,6 +165,16 @@ impl<C, M> Request<C, M> {
             Request::Commit { .. } => 1,
         }
     }
+
+    /// A short machine-readable name for the request kind, used by the
+    /// observability layer to label message events.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Elect { .. } => "elect",
+            Request::Commit { .. } => "commit",
+        }
+    }
 }
 
 /// A schedulable event of the network-based model (`Op_net`, Fig. 13).

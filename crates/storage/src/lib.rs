@@ -149,6 +149,22 @@ pub enum DiskFault {
     WipeAll,
 }
 
+impl DiskFault {
+    /// A short machine-readable name for the fault kind (no
+    /// parameters), used by the observability layer to label crash
+    /// events: the trace auditor keys its recovery-faithfulness checks
+    /// on these names.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DiskFault::LoseTail => "lose-tail",
+            DiskFault::TornTail { .. } => "torn-tail",
+            DiskFault::CorruptRecord { .. } => "corrupt-record",
+            DiskFault::WipeAll => "wipe-all",
+        }
+    }
+}
+
 impl fmt::Display for DiskFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

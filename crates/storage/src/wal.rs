@@ -184,6 +184,19 @@ pub enum Recovery<C, M> {
     },
 }
 
+impl<C, M> Recovery<C, M> {
+    /// A short machine-readable name for the recovery outcome, used by
+    /// the observability layer to label recovery events.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Recovery::Intact(_) => "intact",
+            Recovery::DataLoss => "data-loss",
+            Recovery::Corrupt { .. } => "corrupt",
+        }
+    }
+}
+
 /// Counters for the E10 table: how much WAL traffic the discipline costs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalStats {
