@@ -18,12 +18,26 @@ echo "== cargo test -p adore-storage =="
 cargo test -q -p adore-storage --offline
 
 # Source-level protocol discipline: determinism (L1), panic-free
-# recovery (L2), mutation encapsulation (L3), certificate hygiene (L4),
-# no stray console output in protocol crates (L5).
+# recovery (L2), mutation/construction encapsulation (L3), certificate
+# hygiene (L4), no stray console output in protocol crates (L5), and
+# the flow-sensitive rules — guard-before-mutation (L6), nondeterminism
+# taint (L7), discarded fallible results in recovery scopes (L8).
 # Exits non-zero on any unsuppressed finding (-D semantics); every
 # suppression pragma must carry a written reason. Config: adore-lint.toml.
 echo "== adore-lint =="
 cargo run -q -p adore-lint --offline
+
+# Flow-discipline table: per-rule L6-L8 findings and analysis timing.
+# The bench self-asserts 0 unsuppressed findings (same -D semantics as
+# the scan above), and CI asserts the table was actually regenerated so
+# results/flow_table.txt cannot go stale.
+echo "== flow-lint table (L6-L8) =="
+rm -f results/flow_table.txt
+cargo run -p adore-bench --bin flow_table --release --offline >/dev/null
+test -s results/flow_table.txt || {
+    echo "ci: results/flow_table.txt was not regenerated" >&2
+    exit 1
+}
 
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -1,0 +1,135 @@
+//! Flow-sensitive discipline table: the CFG/dataflow layer (rules
+//! L6-L8) over the whole workspace, with per-rule finding counts and
+//! per-rule analysis wall-time.
+//!
+//! Each rule is also timed in isolation — a config variant activates
+//! only that rule and `scan_flow` runs over the pre-parsed files — so
+//! the cost of the must-reach guard analysis (L6), the may-taint
+//! analysis (L7), and the discarded-result check (L8) are visible
+//! separately from parsing.
+//!
+//! Usage: `cargo run -p adore-bench --bin flow_table --release`
+//! (also writes `results/flow_table.txt`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use adore_bench::render_table;
+use adore_lint::config::Config;
+use adore_lint::flow_rules;
+
+/// A config variant that activates exactly one flow rule.
+fn isolate(rule: &str, full: &Config) -> Config {
+    let mut cfg = Config {
+        l6_protected: Vec::new(),
+        l7_crates: Vec::new(),
+        l2_scopes: Vec::new(),
+        l8_fallible: Vec::new(),
+        ..full.clone()
+    };
+    match rule {
+        "L6" => cfg.l6_protected = full.l6_protected.clone(),
+        "L7" => {
+            cfg.l7_crates = full.l7_crates.clone();
+            cfg.l7_sink_fields = full.l7_sink_fields.clone();
+        }
+        "L8" => {
+            cfg.l2_scopes = full.l2_scopes.clone();
+            cfg.l8_fallible = full.l8_fallible.clone();
+        }
+        other => panic!("not a flow rule: {other}"),
+    }
+    cfg
+}
+
+const FLOW_RULES: &[(&str, &str)] = &[
+    ("L6", "guard-before-mutation (must-reach, R1+/R2/R3 analogue)"),
+    ("L7", "nondeterminism taint (may-analysis over renames/joins)"),
+    ("L8", "discarded fallible results in recovery scopes"),
+];
+
+fn main() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg_text =
+        std::fs::read_to_string(root.join("adore-lint.toml")).expect("adore-lint.toml exists");
+    let cfg = Config::from_toml(&cfg_text).expect("adore-lint.toml parses");
+
+    // Parse the workspace once; the per-rule timings below are pure
+    // analysis time over these pre-parsed files.
+    let rels = adore_lint::collect_files(&root, &cfg).expect("workspace walks");
+    let parse_start = Instant::now();
+    let mut parsed = Vec::new();
+    for rel in &rels {
+        let source = std::fs::read_to_string(root.join(rel)).expect("file reads");
+        if let Ok(file) = syn::parse_file(&source) {
+            parsed.push((rel.clone(), file));
+        }
+    }
+    let parse_ms = parse_start.elapsed().as_secs_f64() * 1e3;
+
+    // Full report (pragmas applied) for the active/suppressed split.
+    let report = adore_lint::run_lint(&root, &cfg).expect("workspace scans");
+    let tally = report.tally();
+
+    let mut rows = Vec::new();
+    let mut flow_ms_total = 0.0;
+    for (rule, desc) in FLOW_RULES {
+        let iso = isolate(rule, &cfg);
+        let start = Instant::now();
+        let mut raw = 0usize;
+        for (rel, file) in &parsed {
+            raw += flow_rules::scan_flow(rel, file, &iso)
+                .iter()
+                .filter(|f| f.rule == *rule)
+                .count();
+        }
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        flow_ms_total += ms;
+        let (active, suppressed) = tally.get(*rule).copied().unwrap_or((0, 0));
+        assert_eq!(
+            raw,
+            active + suppressed,
+            "{rule}: isolated scan disagrees with the full report"
+        );
+        rows.push(vec![
+            (*rule).to_string(),
+            (*desc).to_string(),
+            active.to_string(),
+            suppressed.to_string(),
+            format!("{ms:.1}"),
+        ]);
+    }
+
+    let mut out = String::new();
+    out.push_str("flow-sensitive discipline — CFG/dataflow rules over the workspace\n\n");
+    out.push_str(&render_table(
+        &["rule", "what it certifies", "findings", "suppressed", "analysis ms"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\n{} files parsed in {:.1} ms; flow analyses {:.1} ms total; \
+         {} unsuppressed findings, {} pragma-suppressed across all rules\n",
+        parsed.len(),
+        parse_ms,
+        flow_ms_total,
+        report.active_count(),
+        report.suppressed_count()
+    ));
+
+    print!("{out}");
+
+    let results = root.join("results");
+    if std::fs::create_dir_all(&results).is_ok() {
+        let path = results.join("flow_table.txt");
+        if let Err(e) = std::fs::write(&path, &out) {
+            eprintln!("flow_table: cannot write {}: {e}", path.display());
+        }
+    }
+
+    // Like lint_table, the bench doubles as a gate.
+    assert_eq!(
+        report.active_count(),
+        0,
+        "workspace has unsuppressed lint findings"
+    );
+}

@@ -19,6 +19,9 @@ const RULES: &[(&str, &str)] = &[
     ("L3", "mutation encapsulation (owner-only field assignment)"),
     ("L4", "certificate hygiene (#[must_use] + consumed verdicts)"),
     ("L5", "no stray console output (print macros only in bin targets)"),
+    ("L6", "guard-before-mutation (flow-sensitive R1+/R2/R3 analogue)"),
+    ("L7", "nondeterminism taint (banned sources cannot reach state)"),
+    ("L8", "discarded fallible results in recovery scopes"),
     ("P0", "malformed suppression pragma"),
     ("E0", "unparsable file"),
 ];

@@ -1,0 +1,269 @@
+//! One-level call-graph summaries.
+//!
+//! The flow rules need to see through one layer of helper functions:
+//! `self.check_r3(...)` delegations must count as guard calls (L6), a
+//! helper returning `thread_rng().gen()` must taint its callers' bindings
+//! (L7), and `self.append_frame(...)` must count as fallible when its
+//! signature says `-> io::Result<...>` (L8). This module walks one file's
+//! items and produces a [`FnSummary`] per function name.
+//!
+//! The summaries are **one level deep and same-file only** — a helper
+//! that itself only delegates to a second helper in another file is not
+//! seen through. DESIGN.md §10 records this imprecision; call sites that
+//! rely on deeper delegation carry a reasoned pragma instead.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proc_macro2::{Delimiter, Span, TokenTree};
+
+use crate::cfg::{self, EXIT};
+use crate::dataflow;
+
+/// What one function guarantees to its callers, as far as a one-level
+/// syntactic summary can tell.
+#[derive(Debug, Clone, Default)]
+pub struct FnSummary {
+    /// The signature returns `Result<..>` or `Option<..>`.
+    pub returns_fallible: bool,
+    /// Guard predicates this function calls directly on **every** path
+    /// to its exit (so calling it is as good as calling the guard).
+    pub guards_on_all_paths: BTreeSet<String>,
+    /// The body mentions an L1-banned nondeterminism source and the
+    /// function returns a value — callers must treat the result as
+    /// tainted. (Whole-body, not per-return-path: over-approximate in
+    /// the conservative direction.)
+    pub tainted_return: bool,
+}
+
+/// Every `ident(...)` call in the trees, recursively through groups:
+/// plain calls, method calls (`x.ident(...)`), and path calls
+/// (`X::ident(...)`) all yield the final ident.
+pub fn calls_in(trees: &[TokenTree]) -> Vec<(String, Span)> {
+    let mut out = Vec::new();
+    collect_calls(trees, &mut out);
+    out
+}
+
+fn collect_calls(trees: &[TokenTree], out: &mut Vec<(String, Span)>) {
+    for i in 0..trees.len() {
+        match &trees[i] {
+            TokenTree::Ident(id) => {
+                if let Some(TokenTree::Group(g)) = trees.get(i + 1) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        out.push((id.to_string(), id.span()));
+                    }
+                }
+            }
+            TokenTree::Group(g) => collect_calls(g.stream().trees(), out),
+            _ => {}
+        }
+    }
+}
+
+/// An L1-banned nondeterminism source in the trees, if any: returns a
+/// description like `thread_rng()` for the first one found.
+#[must_use]
+pub fn banned_source_in(trees: &[TokenTree]) -> Option<&'static str> {
+    for i in 0..trees.len() {
+        match &trees[i] {
+            TokenTree::Ident(id) => {
+                if *id == "thread_rng" {
+                    return Some("thread_rng()");
+                }
+                if *id == "SystemTime" && crate::rules::is_path_call(trees, i, "now") {
+                    return Some("SystemTime::now()");
+                }
+                if *id == "Instant" && crate::rules::is_path_call(trees, i, "now") {
+                    return Some("Instant::now()");
+                }
+            }
+            TokenTree::Group(g) => {
+                if let Some(src) = banned_source_in(g.stream().trees()) {
+                    return Some(src);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether a signature token stream returns a `Result`/`Option` (path
+/// qualifiers like `io::Result` included).
+fn signature_returns_fallible(sig: &str) -> bool {
+    let Some(idx) = sig.rfind("->") else {
+        return false;
+    };
+    let ret = &sig[idx + 2..];
+    let head = ret.split('<').next().unwrap_or("");
+    head.contains("Result") || head.contains("Option")
+}
+
+fn signature_returns_value(sig: &str) -> bool {
+    sig.rfind("->").is_some_and(|idx| {
+        let ret = sig[idx + 2..].trim();
+        !ret.is_empty() && ret != "()"
+    })
+}
+
+/// Summarizes every non-test function in `file`. `guard_names` is the
+/// union of all configured guard predicates; only those are tracked in
+/// [`FnSummary::guards_on_all_paths`]. When two functions share a name
+/// (methods of different types), the merged summary keeps only what
+/// holds for both (guards intersect; fallible/tainted union — the
+/// conservative direction for each field's consumer).
+#[must_use]
+pub fn summarize(
+    file: &syn::File,
+    guard_names: &BTreeSet<String>,
+) -> BTreeMap<String, FnSummary> {
+    let mut out: BTreeMap<String, FnSummary> = BTreeMap::new();
+    let mut fns = Vec::new();
+    collect_fns(&file.items, false, &mut fns);
+    for f in fns {
+        let sig = f.signature.to_string();
+        let mut s = FnSummary {
+            returns_fallible: signature_returns_fallible(&sig),
+            ..FnSummary::default()
+        };
+        if let Some(body) = &f.body {
+            s.tainted_return = signature_returns_value(&sig)
+                && banned_source_in(body.stream().trees()).is_some();
+            let cfg = cfg::build(body);
+            let gen: Vec<BTreeSet<String>> = cfg
+                .nodes
+                .iter()
+                .map(|n| {
+                    calls_in(&n.tokens)
+                        .into_iter()
+                        .map(|(name, _)| name)
+                        .filter(|name| guard_names.contains(name))
+                        .collect()
+                })
+                .collect();
+            s.guards_on_all_paths = dataflow::must_forward(&cfg, &gen)[EXIT].clone();
+        }
+        match out.entry(f.ident.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(s);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let merged = e.get_mut();
+                merged.returns_fallible |= s.returns_fallible;
+                merged.tainted_return |= s.tainted_return;
+                merged.guards_on_all_paths = merged
+                    .guards_on_all_paths
+                    .intersection(&s.guards_on_all_paths)
+                    .cloned()
+                    .collect();
+            }
+        }
+    }
+    out
+}
+
+/// Collects every function item, impl/trait/mod bodies included,
+/// skipping `#[cfg(test)]` subtrees.
+pub(crate) fn collect_fns<'f>(
+    items: &'f [syn::Item],
+    in_test: bool,
+    out: &mut Vec<&'f syn::ItemFn>,
+) {
+    for item in items {
+        let in_test = in_test || item.attrs().iter().any(syn::Attribute::is_cfg_test);
+        if in_test {
+            continue;
+        }
+        match item {
+            syn::Item::Fn(f) => out.push(f),
+            syn::Item::Mod(m) | syn::Item::Trait(m) => {
+                if let Some(content) = &m.content {
+                    collect_fns(content, in_test, out);
+                }
+            }
+            syn::Item::Impl(i) => collect_fns(&i.items, in_test, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summaries(src: &str, guards: &[&str]) -> BTreeMap<String, FnSummary> {
+        let file = syn::parse_file(src).expect("parses");
+        let guards: BTreeSet<String> = guards.iter().map(ToString::to_string).collect();
+        summarize(&file, &guards)
+    }
+
+    #[test]
+    fn fallible_signatures_are_recognized() {
+        let s = summaries(
+            "fn a() -> Result<u8, E> { Ok(0) }\n\
+             fn b() -> io::Result<()> { Ok(()) }\n\
+             fn c() -> Option<u8> { None }\n\
+             fn d() -> Vec<Result<u8, E>> { vec![] }\n\
+             fn e() {}\n",
+            &[],
+        );
+        assert!(s["a"].returns_fallible);
+        assert!(s["b"].returns_fallible);
+        assert!(s["c"].returns_fallible);
+        assert!(!s["d"].returns_fallible, "outer type is Vec");
+        assert!(!s["e"].returns_fallible);
+    }
+
+    #[test]
+    fn guard_summary_requires_all_paths() {
+        let src = "\
+impl S {
+    fn check_all(&self) { self.is_quorum(x()); }
+    fn check_some(&self, c: bool) { if c { self.is_quorum(x()); } }
+    fn check_loop(&self) { for v in vs() { self.is_quorum(v); } }
+}
+";
+        let s = summaries(src, &["is_quorum"]);
+        assert!(s["check_all"].guards_on_all_paths.contains("is_quorum"));
+        assert!(s["check_some"].guards_on_all_paths.is_empty());
+        // A loop may run zero times: not all paths.
+        assert!(s["check_loop"].guards_on_all_paths.is_empty());
+    }
+
+    #[test]
+    fn tainted_return_needs_source_and_value() {
+        let src = "\
+fn pick() -> u64 { thread_rng().gen() }
+fn stamp() -> u64 { SystemTime::now().into() }
+fn log_only() { observe(thread_rng().gen()); }
+fn clean() -> u64 { 7 }
+";
+        let s = summaries(src, &[]);
+        assert!(s["pick"].tainted_return);
+        assert!(s["stamp"].tainted_return);
+        assert!(!s["log_only"].tainted_return, "returns no value");
+        assert!(!s["clean"].tainted_return);
+    }
+
+    #[test]
+    fn cfg_test_functions_are_not_summarized() {
+        let s = summaries(
+            "#[cfg(test)]\nmod tests { fn t() -> Result<(), E> { Ok(()) } }\n",
+            &[],
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn calls_in_sees_method_and_path_calls() {
+        let file = syn::parse_file("fn f() { a(); self.b(1); C::d(e()); }").expect("parses");
+        let syn::Item::Fn(f) = &file.items[0] else {
+            panic!("fn")
+        };
+        let names: Vec<String> = calls_in(f.body.as_ref().expect("body").stream().trees())
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["a", "b", "d", "e"]);
+    }
+}

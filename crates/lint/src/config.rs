@@ -84,6 +84,26 @@ pub struct L3Type {
     pub fields: Vec<String>,
     /// Files allowed to assign those fields.
     pub owners: Vec<String>,
+    /// When set, `Type { .. }` literals outside the owner files are also
+    /// flagged (construction protection, e.g. journal event types).
+    pub construct: bool,
+}
+
+/// One L6 entry: fields whose assignment must be dominated by a guard
+/// call on every control-flow path (the static analogue of consulting
+/// R1⁺/R2/R3 before a commit/reconfig transition).
+#[derive(Debug, Clone)]
+pub struct L6Protected {
+    /// Type name (diagnostic label only; matching is field-based).
+    pub type_name: String,
+    /// Crate directory the check runs in, e.g. `crates/raft`.
+    pub crate_dir: String,
+    /// Guarded field names.
+    pub fields: Vec<String>,
+    /// Guard predicate names; a call to *any* of them dominating the
+    /// assignment satisfies the rule. Helpers that call a guard on all
+    /// their paths count via the one-level call graph.
+    pub guards: Vec<String>,
 }
 
 /// The full lint configuration.
@@ -110,6 +130,15 @@ pub struct Config {
     /// L5: path prefixes (files or directories) exempt from the ban —
     /// bin entry points whose job *is* console output.
     pub l5_allow: Vec<String>,
+    /// L6: guard-before-mutation entries.
+    pub l6_protected: Vec<L6Protected>,
+    /// L7: crate directories where nondeterminism taint is tracked.
+    pub l7_crates: Vec<String>,
+    /// L7: field names that count as protocol-state sinks.
+    pub l7_sink_fields: Vec<String>,
+    /// L8: names treated as fallible callees in addition to same-file
+    /// functions whose signature returns `Result`/`Option`.
+    pub l8_fallible: Vec<String>,
 }
 
 impl Default for Config {
@@ -125,6 +154,10 @@ impl Default for Config {
             l4_paths: vec!["crates".into()],
             l5_crates: Vec::new(),
             l5_allow: Vec::new(),
+            l6_protected: Vec::new(),
+            l7_crates: Vec::new(),
+            l7_sink_fields: Vec::new(),
+            l8_fallible: Vec::new(),
         }
     }
 }
@@ -183,6 +216,7 @@ impl Config {
                             .into(),
                         fields: t.get("fields").map(Value::string_array).unwrap_or_default(),
                         owners: t.get("owners").map(Value::string_array).unwrap_or_default(),
+                        construct: matches!(t.get("construct"), Some(Value::Bool(true))),
                     });
                 }
             }
@@ -204,6 +238,36 @@ impl Config {
             }
             if let Some(v) = l5.get("allow") {
                 cfg.l5_allow = v.string_array();
+            }
+        }
+        if let Some(Value::Table(l6)) = rules.get("L6") {
+            if let Some(Value::Array(entries)) = l6.get("protected") {
+                for s in entries {
+                    let Value::Table(t) = s else { continue };
+                    cfg.l6_protected.push(L6Protected {
+                        type_name: t.get("type").and_then(Value::as_str).unwrap_or("").into(),
+                        crate_dir: t
+                            .get("crate_dir")
+                            .and_then(Value::as_str)
+                            .unwrap_or("")
+                            .into(),
+                        fields: t.get("fields").map(Value::string_array).unwrap_or_default(),
+                        guards: t.get("guards").map(Value::string_array).unwrap_or_default(),
+                    });
+                }
+            }
+        }
+        if let Some(Value::Table(l7)) = rules.get("L7") {
+            if let Some(v) = l7.get("crates") {
+                cfg.l7_crates = v.string_array();
+            }
+            if let Some(v) = l7.get("sink_fields") {
+                cfg.l7_sink_fields = v.string_array();
+            }
+        }
+        if let Some(Value::Table(l8)) = rules.get("L8") {
+            if let Some(v) = l8.get("fallible") {
+                cfg.l8_fallible = v.string_array();
             }
         }
         Ok(cfg)
@@ -501,6 +565,26 @@ paths = ["crates"]
 [rules.L5]
 crates = ["crates/core", "crates/obs"]
 allow = ["crates/obs/src/main.rs"]
+
+[[rules.L3.types]]
+type = "TraceEvent"
+crate_dir = "crates"
+fields = []
+owners = ["crates/obs/src/event.rs"]
+construct = true
+
+[[rules.L6.protected]]
+type = "Server"
+crate_dir = "crates/raft"
+fields = ["commit_len", "log"]
+guards = ["is_quorum", "log_up_to_date"]
+
+[rules.L7]
+crates = ["crates/raft"]
+sink_fields = ["commit_len", "log"]
+
+[rules.L8]
+fallible = ["split_frame"]
 "#,
         )
         .expect("parses");
@@ -512,6 +596,14 @@ allow = ["crates/obs/src/main.rs"]
         assert_eq!(cfg.l4_must_use_types, vec!["Violation"]);
         assert_eq!(cfg.l5_crates, vec!["crates/core", "crates/obs"]);
         assert_eq!(cfg.l5_allow, vec!["crates/obs/src/main.rs"]);
+        assert!(!cfg.l3_types[0].construct);
+        assert!(cfg.l3_types[1].construct);
+        assert_eq!(cfg.l3_types[1].type_name, "TraceEvent");
+        assert_eq!(cfg.l6_protected.len(), 1);
+        assert_eq!(cfg.l6_protected[0].guards, vec!["is_quorum", "log_up_to_date"]);
+        assert_eq!(cfg.l7_crates, vec!["crates/raft"]);
+        assert_eq!(cfg.l7_sink_fields, vec!["commit_len", "log"]);
+        assert_eq!(cfg.l8_fallible, vec!["split_frame"]);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Fixpoint dataflow over [`crate::cfg::Cfg`].
+//!
+//! Two analyses, both forward:
+//!
+//! * **must-reach** ([`must_forward`]): a fact (a guard call) reaches a
+//!   node iff it was generated on *every* path from entry. Join is set
+//!   intersection over predecessors; the lattice is the powerset of all
+//!   facts generated anywhere in the function, ordered by `⊇` with the
+//!   full universe as ⊤ (so back edges in loops do not spuriously kill
+//!   facts established before the loop).
+//! * **may-taint** ([`may_forward`]): a variable is tainted at a node
+//!   iff it *may* carry a banned value on some path. Join is map union
+//!   over predecessors; the per-variable origin is the first source
+//!   seen (deterministic because node transfer order is fixed).
+//!
+//! Both iterate to a fixpoint with a worklist-free full sweep — the
+//! CFGs here are tiny (a function body), so simplicity wins.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{Cfg, ENTRY};
+
+/// Runs the must-reach analysis. `gen[i]` is the set of facts node `i`
+/// generates; the result `r[i]` is the set of facts guaranteed to have
+/// been generated on every path from entry **before** node `i` runs
+/// (its IN set — node `i`'s own facts are not included).
+#[must_use]
+pub fn must_forward(cfg: &Cfg, gen: &[BTreeSet<String>]) -> Vec<BTreeSet<String>> {
+    let universe: BTreeSet<String> = gen.iter().flatten().cloned().collect();
+    let preds = cfg.preds();
+    let n = cfg.nodes.len();
+    let mut ins: Vec<BTreeSet<String>> = vec![universe; n];
+    ins[ENTRY] = BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if i == ENTRY {
+                continue;
+            }
+            let mut new_in: Option<BTreeSet<String>> = None;
+            for &p in &preds[i] {
+                let mut out = ins[p].clone();
+                out.extend(gen[p].iter().cloned());
+                new_in = Some(match new_in {
+                    None => out,
+                    Some(acc) => acc.intersection(&out).cloned().collect(),
+                });
+            }
+            let new_in = new_in.unwrap_or_default();
+            if new_in != ins[i] {
+                ins[i] = new_in;
+                changed = true;
+            }
+        }
+        if !changed {
+            return ins;
+        }
+    }
+}
+
+/// Taint state at a program point: variable name → origin description.
+pub type Taint = BTreeMap<String, String>;
+
+/// Runs the may-taint analysis. `transfer(i, in_map)` computes node
+/// `i`'s OUT map from its IN map (taint new bindings, kill overwritten
+/// ones). The result `r[i]` is node `i`'s IN map.
+#[must_use]
+pub fn may_forward(cfg: &Cfg, transfer: &dyn Fn(usize, &Taint) -> Taint) -> Vec<Taint> {
+    let preds = cfg.preds();
+    let n = cfg.nodes.len();
+    let mut ins: Vec<Taint> = vec![Taint::new(); n];
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if i == ENTRY {
+                continue;
+            }
+            let mut new_in = Taint::new();
+            for &p in &preds[i] {
+                let out = transfer(p, &ins[p]);
+                for (k, v) in out {
+                    new_in.entry(k).or_insert(v);
+                }
+            }
+            if new_in != ins[i] {
+                ins[i] = new_in;
+                changed = true;
+            }
+        }
+        if !changed {
+            return ins;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{self, EXIT};
+    use proc_macro2::TokenTree;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let file = syn::parse_file(src).expect("parses");
+        match &file.items[0] {
+            syn::Item::Fn(f) => cfg::build(f.body.as_ref().expect("body")),
+            other => panic!("expected fn, got {other:?}"),
+        }
+    }
+
+    /// gen = {"g"} at every node whose tokens mention the ident `guard`.
+    fn guard_gen(cfg: &Cfg) -> Vec<BTreeSet<String>> {
+        cfg.nodes
+            .iter()
+            .map(|n| {
+                let mut s = BTreeSet::new();
+                fn mentions(trees: &[TokenTree]) -> bool {
+                    trees.iter().any(|tt| match tt {
+                        TokenTree::Ident(i) => *i == "guard",
+                        TokenTree::Group(g) => mentions(g.stream().trees()),
+                        _ => false,
+                    })
+                }
+                if mentions(&n.tokens) {
+                    s.insert("g".into());
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn guard_on_all_paths_reaches_exit() {
+        let cfg = cfg_of("fn f() { guard(); mutate(); }");
+        let ins = must_forward(&cfg, &guard_gen(&cfg));
+        assert!(ins[EXIT].contains("g"));
+    }
+
+    #[test]
+    fn guard_in_one_branch_does_not_reach_join() {
+        let cfg = cfg_of("fn f() { if c() { guard(); } mutate(); }");
+        let ins = must_forward(&cfg, &guard_gen(&cfg));
+        let mutate = cfg
+            .nodes
+            .iter()
+            .position(|n| {
+                n.tokens
+                    .first()
+                    .is_some_and(|t| matches!(t, TokenTree::Ident(i) if *i == "mutate"))
+            })
+            .expect("mutate node");
+        assert!(ins[mutate].is_empty());
+    }
+
+    #[test]
+    fn guard_in_both_branches_reaches_join() {
+        let cfg = cfg_of("fn f() { if c() { guard(); } else { guard(); } mutate(); }");
+        let ins = must_forward(&cfg, &guard_gen(&cfg));
+        let mutate = cfg.nodes.len() - 1;
+        assert!(ins[mutate].contains("g"));
+    }
+
+    #[test]
+    fn loop_back_edge_keeps_pre_loop_facts() {
+        let cfg = cfg_of("fn f() { guard(); while c() { body(); } mutate(); }");
+        let ins = must_forward(&cfg, &guard_gen(&cfg));
+        let mutate = cfg.nodes.len() - 1;
+        assert!(ins[mutate].contains("g"));
+    }
+
+    #[test]
+    fn may_taint_unions_branches() {
+        let cfg = cfg_of("fn f() { if c() { let x = rng(); } use_(x); }");
+        // Transfer: a node whose text contains `rng` taints "x".
+        let transfer = |i: usize, m: &Taint| {
+            let mut out = m.clone();
+            let text: String = cfg.nodes[i]
+                .tokens
+                .iter()
+                .cloned()
+                .collect::<proc_macro2::TokenStream>()
+                .to_string();
+            if text.contains("rng") {
+                out.insert("x".into(), "rng".into());
+            }
+            out
+        };
+        let ins = may_forward(&cfg, &transfer);
+        let use_node = cfg.nodes.len() - 1;
+        assert_eq!(ins[use_node].get("x").map(String::as_str), Some("rng"));
+    }
+}

@@ -1,0 +1,201 @@
+//! `adore-lint --explain <RULE>`: per-rule rationale, the paper
+//! invariant each rule guards, and a minimal violating example.
+
+/// The explanation text for a rule id, or `None` if the id is unknown.
+/// Ids are matched case-insensitively.
+#[must_use]
+pub fn explain(rule: &str) -> Option<&'static str> {
+    let rule = rule.to_ascii_uppercase();
+    Some(match rule.as_str() {
+        "L1" => {
+            "L1 — determinism\n\
+             \n\
+             Protocol crates must not use hash-ordered collections (HashMap/\n\
+             HashSet), ambient clocks (SystemTime, Instant::now), or ambient\n\
+             randomness (thread_rng).\n\
+             \n\
+             Paper invariant: the model checker and the nemesis certify Adore's\n\
+             safety theorem by exhaustive/seeded replay; a counterexample is only\n\
+             a proof artifact if re-running it visits the same states in the same\n\
+             order. Any iteration-order or wall-clock dependence voids that.\n\
+             \n\
+             Violating example:\n\
+             \n\
+                 use std::collections::HashMap;   // L1\n\
+                 let t = Instant::now();          // L1\n"
+        }
+        "L2" => {
+            "L2 — panic-free recovery\n\
+             \n\
+             Configured (file, function) scopes — WAL replay, crash recovery,\n\
+             counterexample replay — must not call .unwrap()/.expect(), invoke\n\
+             panic-family macros, or index slices.\n\
+             \n\
+             Paper invariant: certified recovery (the WAL replay mirror) runs on\n\
+             corrupted bytes by design; the safety argument needs it to *reject*\n\
+             bad frames with a typed error, not abort the process mid-recovery.\n\
+             \n\
+             Violating example (inside a recovery scope):\n\
+             \n\
+                 let frame = parse(bytes).unwrap();   // L2\n\
+                 let first = bytes[0];                // L2\n"
+        }
+        "L3" => {
+            "L3 — mutation encapsulation\n\
+             \n\
+             Protected protocol-state fields may only be assigned inside their\n\
+             owning transition module, and construct-protected types (journal\n\
+             events) may only be built by their owner's constructors.\n\
+             \n\
+             Paper invariant: Adore's state only satisfies the transition\n\
+             relation if *every* mutation of tree/log/commit state goes through\n\
+             the certified transition functions; rustc privacy cannot police\n\
+             same-crate siblings, so the lint does.\n\
+             \n\
+             Violating example (outside the owner file):\n\
+             \n\
+                 s.commit_len = 0;                    // L3\n\
+                 let ev = TraceEvent { .. };          // L3 (construct-protected)\n"
+        }
+        "L4" => {
+            "L4 — certificate hygiene\n\
+             \n\
+             Verdict types must carry #[must_use], and a statement whose value\n\
+             is a check_*/certify_* call must consume the result.\n\
+             \n\
+             Paper invariant: a certification that nobody reads certifies\n\
+             nothing. #[must_use] alone cannot flag `let _ = check(..);`, and\n\
+             unit-returning \"checkers\" never trigger it at all.\n\
+             \n\
+             Violating example:\n\
+             \n\
+                 check_quorum(s);            // L4: verdict discarded\n\
+                 let _ = certify_commit(s);  // L4: explicitly discarded\n"
+        }
+        "L5" => {
+            "L5 — no stray console output\n\
+             \n\
+             Protocol crates must not call the print-macro family outside the\n\
+             configured bin entry points.\n\
+             \n\
+             Paper invariant: observable behavior routes through the tracer and\n\
+             metrics registry so the trace auditor can re-certify runs from the\n\
+             journal alone; ad-hoc prints are invisible to the audit.\n\
+             \n\
+             Violating example:\n\
+             \n\
+                 println!(\"leader elected\");   // L5\n"
+        }
+        "L6" => {
+            "L6 — guard-before-mutation (flow-sensitive)\n\
+             \n\
+             Every control-flow path to an assignment of a protected protocol-\n\
+             state field must contain a call to one of the field's configured\n\
+             guard predicates — directly, or through a same-file helper that\n\
+             calls the guard on all of its own paths (one-level call graph).\n\
+             \n\
+             Paper invariant: the static analogue of R1+/R2/R3 necessity. Adore's\n\
+             reconfiguration safety proof requires the transition function to\n\
+             consult the guards before committing or reconfiguring; a guard that\n\
+             an `else` branch skips is exactly the bug class Schultz et al. found\n\
+             in MongoDB's reconfiguration. L6 checks the *source* consults the\n\
+             guard on every path, complementing the nemesis guard-ablation hunts\n\
+             that show what happens when it does not.\n\
+             \n\
+             Violating example (commit_len guarded by is_quorum):\n\
+             \n\
+                 if fast_path(s) {\n\
+                     s.commit_len = n;        // L6: this path skipped is_quorum\n\
+                 } else if c.is_quorum(a) {\n\
+                     s.commit_len = n;        // ok: dominated by the guard\n\
+                 }\n"
+        }
+        "L7" => {
+            "L7 — nondeterminism taint (flow-sensitive)\n\
+             \n\
+             A value derived from an L1-banned source (thread_rng, SystemTime::\n\
+             now, Instant::now) must not flow into a protocol-state sink field —\n\
+             through let-renames, branch joins, or same-file helper returns.\n\
+             \n\
+             Paper invariant: L1 bans the *names*; L7 follows the *values*.\n\
+             Deterministic replay (the foundation of every certificate this repo\n\
+             produces) is void if any bit of protocol state was derived from an\n\
+             ambient source, no matter how many bindings it passed through.\n\
+             \n\
+             Violating example:\n\
+             \n\
+                 let r = thread_rng().gen::<usize>();\n\
+                 let len = r;                 // taint flows through the rename\n\
+                 s.commit_len = len;          // L7\n"
+        }
+        "L8" => {
+            "L8 — discarded fallible results in recovery scopes (flow-sensitive)\n\
+             \n\
+             Inside the configured L2 recovery scopes, `let _ = fallible(..);`\n\
+             and bare `fallible(..);` expression statements are banned when the\n\
+             callee returns Result/Option (same-file signature, or configured).\n\
+             \n\
+             Paper invariant: certified recovery distinguishes \"replayed the\n\
+             prefix\" from \"hit a torn frame\" only through its error channel;\n\
+             a recovery path that drops an error silently converts a detected\n\
+             corruption into an unreported one, voiding the recovery certificate.\n\
+             \n\
+             Violating example (inside a recovery scope):\n\
+             \n\
+                 let _ = parse_payload(frame);   // L8\n\
+                 sync_mirror(state);             // L8 if sync_mirror -> Result\n"
+        }
+        // The example lines assemble the pragma marker with concat! so
+        // this file's own source never contains the live marker the
+        // pragma scanner looks for.
+        "P0" => {
+            concat!(
+                "P0 — malformed suppression pragma\n",
+                "\n",
+                "A suppression pragma that does not parse — bad syntax, a missing\n",
+                "reason, or an unknown rule id — is itself a finding. Suppressions\n",
+                "are audit records; a malformed one silently suppresses nothing.\n",
+                "\n",
+                "Violating example:\n",
+                "\n",
+                "// adore-",
+                "lint: allow(L1)          // P0: missing reason\n",
+                "// adore-",
+                "lint: allow(L99, reason = \"x\")  // P0: unknown rule\n",
+            )
+        }
+        "E0" => {
+            "E0 — file does not parse\n\
+             \n\
+             The lint's item parser could not tokenize/parse the file; nothing\n\
+             in it was checked. E0 fails CI so an unparsable file cannot dodge\n\
+             the rules.\n"
+        }
+        _ => return None,
+    })
+}
+
+/// Every rule id `--explain` accepts, in display order.
+pub const RULE_IDS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "P0", "E0"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_rule_has_an_explanation() {
+        for id in RULE_IDS {
+            let text = explain(id).unwrap_or_else(|| panic!("no explanation for {id}"));
+            assert!(text.contains(id), "{id} text names itself");
+        }
+        assert!(explain("l6").is_some(), "case-insensitive");
+        assert!(explain("L99").is_none());
+    }
+
+    #[test]
+    fn flow_rules_cite_the_paper_invariants() {
+        assert!(explain("L6").expect("L6").contains("R1+/R2/R3"));
+        assert!(explain("L7").expect("L7").contains("replay"));
+        assert!(explain("L8").expect("L8").contains("recovery"));
+    }
+}

@@ -8,14 +8,26 @@
 //! (L2), the protocol state only obeys the paper's transition rules if
 //! nothing else assigns its fields (L3), and safety verdicts only mean
 //! something if every one is consumed (L4). This crate walks every
-//! `.rs` file in the workspace and enforces those four disciplines as
+//! `.rs` file in the workspace and enforces those disciplines as
 //! token-pattern rules; see [`rules`] for the exact patterns and
 //! [`pragma`] for the `allow(...)`-with-reason escape hatch.
+//!
+//! On top of the token-pattern rules sits a flow-sensitive layer
+//! ([`cfg`] → [`dataflow`] → [`callgraph`] → [`flow_rules`]): per-
+//! function control-flow graphs with a must-reach guard analysis (L6
+//! guard-before-mutation, the static analogue of consulting R1⁺/R2/R3
+//! on every path), a may-taint analysis (L7 nondeterminism taint), and
+//! a discarded-fallible-result check in recovery scopes (L8).
 //!
 //! Findings are deterministic (files walked in sorted order, findings
 //! sorted by position) so CI output is stable.
 
+pub mod callgraph;
+pub mod cfg;
 pub mod config;
+pub mod dataflow;
+pub mod explain;
+pub mod flow_rules;
 pub mod pragma;
 pub mod rules;
 
@@ -30,7 +42,7 @@ use config::Config;
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule id: `L1`-`L4`, `P0` (malformed pragma), `E0` (parse error).
+    /// Rule id: `L1`-`L8`, `P0` (malformed pragma), `E0` (parse error).
     pub rule: String,
     /// Workspace-relative path, forward slashes.
     pub file: String,
@@ -109,7 +121,10 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     }
 
     match syn::parse_file(source) {
-        Ok(file) => findings.extend(rules::scan_file(rel, &file, cfg)),
+        Ok(file) => {
+            findings.extend(rules::scan_file(rel, &file, cfg));
+            findings.extend(flow_rules::scan_flow(rel, &file, cfg));
+        }
         Err(e) => findings.push(Finding {
             rule: "E0".into(),
             file: rel.into(),

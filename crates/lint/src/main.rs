@@ -37,15 +37,40 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--explain" => match args.next() {
+                Some(rule) => match adore_lint::explain::explain(&rule) {
+                    Some(text) => {
+                        println!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "adore-lint: unknown rule `{rule}` (known: {})",
+                            adore_lint::explain::RULE_IDS.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("adore-lint: --explain expects a rule id (e.g. L6)");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "adore-lint: certify protocol discipline at the source level\n\
                      \n\
                      USAGE: adore-lint [--format text|json] [--root DIR] [--config FILE]\n\
+                     \n       adore-lint --explain RULE\n\
                      \n\
                      Scans the workspace for violations of rules L1 (determinism),\n\
-                     L2 (panic-free recovery), L3 (mutation encapsulation), and\n\
-                     L4 (certificate hygiene). Configuration: adore-lint.toml at\n\
+                     L2 (panic-free recovery), L3 (mutation/construction\n\
+                     encapsulation), L4 (certificate hygiene), L5 (no stray console\n\
+                     output), and the flow-sensitive rules L6 (guard-before-\n\
+                     mutation), L7 (nondeterminism taint), and L8 (discarded\n\
+                     fallible results in recovery scopes). `--explain RULE` prints\n\
+                     a rule's rationale, the paper invariant it guards, and a\n\
+                     minimal violating example. Configuration: adore-lint.toml at\n\
                      the workspace root. Exit status is non-zero when unsuppressed\n\
                      findings exist."
                 );

@@ -29,7 +29,7 @@ pub struct Pragma {
     pub line: usize,
     /// The line whose findings it suppresses.
     pub target_line: usize,
-    /// Rule ids it allows (`L1`..`L4`).
+    /// Rule ids it allows (`L1`..`L8`, `P0`, `E0`).
     pub rules: Vec<String>,
     /// The mandatory justification.
     pub reason: String,
@@ -127,7 +127,7 @@ fn parse_allow(body: &str) -> Result<(Vec<String>, String), String> {
                 .and_then(|r| r.strip_suffix('"'))
                 .ok_or("reason must be a quoted string")?;
             reason = Some(r.to_string());
-        } else if part.len() <= 3 && part.starts_with(['L', 'P', 'E']) {
+        } else if crate::explain::RULE_IDS.contains(&part) {
             rules.push(part.to_string());
         } else {
             return Err(format!("unknown rule id `{part}`"));
@@ -186,5 +186,55 @@ mod tests {
         let src = format!("let s = \"{MARKER} allow(L1)\";");
         let set = scan(&src);
         assert!(set.pragmas.is_empty() && set.errors.is_empty());
+    }
+
+    #[test]
+    fn unknown_rule_id_is_an_error() {
+        for bad in ["L9", "L99", "P1", "E2", "LX"] {
+            let set = scan(&pragma(&format!(r#"allow({bad}, reason = "x")"#)));
+            assert_eq!(set.errors.len(), 1, "{bad} must be rejected");
+            assert!(set.errors[0].msg.contains("unknown rule id"), "{bad}");
+        }
+        // Every real rule id parses.
+        for good in crate::explain::RULE_IDS {
+            let set = scan(&pragma(&format!(r#"allow({good}, reason = "x")"#)));
+            assert!(set.errors.is_empty(), "{good} must parse");
+        }
+    }
+
+    #[test]
+    fn reason_may_contain_hash_and_parens_text() {
+        let set = scan(&pragma(
+            r#"allow(L6, reason = "see issue #42 re: R1+ necessity")"#,
+        ));
+        assert!(set.errors.is_empty(), "{:?}", set.errors);
+        assert_eq!(set.pragmas[0].reason, "see issue #42 re: R1+ necessity");
+    }
+
+    #[test]
+    fn standalone_pragma_targets_start_of_multiline_statement() {
+        // The finding is reported at the statement's first line, so a
+        // standalone pragma directly above suppresses it even when the
+        // statement spans several lines.
+        let src = format!(
+            "{}\nlet m = HashMap::from([\n    (1, 2),\n    (3, 4),\n]);\n",
+            pragma(r#"allow(L1, reason = "seeded fixture map")"#),
+        );
+        let set = scan(&src);
+        assert!(set.allows("L1", 2));
+        assert!(!set.allows("L1", 3), "later lines are not covered");
+    }
+
+    #[test]
+    fn pragma_on_last_line_without_successor_is_kept() {
+        // A standalone pragma on the file's final line targets a line
+        // that does not exist; it is well-formed (not P0) and simply
+        // suppresses nothing.
+        let src = pragma(r#"allow(L1, reason = "dangling")"#);
+        assert!(!src.ends_with('\n'));
+        let set = scan(&src);
+        assert!(set.errors.is_empty());
+        assert_eq!(set.pragmas[0].target_line, 2);
+        assert!(!set.allows("L1", 1));
     }
 }

@@ -49,6 +49,12 @@ pub fn scan_file(rel: &str, file: &syn::File, cfg: &Config) -> Vec<Finding> {
                 .map(move |f| (t.type_name.as_str(), f.as_str()))
         })
         .collect();
+    let l3c: Vec<&str> = cfg
+        .l3_types
+        .iter()
+        .filter(|t| t.construct && in_dir(rel, &t.crate_dir) && !t.owners.iter().any(|o| o == rel))
+        .map(|t| t.type_name.as_str())
+        .collect();
     let l2_scopes: Vec<&L2Scope> = cfg.l2_scopes.iter().filter(|s| s.file == rel).collect();
     let l4b = cfg.l4_paths.iter().any(|p| in_dir(rel, p));
     let l5 = cfg.l5_crates.iter().any(|c| in_dir(rel, c))
@@ -60,6 +66,7 @@ pub fn scan_file(rel: &str, file: &syn::File, cfg: &Config) -> Vec<Finding> {
         l1,
         l2_scopes,
         l3,
+        l3c,
         l4b,
         l5,
         findings: Vec::new(),
@@ -68,7 +75,8 @@ pub fn scan_file(rel: &str, file: &syn::File, cfg: &Config) -> Vec<Finding> {
     ctx.findings
 }
 
-fn in_dir(rel: &str, dir: &str) -> bool {
+/// Whether `rel` lies strictly inside directory `dir`.
+pub(crate) fn in_dir(rel: &str, dir: &str) -> bool {
     rel.strip_prefix(dir)
         .is_some_and(|rest| rest.starts_with('/'))
 }
@@ -80,6 +88,8 @@ struct Ctx<'c> {
     l2_scopes: Vec<&'c L2Scope>,
     /// Active (type name, protected field) pairs for this file.
     l3: Vec<(&'c str, &'c str)>,
+    /// Construct-protected type names active for this file.
+    l3c: Vec<&'c str>,
     l4b: bool,
     l5: bool,
     findings: Vec<Finding>,
@@ -108,6 +118,7 @@ struct Flags {
     l1: bool,
     l2: bool,
     l3: bool,
+    l3c: bool,
     l4b: bool,
     l5: bool,
 }
@@ -116,6 +127,7 @@ const OFF: Flags = Flags {
     l1: false,
     l2: false,
     l3: false,
+    l3c: false,
     l4b: false,
     l5: false,
 };
@@ -185,6 +197,7 @@ fn walk_fn(ctx: &mut Ctx<'_>, f: &syn::ItemFn, in_test: bool) {
             l1: ctx.l1,
             l2,
             l3: !ctx.l3.is_empty(),
+            l3c: !ctx.l3c.is_empty(),
             l4b: ctx.l4b,
             l5: ctx.l5,
         };
@@ -227,6 +240,9 @@ fn scan(ctx: &mut Ctx<'_>, trees: &[TokenTree], fl: Flags) {
                 }
                 if fl.l5 {
                     l5_ident(ctx, trees, i);
+                }
+                if fl.l3c {
+                    l3_construct(ctx, trees, i);
                 }
             }
             TokenTree::Punct(p) if fl.l3 && p.as_char() == '.' => {
@@ -274,7 +290,7 @@ fn l1_ident(ctx: &mut Ctx<'_>, trees: &[TokenTree], i: usize) {
 }
 
 /// Matches `<ident> :: <method>` starting at `trees[i]`.
-fn is_path_call(trees: &[TokenTree], i: usize, method: &str) -> bool {
+pub(crate) fn is_path_call(trees: &[TokenTree], i: usize, method: &str) -> bool {
     let colon = |k: usize| matches!(trees.get(k), Some(TokenTree::Punct(p)) if p.as_char() == ':');
     colon(i + 1)
         && colon(i + 2)
@@ -373,6 +389,41 @@ fn is_index_position(trees: &[TokenTree], i: usize) -> bool {
 // L3: mutation encapsulation
 // ---------------------------------------------------------------------------
 
+/// Idents that precede `Type { .. }` without it being a construction:
+/// declarations, impl headers, and `let`/`ref` destructuring patterns.
+const NON_CONSTRUCT_KEYWORDS: &[&str] = &[
+    "struct", "enum", "union", "impl", "trait", "mod", "fn", "let", "ref", "for",
+];
+
+/// L3 (construct protection): `Type { .. }` literals of a protected type
+/// outside its owner files. Covers journal-event types whose invariants
+/// (schema version, causal parent links) only the owner constructors
+/// maintain.
+fn l3_construct(ctx: &mut Ctx<'_>, trees: &[TokenTree], i: usize) {
+    let TokenTree::Ident(id) = &trees[i] else {
+        return;
+    };
+    if !ctx.l3c.iter().any(|t| *id == **t) {
+        return;
+    }
+    let Some(TokenTree::Group(g)) = trees.get(i + 1) else {
+        return;
+    };
+    if g.delimiter() != Delimiter::Brace {
+        return;
+    }
+    if let Some(TokenTree::Ident(prev)) = i.checked_sub(1).and_then(|k| trees.get(k)) {
+        if NON_CONSTRUCT_KEYWORDS.iter().any(|k| *prev == **k) {
+            return;
+        }
+    }
+    ctx.push(
+        "L3",
+        id.span(),
+        format!("`{id}` constructed outside its owner module (use the owner's constructors)"),
+    );
+}
+
 fn l3_dot(ctx: &mut Ctx<'_>, trees: &[TokenTree], i: usize) {
     let dot = |k: usize| matches!(trees.get(k), Some(TokenTree::Punct(p)) if p.as_char() == '.');
     // `..` / `..=` ranges and struct-update syntax are not field access.
@@ -395,7 +446,7 @@ fn l3_dot(ctx: &mut Ctx<'_>, trees: &[TokenTree], i: usize) {
 
 /// Whether the punct run starting at `trees[j]` is an assignment
 /// operator (`=`, `+=`, `<<=`, ...) rather than a comparison.
-fn assignment_follows(trees: &[TokenTree], j: usize) -> bool {
+pub(crate) fn assignment_follows(trees: &[TokenTree], j: usize) -> bool {
     let c = |k: usize| match trees.get(j + k) {
         Some(TokenTree::Punct(p)) => Some(p.as_char()),
         _ => None,
@@ -608,6 +659,7 @@ fn a(frame: [u8; 4]) -> Option<u8> {
                 crate_dir: "crates/raft".into(),
                 fields: vec!["role".into(), "log".into()],
                 owners: vec!["crates/raft/src/net.rs".into()],
+                construct: false,
             }],
             ..Config::default()
         };
@@ -626,6 +678,37 @@ fn rogue(s: &mut Server) {
         assert!(run("crates/raft/src/net.rs", src, &cfg).is_empty());
         // Other crates are out of scope (privacy covers them).
         assert!(run("crates/kv/src/sim.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn l3_construct_protection_flags_literals_outside_owner() {
+        let cfg = Config {
+            l3_types: vec![L3Type {
+                type_name: "TraceEvent".into(),
+                crate_dir: "crates".into(),
+                fields: Vec::new(),
+                owners: vec!["crates/obs/src/event.rs".into()],
+                construct: true,
+            }],
+            ..Config::default()
+        };
+        let src = "\
+fn emit(t: u64) -> TraceEvent {
+    let ev = TraceEvent { time: t, kind: k() };
+    push(TraceEvent { time: t + 1, kind: k() });
+    ev
+}
+impl fmt::Debug for TraceEvent { }
+fn observe(ev: &TraceEvent) -> u64 {
+    let TraceEvent { time, .. } = ev;
+    *time
+}
+";
+        let f = run("crates/nemesis/src/engine.rs", src, &cfg);
+        let got: Vec<(&str, usize)> = f.iter().map(|f| (f.rule.as_str(), f.line)).collect();
+        assert_eq!(got, vec![("L3", 2), ("L3", 3)], "{f:?}");
+        // The owner file constructs freely.
+        assert!(run("crates/obs/src/event.rs", src, &cfg).is_empty());
     }
 
     #[test]

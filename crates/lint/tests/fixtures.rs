@@ -35,12 +35,17 @@ fn fixture_config() -> Config {
             crate_dir: "crates/raft".into(),
             fields: vec!["role".into(), "commit_len".into()],
             owners: vec!["crates/raft/src/net.rs".into()],
+            construct: false,
         }],
         l4_must_use_types: vec!["Violation".into()],
         l5_crates: vec!["crates/core".into()],
         l5_allow: vec!["crates/core/src/bin".into()],
         l4_consume_prefixes: vec!["check_".into(), "certify_".into()],
         l4_paths: vec!["crates".into()],
+        l6_protected: Vec::new(),
+        l7_crates: Vec::new(),
+        l7_sink_fields: Vec::new(),
+        l8_fallible: Vec::new(),
     }
 }
 

@@ -1,0 +1,27 @@
+//! L3 fixture for observability types: construct-protected TraceEvent
+//! and registry-owned Metrics fields. Positions asserted in
+//! flow_fixtures.rs.
+
+pub fn forged_event() -> TraceEvent {
+    TraceEvent {
+        seq: 0,
+        at_us: 0,
+        parent: None,
+        kind: EventKind::Heal,
+    }
+}
+
+pub fn struct_definition_is_not_construction() {
+    struct TraceEvent {
+        seq: u64,
+    }
+}
+
+pub fn poke_registry(m: &mut Metrics) {
+    m.counters = BTreeMap::new();
+    m.histograms.clear();
+}
+
+pub fn reading_is_fine(m: &Metrics) -> usize {
+    m.counters.len()
+}

@@ -1,0 +1,88 @@
+//! L6 fixture: guard-before-mutation across CFG shapes. Known-bad and
+//! known-good paths, asserted by exact (line, col) in flow_fixtures.rs.
+
+pub fn guarded_all_paths(s: &mut Server, c: &Cfg, n: usize) {
+    if c.is_quorum(&s.acks) {
+        s.commit_len = n;
+    }
+}
+
+pub fn branch_skips_guard(s: &mut Server, c: &Cfg, n: usize) {
+    if fast_path(n) {
+        s.commit_len = n;
+    } else if c.is_quorum(&s.acks) {
+        s.commit_len = n;
+    }
+}
+
+fn check_r3(c: &Cfg, acks: &AckSet) -> bool {
+    c.is_quorum(acks)
+}
+
+fn half_hearted(c: &Cfg, acks: &AckSet, fast: bool) -> bool {
+    if fast {
+        true
+    } else {
+        c.is_quorum(acks)
+    }
+}
+
+pub fn via_guarding_helper(s: &mut Server, c: &Cfg, n: usize) {
+    if check_r3(c, &s.acks) {
+        s.commit_len = n;
+    }
+}
+
+pub fn via_partial_helper(s: &mut Server, c: &Cfg, n: usize) {
+    if half_hearted(c, &s.acks, true) {
+        s.commit_len = n;
+    }
+}
+
+pub fn match_arm_early_return(s: &mut Server, c: &Cfg, m: Msg, n: usize) {
+    match m {
+        Msg::Nack => return,
+        Msg::Ack => {
+            if !c.is_quorum(&s.acks) {
+                return;
+            }
+            s.commit_len = n;
+        }
+        Msg::Fast => {
+            s.commit_len = n;
+        }
+    }
+}
+
+pub fn guard_dominates_loop(s: &mut Server, c: &Cfg, items: &[usize]) {
+    if !c.is_quorum(&s.acks) {
+        return;
+    }
+    for n in items {
+        s.commit_len = *n;
+    }
+}
+
+pub fn guard_survives_question(s: &mut Server, c: &Cfg) -> Option<()> {
+    if !c.is_quorum(&s.acks) {
+        return None;
+    }
+    let n = c.quorum_len()?;
+    s.commit_len = n;
+    Some(())
+}
+
+pub fn join_loses_guard(s: &mut Server, c: &Cfg, n: usize, fast: bool) {
+    if fast {
+        prepare(s);
+    } else {
+        let _ok = c.is_quorum(&s.acks);
+    }
+    s.commit_len = n;
+}
+
+pub fn second_guard_counts(s: &mut Server, c: &Cfg, other: &Log) {
+    if log_up_to_date(other, &s.log) {
+        s.log = other.clone();
+    }
+}

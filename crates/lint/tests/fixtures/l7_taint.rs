@@ -1,0 +1,38 @@
+//! L7 fixture: nondeterminism taint flowing (or not) into protocol
+//! sink fields. Exact positions asserted in flow_fixtures.rs.
+
+pub fn direct_sink(s: &mut Server) {
+    s.commit_len = thread_rng().gen::<usize>();
+}
+
+pub fn rename_chain(s: &mut Server) {
+    let r = SystemTime::now();
+    let stamp = r;
+    s.times = stamp;
+}
+
+fn jitter() -> u64 {
+    Instant::now().elapsed().as_micros() as u64
+}
+
+pub fn helper_return(s: &mut Server) {
+    s.commit_len = jitter() as usize;
+}
+
+pub fn kill_by_reassign(s: &mut Server) {
+    let mut x = thread_rng().gen::<usize>();
+    x = 0;
+    s.commit_len = x;
+}
+
+pub fn branch_join_keeps_taint(s: &mut Server, fast: bool) {
+    let mut n = 0;
+    if fast {
+        n = thread_rng().gen::<usize>();
+    }
+    s.commit_len = n;
+}
+
+pub fn non_sink_field_is_fine(report: &mut Report) {
+    report.elapsed = Instant::now();
+}

@@ -1,0 +1,32 @@
+//! L8 fixture: discarded fallible results inside a recovery scope.
+//! Exact positions asserted in flow_fixtures.rs.
+
+fn parse_payload(bytes: &[u8]) -> Option<Rec> {
+    decode(bytes)
+}
+
+fn sync_mirror(state: &mut State) -> Result<(), WalError> {
+    state.mirror.refresh()
+}
+
+fn advance(state: &mut State) {
+    state.cursor += 1;
+}
+
+pub fn recover(state: &mut State) -> Result<(), WalError> {
+    let _ = parse_payload(&state.buf);
+    sync_mirror(state);
+    remote_sync(state);
+    advance(state);
+    let rec = parse_payload(&state.buf);
+    if let Some(r) = rec {
+        state.install(r);
+    }
+    sync_mirror(state)?;
+    sync_mirror(state)
+}
+
+pub fn unrelated(state: &mut State) {
+    let _ = parse_payload(&state.buf);
+    sync_mirror(state);
+}

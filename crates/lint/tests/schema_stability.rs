@@ -1,0 +1,62 @@
+//! Pins the `--format json` output byte-for-byte. Downstream tooling
+//! (CI annotations, the flow_table bench) parses this; any change to
+//! field names, field order, indentation, or the footer must show up
+//! here as a deliberate diff.
+
+use adore_lint::config::Config;
+use adore_lint::{lint_source, render_json, Report};
+
+fn pragma_line(rest: &str) -> String {
+    format!("// {} {rest}", concat!("adore-", "lint:"))
+}
+
+#[test]
+fn json_output_is_pinned_byte_for_byte() {
+    let cfg = Config {
+        l1_crates: vec!["crates/core".into()],
+        ..Config::default()
+    };
+    let src = format!(
+        "fn f() {{\n    let t = Instant::now(); {}\n    let m = HashMap::new();\n}}\n",
+        pragma_line(r#"allow(L1, reason = "timing \"display\" only")"#),
+    );
+    let findings = lint_source("crates/core/src/a.rs", &src, &cfg);
+    let report = Report {
+        findings,
+        files_scanned: 1,
+    };
+    let expected = concat!(
+        "{\n",
+        "  \"findings\": [\n",
+        "    {\"rule\": \"L1\", \"file\": \"crates/core/src/a.rs\", \"line\": 2, ",
+        "\"col\": 13, \"msg\": \"ambient clock `Instant::now` in a protocol crate\", ",
+        "\"suppressed\": true, \"reason\": \"timing \\\\\\\"display\\\\\\\" only\"},\n",
+        "    {\"rule\": \"L1\", \"file\": \"crates/core/src/a.rs\", \"line\": 3, ",
+        "\"col\": 13, \"msg\": \"hash-ordered collection `HashMap` in a protocol crate (use BTreeMap/BTreeSet)\", ",
+        "\"suppressed\": false}\n",
+        "  ],\n",
+        "  \"files_scanned\": 1,\n",
+        "  \"active\": 1,\n",
+        "  \"suppressed\": 1\n",
+        "}\n",
+    );
+    assert_eq!(render_json(&report), expected);
+}
+
+#[test]
+fn empty_report_json_is_pinned() {
+    let report = Report {
+        findings: Vec::new(),
+        files_scanned: 42,
+    };
+    let expected = concat!(
+        "{\n",
+        "  \"findings\": [\n",
+        "  ],\n",
+        "  \"files_scanned\": 42,\n",
+        "  \"active\": 0,\n",
+        "  \"suppressed\": 0\n",
+        "}\n",
+    );
+    assert_eq!(render_json(&report), expected);
+}

@@ -174,6 +174,7 @@ fn every_event_kind_round_trips_from_its_pinned_form() {
 
 #[test]
 fn the_trace_event_envelope_is_pinned() {
+    // adore-lint: allow(L3, reason = "schema pin must build raw envelopes to detect wire-format drift")
     let root = TraceEvent {
         seq: 0,
         at_us: 0,
@@ -184,6 +185,7 @@ fn the_trace_event_envelope_is_pinned() {
         serde_json::to_string(&root).unwrap(),
         r#"{"seq":0,"at_us":0,"parent":null,"kind":"Heal"}"#
     );
+    // adore-lint: allow(L3, reason = "schema pin must build raw envelopes to detect wire-format drift")
     let linked = TraceEvent {
         seq: 1,
         at_us: 250,
