@@ -70,4 +70,17 @@ cargo run -p adore-bench --bin obs_table --release --offline >/dev/null
 cargo run -q -p adore-obs --release --offline -- --audit target/obs/r3-sound.jsonl >/dev/null
 cargo run -q -p adore-obs --release --offline -- --audit target/obs/no-R3-ablated.jsonl >/dev/null
 
+# Networked-runtime gate: a real 3-process cluster on localhost TCP.
+# The smoke driver elects a leader, acknowledges writes, kill -9s the
+# leader mid-stream, verifies failover with zero acked-write loss and
+# zero duplicate session applies, restarts the corpse into its data
+# dir, and self-audits the merged journals. The standalone auditor then
+# re-certifies the same journals from scratch. `timeout` bounds the
+# gate against a hung cluster (the nodes also self-limit their runtime).
+echo "== adored smoke (3 nodes, kill -9 leader, audited) =="
+rm -rf target/adored-smoke
+timeout 150 cargo run -q -p adored --release --offline -- \
+    smoke --nodes 3 --seed 7 --dir target/adored-smoke
+cargo run -q -p adore-obs --release --offline -- --audit target/adored-smoke/merged.jsonl >/dev/null
+
 echo "ci: all green"

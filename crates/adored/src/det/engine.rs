@@ -1,0 +1,1218 @@
+//! The deterministic per-node protocol engine.
+//!
+//! The certified model ([`adore_raft::NetState`]) is *global*: all
+//! servers live in one struct and an acknowledgement is the synchronous
+//! return half of a delivery. A real cluster has no global struct, so
+//! this module decomposes the model into a per-node state machine with
+//! the acks reified as wire messages ([`PeerMsg::ElectAck`],
+//! [`PeerMsg::CommitAck`], [`PeerMsg::Nack`]). Every transition here
+//! mirrors a `NetState` rule; where this engine goes beyond the model
+//! (the no-op barrier on election win, Nack-driven step-down,
+//! heartbeat retransmission) the divergence is a liveness mechanism
+//! that leaves the safety-relevant state transitions identical.
+//!
+//! The engine is **pure** with respect to the outside world: it
+//! consumes [`Input`]s and returns [`Output`]s, touching no sockets, no
+//! clocks, and no filesystem. Time is an abstract tick stream; the only
+//! randomness is a seeded [`StdRng`] jittering election deadlines. The
+//! same input sequence therefore always produces the same output
+//! sequence — the runtime (`crate::node`) is a thin shell that feeds
+//! ticks and frames in and carries bytes, journal lines, and replies
+//! out. That boundary is what keeps the protocol state machine inside
+//! the `det` lint scope (L1/L7) while IO threads live at the edges.
+//!
+//! # Durability ordering
+//!
+//! Outputs are ordered so that obeying them sequentially preserves the
+//! write-ahead discipline: the journal delta and WAL persist come
+//! *before* any `Send` or `Reply`, so an acknowledgement never leaves
+//! the node before the state it acknowledges is on disk.
+
+use std::collections::BTreeMap;
+
+use adore_core::{Configuration, NodeId, NodeSet, ReconfigGuard, Timestamp};
+use adore_kv::{KvCommand, KvStore};
+use adore_obs::EventKind;
+use adore_raft::{effective_config, log_up_to_date, Command, Entry, Request, Role};
+use adore_schemes::SingleNode;
+use adore_storage::{DurableState, Wal, WalRecord};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::det::msg::{Cfg, ClientMsg, ClientReply, NetEntry, NetRequest, PeerMsg, SessionCmd};
+use crate::det::session::{SeqVerdict, SessionTable};
+
+/// Tunables of one engine. All times are abstract ticks; the runtime
+/// decides how long a tick is.
+#[derive(Debug, Clone)]
+pub struct EngineParams {
+    /// Leader re-broadcast (heartbeat) period in ticks. Doubles as the
+    /// retransmission schedule: a lost commit broadcast is repaired by
+    /// the next heartbeat, which always ships the full log.
+    pub heartbeat_ticks: u64,
+    /// Minimum election timeout in ticks.
+    pub election_ticks_min: u64,
+    /// Maximum election timeout in ticks (jittered per deadline).
+    pub election_ticks_max: u64,
+    /// Maximum client requests waiting for commit before the engine
+    /// sheds new ones as [`ClientReply::Overloaded`].
+    pub inflight_cap: usize,
+    /// Session dedup window in sequence numbers.
+    pub session_window: u64,
+    /// Maximum distinct client sessions retained.
+    pub session_clients: usize,
+}
+
+impl Default for EngineParams {
+    fn default() -> Self {
+        EngineParams {
+            heartbeat_ticks: 5,
+            election_ticks_min: 20,
+            election_ticks_max: 40,
+            inflight_cap: 64,
+            session_window: 128,
+            session_clients: 64,
+        }
+    }
+}
+
+/// Static identity and wiring of one engine, bundled so construction
+/// stays readable.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// This node.
+    pub nid: NodeId,
+    /// Every node the runtime can dial (the address book), self
+    /// included. Broadcasts go to all of them — including nodes outside
+    /// the effective configuration, which still replicate (they may be
+    /// re-added, and they must learn they were removed).
+    pub peers: NodeSet,
+    /// The genesis configuration.
+    pub conf0: Cfg,
+    /// Which of R1⁺/R2/R3 gate reconfiguration.
+    pub guard: ReconfigGuard,
+    /// Tunables.
+    pub params: EngineParams,
+    /// Seed for the election-jitter generator (mix the node id in so
+    /// replicas sharing a cluster seed still desynchronize).
+    pub seed: u64,
+}
+
+/// One event fed into the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// One abstract clock tick.
+    Tick,
+    /// A message from a cluster peer.
+    Peer(PeerMsg),
+    /// A request from a client connection (`conn` is the runtime's
+    /// handle for routing the eventual reply).
+    Client {
+        /// Runtime connection handle.
+        conn: u64,
+        /// The request.
+        msg: ClientMsg,
+    },
+    /// A client connection went away; its pending replies are dropped.
+    ClientGone {
+        /// Runtime connection handle.
+        conn: u64,
+    },
+}
+
+/// One effect the runtime must carry out, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Output {
+    /// Append these bytes to the node's WAL file and flush before
+    /// acting on any later output of this batch (the write-ahead rule).
+    Persist {
+        /// Newly synced device bytes (suffix of the WAL image).
+        bytes: Vec<u8>,
+    },
+    /// Append this event to the node's journal.
+    Journal(EventKind),
+    /// Send this message to peer `to` (best-effort; the protocol
+    /// retransmits via heartbeats).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: PeerMsg,
+    },
+    /// Reply on client connection `conn`.
+    Reply {
+        /// Runtime connection handle.
+        conn: u64,
+        /// The reply.
+        reply: ClientReply,
+    },
+}
+
+/// A client request waiting for its log entry to commit.
+#[derive(Debug, Clone)]
+struct Waiter {
+    conn: u64,
+    seq: u64,
+    /// 1-based log length that must be committed to acknowledge.
+    len: usize,
+    /// Whether this ack deduplicates a retry.
+    duplicate: bool,
+}
+
+/// Effects accumulated while handling one input.
+#[derive(Debug, Default)]
+struct Step {
+    term: Option<u64>,
+    truncate: Option<u64>,
+    append: Vec<String>,
+    commit_len: Option<u64>,
+    records: Vec<WalRecord<Cfg, SessionCmd>>,
+    events: Vec<EventKind>,
+    sends: Vec<(NodeId, PeerMsg)>,
+    replies: Vec<(u64, ClientReply)>,
+}
+
+impl Step {
+    fn has_delta(&self) -> bool {
+        self.term.is_some()
+            || self.truncate.is_some()
+            || !self.append.is_empty()
+            || self.commit_len.is_some()
+    }
+}
+
+/// The per-node deterministic protocol engine. See the module docs.
+#[derive(Debug)]
+pub struct Engine {
+    nid: NodeId,
+    peers: NodeSet,
+    conf0: Cfg,
+    guard: ReconfigGuard,
+    params: EngineParams,
+
+    time: Timestamp,
+    log: Vec<NetEntry>,
+    commit_len: usize,
+    role: Role,
+    votes: NodeSet,
+    acks: BTreeMap<usize, NodeSet>,
+    abstaining: bool,
+
+    sessions: SessionTable,
+    waiters: Vec<Waiter>,
+    leader_hint: Option<NodeId>,
+    applied: KvStore,
+
+    wal: Wal<Cfg, SessionCmd>,
+    /// Device bytes already handed to the runtime via `Persist`.
+    persisted: usize,
+
+    ticks: u64,
+    election_deadline: u64,
+    next_heartbeat: u64,
+    rng: StdRng,
+}
+
+impl Engine {
+    /// Builds an engine over a recovered durable state and its WAL.
+    /// `abstaining` is sticky: a replica that lost its media must never
+    /// vote again (it has forgotten promises), though it still
+    /// replicates.
+    #[must_use]
+    pub fn new(
+        cfg: EngineConfig,
+        wal: Wal<Cfg, SessionCmd>,
+        state: DurableState<Cfg, SessionCmd>,
+        abstaining: bool,
+    ) -> Self {
+        let mut sessions =
+            SessionTable::new(cfg.params.session_window, cfg.params.session_clients);
+        rebuild_sessions(&mut sessions, &state.log);
+        let mut applied = KvStore::new();
+        apply_prefix(&mut applied, &state.log[..state.commit_len.min(state.log.len())]);
+        let persisted = wal.disk().synced_bytes().len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ u64::from(cfg.nid.0));
+        let election_deadline =
+            rng.gen_range(cfg.params.election_ticks_min..=cfg.params.election_ticks_max);
+        Engine {
+            nid: cfg.nid,
+            peers: cfg.peers,
+            conf0: cfg.conf0,
+            guard: cfg.guard,
+            params: cfg.params,
+            time: state.time,
+            log: state.log,
+            commit_len: state.commit_len,
+            role: Role::Follower,
+            votes: NodeSet::new(),
+            acks: BTreeMap::new(),
+            abstaining,
+            sessions,
+            waiters: Vec::new(),
+            leader_hint: None,
+            applied,
+            wal,
+            persisted,
+            ticks: 0,
+            election_deadline,
+            next_heartbeat: 0,
+            rng,
+        }
+    }
+
+    /// Feeds one input through the state machine and returns the
+    /// effects, in the order the runtime must honor them.
+    pub fn step(&mut self, input: Input) -> Vec<Output> {
+        let mut st = Step::default();
+        match input {
+            Input::Tick => self.on_tick(&mut st),
+            Input::Peer(msg) => self.on_peer(&mut st, msg),
+            Input::Client { conn, msg } => self.on_client(&mut st, conn, msg),
+            Input::ClientGone { conn } => self.waiters.retain(|w| w.conn != conn),
+        }
+        self.finish(st)
+    }
+
+    // ---- timers ---------------------------------------------------------
+
+    fn on_tick(&mut self, st: &mut Step) {
+        self.ticks += 1;
+        if self.role == Role::Leader {
+            if self.ticks >= self.next_heartbeat {
+                self.next_heartbeat = self.ticks + self.params.heartbeat_ticks;
+                self.broadcast_commit(st);
+            }
+        } else if self.ticks >= self.election_deadline {
+            self.start_election(st);
+        }
+    }
+
+    fn reset_election_deadline(&mut self) {
+        let span = self.params.election_ticks_min..=self.params.election_ticks_max;
+        self.election_deadline = self.ticks + self.rng.gen_range(span);
+    }
+
+    /// Mirrors `NetState::elect`: non-members and abstainers do not
+    /// campaign; a campaign adopts a fresh term, votes for itself, and
+    /// broadcasts its log for the up-to-dateness check.
+    fn start_election(&mut self, st: &mut Step) {
+        self.reset_election_deadline();
+        if self.abstaining
+            || !effective_config(&self.conf0, &self.log)
+                .members()
+                .contains(&self.nid)
+        {
+            return;
+        }
+        self.adopt_time(st, self.time.next());
+        self.role = Role::Candidate;
+        self.votes = std::iter::once(self.nid).collect();
+        self.acks.clear();
+        let req: NetRequest = Request::Elect {
+            from: self.nid,
+            time: self.time,
+            log: self.log.clone(),
+        };
+        self.broadcast(st, &req);
+        self.maybe_win(st);
+    }
+
+    // ---- peer protocol --------------------------------------------------
+
+    fn on_peer(&mut self, st: &mut Step, msg: PeerMsg) {
+        match msg {
+            PeerMsg::Req(Request::Elect { from, time, log }) => {
+                self.on_elect(st, from, time, &log);
+            }
+            PeerMsg::Req(Request::Commit {
+                from,
+                time,
+                log,
+                commit_len,
+            }) => self.on_commit(st, from, time, log, commit_len),
+            PeerMsg::ElectAck { from, time } => {
+                if self.role == Role::Candidate && self.time.0 == time {
+                    self.votes.insert(NodeId(from));
+                    self.maybe_win(st);
+                }
+            }
+            PeerMsg::CommitAck { from, time, len } => {
+                if self.role == Role::Leader && self.time.0 == time {
+                    let len = len as usize;
+                    self.acks.entry(len).or_default().insert(NodeId(from));
+                    self.maybe_advance_commit(st, len);
+                }
+            }
+            PeerMsg::Nack { from: _, time } => {
+                // A peer at a higher term: adopt it and step down. This
+                // is how a zombie leader (deposed during a partition)
+                // retires instead of disrupting the new term.
+                if time > self.time.0 {
+                    self.adopt_time(st, Timestamp(time));
+                    self.step_down(st);
+                    self.leader_hint = None;
+                    self.reset_election_deadline();
+                }
+            }
+        }
+    }
+
+    /// Mirrors the model's `Elect` delivery. Rejections follow the
+    /// model's visibility: a stale-term candidacy gets a `Nack` (the
+    /// reified ack return path), an outdated log is rejected *silently*
+    /// — no term adoption, so a removed node with a long-stale log
+    /// cannot disrupt the cluster by campaigning (disruption-freedom).
+    fn on_elect(&mut self, st: &mut Step, from: NodeId, time: Timestamp, log: &[NetEntry]) {
+        if self.abstaining {
+            return;
+        }
+        if time <= self.time {
+            st.sends.push((
+                from,
+                PeerMsg::Nack {
+                    from: self.nid.0,
+                    time: self.time.0,
+                },
+            ));
+            return;
+        }
+        if !log_up_to_date(log, &self.log) {
+            return;
+        }
+        self.adopt_time(st, time);
+        self.step_down(st);
+        self.leader_hint = None;
+        self.reset_election_deadline();
+        st.sends.push((
+            from,
+            PeerMsg::ElectAck {
+                from: self.nid.0,
+                time: time.0,
+            },
+        ));
+    }
+
+    /// Mirrors the model's `Commit` delivery: adopt the shipped log if
+    /// it is at least as up-to-date, advance the watermark, ack. The
+    /// `CommitAck` leaves this node only after the `Persist` output —
+    /// the durability the ack claims is real by the time it is sent.
+    fn on_commit(
+        &mut self,
+        st: &mut Step,
+        from: NodeId,
+        time: Timestamp,
+        log: Vec<NetEntry>,
+        req_commit: usize,
+    ) {
+        if time < self.time {
+            st.sends.push((
+                from,
+                PeerMsg::Nack {
+                    from: self.nid.0,
+                    time: self.time.0,
+                },
+            ));
+            return;
+        }
+        if !log_up_to_date(&log, &self.log) {
+            // A leader's earlier, shorter broadcast arriving late must
+            // not truncate newer entries; its next heartbeat supersedes.
+            return;
+        }
+        if time > self.time {
+            self.adopt_time(st, time);
+        }
+        if from != self.nid {
+            self.step_down(st);
+        }
+        self.leader_hint = Some(from);
+        self.reset_election_deadline();
+        self.adopt_log(st, log);
+        let len = self.log.len();
+        let target = self.commit_len.max(req_commit.min(len));
+        if target > self.commit_len {
+            self.advance_commit(st, target);
+        }
+        st.sends.push((
+            from,
+            PeerMsg::CommitAck {
+                from: self.nid.0,
+                time: time.0,
+                len: len as u64,
+            },
+        ));
+    }
+
+    /// Mirrors `NetState::maybe_win`, plus the no-op barrier: a fresh
+    /// leader appends an entry of its own term immediately, so the
+    /// current-term commit rule is satisfiable without client traffic
+    /// and earlier-term entries commit as soon as the barrier does.
+    fn maybe_win(&mut self, st: &mut Step) {
+        if self.role != Role::Candidate {
+            return;
+        }
+        let config = effective_config(&self.conf0, &self.log);
+        if !config.is_quorum(&self.votes) {
+            return;
+        }
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.nid);
+        self.next_heartbeat = self.ticks + self.params.heartbeat_ticks;
+        st.events.push(EventKind::LeaderElected {
+            nid: self.nid.0,
+            term: self.time.0,
+        });
+        self.push_entry(
+            st,
+            Entry {
+                time: self.time,
+                cmd: Command::Method(SessionCmd::noop()),
+            },
+        );
+        self.broadcast_commit(st);
+    }
+
+    /// Mirrors `NetState::commit`: requires the log to end with an
+    /// own-term entry (guaranteed by the barrier), self-acks, and
+    /// broadcasts the full log.
+    fn broadcast_commit(&mut self, st: &mut Step) {
+        if self.role != Role::Leader {
+            return;
+        }
+        if self.log.last().map(|e| e.time) != Some(self.time) {
+            return;
+        }
+        let len = self.log.len();
+        self.acks.entry(len).or_default().insert(self.nid);
+        let req: NetRequest = Request::Commit {
+            from: self.nid,
+            time: self.time,
+            log: self.log.clone(),
+            commit_len: self.commit_len,
+        };
+        self.broadcast(st, &req);
+        self.maybe_advance_commit(st, len);
+    }
+
+    /// Mirrors `NetState::maybe_advance_commit`: quorum per the
+    /// configuration effective at the acked prefix.
+    fn maybe_advance_commit(&mut self, st: &mut Step, len: usize) {
+        if self.role != Role::Leader {
+            return;
+        }
+        let Some(ackers) = self.acks.get(&len) else {
+            return;
+        };
+        let prefix = self.log.get(..len.min(self.log.len())).unwrap_or(&[]);
+        let config = effective_config(&self.conf0, prefix);
+        if config.is_quorum(ackers) && len > self.commit_len {
+            self.advance_commit(st, len);
+        }
+    }
+
+    // ---- client protocol ------------------------------------------------
+
+    fn on_client(&mut self, st: &mut Step, conn: u64, msg: ClientMsg) {
+        match msg {
+            ClientMsg::Status => {
+                let members = effective_config(&self.conf0, &self.log)
+                    .members()
+                    .iter()
+                    .map(|n| n.0)
+                    .collect();
+                st.replies.push((
+                    conn,
+                    ClientReply::Status {
+                        nid: self.nid.0,
+                        role: role_name(self.role).to_string(),
+                        term: self.time.0,
+                        log_len: self.log.len() as u64,
+                        commit_len: self.commit_len as u64,
+                        leader: self.leader_hint.map(|n| n.0),
+                        members,
+                    },
+                ));
+            }
+            ClientMsg::Get { key } => {
+                if self.role != Role::Leader {
+                    st.replies.push((conn, self.redirect()));
+                    return;
+                }
+                let value = self.applied.get(&key).map(str::to_string);
+                st.replies.push((conn, ClientReply::Value { key, value }));
+            }
+            ClientMsg::Put {
+                client,
+                seq,
+                key,
+                value,
+            } => {
+                if self.role != Role::Leader {
+                    st.replies.push((conn, self.redirect()));
+                    return;
+                }
+                if !self.admit(st, conn, client, seq) {
+                    return;
+                }
+                self.push_entry(
+                    st,
+                    Entry {
+                        time: self.time,
+                        cmd: Command::Method(SessionCmd {
+                            client,
+                            seq,
+                            op: Some(KvCommand::put(key, value)),
+                        }),
+                    },
+                );
+                self.waiters.push(Waiter {
+                    conn,
+                    seq,
+                    len: self.log.len(),
+                    duplicate: false,
+                });
+                self.broadcast_commit(st);
+            }
+            ClientMsg::Reconfigure {
+                client,
+                seq,
+                members,
+            } => {
+                if self.role != Role::Leader {
+                    st.replies.push((conn, self.redirect()));
+                    return;
+                }
+                if !self.admit(st, conn, client, seq) {
+                    return;
+                }
+                if let Some(reason) = self.reconfig_rejection(&members) {
+                    st.replies.push((conn, ClientReply::Rejected { reason }));
+                    return;
+                }
+                self.push_entry(
+                    st,
+                    Entry {
+                        time: self.time,
+                        cmd: Command::Config(SingleNode::new(members)),
+                    },
+                );
+                // Config entries carry no session envelope, so their
+                // dedup record is volatile (lost on a log rebuild). That
+                // is sound: re-appending the same membership is
+                // idempotent and R1⁺ admits the no-change transition.
+                self.sessions.record(client, seq, self.log.len() as u64);
+                self.waiters.push(Waiter {
+                    conn,
+                    seq,
+                    len: self.log.len(),
+                    duplicate: false,
+                });
+                self.broadcast_commit(st);
+            }
+        }
+    }
+
+    /// Session admission for a leader-side write: replies and returns
+    /// `false` for duplicates, stale seqs, and overload; returns `true`
+    /// when the caller should append.
+    fn admit(&mut self, st: &mut Step, conn: u64, client: u64, seq: u64) -> bool {
+        match self.sessions.check(client, seq) {
+            SeqVerdict::Duplicate { len } => {
+                let len = len as usize;
+                if len <= self.commit_len {
+                    st.replies.push((
+                        conn,
+                        ClientReply::Acked {
+                            seq,
+                            duplicate: true,
+                        },
+                    ));
+                } else {
+                    // Appended but not yet committed: acknowledge when
+                    // the original commits, without re-appending.
+                    self.waiters.push(Waiter {
+                        conn,
+                        seq,
+                        len,
+                        duplicate: true,
+                    });
+                }
+                false
+            }
+            SeqVerdict::Stale { floor } => {
+                st.replies.push((conn, ClientReply::SessionStale { floor }));
+                false
+            }
+            SeqVerdict::Fresh => {
+                if self.waiters.len() >= self.params.inflight_cap {
+                    st.replies.push((conn, ClientReply::Overloaded));
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// The R1⁺/R2/R3 guard, verbatim from `NetState::reconfig`, as a
+    /// rejection reason (`None` = admitted).
+    fn reconfig_rejection(&self, members: &[u32]) -> Option<String> {
+        let next = SingleNode::new(members.iter().copied());
+        let current = effective_config(&self.conf0, &self.log);
+        if self.guard.r1 && !current.r1_plus(&next) {
+            return Some("R1+: membership may change by at most one node".to_string());
+        }
+        if self.guard.r2
+            && self.log[self.commit_len..]
+                .iter()
+                .any(|e| e.cmd.config().is_some())
+        {
+            return Some("R2: an uncommitted config entry is already in flight".to_string());
+        }
+        if self.guard.r3 && !self.log[..self.commit_len].iter().any(|e| e.time == self.time) {
+            return Some("R3: no entry of the current term is committed yet".to_string());
+        }
+        None
+    }
+
+    fn redirect(&self) -> ClientReply {
+        ClientReply::Redirect {
+            leader: self.leader_hint.filter(|n| *n != self.nid).map(|n| n.0),
+        }
+    }
+
+    // ---- mutation helpers (each journals + persists what it changes) ----
+
+    fn adopt_time(&mut self, st: &mut Step, t: Timestamp) {
+        self.time = t;
+        st.term = Some(t.0);
+        st.records.push(WalRecord::Term { time: t.0 });
+    }
+
+    fn push_entry(&mut self, st: &mut Step, e: NetEntry) {
+        st.append
+            .push(serde_json::to_string(&e).expect("entries serialize"));
+        st.records.push(WalRecord::Append { entry: e.clone() });
+        if let Command::Method(sc) = &e.cmd {
+            if sc.client != 0 {
+                self.sessions.record(sc.client, sc.seq, (self.log.len() + 1) as u64);
+            }
+        }
+        self.log.push(e);
+    }
+
+    /// Installs a shipped log that passed `log_up_to_date`: truncates
+    /// the divergent suffix (rebuilding the session index, whose
+    /// entries above the cut are gone) and appends the rest.
+    fn adopt_log(&mut self, st: &mut Step, new_log: Vec<NetEntry>) {
+        let common = self
+            .log
+            .iter()
+            .zip(new_log.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        if common < self.log.len() {
+            self.log.truncate(common);
+            st.truncate = Some(common as u64);
+            st.records.push(WalRecord::Truncate {
+                len: common as u64,
+            });
+            self.sessions.clear();
+            rebuild_sessions(&mut self.sessions, &self.log);
+        }
+        for e in new_log.into_iter().skip(common) {
+            self.push_entry(st, e);
+        }
+    }
+
+    /// Advances the watermark to `target` (never backwards), applying
+    /// the newly committed entries and releasing their waiters.
+    fn advance_commit(&mut self, st: &mut Step, target: usize) {
+        let target = target.min(self.log.len());
+        for e in &self.log[self.commit_len.min(target)..target] {
+            match &e.cmd {
+                Command::Method(sc) => {
+                    if let Some(op) = &sc.op {
+                        self.applied.apply(op);
+                    }
+                }
+                Command::Config(c) => st.events.push(EventKind::ReconfigCommitted {
+                    nid: self.nid.0,
+                    members: c.members().iter().map(|n| n.0).collect(),
+                }),
+            }
+        }
+        self.commit_len = target;
+        st.commit_len = Some(target as u64);
+        st.records.push(WalRecord::CommitLen {
+            len: target as u64,
+        });
+        let mut kept = Vec::with_capacity(self.waiters.len());
+        for w in self.waiters.drain(..) {
+            if w.len <= target {
+                st.replies.push((
+                    w.conn,
+                    ClientReply::Acked {
+                        seq: w.seq,
+                        duplicate: w.duplicate,
+                    },
+                ));
+            } else {
+                kept.push(w);
+            }
+        }
+        self.waiters = kept;
+    }
+
+    /// Leaves leadership/candidacy; pending client requests are
+    /// redirected (graceful degradation, not silence: the client learns
+    /// immediately instead of timing out).
+    fn step_down(&mut self, st: &mut Step) {
+        if self.role == Role::Follower {
+            return;
+        }
+        self.role = Role::Follower;
+        self.votes.clear();
+        self.acks.clear();
+        let redirect = self.redirect();
+        for w in self.waiters.drain(..) {
+            st.replies.push((w.conn, redirect.clone()));
+        }
+    }
+
+    fn broadcast(&self, st: &mut Step, req: &NetRequest) {
+        for peer in &self.peers {
+            if *peer != self.nid {
+                st.sends.push((*peer, PeerMsg::Req(req.clone())));
+            }
+        }
+    }
+
+    /// Orders a step's effects for the runtime: journal delta, WAL
+    /// persist, sync marker, protocol events, then sends and replies —
+    /// so nothing leaves the node before its durable basis.
+    fn finish(&mut self, st: Step) -> Vec<Output> {
+        let mut out = Vec::new();
+        if st.has_delta() {
+            out.push(Output::Journal(EventKind::StateDelta {
+                nid: self.nid.0,
+                term: st.term,
+                truncate: st.truncate,
+                append: st.append,
+                commit_len: st.commit_len,
+            }));
+        }
+        if !st.records.is_empty() {
+            for rec in &st.records {
+                self.wal.append(rec);
+            }
+            self.wal.sync();
+            let synced = self.wal.disk().synced_bytes();
+            let bytes = synced[self.persisted.min(synced.len())..].to_vec();
+            self.persisted = synced.len();
+            out.push(Output::Persist { bytes });
+            out.push(Output::Journal(EventKind::WalSync { nid: self.nid.0 }));
+        }
+        out.extend(st.events.into_iter().map(Output::Journal));
+        out.extend(
+            st.sends
+                .into_iter()
+                .map(|(to, msg)| Output::Send { to, msg }),
+        );
+        out.extend(
+            st.replies
+                .into_iter()
+                .map(|(conn, reply)| Output::Reply { conn, reply }),
+        );
+        out
+    }
+
+    // ---- accessors ------------------------------------------------------
+
+    /// This node's id.
+    #[must_use]
+    pub fn nid(&self) -> NodeId {
+        self.nid
+    }
+
+    /// Current role.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Current term.
+    #[must_use]
+    pub fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// Log length.
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Commit watermark.
+    #[must_use]
+    pub fn commit_len(&self) -> usize {
+        self.commit_len
+    }
+
+    /// Best current guess at the leader.
+    #[must_use]
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.leader_hint
+    }
+
+    /// Members of the effective configuration.
+    #[must_use]
+    pub fn members(&self) -> NodeSet {
+        effective_config(&self.conf0, &self.log).members()
+    }
+
+    /// A committed value, from the applied store.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.applied.get(key)
+    }
+}
+
+fn role_name(role: Role) -> &'static str {
+    match role {
+        Role::Follower => "follower",
+        Role::Candidate => "candidate",
+        Role::Leader => "leader",
+    }
+}
+
+/// Rebuilds the session index from a log: every non-noop method entry
+/// contributes its `(client, seq)` at its 1-based position.
+fn rebuild_sessions(sessions: &mut SessionTable, log: &[NetEntry]) {
+    for (i, e) in log.iter().enumerate() {
+        if let Command::Method(sc) = &e.cmd {
+            if sc.client != 0 {
+                sessions.record(sc.client, sc.seq, (i + 1) as u64);
+            }
+        }
+    }
+}
+
+/// Applies the committed prefix to a store.
+fn apply_prefix(store: &mut KvStore, prefix: &[NetEntry]) {
+    for e in prefix {
+        if let Command::Method(sc) = &e.cmd {
+            if let Some(op) = &sc.op {
+                store.apply(op);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    fn fresh(nid: u32, members: &[u32], params: EngineParams) -> Engine {
+        let cfg = EngineConfig {
+            nid: NodeId(nid),
+            peers: members.iter().map(|n| NodeId(*n)).collect(),
+            conf0: SingleNode::new(members.iter().copied()),
+            guard: ReconfigGuard::all(),
+            params,
+            seed: 42,
+        };
+        let wal = Wal::new(NodeId(nid));
+        Engine::new(cfg, wal, DurableState::default(), false)
+    }
+
+    /// Routes `Send` outputs between engines until quiescent, returning
+    /// every client reply seen.
+    fn pump(
+        engines: &mut BTreeMap<u32, Engine>,
+        seed_outputs: Vec<Output>,
+    ) -> Vec<(u64, ClientReply)> {
+        let mut queue: VecDeque<(u32, PeerMsg)> = VecDeque::new();
+        let mut replies = Vec::new();
+        let absorb = |outs: Vec<Output>,
+                          queue: &mut VecDeque<(u32, PeerMsg)>,
+                          replies: &mut Vec<(u64, ClientReply)>| {
+            for o in outs {
+                match o {
+                    Output::Send { to, msg } => queue.push_back((to.0, msg)),
+                    Output::Reply { conn, reply } => replies.push((conn, reply)),
+                    Output::Persist { .. } | Output::Journal(_) => {}
+                }
+            }
+        };
+        absorb(seed_outputs, &mut queue, &mut replies);
+        while let Some((to, msg)) = queue.pop_front() {
+            if let Some(engine) = engines.get_mut(&to) {
+                let outs = engine.step(Input::Peer(msg));
+                absorb(outs, &mut queue, &mut replies);
+            }
+        }
+        replies
+    }
+
+    /// Ticks node 1 past its deadline so it campaigns, with the full
+    /// message exchange routed between all three engines.
+    fn elect_node_one(engines: &mut BTreeMap<u32, Engine>) {
+        for _ in 0..EngineParams::default().election_ticks_max + 1 {
+            let outs = engines.get_mut(&1).unwrap().step(Input::Tick);
+            pump(engines, outs);
+            if engines[&1].role() == Role::Leader {
+                return;
+            }
+        }
+        panic!("node 1 failed to win its election");
+    }
+
+    fn three() -> BTreeMap<u32, Engine> {
+        [1, 2, 3]
+            .into_iter()
+            .map(|n| (n, fresh(n, &[1, 2, 3], EngineParams::default())))
+            .collect()
+    }
+
+    #[test]
+    fn three_engines_elect_replicate_and_commit() {
+        let mut engines = three();
+        elect_node_one(&mut engines);
+        // The no-op barrier commits across the quorum.
+        assert_eq!(engines[&1].commit_len(), 1);
+
+        let outs = engines.get_mut(&1).unwrap().step(Input::Client {
+            conn: 7,
+            msg: ClientMsg::Put {
+                client: 9,
+                seq: 1,
+                key: "k".into(),
+                value: "v".into(),
+            },
+        });
+        let replies = pump(&mut engines, outs);
+        assert_eq!(
+            replies,
+            vec![(
+                7,
+                ClientReply::Acked {
+                    seq: 1,
+                    duplicate: false
+                }
+            )]
+        );
+        assert_eq!(engines[&1].get("k"), Some("v"));
+        // Followers learn the advanced watermark on the next heartbeat.
+        for _ in 0..EngineParams::default().heartbeat_ticks + 1 {
+            let outs = engines.get_mut(&1).unwrap().step(Input::Tick);
+            pump(&mut engines, outs);
+        }
+        for n in [2, 3] {
+            assert_eq!(engines[&n].log_len(), 2);
+            assert_eq!(engines[&n].commit_len(), 2);
+        }
+    }
+
+    #[test]
+    fn retried_put_is_acked_but_applied_once() {
+        let mut engines = three();
+        elect_node_one(&mut engines);
+        let put = ClientMsg::Put {
+            client: 9,
+            seq: 1,
+            key: "k".into(),
+            value: "v".into(),
+        };
+        let outs = engines.get_mut(&1).unwrap().step(Input::Client {
+            conn: 1,
+            msg: put.clone(),
+        });
+        pump(&mut engines, outs);
+        let len_before = engines[&1].log_len();
+        // The retry: same (client, seq), acknowledged as a duplicate,
+        // nothing re-appended.
+        let outs = engines.get_mut(&1).unwrap().step(Input::Client {
+            conn: 2,
+            msg: put,
+        });
+        let replies = pump(&mut engines, outs);
+        assert_eq!(
+            replies,
+            vec![(
+                2,
+                ClientReply::Acked {
+                    seq: 1,
+                    duplicate: true
+                }
+            )]
+        );
+        assert_eq!(engines[&1].log_len(), len_before);
+    }
+
+    #[test]
+    fn followers_redirect_clients_to_the_leader() {
+        let mut engines = three();
+        elect_node_one(&mut engines);
+        let outs = engines.get_mut(&2).unwrap().step(Input::Client {
+            conn: 5,
+            msg: ClientMsg::Get { key: "k".into() },
+        });
+        assert_eq!(
+            outs,
+            vec![Output::Reply {
+                conn: 5,
+                reply: ClientReply::Redirect { leader: Some(1) }
+            }]
+        );
+    }
+
+    #[test]
+    fn bounded_inflight_sheds_overload() {
+        // A leader whose peers never answer: waiters pile up.
+        let params = EngineParams {
+            inflight_cap: 2,
+            ..EngineParams::default()
+        };
+        let mut leader = fresh(1, &[1, 2, 3], params);
+        // Campaign; votes never arrive, so force the win via a second
+        // engine voting.
+        let mut engines: BTreeMap<u32, Engine> =
+            [(1, leader)].into_iter().collect();
+        let mut voter = fresh(2, &[1, 2, 3], EngineParams::default());
+        for _ in 0..41 {
+            let outs = engines.get_mut(&1).unwrap().step(Input::Tick);
+            for o in outs {
+                if let Output::Send { to, msg } = o {
+                    if to == NodeId(2) {
+                        for v in voter.step(Input::Peer(msg)) {
+                            if let Output::Send { to, msg } = v {
+                                if to == NodeId(1) {
+                                    engines.get_mut(&1).unwrap().step(Input::Peer(msg));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if engines[&1].role() == Role::Leader {
+                break;
+            }
+        }
+        leader = engines.remove(&1).unwrap();
+        assert_eq!(leader.role(), Role::Leader);
+        // Node 2's ack committed the barrier; further acks are dropped
+        // on the floor from here, so puts stay in flight.
+        for (seq, conn) in [(1u64, 1u64), (2, 2)] {
+            let outs = leader.step(Input::Client {
+                conn,
+                msg: ClientMsg::Put {
+                    client: 4,
+                    seq,
+                    key: format!("k{seq}"),
+                    value: "v".into(),
+                },
+            });
+            assert!(
+                !outs
+                    .iter()
+                    .any(|o| matches!(o, Output::Reply { .. })),
+                "put {seq} should be in flight, not answered"
+            );
+        }
+        let outs = leader.step(Input::Client {
+            conn: 3,
+            msg: ClientMsg::Put {
+                client: 4,
+                seq: 3,
+                key: "k3".into(),
+                value: "v".into(),
+            },
+        });
+        assert!(outs.contains(&Output::Reply {
+            conn: 3,
+            reply: ClientReply::Overloaded
+        }));
+    }
+
+    #[test]
+    fn nack_retires_a_zombie_leader() {
+        let mut engines = three();
+        elect_node_one(&mut engines);
+        let leader = engines.get_mut(&1).unwrap();
+        assert_eq!(leader.role(), Role::Leader);
+        let term = leader.time().0;
+        let outs = leader.step(Input::Peer(PeerMsg::Nack {
+            from: 3,
+            time: term + 5,
+        }));
+        assert_eq!(leader.role(), Role::Follower);
+        assert_eq!(leader.time().0, term + 5);
+        // The step-down journaled and persisted the adopted term.
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, Output::Persist { .. })));
+    }
+
+    #[test]
+    fn identical_inputs_yield_identical_outputs() {
+        let script = |engine: &mut Engine| {
+            let mut all = Vec::new();
+            for _ in 0..60 {
+                all.extend(engine.step(Input::Tick));
+            }
+            all.extend(engine.step(Input::Client {
+                conn: 1,
+                msg: ClientMsg::Status,
+            }));
+            all
+        };
+        let mut a = fresh(1, &[1, 2, 3], EngineParams::default());
+        let mut b = fresh(1, &[1, 2, 3], EngineParams::default());
+        assert_eq!(script(&mut a), script(&mut b));
+    }
+
+    #[test]
+    fn reconfiguration_commits_and_takes_effect() {
+        let mut engines = three();
+        elect_node_one(&mut engines);
+        // R3 needs a committed own-term entry: the barrier already is.
+        let outs = engines.get_mut(&1).unwrap().step(Input::Client {
+            conn: 1,
+            msg: ClientMsg::Reconfigure {
+                client: 2,
+                seq: 1,
+                members: vec![1, 2],
+            },
+        });
+        let replies = pump(&mut engines, outs);
+        assert_eq!(
+            replies,
+            vec![(
+                1,
+                ClientReply::Acked {
+                    seq: 1,
+                    duplicate: false
+                }
+            )]
+        );
+        let members: Vec<u32> = engines[&1].members().iter().map(|n| n.0).collect();
+        assert_eq!(members, vec![1, 2]);
+        // R1+ rejects a two-node jump from {1,2}.
+        let outs = engines.get_mut(&1).unwrap().step(Input::Client {
+            conn: 1,
+            msg: ClientMsg::Reconfigure {
+                client: 2,
+                seq: 2,
+                members: vec![3, 4],
+            },
+        });
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Reply {
+                reply: ClientReply::Rejected { .. },
+                ..
+            }
+        )));
+    }
+}

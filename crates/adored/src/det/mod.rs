@@ -1,0 +1,12 @@
+//! The deterministic half of `adored`: everything that decides *what*
+//! the node does, with no sockets, clocks, or filesystem in reach.
+//!
+//! The runtime (`crate::node`) owns the IO threads and feeds this layer
+//! through a channel; the lint scopes (L1 determinism, L7 taint) cover
+//! exactly this directory, certifying that the protocol state machine
+//! stays replayable even though the process around it is not.
+
+pub mod engine;
+pub mod msg;
+pub mod session;
+pub mod wire;

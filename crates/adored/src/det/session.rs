@@ -1,0 +1,178 @@
+//! Exactly-once client sessions: the server-side dedup window.
+//!
+//! Every client write carries a `(client, seq)` pair that is replicated
+//! *inside* the log entry, so the table here is a pure index over the
+//! log: any leader — including one elected mid-retry — rebuilds it from
+//! its own log and reaches the same verdicts. A retried write is
+//! therefore acknowledged again but applied at most once, across
+//! leader changes and process restarts.
+//!
+//! Window semantics (the exact verdicts the edge-case tests pin down):
+//!
+//! - A seq recorded and still inside the window → [`SeqVerdict::Duplicate`].
+//! - A seq at or below the session's `floor` → [`SeqVerdict::Stale`]:
+//!   the table can no longer decide whether it was applied, so it
+//!   refuses rather than risk a double apply. The floor trails the
+//!   highest recorded seq by the window size, so a seq *regression*
+//!   (a client restarting its counter, or a wrapped counter landing
+//!   low) is `Stale`, never silently fresh.
+//! - Anything else → [`SeqVerdict::Fresh`].
+//!
+//! The table is bounded on both axes: per-client state is capped by the
+//! window (floor advance evicts old seqs) and the client count is
+//! capped with deterministic least-recently-used eviction.
+
+use std::collections::BTreeMap;
+
+/// The dedup verdict for one `(client, seq)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqVerdict {
+    /// Never seen and inside the window: append and apply it.
+    Fresh,
+    /// Already appended at log position `len` (1-based log length at
+    /// which it is covered): acknowledge without re-applying.
+    Duplicate {
+        /// The 1-based log length that covers the original append.
+        len: u64,
+    },
+    /// At or below the dedup floor: undecidable, refuse.
+    Stale {
+        /// The session's current floor.
+        floor: u64,
+    },
+}
+
+/// One client's window state.
+#[derive(Debug, Clone, Default)]
+struct ClientWindow {
+    /// Seqs at or below this are out of the window (refused as stale).
+    floor: u64,
+    /// Retained seqs above the floor, each with the 1-based log length
+    /// covering its append.
+    recent: BTreeMap<u64, u64>,
+    /// Logical touch stamp for LRU client eviction.
+    last_touch: u64,
+}
+
+/// The bounded exactly-once dedup table.
+#[derive(Debug, Clone)]
+pub struct SessionTable {
+    /// How many seqs the highest recorded seq keeps alive behind it.
+    window: u64,
+    /// Maximum distinct clients retained.
+    max_clients: usize,
+    clients: BTreeMap<u64, ClientWindow>,
+    touch: u64,
+}
+
+impl SessionTable {
+    /// Creates a table with the given dedup window (in seqs) and client
+    /// cap. A zero window still deduplicates the highest seq itself.
+    #[must_use]
+    pub fn new(window: u64, max_clients: usize) -> Self {
+        SessionTable {
+            window,
+            max_clients: max_clients.max(1),
+            clients: BTreeMap::new(),
+            touch: 0,
+        }
+    }
+
+    /// The dedup verdict for `(client, seq)`. Read-only: recording
+    /// happens separately, after the append actually went through.
+    #[must_use]
+    pub fn check(&self, client: u64, seq: u64) -> SeqVerdict {
+        let Some(cw) = self.clients.get(&client) else {
+            return SeqVerdict::Fresh;
+        };
+        if let Some(len) = cw.recent.get(&seq) {
+            return SeqVerdict::Duplicate { len: *len };
+        }
+        if seq <= cw.floor {
+            return SeqVerdict::Stale { floor: cw.floor };
+        }
+        SeqVerdict::Fresh
+    }
+
+    /// Records that `(client, seq)` was appended, covered once the log
+    /// reaches `len` entries. Advances the floor to trail the highest
+    /// recorded seq by the window, evicting whatever falls below it —
+    /// those seqs answer [`SeqVerdict::Stale`] from now on.
+    pub fn record(&mut self, client: u64, seq: u64, len: u64) {
+        if !self.clients.contains_key(&client) && self.clients.len() >= self.max_clients {
+            self.evict_lru();
+        }
+        self.touch += 1;
+        let touch = self.touch;
+        let cw = self.clients.entry(client).or_default();
+        cw.last_touch = touch;
+        cw.recent.insert(seq, len);
+        let highest = cw.recent.keys().next_back().copied().unwrap_or(0);
+        let floor = cw.floor.max(highest.saturating_sub(self.window));
+        cw.floor = floor;
+        cw.recent.retain(|s, _| *s > floor);
+    }
+
+    /// Drops the least-recently-touched client (ties broken by lower
+    /// id, so eviction is deterministic).
+    fn evict_lru(&mut self) {
+        let victim = self
+            .clients
+            .iter()
+            .min_by_key(|(id, cw)| (cw.last_touch, **id))
+            .map(|(id, _)| *id);
+        if let Some(id) = victim {
+            self.clients.remove(&id);
+        }
+    }
+
+    /// Number of distinct clients currently tracked.
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Forgets everything (used when a log adoption truncates history:
+    /// the caller rebuilds from the new log).
+    pub fn clear(&mut self) {
+        self.clients.clear();
+        self.touch = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_then_duplicate() {
+        let mut t = SessionTable::new(64, 16);
+        assert_eq!(t.check(1, 1), SeqVerdict::Fresh);
+        t.record(1, 1, 10);
+        assert_eq!(t.check(1, 1), SeqVerdict::Duplicate { len: 10 });
+        assert_eq!(t.check(1, 2), SeqVerdict::Fresh);
+    }
+
+    #[test]
+    fn regression_below_the_window_is_stale() {
+        let mut t = SessionTable::new(8, 16);
+        t.record(1, 100, 1);
+        // floor = 100 - 8 = 92: a restarted counter landing low is
+        // undecidable, not fresh.
+        assert_eq!(t.check(1, 5), SeqVerdict::Stale { floor: 92 });
+        // Inside the window but unseen: fresh.
+        assert_eq!(t.check(1, 95), SeqVerdict::Fresh);
+    }
+
+    #[test]
+    fn lru_client_eviction_is_deterministic() {
+        let mut t = SessionTable::new(8, 2);
+        t.record(1, 1, 1);
+        t.record(2, 1, 2);
+        t.record(1, 2, 3); // client 1 is now the most recent
+        t.record(3, 1, 4); // evicts client 2
+        assert_eq!(t.clients(), 2);
+        assert_eq!(t.check(2, 1), SeqVerdict::Fresh, "evicted client forgotten");
+        assert_eq!(t.check(1, 1), SeqVerdict::Duplicate { len: 1 });
+    }
+}

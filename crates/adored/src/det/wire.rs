@@ -1,0 +1,177 @@
+//! The length-prefixed wire frame codec.
+//!
+//! Every message on an `adored` TCP connection is one frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes of JSON]
+//! ```
+//!
+//! The format deliberately mirrors the WAL's record framing
+//! (`adore-storage`): the same CRC-32 (IEEE) over the payload only, the
+//! same little-endian header. A frame read off the wire is validated
+//! *before* any allocation proportional to its claimed length: a length
+//! above [`MAX_FRAME`] is rejected as [`WireError::Oversized`] from the
+//! 8 header bytes alone, so a corrupt or hostile length prefix can
+//! never drive an over-allocation, and a checksum mismatch is a typed
+//! [`WireError::Corrupt`], never a panic.
+//!
+//! Everything in this module is pure byte manipulation — no sockets, no
+//! clocks — so the codec is property-testable in isolation and sits in
+//! the deterministic (`det`) half of the crate.
+
+use adore_storage::crc32;
+
+/// Frame header size: 4-byte length + 4-byte CRC.
+pub const HEADER: usize = 8;
+
+/// Maximum payload size accepted on the wire (8 MiB). A full-log
+/// commit broadcast for the smoke/bench workloads is well under this;
+/// anything larger is a corrupt length or an abusive peer.
+pub const MAX_FRAME: usize = 8 << 20;
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix claims a payload larger than [`MAX_FRAME`].
+    Oversized {
+        /// The claimed payload length.
+        len: u64,
+    },
+    /// The payload checksum does not match the header CRC.
+    Corrupt,
+    /// The payload is not valid JSON for the expected message type.
+    BadPayload {
+        /// The decoder's reason.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME}-byte cap")
+            }
+            WireError::Corrupt => f.write_str("frame payload fails its checksum"),
+            WireError::BadPayload { msg } => write!(f, "frame payload undecodable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes one payload as a framed byte string.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] if the payload exceeds [`MAX_FRAME`] (the
+/// encoder enforces the same cap the decoder does, so a frame this
+/// node sends is always one a peer will accept).
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::Oversized {
+            len: payload.len() as u64,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Validates a header read off the wire, returning the payload length
+/// to read next.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the claimed length exceeds
+/// [`MAX_FRAME`] — decided from the 8 header bytes alone, before any
+/// payload allocation.
+pub fn decode_header(header: &[u8; HEADER]) -> Result<(usize, u32), WireError> {
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized { len: len as u64 });
+    }
+    Ok((len, crc))
+}
+
+/// Checks a fully read payload against its header CRC.
+///
+/// # Errors
+///
+/// [`WireError::Corrupt`] on checksum mismatch.
+pub fn verify_payload(payload: &[u8], crc: u32) -> Result<(), WireError> {
+    if crc32(payload) == crc {
+        Ok(())
+    } else {
+        Err(WireError::Corrupt)
+    }
+}
+
+/// Splits the first complete frame off `bytes`.
+///
+/// Returns `Ok(None)` when the buffer ends mid-frame (more bytes are
+/// needed — the streaming case, and a truncated frame at EOF), or
+/// `Ok(Some((payload, consumed)))` with the validated payload and the
+/// total number of bytes the frame occupied.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] for a length prefix past [`MAX_FRAME`]
+/// (checked before anything is copied), [`WireError::Corrupt`] for a
+/// checksum mismatch.
+pub fn split_frame(bytes: &[u8]) -> Result<Option<(&[u8], usize)>, WireError> {
+    let Some(header) = bytes.get(..HEADER) else {
+        return Ok(None);
+    };
+    let header: [u8; HEADER] = header.try_into().expect("sliced exactly HEADER bytes");
+    let (len, crc) = decode_header(&header)?;
+    let Some(payload) = bytes.get(HEADER..HEADER + len) else {
+        return Ok(None);
+    };
+    verify_payload(payload, crc)?;
+    Ok(Some((payload, HEADER + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_one_frame() {
+        let framed = encode_frame(b"hello").unwrap();
+        let (payload, used) = split_frame(&framed).unwrap().unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(used, framed.len());
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more_bytes() {
+        let framed = encode_frame(b"payload").unwrap();
+        for cut in 0..framed.len() {
+            assert_eq!(split_frame(&framed[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_from_the_header_alone() {
+        let mut bytes = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 4]);
+        assert_eq!(
+            split_frame(&bytes),
+            Err(WireError::Oversized {
+                len: (MAX_FRAME + 1) as u64
+            })
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_typed_error() {
+        let mut framed = encode_frame(b"payload").unwrap();
+        let last = framed.len() - 1;
+        framed[last] ^= 0x01;
+        assert_eq!(split_frame(&framed), Err(WireError::Corrupt));
+    }
+}

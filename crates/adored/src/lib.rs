@@ -1,0 +1,24 @@
+//! `adored`: the partial-failure-hardened networked ADORE runtime.
+//!
+//! The simulation crates certify the protocol under a virtual clock and
+//! an in-memory network; this crate runs the *same* certified state
+//! machine as a real multi-process cluster over length-prefixed TCP
+//! frames, and keeps it auditable: every node writes the shared
+//! `adore-obs` journal schema, so `adore-obs --audit` certifies
+//! committed-prefix agreement for a real run exactly as it does for a
+//! simulated one.
+//!
+//! Layering:
+//!
+//! - [`det`] — the deterministic core: frame codec, wire messages,
+//!   exactly-once session table, and the per-node protocol engine.
+//!   Pure input → output; covered by the determinism lints.
+//! - [`node`] — the threaded runtime shell: listener, per-peer
+//!   connectors with capped backoff, heartbeat ticks, the real WAL
+//!   file, and the journal writer.
+//! - [`client`] — the retrying cluster client with exactly-once
+//!   semantics (a retry reuses its `(client, seq)`).
+
+pub mod client;
+pub mod det;
+pub mod node;

@@ -1,0 +1,678 @@
+//! `adored` — the networked ADORE cluster binary.
+//!
+//! Three subcommands:
+//!
+//! - `adored node` runs one replica (the fault-hardened runtime in
+//!   [`adored::node`]).
+//! - `adored smoke` is the real-process fault harness: it spawns a
+//!   local cluster as child processes, drives writes, `kill -9`s the
+//!   leader, restarts it into the same data directory, optionally walks
+//!   a live 5→3→5 certified reconfiguration, then checks zero
+//!   acked-write loss and zero duplicate applies, merges every node's
+//!   journal, and audits the merged trace with `adore-obs`.
+//! - `adored bench` measures a closed-loop write baseline against a
+//!   3-node cluster and writes `results/BENCH_net.json`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use adore_obs::{
+    audit_events, merge_journals, to_jsonl, EventKind, Histogram, TraceEvent, Tracer,
+};
+use adored::client::{ClientError, ClientParams, NetClient};
+use adored::det::engine::EngineParams;
+use adored::det::msg::{ClientReply, NetEntry, SessionCmd};
+use adored::node::{run, NodeConfig};
+
+/// How long the harness waits for a leader before declaring the
+/// cluster dead.
+const LEADER_WAIT: Duration = Duration::from_secs(30);
+/// Watchdog handed to every child node: no orphan outlives a run.
+const CHILD_MAX_RUNTIME_MS: u64 = 180_000;
+/// Engine tick for harness-spawned nodes.
+const CHILD_TICK_MS: u64 = 20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("node") => cmd_node(&args[1..]),
+        Some("smoke") => cmd_smoke(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: adored node --nid N --peers 1=host:port,2=... --data DIR \
+                 [--seed S] [--tick-ms T] [--max-runtime-ms M]\n\
+                 \x20      adored smoke [--nodes N] [--dir DIR] [--seed S] [--reconfig]\n\
+                 \x20      adored bench [--writes N] [--dir DIR] [--out FILE] [--seed S]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+// ---- argument plumbing --------------------------------------------------
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_u64(args: &[String], name: &str, default: u64) -> u64 {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Parses `1=host:port,2=host:port,...`.
+fn parse_peers(spec: &str) -> Option<Vec<(u32, String)>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let (nid, addr) = part.split_once('=')?;
+        out.push((nid.trim().parse().ok()?, addr.trim().to_string()));
+    }
+    Some(out)
+}
+
+// ---- `adored node` ------------------------------------------------------
+
+fn cmd_node(args: &[String]) -> i32 {
+    let Some(nid) = arg_value(args, "--nid").and_then(|v| v.parse().ok()) else {
+        eprintln!("adored node: --nid is required");
+        return 2;
+    };
+    let Some(peers) = arg_value(args, "--peers").as_deref().and_then(parse_peers) else {
+        eprintln!("adored node: --peers 1=host:port,2=... is required");
+        return 2;
+    };
+    let Some(data_dir) = arg_value(args, "--data").map(PathBuf::from) else {
+        eprintln!("adored node: --data DIR is required");
+        return 2;
+    };
+    let cfg = NodeConfig {
+        nid,
+        peers,
+        data_dir,
+        seed: arg_u64(args, "--seed", 1),
+        tick_ms: arg_u64(args, "--tick-ms", CHILD_TICK_MS),
+        max_runtime_ms: arg_value(args, "--max-runtime-ms").and_then(|v| v.parse().ok()),
+        params: EngineParams::default(),
+    };
+    match run(cfg) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("adored node {nid}: {e}");
+            1
+        }
+    }
+}
+
+// ---- shared harness machinery -------------------------------------------
+
+/// Microseconds since the UNIX epoch, for the driver's own journal.
+fn now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Reserves `n` distinct ephemeral localhost ports.
+fn pick_ports(n: usize) -> std::io::Result<Vec<u16>> {
+    let mut holds = Vec::new();
+    let mut ports = Vec::new();
+    for _ in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        ports.push(l.local_addr()?.port());
+        holds.push(l);
+    }
+    Ok(ports)
+}
+
+/// A cluster of child-process nodes, killed on drop.
+struct Harness {
+    exe: PathBuf,
+    dir: PathBuf,
+    peers_spec: String,
+    addrs: BTreeMap<u32, String>,
+    children: BTreeMap<u32, Child>,
+    seed: u64,
+}
+
+impl Harness {
+    fn start(dir: &Path, nodes: u32, seed: u64) -> std::io::Result<Harness> {
+        fs::create_dir_all(dir)?;
+        let exe = std::env::current_exe()?;
+        let ports = pick_ports(nodes as usize)?;
+        let addrs: BTreeMap<u32, String> = (1..=nodes)
+            .map(|n| (n, format!("127.0.0.1:{}", ports[(n - 1) as usize])))
+            .collect();
+        let peers_spec = addrs
+            .iter()
+            .map(|(n, a)| format!("{n}={a}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut h = Harness {
+            exe,
+            dir: dir.to_path_buf(),
+            peers_spec,
+            addrs,
+            children: BTreeMap::new(),
+            seed,
+        };
+        for n in 1..=nodes {
+            h.spawn(n)?;
+        }
+        Ok(h)
+    }
+
+    /// Spawns (or respawns) node `nid` into its standing data dir.
+    fn spawn(&mut self, nid: u32) -> std::io::Result<()> {
+        let data = self.dir.join(format!("n{nid}"));
+        let child = Command::new(&self.exe)
+            .args([
+                "node",
+                "--nid",
+                &nid.to_string(),
+                "--peers",
+                &self.peers_spec,
+                "--data",
+                data.to_str().unwrap_or("."),
+                // Every node gets the same base seed: the engine mixes
+                // the node id in by XOR, which keeps per-node jitter
+                // streams distinct for ANY base. (Passing seed+nid here
+                // instead can collide — (s+a)^a == (s+b)^b for many
+                // small values — leaving two survivors with identical
+                // election jitter and a perpetual split vote.)
+                "--seed",
+                &self.seed.to_string(),
+                "--tick-ms",
+                &CHILD_TICK_MS.to_string(),
+                "--max-runtime-ms",
+                &CHILD_MAX_RUNTIME_MS.to_string(),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        self.children.insert(nid, child);
+        Ok(())
+    }
+
+    /// `kill -9` for node `nid` (SIGKILL: no atexit, no flush, no FIN).
+    fn kill(&mut self, nid: u32) {
+        if let Some(mut child) = self.children.remove(&nid) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn client(&self, id: u64) -> NetClient {
+        NetClient::new(self.addrs.clone(), id, ClientParams::default())
+    }
+
+    /// Polls until some node reports itself leader; returns its nid.
+    fn wait_for_leader(&self, probe: &mut NetClient) -> Result<u32, String> {
+        let deadline = Instant::now() + LEADER_WAIT;
+        while Instant::now() < deadline {
+            for &nid in self.addrs.keys() {
+                if !self.children.contains_key(&nid) {
+                    continue;
+                }
+                if let Ok(ClientReply::Status { role, .. }) = probe.status(nid) {
+                    if role == "leader" {
+                        return Ok(nid);
+                    }
+                }
+            }
+            thread::sleep(Duration::from_millis(100));
+        }
+        Err("no leader elected within the wait budget".to_string())
+    }
+
+    /// The members the current leader believes in, plus its nid.
+    fn leader_view(&self, probe: &mut NetClient) -> Result<(u32, Vec<u32>), String> {
+        let leader = self.wait_for_leader(probe)?;
+        match probe.status(leader) {
+            Ok(ClientReply::Status { members, .. }) => Ok((leader, members)),
+            other => Err(format!("leader {leader} status failed: {other:?}")),
+        }
+    }
+
+    /// Reads every journal file the cluster wrote, one string per file.
+    fn journal_texts(&self) -> std::io::Result<Vec<String>> {
+        let mut texts = Vec::new();
+        for &nid in self.addrs.keys() {
+            let data = self.dir.join(format!("n{nid}"));
+            let mut files: Vec<PathBuf> = fs::read_dir(&data)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("journal-") && n.ends_with(".jsonl"))
+                })
+                .collect();
+            files.sort();
+            for f in files {
+                texts.push(fs::read_to_string(f)?);
+            }
+        }
+        Ok(texts)
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        let nids: Vec<u32> = self.children.keys().copied().collect();
+        for nid in nids {
+            self.kill(nid);
+        }
+    }
+}
+
+/// Retries a reconfiguration through transient guard refusals (R2 holds
+/// until the previous configuration entry commits; R3 until the new
+/// leader's barrier commits). Each retry is a fresh session request —
+/// sound, because a guard refusal appends nothing.
+fn reconfigure_eventually(client: &mut NetClient, members: &[u32]) -> Result<(), String> {
+    let deadline = Instant::now() + LEADER_WAIT;
+    loop {
+        match client.reconfigure(members) {
+            Ok(_) => return Ok(()),
+            Err(ClientError::Rejected { reason }) if Instant::now() < deadline => {
+                let _ = reason;
+                thread::sleep(Duration::from_millis(200));
+            }
+            Err(e) => return Err(format!("reconfigure to {members:?} failed: {e}")),
+        }
+    }
+}
+
+// ---- journal forensics ---------------------------------------------------
+
+/// Per-node `(log, commit_len)` reconstructed from journal events, the
+/// same way the auditor does it.
+fn rebuild_logs(events: &[TraceEvent]) -> BTreeMap<u32, (Vec<String>, usize)> {
+    let mut nodes: BTreeMap<u32, (Vec<String>, usize)> = BTreeMap::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::StateDelta {
+                nid,
+                truncate,
+                append,
+                commit_len,
+                ..
+            } => {
+                let (log, commit) = nodes.entry(*nid).or_default();
+                if let Some(t) = truncate {
+                    log.truncate(*t as usize);
+                }
+                log.extend(append.iter().cloned());
+                if let Some(c) = commit_len {
+                    *commit = *c as usize;
+                }
+            }
+            EventKind::WalRecover {
+                nid,
+                log,
+                commit_len,
+                ..
+            } => {
+                nodes.insert(*nid, (log.clone(), *commit_len as usize));
+            }
+            _ => {}
+        }
+    }
+    nodes
+}
+
+/// Scans every node's committed prefix for a `(client, seq)` session
+/// pair applied more than once. Returns offending descriptions.
+fn duplicate_applies(nodes: &BTreeMap<u32, (Vec<String>, usize)>) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (nid, (log, commit)) in nodes {
+        let mut seen: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+        for raw in log.iter().take(*commit) {
+            let Ok(entry) = serde_json::from_str::<NetEntry>(raw) else {
+                bad.push(format!("node {nid}: unparseable committed entry"));
+                continue;
+            };
+            if let adore_raft::Command::Method(SessionCmd {
+                client,
+                seq,
+                op: Some(_),
+            }) = entry.cmd
+            {
+                *seen.entry((client, seq)).or_insert(0) += 1;
+            }
+        }
+        for ((client, seq), n) in seen {
+            if n > 1 {
+                bad.push(format!(
+                    "node {nid}: session ({client}, {seq}) applied {n} times"
+                ));
+            }
+        }
+    }
+    bad
+}
+
+// ---- `adored smoke` ------------------------------------------------------
+
+#[allow(clippy::too_many_lines)]
+fn cmd_smoke(args: &[String]) -> i32 {
+    let nodes = arg_u64(args, "--nodes", 3) as u32;
+    let seed = arg_u64(args, "--seed", 42);
+    let reconfig = arg_flag(args, "--reconfig");
+    let dir = arg_value(args, "--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("target/smoke-{}", std::process::id())));
+    if nodes < 3 {
+        eprintln!("smoke: need at least 3 nodes");
+        return 2;
+    }
+    if reconfig && nodes < 5 {
+        eprintln!("smoke: --reconfig needs 5 nodes");
+        return 2;
+    }
+    match smoke(&dir, nodes, seed, reconfig) {
+        Ok(()) => {
+            println!("smoke: PASS");
+            0
+        }
+        Err(e) => {
+            eprintln!("smoke: FAIL: {e}");
+            1
+        }
+    }
+}
+
+fn smoke(dir: &Path, nodes: u32, seed: u64, reconfig: bool) -> Result<(), String> {
+    let mut driver = Tracer::enabled();
+    driver.record(
+        now_us(),
+        EventKind::RunStart {
+            name: format!("smoke-{nodes}"),
+            members: (1..=nodes).collect(),
+        },
+    );
+
+    let mut harness = Harness::start(dir, nodes, seed).map_err(|e| e.to_string())?;
+    let mut probe = harness.client(999);
+    let mut client = harness.client(7);
+    let mut acked: Vec<(String, String)> = Vec::new();
+
+    // Phase 1: steady-state writes.
+    driver.record(
+        now_us(),
+        EventKind::PhaseStart {
+            index: 0,
+            label: "steady-state writes".into(),
+        },
+    );
+    let leader = harness.wait_for_leader(&mut probe)?;
+    println!("smoke: leader is node {leader}");
+    for i in 0..10 {
+        let (k, v) = (format!("k{i}"), format!("v{i}"));
+        client.put(&k, &v).map_err(|e| format!("put {k}: {e}"))?;
+        acked.push((k, v));
+    }
+
+    // Phase 2: kill -9 the leader mid-traffic; writes must survive
+    // failover, and the retry that spans the kill must not double-apply.
+    driver.record(
+        now_us(),
+        EventKind::PhaseStart {
+            index: 1,
+            label: "kill -9 leader".into(),
+        },
+    );
+    println!("smoke: kill -9 node {leader}");
+    harness.kill(leader);
+    for i in 10..20 {
+        let (k, v) = (format!("k{i}"), format!("v{i}"));
+        client.put(&k, &v).map_err(|e| format!("put {k} after kill: {e}"))?;
+        acked.push((k, v));
+    }
+    let leader2 = harness.wait_for_leader(&mut probe)?;
+    println!("smoke: failover to node {leader2}");
+
+    // Phase 3: restart the killed node into the same data directory —
+    // WAL recovery plus log catch-up from the new leader's heartbeats.
+    driver.record(
+        now_us(),
+        EventKind::PhaseStart {
+            index: 2,
+            label: "restart killed node".into(),
+        },
+    );
+    harness.spawn(leader).map_err(|e| e.to_string())?;
+
+    // Phase 4 (5-node acceptance): a live 5→4→3→4→5 certified
+    // reconfiguration, one node per step (R1⁺), with writes interleaved.
+    if reconfig {
+        driver.record(
+            now_us(),
+            EventKind::PhaseStart {
+                index: 3,
+                label: "live 5->3->5 reconfiguration".into(),
+            },
+        );
+        let (lead, mut members) = harness.leader_view(&mut probe)?;
+        members.sort_unstable();
+        let dropped: Vec<u32> = members
+            .iter()
+            .rev()
+            .copied()
+            .filter(|n| *n != lead)
+            .take(2)
+            .collect();
+        let mut current = members.clone();
+        for (step, d) in dropped.iter().enumerate() {
+            current.retain(|n| n != d);
+            reconfigure_eventually(&mut client, &current)?;
+            println!("smoke: shrank to {current:?}");
+            let (k, v) = (format!("rk{step}"), format!("rv{step}"));
+            client.put(&k, &v).map_err(|e| format!("put {k}: {e}"))?;
+            acked.push((k, v));
+        }
+        for (step, d) in dropped.iter().rev().enumerate() {
+            current.push(*d);
+            current.sort_unstable();
+            reconfigure_eventually(&mut client, &current)?;
+            println!("smoke: grew to {current:?}");
+            let (k, v) = (format!("gk{step}"), format!("gv{step}"));
+            client.put(&k, &v).map_err(|e| format!("put {k}: {e}"))?;
+            acked.push((k, v));
+        }
+    }
+
+    // Phase 5: verification — every acked write must read back.
+    driver.record(
+        now_us(),
+        EventKind::PhaseStart {
+            index: 4,
+            label: "verify".into(),
+        },
+    );
+    let mut lost = Vec::new();
+    for (k, v) in &acked {
+        match client.get(k) {
+            Ok(Some(got)) if got == *v => {}
+            Ok(got) => lost.push(format!("{k}: acked {v:?}, read {got:?}")),
+            Err(e) => lost.push(format!("{k}: read failed: {e}")),
+        }
+    }
+
+    // Give the restarted node a moment to flush its catch-up journal
+    // lines, then stop the cluster before reading journals.
+    thread::sleep(Duration::from_millis(500));
+    drop(probe);
+    let texts = harness.journal_texts().map_err(|e| e.to_string())?;
+    drop(harness);
+
+    let mut node_events =
+        merge_journals(texts.iter().map(String::as_str)).map_err(|e| e.to_string())?;
+    let dupes = duplicate_applies(&rebuild_logs(&node_events));
+
+    let safe = lost.is_empty() && dupes.is_empty();
+    driver.record(
+        now_us(),
+        EventKind::Verdict {
+            safe,
+            kind: (!safe).then(|| "AckedWriteLossOrDuplicate".to_string()),
+            detail: (!safe).then(|| {
+                lost.iter().chain(dupes.iter()).cloned().collect::<Vec<_>>().join("; ")
+            }),
+            phase: 4,
+        },
+    );
+    driver.record(
+        now_us(),
+        EventKind::RunEnd {
+            committed: acked.len() as u64,
+        },
+    );
+
+    // Merge the driver's journal in and audit the whole run.
+    let driver_text = driver.to_jsonl();
+    let mut texts_all: Vec<&str> = texts.iter().map(String::as_str).collect();
+    texts_all.push(driver_text.as_str());
+    node_events = merge_journals(texts_all).map_err(|e| e.to_string())?;
+    let merged_path = dir.join("merged.jsonl");
+    fs::write(&merged_path, to_jsonl(&node_events)).map_err(|e| e.to_string())?;
+    let report = audit_events(&node_events);
+    println!(
+        "smoke: audit over {} events / {} nodes: consistent={}",
+        report.events, report.nodes, report.consistent
+    );
+
+    if !lost.is_empty() {
+        return Err(format!("acked-write loss: {}", lost.join("; ")));
+    }
+    if !dupes.is_empty() {
+        return Err(format!("duplicate applies: {}", dupes.join("; ")));
+    }
+    if !report.consistent {
+        return Err(format!(
+            "audit rejected the run: errors={:?} divergence={:?}",
+            report.errors, report.divergence
+        ));
+    }
+    println!("smoke: merged journal at {}", merged_path.display());
+    Ok(())
+}
+
+// ---- `adored bench` ------------------------------------------------------
+
+fn cmd_bench(args: &[String]) -> i32 {
+    let writes = arg_u64(args, "--writes", 300);
+    let seed = arg_u64(args, "--seed", 42);
+    let dir = arg_value(args, "--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("target/bench-{}", std::process::id())));
+    let out = arg_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/BENCH_net.json"));
+    match bench(&dir, writes, seed, &out) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("bench: FAIL: {e}");
+            1
+        }
+    }
+}
+
+/// The serialized shape of `results/BENCH_net.json`.
+#[derive(serde::Serialize)]
+struct BenchReport {
+    name: &'static str,
+    nodes: u32,
+    writes: u64,
+    seed: u64,
+    elapsed_us: u64,
+    throughput_per_s: u64,
+    latency_us: BenchLatency,
+    histogram: adore_obs::HistogramSnapshot,
+}
+
+/// Summary latency quantiles of a bench run, in microseconds.
+#[derive(serde::Serialize)]
+struct BenchLatency {
+    mean: u64,
+    min: u64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+    max: u64,
+}
+
+fn bench(dir: &Path, writes: u64, seed: u64, out: &Path) -> Result<(), String> {
+    let harness = Harness::start(dir, 3, seed).map_err(|e| e.to_string())?;
+    let mut probe = harness.client(999);
+    let leader = harness.wait_for_leader(&mut probe)?;
+    println!("bench: leader is node {leader}; {writes} closed-loop writes");
+    let mut client = harness.client(11);
+    let mut hist = Histogram::default();
+    let started = Instant::now();
+    for i in 0..writes {
+        let t0 = Instant::now();
+        client
+            .put(&format!("bk{i}"), &format!("bv{i}"))
+            .map_err(|e| format!("put bk{i}: {e}"))?;
+        hist.observe(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    let elapsed = started.elapsed();
+    drop(probe);
+    drop(harness);
+
+    let elapsed_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+    let throughput_per_s = writes
+        .saturating_mul(1_000_000)
+        .checked_div(elapsed_us)
+        .unwrap_or(0);
+    let snap = hist.snapshot();
+    let report = BenchReport {
+        name: "BENCH_net",
+        nodes: 3,
+        writes,
+        seed,
+        elapsed_us,
+        throughput_per_s,
+        latency_us: BenchLatency {
+            mean: snap.mean(),
+            min: snap.min,
+            p50: snap.quantile(0.50),
+            p95: snap.quantile(0.95),
+            p99: snap.quantile(0.99),
+            max: snap.max,
+        },
+        histogram: snap.clone(),
+    };
+    if let Some(parent) = out.parent() {
+        fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    let mut f = fs::File::create(out).map_err(|e| e.to_string())?;
+    let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    writeln!(f, "{text}").map_err(|e| e.to_string())?;
+    println!(
+        "bench: {throughput_per_s}/s, p50={}us p95={}us p99={}us -> {}",
+        snap.quantile(0.50),
+        snap.quantile(0.95),
+        snap.quantile(0.99),
+        out.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,468 @@
+//! The threaded runtime shell around one [`Engine`].
+//!
+//! All nondeterminism lives here, at the edges: the TCP listener, the
+//! per-peer connector threads, the tick timer, and the wall clock that
+//! stamps journal lines. The protocol itself runs single-threaded in
+//! [`run`]'s engine loop, fed through one channel — so the state
+//! machine the simulations certified is byte-for-byte the one a real
+//! cluster runs.
+//!
+//! # Partial-failure hardening
+//!
+//! - **Connection supervision**: each outbound peer link is owned by a
+//!   connector thread that redials with capped exponential backoff and
+//!   seeded jitter; inbound links are re-accepted by the listener. A
+//!   dead link drops messages (the protocol's heartbeats retransmit the
+//!   full log, so loss is repaired, never compensated for here).
+//! - **Failure detection**: peers are declared suspect by silence — a
+//!   follower that misses heartbeats past its jittered election
+//!   deadline campaigns; a read deadline reaps sockets whose far end
+//!   vanished without a FIN (the kill -9 case).
+//! - **Deadlines**: every socket carries a write timeout, so one hung
+//!   peer can never wedge a thread that other links depend on.
+//! - **Crash-restart recovery**: the WAL device image is mirrored to
+//!   `data_dir/wal.bin` append-only and flushed before any ack leaves
+//!   the node; a restart replays it through `adore-storage` recovery
+//!   and journals the `Crash`/`WalRecover` pair the auditor expects.
+//! - **Journals**: one JSONL file per boot (`journal-<boot_us>.jsonl`),
+//!   flushed per line, so a SIGKILL can tear at most the final line —
+//!   which `adore-obs`'s journal merge drops by design.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use adore_core::NodeId;
+use adore_obs::{EventKind, Tracer};
+use adore_schemes::SingleNode;
+use adore_storage::{DurabilityPolicy, Recovery, Wal};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+
+use crate::det::engine::{Engine, EngineConfig, EngineParams, Input, Output};
+use crate::det::msg::{decode_msg, encode_msg, ClientMsg, Hello, PeerMsg, SessionCmd};
+use crate::det::wire;
+
+/// Write timeout on every socket: a hung peer fails fast instead of
+/// wedging a sender thread.
+const WRITE_DEADLINE: Duration = Duration::from_secs(2);
+/// Read deadline on peer links; heartbeats arrive hundreds of times
+/// more often, so a silent link this long is dead (kill -9 without a
+/// FIN) and the socket is reaped.
+const PEER_READ_DEADLINE: Duration = Duration::from_secs(30);
+/// How long a fresh connection has to introduce itself.
+const HELLO_DEADLINE: Duration = Duration::from_secs(5);
+/// Reconnect backoff base for the capped exponential.
+const BACKOFF_BASE_MS: u64 = 50;
+/// Reconnect backoff cap.
+const BACKOFF_CAP_MS: u64 = 2_000;
+/// Bound on the engine inbox (IO threads block briefly when full).
+const INBOX_DEPTH: usize = 1_024;
+/// Bound on each per-peer outbox (overflow drops; heartbeats repair).
+const PEER_OUTBOX_DEPTH: usize = 256;
+
+/// Everything needed to run one node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// This node's id.
+    pub nid: u32,
+    /// The full address book: `(nid, host:port)` for every node,
+    /// including this one (its own entry is the listen address).
+    pub peers: Vec<(u32, String)>,
+    /// Data directory: WAL file and per-boot journals live here.
+    pub data_dir: PathBuf,
+    /// Seed for election jitter and reconnect jitter.
+    pub seed: u64,
+    /// Milliseconds per engine tick.
+    pub tick_ms: u64,
+    /// Optional watchdog: exit cleanly after this long (used by the
+    /// fault harness so orphaned children cannot outlive a run).
+    pub max_runtime_ms: Option<u64>,
+    /// Engine tunables.
+    pub params: EngineParams,
+}
+
+/// Events flowing into the engine loop from the IO threads.
+enum Event {
+    Tick,
+    Peer(PeerMsg),
+    Client { conn: u64, msg: ClientMsg },
+    ClientGone { conn: u64 },
+    Shutdown,
+}
+
+/// Microseconds since the UNIX epoch; journal stamps must be
+/// comparable across the processes of one host-local cluster.
+fn now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// The per-boot journal: every event is stamped, serialized, and
+/// flushed immediately, so a SIGKILL tears at most the last line.
+pub(crate) struct Journal {
+    tracer: Tracer,
+    file: fs::File,
+}
+
+impl Journal {
+    pub(crate) fn open(dir: &Path, boot_us: u64) -> io::Result<Journal> {
+        let path = dir.join(format!("journal-{boot_us}.jsonl"));
+        Ok(Journal {
+            tracer: Tracer::enabled(),
+            file: fs::File::create(path)?,
+        })
+    }
+
+    pub(crate) fn record(&mut self, kind: EventKind) {
+        self.tracer.record(now_us(), kind);
+        for ev in self.tracer.take() {
+            if let Ok(line) = serde_json::to_string(&ev) {
+                let _ = writeln!(self.file, "{line}");
+                let _ = self.file.flush();
+            }
+        }
+    }
+}
+
+/// Reads one frame off a stream. `Ok(None)` is a clean EOF at a frame
+/// boundary; a deadline expiry or mid-frame EOF is an error (the link
+/// is dead or misbehaving either way).
+pub(crate) fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; wire::HEADER];
+    if let Err(e) = stream.read_exact(&mut header) {
+        return if e.kind() == io::ErrorKind::UnexpectedEof {
+            Ok(None)
+        } else {
+            Err(e)
+        };
+    }
+    let (len, crc) = wire::decode_header(&header).map_err(wire_to_io)?;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    wire::verify_payload(&payload, crc).map_err(wire_to_io)?;
+    Ok(Some(payload))
+}
+
+/// Frames and writes one message.
+pub(crate) fn write_frame<T: Serialize>(stream: &mut TcpStream, msg: &T) -> io::Result<()> {
+    let frame = encode_msg(msg).map_err(wire_to_io)?;
+    stream.write_all(&frame)
+}
+
+fn wire_to_io(e: wire::WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Loads (or creates) the node's WAL from `data_dir/wal.bin`, runs
+/// recovery, and journals the crash/recovery pair when prior state
+/// existed. Returns the WAL, the recovered durable state, and whether
+/// the replica must abstain (media loss). Fail-stops on corruption.
+#[allow(clippy::type_complexity)]
+fn load_wal(
+    nid: NodeId,
+    wal_path: &Path,
+    journal: &mut Journal,
+) -> io::Result<(
+    Wal<SingleNode, SessionCmd>,
+    adore_storage::DurableState<SingleNode, SessionCmd>,
+    bool,
+)> {
+    let existing = fs::read(wal_path).unwrap_or_default();
+    let had_state = !existing.is_empty();
+    let mut wal = Wal::from_bytes(nid, &existing);
+    let recovery = wal.recover(&DurabilityPolicy::strict());
+    if had_state {
+        // A prior WAL file means the previous boot ended without
+        // ceremony: journal the crash the way the fault model names
+        // it. "kill-9" is not "lose-tail" — the page cache survives a
+        // SIGKILL, so the auditor's strict clean-crash equality check
+        // does not apply; committed-prefix agreement (T3) still does.
+        journal.record(EventKind::Crash {
+            nid: nid.0,
+            disk: "kill-9".to_string(),
+        });
+    }
+    let (state, abstaining) = match recovery {
+        Recovery::Intact(state) => {
+            if had_state {
+                journal.record(EventKind::WalRecover {
+                    nid: nid.0,
+                    outcome: "intact".to_string(),
+                    term: state.time.0,
+                    log: state
+                        .log
+                        .iter()
+                        .map(|e| serde_json::to_string(e).expect("entries serialize"))
+                        .collect(),
+                    commit_len: state.commit_len as u64,
+                });
+            }
+            (state, false)
+        }
+        Recovery::DataLoss => {
+            journal.record(EventKind::WalRecover {
+                nid: nid.0,
+                outcome: "data-loss".to_string(),
+                term: 0,
+                log: Vec::new(),
+                commit_len: 0,
+            });
+            (adore_storage::DurableState::default(), true)
+        }
+        Recovery::Corrupt { record } => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("WAL record {record} failed its checksum: fail-stop"),
+            ));
+        }
+    };
+    // Recovery may have truncated an invalid tail; rewrite the file to
+    // the post-recovery device image so the append-only mirror below
+    // starts from an exact prefix.
+    fs::write(wal_path, wal.disk().bytes())?;
+    Ok((wal, state, abstaining))
+}
+
+/// Runs one node until shutdown (watchdog expiry) or listener failure.
+///
+/// # Errors
+///
+/// Socket bind/IO failures and WAL corruption (fail-stop).
+pub fn run(cfg: NodeConfig) -> io::Result<()> {
+    fs::create_dir_all(&cfg.data_dir)?;
+    let nid = NodeId(cfg.nid);
+    let boot_us = now_us();
+    let mut journal = Journal::open(&cfg.data_dir, boot_us)?;
+    let wal_path = cfg.data_dir.join("wal.bin");
+    let (wal, state, abstaining) = load_wal(nid, &wal_path, &mut journal)?;
+    let mut wal_file = fs::OpenOptions::new().append(true).open(&wal_path)?;
+
+    let members: Vec<u32> = cfg.peers.iter().map(|(n, _)| *n).collect();
+    let engine_cfg = EngineConfig {
+        nid,
+        peers: members.iter().map(|n| NodeId(*n)).collect(),
+        conf0: SingleNode::new(members.iter().copied()),
+        guard: adore_core::ReconfigGuard::all(),
+        params: cfg.params.clone(),
+        seed: cfg.seed,
+    };
+    let mut engine = Engine::new(engine_cfg, wal, state, abstaining);
+
+    let (inbox_tx, inbox_rx) = mpsc::sync_channel::<Event>(INBOX_DEPTH);
+    let clients: Arc<Mutex<BTreeMap<u64, TcpStream>>> = Arc::new(Mutex::new(BTreeMap::new()));
+
+    // Tick timer + watchdog.
+    {
+        let tx = inbox_tx.clone();
+        let tick = Duration::from_millis(cfg.tick_ms.max(1));
+        let deadline = cfg.max_runtime_ms.map(Duration::from_millis);
+        thread::spawn(move || {
+            let started = std::time::Instant::now();
+            loop {
+                thread::sleep(tick);
+                if deadline.is_some_and(|d| started.elapsed() >= d) {
+                    let _ = tx.send(Event::Shutdown);
+                    return;
+                }
+                if tx.send(Event::Tick).is_err() {
+                    return;
+                }
+            }
+        });
+    }
+
+    // Outbound peer links: one supervised connector thread per peer.
+    let mut peer_tx: BTreeMap<u32, SyncSender<PeerMsg>> = BTreeMap::new();
+    for (pid, addr) in cfg.peers.iter().filter(|(n, _)| *n != cfg.nid) {
+        let (tx, rx) = mpsc::sync_channel::<PeerMsg>(PEER_OUTBOX_DEPTH);
+        peer_tx.insert(*pid, tx);
+        let addr = addr.clone();
+        let my_nid = cfg.nid;
+        let seed = cfg.seed ^ (u64::from(cfg.nid) << 32) ^ u64::from(*pid);
+        thread::spawn(move || peer_connector(my_nid, &addr, &rx, seed));
+    }
+
+    // Listener: inbound peer links and client sessions.
+    let listen_addr = cfg
+        .peers
+        .iter()
+        .find(|(n, _)| *n == cfg.nid)
+        .map(|(_, a)| a.clone())
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "own nid missing from peer list")
+        })?;
+    let listener = TcpListener::bind(&listen_addr)?;
+    {
+        let tx = inbox_tx.clone();
+        let clients = Arc::clone(&clients);
+        thread::spawn(move || {
+            let next_conn = Arc::new(AtomicU64::new(1));
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                let tx = tx.clone();
+                let clients = Arc::clone(&clients);
+                let next_conn = Arc::clone(&next_conn);
+                thread::spawn(move || serve_connection(stream, &tx, &clients, &next_conn));
+            }
+        });
+    }
+
+    // The engine loop: the single deterministic thread.
+    while let Ok(event) = inbox_rx.recv() {
+        let input = match event {
+            Event::Tick => Input::Tick,
+            Event::Peer(msg) => Input::Peer(msg),
+            Event::Client { conn, msg } => Input::Client { conn, msg },
+            Event::ClientGone { conn } => Input::ClientGone { conn },
+            Event::Shutdown => break,
+        };
+        let mut dead_conns = Vec::new();
+        for output in engine.step(input) {
+            match output {
+                Output::Persist { bytes } => {
+                    // The write-ahead rule: on disk before any later
+                    // Send/Reply of this batch leaves the process.
+                    wal_file.write_all(&bytes)?;
+                    wal_file.flush()?;
+                }
+                Output::Journal(kind) => journal.record(kind),
+                Output::Send { to, msg } => {
+                    if let Some(tx) = peer_tx.get(&to.0) {
+                        match tx.try_send(msg) {
+                            Ok(()) | Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                            }
+                        }
+                    }
+                }
+                Output::Reply { conn, reply } => {
+                    let mut map = clients.lock().expect("client map lock");
+                    let gone = match map.get_mut(&conn) {
+                        Some(stream) => write_frame(stream, &reply).is_err(),
+                        None => false,
+                    };
+                    if gone {
+                        map.remove(&conn);
+                        dead_conns.push(conn);
+                    }
+                }
+            }
+        }
+        for conn in dead_conns {
+            // A reply we could not deliver: drop the connection's
+            // remaining waiters too.
+            let _ = engine.step(Input::ClientGone { conn });
+        }
+    }
+    Ok(())
+}
+
+/// Supervised outbound link: dial, introduce, pump messages; on any
+/// failure back off (capped exponential + seeded jitter) and redial.
+fn peer_connector(my_nid: u32, addr: &str, rx: &Receiver<PeerMsg>, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures: u32 = 0;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(mut stream) => {
+                failures = 0;
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(WRITE_DEADLINE));
+                if write_frame(&mut stream, &Hello::Peer { from: my_nid }).is_err() {
+                    continue;
+                }
+                // Anything queued while the link was down is stale
+                // (heartbeats supersede it); start fresh.
+                while rx.try_recv().is_ok() {}
+                loop {
+                    match rx.recv() {
+                        Ok(msg) => {
+                            if write_frame(&mut stream, &msg).is_err() {
+                                break; // dead link: redial
+                            }
+                        }
+                        Err(_) => return, // engine gone: shut down
+                    }
+                }
+            }
+            Err(_) => {
+                failures = failures.saturating_add(1);
+                let exp = BACKOFF_BASE_MS.saturating_mul(1 << failures.min(6));
+                let cap = exp.min(BACKOFF_CAP_MS);
+                let jitter = rng.gen_range(0..=cap / 2 + 1);
+                thread::sleep(Duration::from_millis(cap / 2 + jitter));
+                // Drop queued messages while unreachable: the engine's
+                // bounded outbox must never block on a dead peer.
+                while rx.try_recv().is_ok() {}
+            }
+        }
+    }
+}
+
+/// Handles one accepted connection: a `Hello` within the deadline, then
+/// a peer pump or a client session.
+fn serve_connection(
+    mut stream: TcpStream,
+    tx: &SyncSender<Event>,
+    clients: &Arc<Mutex<BTreeMap<u64, TcpStream>>>,
+    next_conn: &AtomicU64,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(WRITE_DEADLINE));
+    let _ = stream.set_read_timeout(Some(HELLO_DEADLINE));
+    let hello: Hello = match read_frame(&mut stream) {
+        Ok(Some(payload)) => match decode_msg(&payload) {
+            Ok(h) => h,
+            Err(_) => return,
+        },
+        _ => return,
+    };
+    match hello {
+        Hello::Peer { from: _ } => {
+            let _ = stream.set_read_timeout(Some(PEER_READ_DEADLINE));
+            loop {
+                match read_frame(&mut stream) {
+                    Ok(Some(payload)) => match decode_msg::<PeerMsg>(&payload) {
+                        Ok(msg) => {
+                            if tx.send(Event::Peer(msg)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return, // protocol confusion: drop the link
+                    },
+                    _ => return,
+                }
+            }
+        }
+        Hello::Client { client: _ } => {
+            let conn = next_conn.fetch_add(1, Ordering::Relaxed);
+            let Ok(writer) = stream.try_clone() else {
+                return;
+            };
+            clients
+                .lock()
+                .expect("client map lock")
+                .insert(conn, writer);
+            let _ = stream.set_read_timeout(None);
+            while let Ok(Some(payload)) = read_frame(&mut stream) {
+                let Ok(msg) = decode_msg::<ClientMsg>(&payload) else {
+                    break;
+                };
+                if tx.send(Event::Client { conn, msg }).is_err() {
+                    break;
+                }
+            }
+            clients.lock().expect("client map lock").remove(&conn);
+            let _ = tx.send(Event::ClientGone { conn });
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Wire-codec hardening and session-window edge cases.
+//!
+//! The codec half: property tests that any payload round-trips through
+//! the frame codec and that adversarial inputs — truncation at every
+//! byte boundary, oversized length prefixes, corrupt lengths and
+//! payloads — always produce a typed [`WireError`], never a panic and
+//! never an allocation proportional to a hostile length claim.
+//!
+//! The session half: the exact verdicts of the exactly-once dedup
+//! window under its edge cases — sequence wraparound and regression,
+//! window eviction, and a restarted client reusing its old id.
+
+use proptest::prelude::*;
+
+use adored::det::msg::{decode_msg, encode_msg, ClientMsg, ClientReply, PeerMsg};
+use adored::det::session::{SeqVerdict, SessionTable};
+use adored::det::wire::{
+    decode_header, encode_frame, split_frame, WireError, HEADER, MAX_FRAME,
+};
+
+// ---- codec properties ----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any byte payload survives a frame round trip, and the frame
+    /// reports exactly its own length as consumed.
+    #[test]
+    fn any_payload_round_trips(payload in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let framed = encode_frame(&payload).unwrap();
+        let (got, used) = split_frame(&framed).unwrap().unwrap();
+        prop_assert_eq!(got, payload.as_slice());
+        prop_assert_eq!(used, framed.len());
+    }
+
+    /// Every proper prefix of a valid frame is "need more bytes" —
+    /// never an error, never a partial payload.
+    #[test]
+    fn every_truncation_asks_for_more(payload in prop::collection::vec(any::<u8>(), 0..256), cut_seed in 0usize..4096) {
+        let framed = encode_frame(&payload).unwrap();
+        let cut = cut_seed % framed.len();
+        prop_assert_eq!(split_frame(&framed[..cut]).unwrap(), None);
+    }
+
+    /// Flipping any single bit of a frame yields a typed error or a
+    /// clean "need more" — never a panic, and never a silently wrong
+    /// payload (a header-length flip changes where the payload ends;
+    /// the CRC over the reframed payload catches it up to CRC
+    /// collision, which a single-bit flip cannot produce).
+    #[test]
+    fn any_single_bit_flip_is_caught_or_starves(
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+        bit in 0usize..64,
+    ) {
+        let mut framed = encode_frame(&payload).unwrap();
+        let bit = bit % (framed.len() * 8);
+        framed[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(Some((got, _))) = split_frame(&framed) {
+            prop_assert_ne!(got, payload.as_slice());
+        }
+    }
+
+    /// Typed peer and client messages survive the full encode/decode
+    /// path (JSON inside a frame).
+    #[test]
+    fn typed_messages_round_trip(from in any::<u32>(), time in any::<u64>(), len in any::<u64>()) {
+        let msg = PeerMsg::CommitAck { from, time, len };
+        let framed = encode_msg(&msg).unwrap();
+        let (payload, _) = split_frame(&framed).unwrap().unwrap();
+        prop_assert_eq!(decode_msg::<PeerMsg>(payload).unwrap(), msg);
+
+        let reply = ClientReply::Acked { seq: time, duplicate: len.is_multiple_of(2) };
+        let framed = encode_msg(&reply).unwrap();
+        let (payload, _) = split_frame(&framed).unwrap().unwrap();
+        prop_assert_eq!(decode_msg::<ClientReply>(payload).unwrap(), reply);
+    }
+}
+
+/// A length prefix above the cap is rejected from the 8 header bytes
+/// alone — before any payload allocation could happen. Exercised at
+/// the cap boundary and at the extremes of the length field.
+#[test]
+fn hostile_length_prefixes_never_allocate() {
+    for claimed in [MAX_FRAME as u32 + 1, u32::MAX / 2, u32::MAX] {
+        let mut header = [0u8; HEADER];
+        header[..4].copy_from_slice(&claimed.to_le_bytes());
+        assert_eq!(
+            decode_header(&header),
+            Err(WireError::Oversized {
+                len: u64::from(claimed)
+            })
+        );
+        // The streaming splitter refuses identically, even with a
+        // mountain of bytes behind the header.
+        let mut bytes = header.to_vec();
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            split_frame(&bytes),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+    // Exactly at the cap the header itself is fine (the splitter then
+    // just waits for the payload).
+    let mut header = [0u8; HEADER];
+    header[..4].copy_from_slice(&(MAX_FRAME as u32).to_le_bytes());
+    assert_eq!(decode_header(&header).unwrap().0, MAX_FRAME);
+    assert_eq!(split_frame(&header).unwrap(), None);
+}
+
+/// The encoder enforces the same cap as the decoder, so a node can
+/// never emit a frame a peer would refuse.
+#[test]
+fn encoder_refuses_oversized_payloads() {
+    let too_big = vec![0u8; MAX_FRAME + 1];
+    assert_eq!(
+        encode_frame(&too_big),
+        Err(WireError::Oversized {
+            len: (MAX_FRAME + 1) as u64
+        })
+    );
+}
+
+/// Garbage that parses as a frame but not as the expected message type
+/// is a typed decode error.
+#[test]
+fn valid_frame_with_wrong_payload_type_is_typed() {
+    let framed = encode_msg(&ClientMsg::Status).unwrap();
+    let (payload, _) = split_frame(&framed).unwrap().unwrap();
+    assert!(matches!(
+        decode_msg::<PeerMsg>(payload),
+        Err(WireError::BadPayload { .. })
+    ));
+    let framed = encode_frame(b"not json at all").unwrap();
+    let (payload, _) = split_frame(&framed).unwrap().unwrap();
+    assert!(matches!(
+        decode_msg::<ClientMsg>(payload),
+        Err(WireError::BadPayload { .. })
+    ));
+}
+
+// ---- session-window edge cases ------------------------------------------
+
+/// A session table with a window of 8 and room for 4 clients, matching
+/// the scenarios below.
+fn table() -> SessionTable {
+    SessionTable::new(8, 4)
+}
+
+/// Sequence regression below the window floor: the node cannot decide
+/// whether the old sequence was already applied, so the verdict is
+/// `Stale` with the exact floor — never `Fresh` (which would risk a
+/// double apply).
+#[test]
+fn seq_regression_below_the_window_is_stale() {
+    let mut t = table();
+    t.record(1, 100, 1);
+    // floor = 100 - 8 = 92: anything at or below it is undecidable.
+    assert_eq!(t.check(1, 92), SeqVerdict::Stale { floor: 92 });
+    assert_eq!(t.check(1, 5), SeqVerdict::Stale { floor: 92 });
+    // Inside the window but never recorded: fresh.
+    assert_eq!(t.check(1, 93), SeqVerdict::Fresh);
+    // The recorded seq itself: duplicate, with its covering log length.
+    assert_eq!(t.check(1, 100), SeqVerdict::Duplicate { len: 1 });
+}
+
+/// Wraparound: a client that overflows its sequence space back to a
+/// small number lands below the floor and is refused, not silently
+/// treated as new work.
+#[test]
+fn seq_wraparound_is_refused_not_reapplied() {
+    let mut t = table();
+    t.record(1, u64::MAX, 7);
+    let floor = u64::MAX - 8;
+    assert_eq!(t.check(1, u64::MAX), SeqVerdict::Duplicate { len: 7 });
+    assert_eq!(t.check(1, 0), SeqVerdict::Stale { floor });
+    assert_eq!(t.check(1, 1), SeqVerdict::Stale { floor });
+}
+
+/// Window eviction: once the window slides past a sequence, its dedup
+/// record is gone and the verdict degrades from `Duplicate` (safe ack)
+/// to `Stale` (safe refusal) — never to `Fresh`.
+#[test]
+fn window_eviction_degrades_duplicate_to_stale() {
+    let mut t = table();
+    t.record(1, 1, 1);
+    assert_eq!(t.check(1, 1), SeqVerdict::Duplicate { len: 1 });
+    // Slide the window far past seq 1.
+    t.record(1, 50, 2);
+    assert_eq!(t.check(1, 1), SeqVerdict::Stale { floor: 42 });
+    // Within-window history is still deduplicated.
+    assert_eq!(t.check(1, 50), SeqVerdict::Duplicate { len: 2 });
+}
+
+/// A restarted client that reuses its id but restarts its sequence
+/// numbering from 1 is refused (`Stale`), not double-applied: the
+/// table cannot distinguish a restart from a very late retry of the
+/// original seq 1.
+#[test]
+fn restarted_client_reusing_its_id_is_refused() {
+    let mut t = table();
+    for seq in 1..=20 {
+        t.record(9, seq, seq);
+    }
+    // The "restarted" client begins again at seq 1.
+    assert_eq!(t.check(9, 1), SeqVerdict::Stale { floor: 12 });
+    assert_eq!(t.check(9, 2), SeqVerdict::Stale { floor: 12 });
+    // A genuinely new id is unencumbered.
+    assert_eq!(t.check(10, 1), SeqVerdict::Fresh);
+}
+
+/// Client-table eviction is deterministic (least-recently-touched id)
+/// and an evicted client's history is forgotten wholesale — its next
+/// request is `Fresh`, which is safe because eviction only happens to
+/// clients idle past the whole table's capacity.
+#[test]
+fn client_eviction_forgets_the_coldest_client() {
+    let mut t = table();
+    for client in 1..=4 {
+        t.record(client, 1, client);
+    }
+    // A fifth client evicts the least recently touched (client 1).
+    t.record(5, 1, 9);
+    assert_eq!(t.check(1, 1), SeqVerdict::Fresh);
+    assert_eq!(t.check(2, 1), SeqVerdict::Duplicate { len: 2 });
+    assert_eq!(t.check(5, 1), SeqVerdict::Duplicate { len: 9 });
+}

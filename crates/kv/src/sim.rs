@@ -1188,6 +1188,80 @@ where
         best
     }
 
+    /// The log index of the session entry carrying `(client, seq)` in
+    /// the current leader's log, if any.
+    fn find_session(&self, leader: NodeId, client: u64, seq: u64) -> Option<usize> {
+        let server = self.net.server(leader)?;
+        server.log.iter().position(|e| {
+            matches!(
+                &e.cmd,
+                adore_raft::Command::Method(m) if m.session_id() == Some((client, seq))
+            )
+        })
+    }
+
+    /// Submits a command wrapped in an exactly-once session envelope.
+    ///
+    /// This is the retry-safe submission path: before invoking, the
+    /// leader's log is scanned for an entry already carrying
+    /// `(client, seq)`. A committed hit is acknowledged immediately
+    /// without appending anything (the retried write applied exactly
+    /// once); an uncommitted hit waits for *that* entry to commit
+    /// instead of appending a second copy — the duplicate-apply hazard
+    /// of retrying a [`ClusterError::Stalled`] submission raw.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::submit`].
+    pub fn submit_session(
+        &mut self,
+        client: u64,
+        seq: u64,
+        cmd: KvCommand,
+    ) -> Result<u64, ClusterError> {
+        self.submit_session_with_rounds(client, seq, cmd, 32)
+    }
+
+    /// [`Cluster::submit_session`] with a bounded retransmission budget.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::submit`].
+    pub fn submit_session_with_rounds(
+        &mut self,
+        client: u64,
+        seq: u64,
+        cmd: KvCommand,
+        max_rounds: u32,
+    ) -> Result<u64, ClusterError> {
+        let leader = self.leader.ok_or(ClusterError::NoLeader)?;
+        if let Some(idx) = self.find_session(leader, client, seq) {
+            self.metrics.inc("requests.deduped");
+            let commit = self.net.server(leader).expect("leader exists").commit_len;
+            if idx < commit {
+                // Already committed: the retry is acknowledged, the
+                // operation is not applied again.
+                return Ok(0);
+            }
+            // In the log but uncommitted: drive that entry to commit
+            // rather than appending a second copy.
+            let res = self.replicate_rounds(idx + 1, max_rounds);
+            self.note_request(&res);
+            return res;
+        }
+        if self.step_logged(&NetEvent::Invoke {
+            nid: leader,
+            method: KvCommand::session(client, seq, cmd),
+        }) != EventOutcome::Applied
+        {
+            return Err(ClusterError::Rejected);
+        }
+        let target = self.net.server(leader).expect("leader exists").log.len();
+        let res = self.replicate_rounds(target, max_rounds);
+        self.note_request(&res);
+        res
+    }
+
     /// [`Cluster::submit`] with a bounded retransmission budget: after
     /// `max_rounds` rounds without commit the request fails with
     /// [`ClusterError::Stalled`] instead of burning the full default
@@ -1324,6 +1398,78 @@ mod tests {
         assert_eq!(store.get("warm"), Some("up"));
         assert_eq!(store.get("small"), Some("cluster"));
         assert_eq!(store.get("big"), Some("again"));
+    }
+
+    /// Session entries in `nid`'s log carrying `(client, seq)`.
+    fn session_copies(c: &Cluster<SingleNode>, nid: u32, client: u64, seq: u64) -> usize {
+        c.net()
+            .server(NodeId(nid))
+            .map(|s| {
+                s.log
+                    .iter()
+                    .filter(|e| {
+                        matches!(
+                            &e.cmd,
+                            adore_raft::Command::Method(m)
+                                if m.session_id() == Some((client, seq))
+                        )
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn raw_resubmission_double_applies_but_sessioned_does_not() {
+        let mut c = cluster(31);
+        c.elect(NodeId(1)).unwrap();
+        // The hazard: re-submitting after an ambiguous outcome with the
+        // raw path appends (and applies) the command a second time.
+        c.submit(KvCommand::put("raw", "1")).unwrap();
+        c.submit(KvCommand::put("raw", "1")).unwrap();
+        let raw_copies = c
+            .net()
+            .server(NodeId(1))
+            .unwrap()
+            .log
+            .iter()
+            .filter(|e| {
+                matches!(&e.cmd, adore_raft::Command::Method(KvCommand::Put { key, .. }) if key == "raw")
+            })
+            .count();
+        assert_eq!(raw_copies, 2, "raw retry is the duplicate-apply hazard");
+        // The sessioned path recognizes the retry of a committed write
+        // and acknowledges without appending.
+        c.submit_session(9, 1, KvCommand::put("s", "1")).unwrap();
+        let lat = c.submit_session(9, 1, KvCommand::put("s", "1")).unwrap();
+        assert_eq!(lat, 0, "dedup hit acks instantly");
+        assert_eq!(session_copies(&c, 1, 9, 1), 1);
+        assert_eq!(c.metrics().counter("requests.deduped"), 1);
+        c.verify().unwrap();
+    }
+
+    #[test]
+    fn sessioned_retry_waits_for_the_inflight_entry() {
+        let mut c = cluster(33);
+        c.elect(NodeId(1)).unwrap();
+        c.submit(KvCommand::put("warm", "up")).unwrap();
+        // Partition the leader away: the submission appends to its log
+        // but cannot commit — the ambiguous outcome a client retries.
+        let all: Vec<NodeId> = (1..=5).map(NodeId).collect();
+        c.links_mut().isolate(NodeId(1), all);
+        let err = c
+            .submit_session_with_rounds(9, 4, KvCommand::put("a", "1"), 2)
+            .unwrap_err();
+        assert_eq!(err, ClusterError::Stalled);
+        assert_eq!(session_copies(&c, 1, 9, 4), 1);
+        // Heal and retry with the same (client, seq): the in-flight
+        // entry is driven to commit; no second copy is appended.
+        c.links_mut().heal_all();
+        c.submit_session_with_rounds(9, 4, KvCommand::put("a", "1"), 8)
+            .unwrap();
+        assert_eq!(session_copies(&c, 1, 9, 4), 1);
+        assert_eq!(c.committed_store().get("a"), Some("1"));
+        c.verify().unwrap();
     }
 
     #[test]

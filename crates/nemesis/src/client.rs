@@ -198,18 +198,27 @@ pub struct RobustClient {
     params: ClientParams,
     rng: StdRng,
     ghost: BTreeMap<String, GhostKey>,
+    /// This client's session id, embedded in every submitted write.
+    client_id: u64,
+    /// The next request sequence number. Allocated **once per
+    /// operation**, before the first attempt, and reused verbatim by
+    /// every retry — the client half of the exactly-once contract.
+    next_seq: u64,
     /// Every completed operation, in order.
     pub history: Vec<OpRecord>,
 }
 
 impl RobustClient {
     /// Creates a client with its own jitter stream derived from `seed`.
+    /// The seed doubles as the client's session id.
     #[must_use]
     pub fn new(params: ClientParams, seed: u64) -> Self {
         RobustClient {
             params,
             rng: StdRng::seed_from_u64(seed ^ 0xc11e_4475),
             ghost: BTreeMap::new(),
+            client_id: seed,
+            next_seq: 1,
             history: Vec::new(),
         }
     }
@@ -235,6 +244,13 @@ impl RobustClient {
         value: &str,
     ) -> OpOutcome {
         let start = cluster.now_us();
+        // The exactly-once discipline: one sequence number per logical
+        // operation, shared by all of its retries. A retry of a write
+        // whose first attempt stalled in some leader's log is then
+        // recognized by the log scan in `submit_session_with_rounds`
+        // and never appended a second time.
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let mut last = OpOutcome::NoLeader;
         for attempt in 0..self.params.max_attempts {
             if attempt > 0 {
@@ -244,7 +260,9 @@ impl RobustClient {
                 last = OpOutcome::NoLeader;
                 continue;
             }
-            match cluster.submit_with_rounds(
+            match cluster.submit_session_with_rounds(
+                self.client_id,
+                seq,
                 KvCommand::put(key, value),
                 self.params.request_rounds,
             ) {
@@ -401,6 +419,58 @@ mod tests {
         cluster.fail(NodeId(3)); // leader() is Some(2); crash a bystander
         assert!(matches!(
             client.put(&mut cluster, "a", "3"),
+            OpOutcome::Acked { .. }
+        ));
+        client.check_reads(&cluster).unwrap();
+    }
+
+    #[test]
+    fn stalled_retries_append_one_entry_not_one_per_attempt() {
+        let mut cluster = Cluster::new(
+            SingleNode::new([1, 2, 3, 4, 5]),
+            LatencyModel::default(),
+            24,
+        );
+        cluster.elect(NodeId(1)).unwrap();
+        let mut client = RobustClient::new(ClientParams::default(), 24);
+        assert!(matches!(
+            client.put(&mut cluster, "a", "1"),
+            OpOutcome::Acked { .. }
+        ));
+        // Partition the leader into a minority: every attempt of the
+        // next put stalls, and every retry reaches the same leader.
+        let all: Vec<NodeId> = (1..=5).map(NodeId).collect();
+        cluster.links_mut().isolate(NodeId(1), all);
+        cluster.links_mut().heal_both_ways(NodeId(1), NodeId(2));
+        assert_eq!(client.put(&mut cluster, "a", "2"), OpOutcome::TimedOut);
+        // The regression: before sessioned submission, each of the 4
+        // attempts invoked afresh, leaving 4 copies of the same logical
+        // write in the leader's log — all of which would commit (and
+        // apply) after the partition healed. With the `(client, seq)`
+        // envelope, the retries recognize the in-flight entry instead.
+        let copies = cluster
+            .net()
+            .server(NodeId(1))
+            .unwrap()
+            .log
+            .iter()
+            .filter(|e| {
+                matches!(
+                    &e.cmd,
+                    adore_raft::Command::Method(m) if m.session_id().is_some()
+                        && matches!(
+                            m,
+                            KvCommand::Session { cmd, .. }
+                                if **cmd == KvCommand::put("a", "2")
+                        )
+                )
+            })
+            .count();
+        assert_eq!(copies, 1, "retries must not re-append the stalled write");
+        // Heal: the single in-flight copy commits exactly once.
+        cluster.links_mut().heal_all();
+        assert!(matches!(
+            client.put(&mut cluster, "b", "x"),
             OpOutcome::Acked { .. }
         ));
         client.check_reads(&cluster).unwrap();

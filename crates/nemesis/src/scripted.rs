@@ -198,10 +198,15 @@ pub fn storage_no_fsync_schedule() -> FaultSchedule {
 /// `'v'` (`0x76 → 0x77`). The frame still parses, so only the checksum
 /// stands between the corruption and the replayed state.
 fn first_write_value_bit() -> u32 {
+    // The client wraps every write in its exactly-once session
+    // envelope: client id = the schedule's seed (102), and the first
+    // operation carries sequence number 1. The record serialized here
+    // must match the engine's byte-for-byte for the bit offset to land
+    // inside the value.
     let record: WalRecord<SingleNode, KvCommand> = WalRecord::Append {
         entry: Entry {
             time: Timestamp(1),
-            cmd: Command::Method(KvCommand::put("key0", "v0")),
+            cmd: Command::Method(KvCommand::session(102, 1, KvCommand::put("key0", "v0"))),
         },
     };
     // adore-lint: allow(L2, reason = "serializing a compile-time-constant record cannot fail")

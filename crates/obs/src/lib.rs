@@ -34,7 +34,7 @@ pub use event::{EventKind, TraceEvent};
 pub use metrics::{
     Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, LATENCY_BOUNDS_US,
 };
-pub use trace::{parse_jsonl, to_jsonl, TraceError, Tracer};
+pub use trace::{merge_journals, parse_jsonl, to_jsonl, TraceError, Tracer};
 
 /// Parses a JSONL journal and audits it in one step.
 ///

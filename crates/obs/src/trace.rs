@@ -160,6 +160,62 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
     Ok(out)
 }
 
+/// Merges per-process journal files into one auditable trace.
+///
+/// Real cluster nodes (`adored`) each write their own JSONL journal;
+/// the auditor wants a single journal with dense sequence numbers and a
+/// monotone clock (its T1 check). This function parses each file,
+/// merges all events in timestamp order (ties keep file order, so the
+/// merge is deterministic), renumbers `seq` densely from 0, and clears
+/// causal parents (per-file sequence numbers are meaningless across
+/// files; cluster journals record only root events).
+///
+/// Crash tolerance: a node killed with `SIGKILL` mid-write can leave a
+/// torn, unparseable **last** line in its journal. That final line is
+/// dropped silently — it describes an event whose effects were never
+/// acknowledged to anyone. A malformed line anywhere *else* is real
+/// corruption and stays a [`TraceError`].
+///
+/// # Errors
+///
+/// The first malformed non-final line across the inputs, with its
+/// 1-based line number within its own file.
+pub fn merge_journals<'a, I>(texts: I) -> Result<Vec<TraceEvent>, TraceError>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut merged: Vec<TraceEvent> = Vec::new();
+    for text in texts {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        for (pos, (line_no, line)) in lines.iter().enumerate() {
+            match serde_json::from_str::<TraceEvent>(line) {
+                Ok(ev) => merged.push(ev),
+                Err(e) => {
+                    if pos + 1 == lines.len() {
+                        // Torn tail at the kill point: drop it.
+                        continue;
+                    }
+                    return Err(TraceError {
+                        line: *line_no,
+                        msg: e.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    merged.sort_by_key(|ev| ev.at_us);
+    for (i, ev) in merged.iter_mut().enumerate() {
+        ev.seq = i as u64;
+        ev.parent = None;
+    }
+    Ok(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +266,31 @@ mod tests {
         assert_eq!(parse_jsonl("\n\n").unwrap(), Vec::new());
         let err = parse_jsonl("\n{nope\n").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn merge_orders_renumbers_and_drops_torn_tails() {
+        let mut a = Tracer::enabled();
+        a.record(30, EventKind::WalSync { nid: 1 });
+        let mut b = Tracer::enabled();
+        b.record(10, EventKind::WalSync { nid: 2 });
+        b.record(20, EventKind::Heal);
+        // Node b's journal ends in a torn line from a kill -9.
+        let b_text = format!("{}{{\"seq\":2,\"at_us\":40,\"par", b.to_jsonl());
+        let merged = merge_journals([a.to_jsonl().as_str(), b_text.as_str()]).unwrap();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(
+            merged.iter().map(|e| (e.seq, e.at_us)).collect::<Vec<_>>(),
+            vec![(0, 10), (1, 20), (2, 30)]
+        );
+    }
+
+    #[test]
+    fn merge_rejects_mid_file_corruption() {
+        let mut t = Tracer::enabled();
+        t.record(10, EventKind::Heal);
+        let text = format!("{{broken}}\n{}", t.to_jsonl());
+        let err = merge_journals([text.as_str()]).unwrap_err();
+        assert_eq!(err.line, 1);
     }
 }

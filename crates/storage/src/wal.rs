@@ -289,6 +289,32 @@ where
         wal
     }
 
+    /// Rebuilds a WAL from raw device bytes previously persisted to a
+    /// real file (the networked runtime mirrors the synced region of
+    /// the [`SimDisk`] to its data directory). Empty bytes behave like
+    /// a fresh [`Wal::new`]; otherwise the bytes are installed as the
+    /// synced region and the caller runs [`Wal::recover`] next, exactly
+    /// as after a simulated crash.
+    #[must_use]
+    pub fn from_bytes(nid: NodeId, bytes: &[u8]) -> Self {
+        if bytes.is_empty() {
+            return Wal::new(nid);
+        }
+        let mut disk = SimDisk::new();
+        disk.write(bytes);
+        disk.sync();
+        let mut wal = Wal {
+            nid: nid.0,
+            disk,
+            mirror: DurableState::default(),
+            mirror_off: 0,
+            mirror_frozen: false,
+            stats: WalStats::default(),
+        };
+        wal.rebuild_mirror();
+        wal
+    }
+
     /// Appends one framed record to the volatile tail (no sync).
     pub fn append(&mut self, rec: &WalRecord<C, M>) {
         let payload = serde_json::to_string(rec).expect("WAL records serialize").into_bytes();
