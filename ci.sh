@@ -83,4 +83,17 @@ timeout 150 cargo run -q -p adored --release --offline -- \
     smoke --nodes 3 --seed 7 --dir target/adored-smoke
 cargo run -q -p adore-obs --release --offline -- --audit target/adored-smoke/merged.jsonl >/dev/null
 
+# Netmesis gate: the fault-injecting wire layer runs one fixed schedule
+# — a partition dropped onto a live reconfiguration — against a real
+# 3-node cluster behind per-link proxies, with the availability monitor
+# journaling every acked write. The hunt self-audits (zero acked-write
+# loss, zero duplicate applies) and the standalone auditor re-certifies
+# the merged journals. `timeout` bounds the gate; the full 25-seed
+# campaign with corruption/gray-pause/reset faults is E14.
+echo "== netmesis gate (partition during reconfig, audited) =="
+rm -rf target/netmesis-gate
+timeout 90 cargo run -q -p adored --release --offline -- \
+    hunt --gate --dir target/netmesis-gate
+cargo run -q -p adore-obs --release --offline -- --audit target/netmesis-gate/netmesis-gate/merged.jsonl >/dev/null
+
 echo "ci: all green"

@@ -29,6 +29,12 @@ pub struct ClientParams {
     pub backoff_cap_ms: u64,
     /// Per-request socket timeout.
     pub request_timeout: Duration,
+    /// Leader-`Redirect` hops followed per operation before the client
+    /// stops trusting hints and falls back to round-robin probing.
+    /// During an election two nodes can hold stale hints pointing at
+    /// each other; without a cap that cycle spins the client through
+    /// its whole attempt budget without ever probing the real leader.
+    pub max_redirect_hops: u32,
 }
 
 impl Default for ClientParams {
@@ -38,6 +44,7 @@ impl Default for ClientParams {
             backoff_base_ms: 40,
             backoff_cap_ms: 1_500,
             request_timeout: Duration::from_secs(3),
+            max_redirect_hops: 3,
         }
     }
 }
@@ -175,8 +182,27 @@ impl NetClient {
         if let Some(l) = self.leader {
             return l;
         }
-        let ids: Vec<u32> = self.addrs.keys().copied().collect();
-        ids[attempt as usize % ids.len()]
+        let n = self.addrs.len().max(1);
+        self.addrs
+            .keys()
+            .copied()
+            .nth(attempt as usize % n)
+            .unwrap_or_default()
+    }
+
+    /// Follows (or, past the hop cap, discards) a leader hint from a
+    /// `Redirect` reply. Returns the updated hop count.
+    fn follow_redirect(&mut self, leader: Option<u32>, target: u32, hops: u32) -> u32 {
+        let hops = hops.saturating_add(1);
+        if hops > self.params.max_redirect_hops {
+            // Two nodes with stale hints can redirect at each other
+            // indefinitely during an election; stop chasing hints and
+            // let `pick_target` round-robin over the address book.
+            self.leader = None;
+        } else {
+            self.leader = leader.filter(|l| *l != target);
+        }
+        hops
     }
 
     fn backoff(&mut self, attempt: u32) {
@@ -229,6 +255,7 @@ impl NetClient {
 
     fn retry_write(&mut self, seq: u64, msg: &ClientMsg) -> Result<Acked, ClientError> {
         let mut last_err: Option<io::Error> = None;
+        let mut hops = 0u32;
         for attempt in 0..self.params.max_attempts {
             if attempt > 0 {
                 self.backoff(attempt - 1);
@@ -248,7 +275,7 @@ impl NetClient {
                     self.conns.remove(&target);
                 }
                 Ok(ClientReply::Redirect { leader }) => {
-                    self.leader = leader.filter(|l| *l != target);
+                    hops = self.follow_redirect(leader, target, hops);
                 }
                 Ok(ClientReply::Overloaded) => {
                     // Shed under load: back off harder, same leader.
@@ -281,6 +308,7 @@ impl NetClient {
             key: key.to_string(),
         };
         let mut last_err: Option<io::Error> = None;
+        let mut hops = 0u32;
         for attempt in 0..self.params.max_attempts {
             if attempt > 0 {
                 self.backoff(attempt - 1);
@@ -289,7 +317,7 @@ impl NetClient {
             match self.request(target, &msg) {
                 Ok(ClientReply::Value { value, .. }) => return Ok(value),
                 Ok(ClientReply::Redirect { leader }) => {
-                    self.leader = leader.filter(|l| *l != target);
+                    hops = self.follow_redirect(leader, target, hops);
                 }
                 Ok(_) => self.backoff(attempt),
                 Err(e) => {
@@ -308,5 +336,103 @@ impl NetClient {
     /// Transport failures.
     pub fn status(&mut self, nid: u32) -> io::Result<ClientReply> {
         self.request(nid, &ClientMsg::Status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A one-thread fake node: consumes the hello, then answers every
+    /// client frame with `behavior(msg)` until the peer hangs up.
+    fn fake_node(behavior: impl Fn(&ClientMsg) -> ClientReply + Send + 'static) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake node");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { return };
+                if read_frame(&mut stream).ok().flatten().is_none() {
+                    continue;
+                }
+                while let Ok(Some(payload)) = read_frame(&mut stream) {
+                    let Ok(msg) = decode_msg::<ClientMsg>(&payload) else {
+                        break;
+                    };
+                    if write_frame(&mut stream, &behavior(&msg)).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    fn fast_params() -> ClientParams {
+        ClientParams {
+            backoff_base_ms: 1,
+            backoff_cap_ms: 2,
+            ..ClientParams::default()
+        }
+    }
+
+    #[test]
+    fn a_stale_redirect_cycle_falls_back_to_round_robin_probing() {
+        // Nodes 1 and 2 hold stale hints pointing at each other (the
+        // post-election two-node cycle); only node 3 actually acks.
+        // Without the hop cap the client ping-pongs 1 <-> 2 until its
+        // attempt budget is gone and never probes node 3.
+        let a1 = fake_node(|_| ClientReply::Redirect { leader: Some(2) });
+        let a2 = fake_node(|_| ClientReply::Redirect { leader: Some(1) });
+        let a3 = fake_node(|msg| match msg {
+            ClientMsg::Put { seq, .. } => ClientReply::Acked {
+                seq: *seq,
+                duplicate: false,
+            },
+            _ => ClientReply::Rejected {
+                reason: "unexpected".to_string(),
+            },
+        });
+        let addrs = BTreeMap::from([(1, a1), (2, a2), (3, a3)]);
+        let mut client = NetClient::new(addrs, 7, fast_params());
+        let acked = client
+            .put("k", "v")
+            .expect("the hop cap must break the 1 <-> 2 redirect cycle");
+        assert_eq!(acked.seq, 1);
+        assert!(!acked.duplicate);
+        assert!(
+            acked.attempts <= ClientParams::default().max_attempts,
+            "resolved within the attempt budget"
+        );
+    }
+
+    #[test]
+    fn reads_survive_the_same_redirect_cycle() {
+        let a1 = fake_node(|_| ClientReply::Redirect { leader: Some(2) });
+        let a2 = fake_node(|_| ClientReply::Redirect { leader: Some(1) });
+        let a3 = fake_node(|msg| match msg {
+            ClientMsg::Get { key } => ClientReply::Value {
+                key: key.clone(),
+                value: Some("v".to_string()),
+            },
+            _ => ClientReply::Rejected {
+                reason: "unexpected".to_string(),
+            },
+        });
+        let addrs = BTreeMap::from([(1, a1), (2, a2), (3, a3)]);
+        let mut client = NetClient::new(addrs, 8, fast_params());
+        let value = client.get("k").expect("read resolves past the cycle");
+        assert_eq!(value.as_deref(), Some("v"));
+    }
+
+    #[test]
+    fn without_a_leader_hint_targets_rotate_through_the_address_book() {
+        let addrs: BTreeMap<u32, String> = [1, 2, 5]
+            .into_iter()
+            .map(|nid| (nid, String::new()))
+            .collect();
+        let mut client = NetClient::new(addrs, 1, ClientParams::default());
+        let order: Vec<u32> = (0..4).map(|a| client.pick_target(a)).collect();
+        assert_eq!(order, vec![1, 2, 5, 1]);
     }
 }

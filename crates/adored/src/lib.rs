@@ -18,7 +18,14 @@
 //!   file, and the journal writer.
 //! - [`client`] — the retrying cluster client with exactly-once
 //!   semantics (a retry reuses its `(client, seq)`).
+//! - [`proxy`] — the netmesis wire layer: one fault-injecting TCP
+//!   proxy per directed peer link (partitions, loss, CRC-preserving
+//!   corruption, delay, reorder, slow-loris, resets).
+//! - [`monitor`] — the availability monitor whose acked writes become
+//!   the audit's zero-loss / zero-duplicate obligations.
 
 pub mod client;
 pub mod det;
+pub mod monitor;
 pub mod node;
+pub mod proxy;

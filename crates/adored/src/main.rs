@@ -12,10 +12,17 @@
 //!   journal, and audits the merged trace with `adore-obs`.
 //! - `adored bench` measures a closed-loop write baseline against a
 //!   3-node cluster and writes `results/BENCH_net.json`.
+//! - `adored hunt` is the netmesis campaign driver: it compiles
+//!   serializable nemesis `FaultSchedule`s into live wire and process
+//!   faults (via the per-link proxies in [`adored::proxy`]), runs them
+//!   against a real cluster under an availability monitor, audits the
+//!   merged journals, and on failure persists a replayable,
+//!   sim-minimized counterexample artifact.
+
+mod hunt;
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write as _;
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -44,12 +51,16 @@ fn main() {
         Some("node") => cmd_node(&args[1..]),
         Some("smoke") => cmd_smoke(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("hunt") => hunt::cmd_hunt(&args[1..]),
         _ => {
             eprintln!(
                 "usage: adored node --nid N --peers 1=host:port,2=... --data DIR \
-                 [--seed S] [--tick-ms T] [--max-runtime-ms M]\n\
+                 [--seed S] [--tick-ms T] [--max-runtime-ms M] [--ablate-guard r1|r2|r3] \
+                 [--peer-deadline-ms M]\n\
                  \x20      adored smoke [--nodes N] [--dir DIR] [--seed S] [--reconfig]\n\
-                 \x20      adored bench [--writes N] [--dir DIR] [--out FILE] [--seed S]"
+                 \x20      adored bench [--writes N] [--dir DIR] [--out FILE] [--seed S]\n\
+                 \x20      adored hunt [--gate | --seeds N] [--nodes N] [--dir DIR] \
+                 [--seed S] [--ablate r1] [--out FILE]"
             );
             2
         }
@@ -101,6 +112,22 @@ fn cmd_node(args: &[String]) -> i32 {
         eprintln!("adored node: --data DIR is required");
         return 2;
     };
+    // `--ablate-guard r1,r3` drops the named conditions from the sound
+    // guard — fault-harness use only, to manufacture counterexamples.
+    let mut guard = adore_core::ReconfigGuard::all();
+    if let Some(spec) = arg_value(args, "--ablate-guard") {
+        for cond in spec.split(',') {
+            match cond.trim() {
+                "r1" => guard.r1 = false,
+                "r2" => guard.r2 = false,
+                "r3" => guard.r3 = false,
+                other => {
+                    eprintln!("adored node: unknown guard condition {other:?}");
+                    return 2;
+                }
+            }
+        }
+    }
     let cfg = NodeConfig {
         nid,
         peers,
@@ -109,6 +136,12 @@ fn cmd_node(args: &[String]) -> i32 {
         tick_ms: arg_u64(args, "--tick-ms", CHILD_TICK_MS),
         max_runtime_ms: arg_value(args, "--max-runtime-ms").and_then(|v| v.parse().ok()),
         params: EngineParams::default(),
+        guard,
+        peer_read_deadline_ms: arg_u64(
+            args,
+            "--peer-deadline-ms",
+            adored::node::DEFAULT_PEER_READ_DEADLINE_MS,
+        ),
     };
     match run(cfg) {
         Ok(()) => 0,
@@ -145,16 +178,21 @@ fn pick_ports(n: usize) -> std::io::Result<Vec<u16>> {
 struct Harness {
     exe: PathBuf,
     dir: PathBuf,
-    peers_spec: String,
+    /// The `--peers` spec each node boots with. In plain runs every
+    /// node shares one spec; in proxied (netmesis) runs each node's
+    /// peer entries point at its own outbound-link proxies.
+    node_peers: BTreeMap<u32, String>,
+    /// Real (un-proxied) addresses, for clients and status probes.
     addrs: BTreeMap<u32, String>,
     children: BTreeMap<u32, Child>,
     seed: u64,
+    /// Extra `adored node` flags appended to every spawn (e.g.
+    /// `--ablate-guard r1`, `--peer-deadline-ms 120000`).
+    extra_args: Vec<String>,
 }
 
 impl Harness {
     fn start(dir: &Path, nodes: u32, seed: u64) -> std::io::Result<Harness> {
-        fs::create_dir_all(dir)?;
-        let exe = std::env::current_exe()?;
         let ports = pick_ports(nodes as usize)?;
         let addrs: BTreeMap<u32, String> = (1..=nodes)
             .map(|n| (n, format!("127.0.0.1:{}", ports[(n - 1) as usize])))
@@ -164,15 +202,32 @@ impl Harness {
             .map(|(n, a)| format!("{n}={a}"))
             .collect::<Vec<_>>()
             .join(",");
+        let node_peers = addrs.keys().map(|n| (*n, peers_spec.clone())).collect();
+        Harness::start_with(dir, addrs, node_peers, seed, Vec::new())
+    }
+
+    /// Starts a cluster with per-node `--peers` specs (the proxied
+    /// netmesis topology) and extra per-node flags.
+    fn start_with(
+        dir: &Path,
+        addrs: BTreeMap<u32, String>,
+        node_peers: BTreeMap<u32, String>,
+        seed: u64,
+        extra_args: Vec<String>,
+    ) -> std::io::Result<Harness> {
+        fs::create_dir_all(dir)?;
+        let exe = std::env::current_exe()?;
         let mut h = Harness {
             exe,
             dir: dir.to_path_buf(),
-            peers_spec,
+            node_peers,
             addrs,
             children: BTreeMap::new(),
             seed,
+            extra_args,
         };
-        for n in 1..=nodes {
+        let nids: Vec<u32> = h.addrs.keys().copied().collect();
+        for n in nids {
             h.spawn(n)?;
         }
         Ok(h)
@@ -181,13 +236,18 @@ impl Harness {
     /// Spawns (or respawns) node `nid` into its standing data dir.
     fn spawn(&mut self, nid: u32) -> std::io::Result<()> {
         let data = self.dir.join(format!("n{nid}"));
+        let peers_spec = self
+            .node_peers
+            .get(&nid)
+            .cloned()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "unknown nid"))?;
         let child = Command::new(&self.exe)
             .args([
                 "node",
                 "--nid",
                 &nid.to_string(),
                 "--peers",
-                &self.peers_spec,
+                &peers_spec,
                 "--data",
                 data.to_str().unwrap_or("."),
                 // Every node gets the same base seed: the engine mixes
@@ -203,6 +263,7 @@ impl Harness {
                 "--max-runtime-ms",
                 &CHILD_MAX_RUNTIME_MS.to_string(),
             ])
+            .args(&self.extra_args)
             .stdout(Stdio::null())
             .stderr(Stdio::inherit())
             .spawn()?;
@@ -218,8 +279,35 @@ impl Harness {
         }
     }
 
+    /// SIGSTOPs node `nid`: a gray pause — the process is frozen but
+    /// its sockets stay open, so peers see silence, not FINs.
+    fn pause(&self, nid: u32) -> bool {
+        self.signal(nid, "-STOP")
+    }
+
+    /// SIGCONTs a paused node.
+    fn resume(&self, nid: u32) -> bool {
+        self.signal(nid, "-CONT")
+    }
+
+    fn signal(&self, nid: u32, sig: &str) -> bool {
+        let Some(child) = self.children.get(&nid) else {
+            return false;
+        };
+        Command::new("kill")
+            .args([sig, &child.id().to_string()])
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false)
+    }
+
     fn client(&self, id: u64) -> NetClient {
         NetClient::new(self.addrs.clone(), id, ClientParams::default())
+    }
+
+    /// Every configured node id (running or not).
+    fn node_ids(&self) -> Vec<u32> {
+        self.addrs.keys().copied().collect()
     }
 
     /// Polls until some node reports itself leader; returns its nid.
@@ -661,12 +749,7 @@ fn bench(dir: &Path, writes: u64, seed: u64, out: &Path) -> Result<(), String> {
         },
         histogram: snap.clone(),
     };
-    if let Some(parent) = out.parent() {
-        fs::create_dir_all(parent).map_err(|e| e.to_string())?;
-    }
-    let mut f = fs::File::create(out).map_err(|e| e.to_string())?;
-    let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
-    writeln!(f, "{text}").map_err(|e| e.to_string())?;
+    adore_obs::write_json_report(out, &report).map_err(|e| e.to_string())?;
     println!(
         "bench: {throughput_per_s}/s, p50={}us p95={}us p99={}us -> {}",
         snap.quantile(0.50),

@@ -1,0 +1,236 @@
+//! The availability monitor: a steady client workload whose every
+//! acknowledgement becomes an auditable obligation.
+//!
+//! While a netmesis campaign walks its fault timeline, one monitor
+//! thread drives unique-key writes through the ordinary [`NetClient`]
+//! retry path and buckets outcomes into fixed wall-clock windows:
+//!
+//! - **acked** — the cluster acknowledged the write. The monitor
+//!   journals a `SessionAck` event, which the auditor's T7 check later
+//!   requires to appear in some replica's committed prefix (zero
+//!   acked-write loss) and at most once per replica (zero duplicate
+//!   applies).
+//! - **refused** — a definitive refusal (guard rejection, session
+//!   staleness). Refusals are the *correct* behaviour under partition:
+//!   they cost availability, never safety.
+//! - **lost** — the client exhausted its attempts with no definitive
+//!   reply. The op's fate is unknown; nothing is claimed about it, so
+//!   it cannot create an audit obligation.
+//!
+//! Each completed window is journaled as an `AvailabilityWindow` event,
+//! so the merged journal tells the whole availability story alongside
+//! the safety story.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use adore_obs::EventKind;
+use serde::Serialize;
+
+use crate::client::{ClientError, ClientParams, NetClient};
+use crate::node::Journal;
+
+/// One completed availability window.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WindowStat {
+    /// Window index since the monitor started.
+    pub index: u32,
+    /// Writes attempted in the window.
+    pub attempted: u32,
+    /// Writes acknowledged.
+    pub acked: u32,
+    /// Writes definitively refused.
+    pub refused: u32,
+    /// Writes whose outcome the client never learned.
+    pub lost: u32,
+}
+
+/// A write the cluster acknowledged (and therefore owes the audit).
+#[derive(Debug, Clone, Serialize)]
+pub struct AckedWrite {
+    /// The unique key written.
+    pub key: String,
+    /// The value written.
+    pub value: String,
+    /// The session sequence number acknowledged.
+    pub seq: u64,
+    /// Whether the ack was a dedup of a retried write.
+    pub duplicate: bool,
+}
+
+/// What the monitor observed over its whole run.
+#[derive(Debug, Serialize)]
+pub struct MonitorReport {
+    /// Per-window availability stats.
+    pub windows: Vec<WindowStat>,
+    /// Every acknowledged write.
+    pub acked: Vec<AckedWrite>,
+    /// Total writes attempted.
+    pub attempted: u64,
+    /// Total writes refused.
+    pub refused: u64,
+    /// Total writes with unknown outcome.
+    pub lost: u64,
+}
+
+/// A running monitor; [`MonitorHandle::stop`] joins it and returns the
+/// report.
+pub struct MonitorHandle {
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<MonitorReport>,
+}
+
+impl MonitorHandle {
+    /// Signals the monitor to finish its current op and joins it.
+    #[must_use]
+    pub fn stop(self) -> MonitorReport {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join.join().unwrap_or(MonitorReport {
+            windows: Vec::new(),
+            acked: Vec::new(),
+            attempted: 0,
+            refused: 0,
+            lost: 0,
+        })
+    }
+}
+
+/// Monitor tunables.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// The session client id (must be unique in the campaign).
+    pub client_id: u64,
+    /// Window length, milliseconds.
+    pub window_ms: u64,
+    /// Pause between ops, milliseconds.
+    pub op_gap_ms: u64,
+    /// Client retry tunables.
+    pub params: ClientParams,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            client_id: 0xA11B,
+            window_ms: 1_000,
+            op_gap_ms: 50,
+            params: ClientParams {
+                max_attempts: 8,
+                backoff_base_ms: 20,
+                backoff_cap_ms: 400,
+                request_timeout: Duration::from_millis(1_500),
+                max_redirect_hops: 3,
+            },
+        }
+    }
+}
+
+/// Starts the monitor against the cluster's (un-proxied) address book,
+/// journaling into `dir`.
+///
+/// # Errors
+///
+/// Journal creation failures.
+pub fn start(
+    addrs: BTreeMap<u32, String>,
+    dir: &Path,
+    boot_us: u64,
+    cfg: MonitorConfig,
+) -> io::Result<MonitorHandle> {
+    let mut journal = Journal::open(dir, boot_us)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let join = thread::spawn(move || {
+        let mut client = NetClient::new(addrs, cfg.client_id, cfg.params.clone());
+        let started = Instant::now();
+        let window = Duration::from_millis(cfg.window_ms.max(1));
+        let mut report = MonitorReport {
+            windows: Vec::new(),
+            acked: Vec::new(),
+            attempted: 0,
+            refused: 0,
+            lost: 0,
+        };
+        let mut cur = WindowStat {
+            index: 0,
+            attempted: 0,
+            acked: 0,
+            refused: 0,
+            lost: 0,
+        };
+        let mut op: u64 = 0;
+        loop {
+            // Roll windows forward to wherever the clock is now (an op
+            // stalled in retries can span several windows).
+            #[allow(clippy::cast_possible_truncation)]
+            let now_index =
+                (started.elapsed().as_millis() / window.as_millis().max(1)) as u32;
+            while cur.index < now_index {
+                journal.record(EventKind::AvailabilityWindow {
+                    index: cur.index,
+                    attempted: cur.attempted,
+                    acked: cur.acked,
+                    refused: cur.refused,
+                    lost: cur.lost,
+                });
+                report.windows.push(cur);
+                cur = WindowStat {
+                    index: cur.index + 1,
+                    attempted: 0,
+                    acked: 0,
+                    refused: 0,
+                    lost: 0,
+                };
+            }
+            if stop_flag.load(Ordering::SeqCst) {
+                break;
+            }
+            op += 1;
+            let key = format!("mon-{}-{op}", cfg.client_id);
+            let value = format!("v{op}");
+            cur.attempted += 1;
+            report.attempted += 1;
+            match client.put(&key, &value) {
+                Ok(acked) => {
+                    cur.acked += 1;
+                    journal.record(EventKind::SessionAck {
+                        client: cfg.client_id,
+                        seq: acked.seq,
+                        dup: acked.duplicate,
+                    });
+                    report.acked.push(AckedWrite {
+                        key,
+                        value,
+                        seq: acked.seq,
+                        duplicate: acked.duplicate,
+                    });
+                }
+                Err(ClientError::Rejected { .. } | ClientError::SessionStale { .. }) => {
+                    cur.refused += 1;
+                    report.refused += 1;
+                }
+                Err(ClientError::Exhausted { .. }) => {
+                    cur.lost += 1;
+                    report.lost += 1;
+                }
+            }
+            thread::sleep(Duration::from_millis(cfg.op_gap_ms));
+        }
+        // Flush the final, partial window.
+        journal.record(EventKind::AvailabilityWindow {
+            index: cur.index,
+            attempted: cur.attempted,
+            acked: cur.acked,
+            refused: cur.refused,
+            lost: cur.lost,
+        });
+        report.windows.push(cur);
+        report
+    });
+    Ok(MonitorHandle { stop, join })
+}

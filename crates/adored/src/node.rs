@@ -53,10 +53,13 @@ use crate::det::wire;
 /// Write timeout on every socket: a hung peer fails fast instead of
 /// wedging a sender thread.
 const WRITE_DEADLINE: Duration = Duration::from_secs(2);
-/// Read deadline on peer links; heartbeats arrive hundreds of times
-/// more often, so a silent link this long is dead (kill -9 without a
-/// FIN) and the socket is reaped.
-const PEER_READ_DEADLINE: Duration = Duration::from_secs(30);
+/// Default read deadline on peer links, milliseconds; heartbeats
+/// arrive hundreds of times more often, so a silent link this long is
+/// dead (kill -9 without a FIN) and the socket is reaped. The fault
+/// harness raises it per node so a SIGSTOP gray pause shorter than the
+/// deadline resumes on the same sockets instead of looking like a
+/// crash.
+pub const DEFAULT_PEER_READ_DEADLINE_MS: u64 = 30_000;
 /// How long a fresh connection has to introduce itself.
 const HELLO_DEADLINE: Duration = Duration::from_secs(5);
 /// Reconnect backoff base for the capped exponential.
@@ -87,6 +90,14 @@ pub struct NodeConfig {
     pub max_runtime_ms: Option<u64>,
     /// Engine tunables.
     pub params: EngineParams,
+    /// The reconfiguration guard predicate. Production is
+    /// [`adore_core::ReconfigGuard::all`]; the fault harness ablates
+    /// individual conditions to manufacture live counterexamples.
+    pub guard: adore_core::ReconfigGuard,
+    /// Read deadline on inbound peer links, milliseconds
+    /// ([`DEFAULT_PEER_READ_DEADLINE_MS`] in production). Gray pauses
+    /// (SIGSTOP) longer than this reap the link and force a redial.
+    pub peer_read_deadline_ms: u64,
 }
 
 /// Events flowing into the engine loop from the IO threads.
@@ -95,6 +106,11 @@ enum Event {
     Peer(PeerMsg),
     Client { conn: u64, msg: ClientMsg },
     ClientGone { conn: u64 },
+    /// A frame the wire layer rejected (`corrupt`, `oversized`) or a
+    /// crc-valid frame whose payload is not the expected message type
+    /// (`bad-payload`, i.e. protocol-version confusion). Journaled so
+    /// the auditor can certify the rejection path actually fired.
+    BadFrame { reason: String },
     Shutdown,
 }
 
@@ -160,7 +176,20 @@ pub(crate) fn write_frame<T: Serialize>(stream: &mut TcpStream, msg: &T) -> io::
 }
 
 fn wire_to_io(e: wire::WireError) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    // Carry the typed error through so `bad_frame_reason` can name the
+    // rejection class for the journal.
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Names the journal reason when an IO error is a frame-level
+/// rejection (as opposed to a plain transport failure, which is not a
+/// `BadFrame`).
+fn bad_frame_reason(e: &io::Error) -> Option<&'static str> {
+    match e.get_ref()?.downcast_ref::<wire::WireError>()? {
+        wire::WireError::Oversized { .. } => Some("oversized"),
+        wire::WireError::Corrupt => Some("corrupt"),
+        wire::WireError::BadPayload { .. } => Some("bad-payload"),
+    }
 }
 
 /// Loads (or creates) the node's WAL from `data_dir/wal.bin`, runs
@@ -252,7 +281,7 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
         nid,
         peers: members.iter().map(|n| NodeId(*n)).collect(),
         conf0: SingleNode::new(members.iter().copied()),
-        guard: adore_core::ReconfigGuard::all(),
+        guard: cfg.guard,
         params: cfg.params.clone(),
         seed: cfg.seed,
     };
@@ -305,6 +334,7 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
     {
         let tx = inbox_tx.clone();
         let clients = Arc::clone(&clients);
+        let peer_deadline = Duration::from_millis(cfg.peer_read_deadline_ms.max(1));
         thread::spawn(move || {
             let next_conn = Arc::new(AtomicU64::new(1));
             for stream in listener.incoming() {
@@ -312,7 +342,9 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
                 let tx = tx.clone();
                 let clients = Arc::clone(&clients);
                 let next_conn = Arc::clone(&next_conn);
-                thread::spawn(move || serve_connection(stream, &tx, &clients, &next_conn));
+                thread::spawn(move || {
+                    serve_connection(stream, &tx, &clients, &next_conn, peer_deadline);
+                });
             }
         });
     }
@@ -324,6 +356,16 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
             Event::Peer(msg) => Input::Peer(msg),
             Event::Client { conn, msg } => Input::Client { conn, msg },
             Event::ClientGone { conn } => Input::ClientGone { conn },
+            Event::BadFrame { reason } => {
+                // Rejected frames never reach the engine; journal the
+                // rejection so `adore-obs --audit` can certify the
+                // crc/length/protocol checks actually fired.
+                journal.record(EventKind::BadFrame {
+                    nid: cfg.nid,
+                    reason,
+                });
+                continue;
+            }
             Event::Shutdown => break,
         };
         let mut dead_conns = Vec::new();
@@ -408,13 +450,31 @@ fn peer_connector(my_nid: u32, addr: &str, rx: &Receiver<PeerMsg>, seed: u64) {
     }
 }
 
+/// Journals a frame rejection if `e` is a frame-level fault. Transport
+/// failures (deadline expiry, reset) pass through silently — they are
+/// link deaths, not protocol violations.
+fn report_frame_error(tx: &SyncSender<Event>, e: &io::Error) {
+    if let Some(reason) = bad_frame_reason(e) {
+        let _ = tx.send(Event::BadFrame {
+            reason: reason.to_string(),
+        });
+    }
+}
+
 /// Handles one accepted connection: a `Hello` within the deadline, then
 /// a peer pump or a client session.
+///
+/// A frame the wire layer rejects (bad crc, oversized length) or a
+/// crc-valid frame that does not decode as the expected message type
+/// (protocol-version confusion) drops the connection *and* journals a
+/// `BadFrame` event — never a silent discard, so the audit can prove
+/// the rejection path fired.
 fn serve_connection(
     mut stream: TcpStream,
     tx: &SyncSender<Event>,
     clients: &Arc<Mutex<BTreeMap<u64, TcpStream>>>,
     next_conn: &AtomicU64,
+    peer_read_deadline: Duration,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(WRITE_DEADLINE));
@@ -422,13 +482,22 @@ fn serve_connection(
     let hello: Hello = match read_frame(&mut stream) {
         Ok(Some(payload)) => match decode_msg(&payload) {
             Ok(h) => h,
-            Err(_) => return,
+            Err(_) => {
+                let _ = tx.send(Event::BadFrame {
+                    reason: "bad-payload".to_string(),
+                });
+                return;
+            }
         },
-        _ => return,
+        Ok(None) => return,
+        Err(e) => {
+            report_frame_error(tx, &e);
+            return;
+        }
     };
     match hello {
         Hello::Peer { from: _ } => {
-            let _ = stream.set_read_timeout(Some(PEER_READ_DEADLINE));
+            let _ = stream.set_read_timeout(Some(peer_read_deadline));
             loop {
                 match read_frame(&mut stream) {
                     Ok(Some(payload)) => match decode_msg::<PeerMsg>(&payload) {
@@ -437,9 +506,21 @@ fn serve_connection(
                                 return;
                             }
                         }
-                        Err(_) => return, // protocol confusion: drop the link
+                        Err(_) => {
+                            // A crc-valid frame that is not a PeerMsg:
+                            // a peer speaking another protocol version.
+                            // Journal and drop the link.
+                            let _ = tx.send(Event::BadFrame {
+                                reason: "bad-payload".to_string(),
+                            });
+                            return;
+                        }
                     },
-                    _ => return,
+                    Ok(None) => return,
+                    Err(e) => {
+                        report_frame_error(tx, &e);
+                        return;
+                    }
                 }
             }
         }
@@ -453,12 +534,35 @@ fn serve_connection(
                 .expect("client map lock")
                 .insert(conn, writer);
             let _ = stream.set_read_timeout(None);
-            while let Ok(Some(payload)) = read_frame(&mut stream) {
-                let Ok(msg) = decode_msg::<ClientMsg>(&payload) else {
-                    break;
-                };
-                if tx.send(Event::Client { conn, msg }).is_err() {
-                    break;
+            loop {
+                match read_frame(&mut stream) {
+                    Ok(Some(payload)) => match decode_msg::<ClientMsg>(&payload) {
+                        Ok(msg) => {
+                            if tx.send(Event::Client { conn, msg }).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            // Tell the well-framed-but-unintelligible
+                            // client why before hanging up on it.
+                            let _ = write_frame(
+                                &mut stream,
+                                &crate::det::msg::ClientReply::Rejected {
+                                    reason: "protocol-version mismatch: undecodable frame"
+                                        .to_string(),
+                                },
+                            );
+                            let _ = tx.send(Event::BadFrame {
+                                reason: "bad-payload".to_string(),
+                            });
+                            break;
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(e) => {
+                        report_frame_error(tx, &e);
+                        break;
+                    }
                 }
             }
             clients.lock().expect("client map lock").remove(&conn);

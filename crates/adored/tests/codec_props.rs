@@ -224,3 +224,115 @@ fn client_eviction_forgets_the_coldest_client() {
     assert_eq!(t.check(2, 1), SeqVerdict::Duplicate { len: 2 });
     assert_eq!(t.check(5, 1), SeqVerdict::Duplicate { len: 9 });
 }
+
+// ---- session and stream property sweeps ----------------------------------
+//
+// The unit tests above pin the exact verdicts at hand-picked points;
+// these sweeps walk the same edges with randomized inputs — the
+// wraparound neighborhood of u64::MAX, arbitrary record orders, and
+// corruption landing anywhere in a multi-frame byte stream.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Anywhere in the wraparound neighborhood of `u64::MAX`, a client
+    /// whose counter wrapped back low is refused with the exact floor —
+    /// never `Fresh` (a re-apply), and the original high seq still
+    /// answers `Duplicate`.
+    #[test]
+    fn wrapped_counters_are_refused_with_the_exact_floor(
+        back in 0u64..8,
+        probe in 0u64..65536,
+    ) {
+        let mut t = table();
+        let high = u64::MAX - back;
+        t.record(1, high, 3);
+        let floor = high - 8;
+        prop_assert_eq!(t.check(1, probe), SeqVerdict::Stale { floor });
+        prop_assert_eq!(t.check(1, high), SeqVerdict::Duplicate { len: 3 });
+    }
+
+    /// The window partitions the sequence space exactly: at or below
+    /// the floor is `Stale`, the recorded high mark is `Duplicate`, and
+    /// unrecorded seqs strictly between are `Fresh` — for any high mark
+    /// up to the top of the u64 range.
+    #[test]
+    fn the_window_partitions_the_seq_space_exactly(
+        high in 8u64..u64::MAX,
+        off in 0u64..8,
+    ) {
+        let mut t = table();
+        t.record(2, high, 1);
+        let floor = high - 8;
+        let inside = high - off; // in (floor, high]
+        if inside == high {
+            prop_assert_eq!(t.check(2, inside), SeqVerdict::Duplicate { len: 1 });
+        } else {
+            prop_assert_eq!(t.check(2, inside), SeqVerdict::Fresh);
+        }
+        prop_assert_eq!(t.check(2, floor), SeqVerdict::Stale { floor });
+    }
+
+    /// The floor is a one-way ratchet under any record order: a seq
+    /// that was ever recorded is never `Fresh` again — it answers
+    /// `Duplicate` while retained and degrades to `Stale` once the
+    /// floor passes it, but can never be silently re-applied.
+    #[test]
+    fn a_recorded_seq_is_never_fresh_again(
+        seqs in prop::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let mut t = table();
+        for (i, seq) in seqs.iter().enumerate() {
+            t.record(1, *seq, i as u64 + 1);
+            for probe in &seqs[..=i] {
+                prop_assert!(
+                    !matches!(t.check(1, *probe), SeqVerdict::Fresh),
+                    "recorded seq {} re-offered as fresh", probe
+                );
+            }
+        }
+    }
+
+    /// Mid-stream corruption over a multi-frame stream: the reader (the
+    /// same `split_frame` loop the node and the netmesis proxy run)
+    /// delivers a clean prefix of the sent frames and then either
+    /// starves or hits a typed error and disconnects — never a phantom
+    /// frame, never the full stream, never a panic.
+    #[test]
+    fn mid_stream_corruption_yields_a_clean_prefix_then_disconnect(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..6),
+        pos_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p).unwrap());
+        }
+        let pos = pos_seed % stream.len();
+        stream[pos] ^= flip;
+
+        // The loop ends on starvation (a length flip claiming more
+        // bytes than exist, `Ok(None)`) or a typed error: either way
+        // the reader stops cleanly instead of resynchronizing onto
+        // garbage.
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        let mut rest = stream.as_slice();
+        while let Ok(Some((payload, used))) = split_frame(rest) {
+            delivered.push(payload.to_vec());
+            rest = &rest[used..];
+            if rest.is_empty() {
+                break;
+            }
+        }
+
+        // The corrupted frame never lands, so at least one frame is lost...
+        prop_assert!(
+            delivered.len() < payloads.len(),
+            "corrupted stream delivered all {} frames", payloads.len()
+        );
+        // ...and everything that did land is the untouched prefix.
+        for (got, sent) in delivered.iter().zip(payloads.iter()) {
+            prop_assert_eq!(got, sent);
+        }
+    }
+}

@@ -181,10 +181,13 @@ fn members_of(schedule: &FaultSchedule) -> Vec<NodeId> {
 }
 
 /// Applies one fault step; client traffic goes through `client`.
+/// `members` is the schedule's initial membership (used to enumerate a
+/// paused node's links).
 fn apply_fault(
     cluster: &mut Cluster<SingleNode>,
     client: &mut RobustClient,
     fault: &Fault,
+    members: &[NodeId],
     write_seq: &mut u64,
 ) {
     match fault {
@@ -270,6 +273,38 @@ fn apply_fault(
             }
         }
         Fault::Idle { us } => cluster.run_idle(*us),
+        // The sim twins of the wire-level faults (see DESIGN §12 for
+        // the refinement argument fault by fault).
+        Fault::Pause { nid } => {
+            // A paused process neither sends nor receives: full
+            // isolation at message granularity.
+            cluster
+                .links_mut()
+                .isolate(NodeId(*nid), members.iter().copied().filter(|m| m.0 != *nid));
+        }
+        Fault::Resume { nid } => {
+            for m in members.iter().filter(|m| m.0 != *nid) {
+                cluster.links_mut().heal_both_ways(NodeId(*nid), *m);
+            }
+        }
+        Fault::CorruptLink { from, to, pct } => {
+            // Every corrupted frame fails the receiver's crc and is
+            // dropped, so corruption refines to link loss.
+            cluster
+                .links_mut()
+                .set_drop_pct(NodeId(*from), NodeId(*to), *pct);
+        }
+        Fault::ResetLink { from, to } => {
+            // The wire runtime reconnects and retransmits full state: a
+            // reset is a cut that immediately heals.
+            cluster.links_mut().cut_one_way(NodeId(*from), NodeId(*to));
+            cluster.links_mut().heal_one_way(NodeId(*from), NodeId(*to));
+        }
+        Fault::SlowLink { .. } => {
+            // Mid-frame stalls delay whole messages: a reordering
+            // window (liveness-only; safety is delay-oblivious).
+            cluster.reorder_in_flight(2_000);
+        }
     }
 }
 
@@ -404,7 +439,7 @@ fn run_campaign(
             });
         }
         let mark = client.history.len();
-        apply_fault(&mut cluster, &mut client, fault, &mut write_seq);
+        apply_fault(&mut cluster, &mut client, fault, &members, &mut write_seq);
         degraded.phases.push(phase_stat(fault, &client, mark));
         if let Some(v) = check_safety(&mut cluster, &client) {
             violation = Some((v, i));

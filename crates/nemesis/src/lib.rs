@@ -48,6 +48,7 @@
 mod client;
 mod engine;
 mod net_adapter;
+mod netmesis;
 mod schedule;
 mod scripted;
 
@@ -57,6 +58,10 @@ pub use engine::{
     NemesisReport, PhaseStat,
 };
 pub use net_adapter::NetHarness;
+pub use netmesis::{
+    compile_schedule, gate_schedule, netmesis_schedule, swap_labels, NetCounterexample,
+    WireAction, WireStep, WireTimeline,
+};
 pub use schedule::{random_schedule, Fault, FaultSchedule, RandomScheduleParams};
 pub use scripted::{
     ablation_suite, r1_ablation_schedule, r2_ablation_schedule, r3_ablation_schedule,

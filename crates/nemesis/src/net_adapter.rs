@@ -213,9 +213,29 @@ impl NetHarness {
                     self.put();
                 }
             }
+            // A paused node is fully isolated at the untimed level; a
+            // resume heals its links (and pumps the retransmissions).
+            Fault::Pause { nid } => {
+                let nid = NodeId(*nid);
+                let peers: Vec<NodeId> =
+                    self.nodes.iter().copied().filter(|m| *m != nid).collect();
+                self.links.isolate(nid, peers);
+            }
+            Fault::Resume { nid } => {
+                let nid = NodeId(*nid);
+                let peers: Vec<NodeId> =
+                    self.nodes.iter().copied().filter(|m| *m != nid).collect();
+                for m in peers {
+                    self.links.heal_both_ways(nid, m);
+                }
+                self.pump();
+            }
             // Disk faults and orphan writes are storage-layer behaviors:
             // the untimed model has no WAL (its crashes are benign), so
             // they have no meaning here — like the timing faults below.
+            // Wire-level corruption/reset/stall faults refine to loss,
+            // transient cuts, and delay, which the delivery pump already
+            // quantifies over.
             Fault::CrashDisk { .. }
             | Fault::OrphanWrite
             | Fault::SetLinkLoss { .. }
@@ -223,7 +243,10 @@ impl NetHarness {
             | Fault::Duplicate { .. }
             | Fault::Reorder { .. }
             | Fault::SkewTimeout { .. }
-            | Fault::Idle { .. } => return false,
+            | Fault::Idle { .. }
+            | Fault::CorruptLink { .. }
+            | Fault::ResetLink { .. }
+            | Fault::SlowLink { .. } => return false,
         }
         true
     }

@@ -137,6 +137,52 @@ pub enum Fault {
         /// Duration in virtual microseconds.
         us: u64,
     },
+    /// Gray-failure pause: the process freezes (SIGSTOP on the wire)
+    /// but its connections stay open. In the simulation a paused node
+    /// is modeled as fully isolated — it neither sends nor receives —
+    /// which over-approximates the pause at message granularity.
+    Pause {
+        /// The replica to pause.
+        nid: u32,
+    },
+    /// Resume a paused replica (SIGCONT on the wire; heal its links in
+    /// the simulation).
+    Resume {
+        /// The replica to resume.
+        nid: u32,
+    },
+    /// Corrupt a fraction of frames on the directed link `from → to`.
+    /// On the wire each corrupted frame fails the receiver's crc and is
+    /// dropped with a journaled `BadFrame`; at message granularity
+    /// corruption therefore refines to link loss, which is exactly how
+    /// the simulation models it.
+    CorruptLink {
+        /// Sending side.
+        from: u32,
+        /// Receiving side.
+        to: u32,
+        /// Percentage of frames corrupted, clamped to 100.
+        pct: u32,
+    },
+    /// Abruptly reset the connection carrying `from → to`. The wire
+    /// runtime reconnects with backoff and retransmits full state, so
+    /// at message granularity a reset refines to a transient cut that
+    /// immediately heals (the simulation's model).
+    ResetLink {
+        /// Sending side.
+        from: u32,
+        /// Receiving side.
+        to: u32,
+    },
+    /// Slow-loris the directed link `from → to`: frames stall mid-frame
+    /// (header delivered, payload trickling). Liveness-only in effect —
+    /// the simulation models it as a reordering window.
+    SlowLink {
+        /// Sending side.
+        from: u32,
+        /// Receiving side.
+        to: u32,
+    },
 }
 
 /// A complete, replayable adversarial campaign.

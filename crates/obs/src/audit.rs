@@ -27,9 +27,16 @@
 //!   a wiped disk recovers to nothing.
 //! - **T6 verdict consistency** — the audit's divergence verdict agrees
 //!   with the live run's recorded [`EventKind::Verdict`].
+//! - **T7 session exactly-once** — every acknowledged `(client, seq)`
+//!   session pair ([`EventKind::SessionAck`]) appears in some replica's
+//!   final committed prefix (zero acked-write loss), and no replica's
+//!   committed prefix applies the same pair twice (zero duplicate
+//!   applies). Session pairs are extracted generically from the
+//!   canonical-JSON committed entries, so the auditor needs no protocol
+//!   types.
 
 use crate::event::{EventKind, TraceEvent};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How many structural errors the auditor collects before truncating
 /// (a mangled journal would otherwise report every line).
@@ -84,6 +91,13 @@ pub struct AuditReport {
     pub live_kind: Option<String>,
     /// The audit's own committed-prefix verdict.
     pub divergence: Option<Divergence>,
+    /// Distinct `(client, seq)` session pairs the trace acknowledged.
+    pub acked: usize,
+    /// Wire frames the trace recorded as rejected
+    /// ([`EventKind::BadFrame`]): checksum, length-cap, or payload
+    /// failures. A fault campaign that injects corruption asserts this
+    /// is nonzero to prove the rejection path actually ran.
+    pub bad_frames: u64,
     /// Whether the audit certifies the trace (see [`audit_events`]).
     pub consistent: bool,
 }
@@ -104,8 +118,16 @@ impl AuditReport {
             Some(d) => format!("divergence: {d}"),
             None => "no divergence".to_string(),
         };
+        let wire = if self.bad_frames > 0 || self.acked > 0 {
+            format!(
+                " | {} acked sessions, {} rejected frames",
+                self.acked, self.bad_frames
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{} events, {} nodes | live verdict: {live} | audit: {audit} | {} structural errors | {}",
+            "{} events, {} nodes | live verdict: {live} | audit: {audit} | {} structural errors{wire} | {}",
             self.events,
             self.nodes,
             self.errors.len(),
@@ -137,6 +159,10 @@ struct Auditor {
     divergence: Option<Divergence>,
     live_safe: Option<bool>,
     live_kind: Option<String>,
+    /// `(client, seq)` pairs the trace acknowledged to clients.
+    acks: BTreeSet<(u64, u64)>,
+    /// Rejected wire frames counted from [`EventKind::BadFrame`].
+    bad_frames: u64,
 }
 
 impl Auditor {
@@ -310,8 +336,88 @@ impl Auditor {
                     self.live_kind = kind.clone();
                 }
             }
+            EventKind::SessionAck { client, seq, .. } => {
+                self.acks.insert((*client, *seq));
+            }
+            EventKind::BadFrame { .. } => {
+                self.bad_frames += 1;
+            }
             _ => {}
         }
+    }
+
+    /// T7: exactly-once session certification over the final
+    /// reconstruction. Every acknowledged `(client, seq)` must survive
+    /// in some replica's committed prefix, and no replica may have
+    /// applied a pair twice.
+    fn certify_sessions(&mut self) {
+        let mut applied: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut dupes: Vec<String> = Vec::new();
+        let mut scanned = 0u64;
+        for (&nid, node) in &self.nodes {
+            let mut seen: BTreeSet<(u64, u64)> = BTreeSet::new();
+            let commit = node.commit_len.min(node.log.len());
+            for raw in node.log.iter().take(commit) {
+                let Some((client, seq)) = session_pair(raw) else {
+                    continue;
+                };
+                scanned += 1;
+                if !seen.insert((client, seq)) {
+                    dupes.push(format!(
+                        "S{nid}: session (client {client}, seq {seq}) applied twice in the committed prefix"
+                    ));
+                }
+                applied.insert((client, seq));
+            }
+        }
+        let checked = scanned + self.acks.len() as u64;
+        if checked > 0 {
+            *self.checks.entry("T7.session-exactly-once").or_insert(0) += checked;
+        }
+        for msg in dupes {
+            self.error(msg);
+        }
+        let lost: Vec<(u64, u64)> = self
+            .acks
+            .iter()
+            .filter(|pair| !applied.contains(pair))
+            .copied()
+            .collect();
+        for (client, seq) in lost {
+            self.error(format!(
+                "acked write (client {client}, seq {seq}) is in no replica's committed prefix"
+            ));
+        }
+    }
+}
+
+/// Extracts the exactly-once session pair from a committed entry's
+/// canonical JSON, if the entry carries a client operation. Stays
+/// protocol-agnostic: any nested object with integer `client` and `seq`
+/// fields and a non-null `op` counts; config entries and no-op barrier
+/// entries (`op: null`) do not.
+fn session_pair(raw: &str) -> Option<(u64, u64)> {
+    let v: serde_json::JsonValue = serde_json::from_str(raw).ok()?;
+    find_session(&v)
+}
+
+/// Depth-first search for a session envelope inside a JSON value.
+fn find_session(v: &serde_json::JsonValue) -> Option<(u64, u64)> {
+    use serde_json::JsonValue as V;
+    match v {
+        V::Object(pairs) => {
+            let field = |name: &str| pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            if let (Some(V::UInt(client)), Some(V::UInt(seq)), Some(op)) =
+                (field("client"), field("seq"), field("op"))
+            {
+                if !matches!(op, V::Null) {
+                    return Some((*client, *seq));
+                }
+            }
+            pairs.iter().find_map(|(_, inner)| find_session(inner))
+        }
+        V::Array(items) => items.iter().find_map(find_session),
+        _ => None,
     }
 }
 
@@ -351,6 +457,11 @@ pub fn audit_events(events: &[TraceEvent]) -> AuditReport {
         a.apply(ev, events);
     }
 
+    // T7: acked sessions must survive, committed prefixes must apply
+    // each at most once — evaluated over the final reconstruction.
+    // adore-lint: allow(L4, reason = "returns unit; its verdicts accumulate into self.errors which T6 consumes below")
+    a.certify_sessions();
+
     // T6: does the audit's independent verdict agree with the live one?
     let consistent = match a.live_safe {
         Some(true) | None => a.divergence.is_none() && a.errors.is_empty(),
@@ -382,6 +493,8 @@ pub fn audit_events(events: &[TraceEvent]) -> AuditReport {
         live_safe: a.live_safe,
         live_kind: a.live_kind,
         divergence: a.divergence,
+        acked: a.acks.len(),
+        bad_frames: a.bad_frames,
         consistent,
     }
 }
@@ -612,5 +725,113 @@ mod tests {
             verdict(1, false, Some("LostWrite")),
         ];
         assert!(audit_events(&events).consistent);
+    }
+
+    /// A committed entry carrying the session envelope, in the wire
+    /// runtime's canonical shape.
+    fn entry(client: u64, seq: u64) -> String {
+        format!(
+            r#"{{"time":1,"cmd":{{"Method":{{"client":{client},"seq":{seq},"op":{{"Put":{{"key":"k","value":"v"}}}}}}}}}}"#
+        )
+    }
+
+    fn ack(seq: u64, at: u64, client: u64, s: u64) -> TraceEvent {
+        ev(
+            seq,
+            at,
+            None,
+            EventKind::SessionAck {
+                client,
+                seq: s,
+                dup: false,
+            },
+        )
+    }
+
+    #[test]
+    fn acked_session_in_the_committed_prefix_certifies() {
+        let e = entry(7, 3);
+        let events = vec![
+            delta(0, 1, &[e.as_str()], Some(1)),
+            ack(1, 20, 7, 3),
+            verdict(2, true, None),
+        ];
+        let report = audit_events(&events);
+        assert!(report.consistent, "{:?}", report.errors);
+        assert_eq!(report.acked, 1);
+    }
+
+    #[test]
+    fn acked_session_missing_from_every_prefix_is_a_lost_write() {
+        let events = vec![
+            delta(0, 1, &["\"x\""], Some(1)),
+            ack(1, 20, 7, 3),
+            verdict(2, true, None),
+        ];
+        let report = audit_events(&events);
+        assert!(!report.consistent);
+        assert!(
+            report.errors.iter().any(|e| e.contains("no replica's committed prefix")),
+            "{:?}",
+            report.errors
+        );
+    }
+
+    #[test]
+    fn the_same_session_applied_twice_is_a_duplicate_apply() {
+        let e = entry(7, 3);
+        let events = vec![
+            delta(0, 1, &[e.as_str(), e.as_str()], Some(2)),
+            verdict(1, true, None),
+        ];
+        let report = audit_events(&events);
+        assert!(!report.consistent);
+        assert!(
+            report.errors.iter().any(|e| e.contains("applied twice")),
+            "{:?}",
+            report.errors
+        );
+    }
+
+    /// Uncommitted tail entries and no-op barriers (`op: null`) are
+    /// outside T7's scope: only the committed prefix is certified.
+    #[test]
+    fn noops_and_uncommitted_entries_are_outside_session_scope() {
+        let noop = r#"{"time":2,"cmd":{"Method":{"client":0,"seq":0,"op":null}}}"#;
+        let e = entry(7, 3);
+        let events = vec![
+            delta(0, 1, &[noop, &e, &e], Some(2)), // second copy of `e` is uncommitted
+            verdict(1, true, None),
+        ];
+        let report = audit_events(&events);
+        assert!(report.consistent, "{:?}", report.errors);
+    }
+
+    #[test]
+    fn bad_frames_are_counted_into_the_report() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                None,
+                EventKind::BadFrame {
+                    nid: 2,
+                    reason: "corrupt".into(),
+                },
+            ),
+            ev(
+                1,
+                5,
+                None,
+                EventKind::BadFrame {
+                    nid: 3,
+                    reason: "bad-payload".into(),
+                },
+            ),
+            verdict(2, true, None),
+        ];
+        let report = audit_events(&events);
+        assert!(report.consistent, "{:?}", report.errors);
+        assert_eq!(report.bad_frames, 2);
     }
 }

@@ -185,6 +185,46 @@ pub enum EventKind {
         /// Request latency in virtual microseconds, when acked.
         latency_us: Option<u64>,
     },
+    /// A sessioned write was acknowledged to a client. The auditor's
+    /// session certification (T7) demands that every acknowledged
+    /// `(client, seq)` pair appears in the reconstructed cluster-wide
+    /// committed prefix — the journal-level form of "zero acked-write
+    /// loss" — and at most once per replica ("zero duplicate applies").
+    SessionAck {
+        /// The acknowledged session's client id.
+        client: u64,
+        /// The acknowledged sequence number.
+        seq: u64,
+        /// Whether the ack deduplicated a retry (the write was already
+        /// applied; exactly-once showing itself).
+        dup: bool,
+    },
+    /// One window of the availability monitor's per-window ledger:
+    /// how many operations were attempted, acknowledged, definitively
+    /// refused (guard/session refusals), or lost (attempts exhausted
+    /// with no definitive reply) during the window.
+    AvailabilityWindow {
+        /// Window index, from 0.
+        index: u32,
+        /// Operations attempted in the window.
+        attempted: u32,
+        /// Operations acknowledged.
+        acked: u32,
+        /// Operations definitively refused.
+        refused: u32,
+        /// Operations with no definitive outcome (ambiguous).
+        lost: u32,
+    },
+    /// A node rejected an inbound wire frame: checksum mismatch,
+    /// oversized length prefix, or a crc-valid payload that failed to
+    /// parse (protocol-version confusion). The connection is dropped;
+    /// the event is the end-to-end proof that the rejection path ran.
+    BadFrame {
+        /// The rejecting node.
+        nid: u32,
+        /// Why ("corrupt", "oversized", "bad-payload").
+        reason: String,
+    },
     /// The live run evaluated an invariant.
     InvariantEval {
         /// Invariant name (e.g. "log-safety").
@@ -233,6 +273,9 @@ impl EventKind {
             EventKind::FaultInject { .. } => "fault-inject",
             EventKind::Heal => "heal",
             EventKind::ClientOp { .. } => "client-op",
+            EventKind::SessionAck { .. } => "session-ack",
+            EventKind::AvailabilityWindow { .. } => "availability-window",
+            EventKind::BadFrame { .. } => "bad-frame",
             EventKind::InvariantEval { .. } => "invariant-eval",
             EventKind::Verdict { .. } => "verdict",
             EventKind::RunEnd { .. } => "run-end",

@@ -27,6 +27,7 @@
 mod audit;
 mod event;
 mod metrics;
+mod results;
 mod trace;
 
 pub use audit::{audit_events, AuditReport, Divergence};
@@ -34,6 +35,7 @@ pub use event::{EventKind, TraceEvent};
 pub use metrics::{
     Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, LATENCY_BOUNDS_US,
 };
+pub use results::write_json_report;
 pub use trace::{merge_journals, parse_jsonl, to_jsonl, TraceError, Tracer};
 
 /// Parses a JSONL journal and audits it in one step.

@@ -130,6 +130,31 @@ fn pinned_kinds() -> Vec<(EventKind, &'static str)> {
             r#"{"ClientOp":{"op":"put","key":"k0","outcome":"acked","latency_us":800}}"#,
         ),
         (
+            EventKind::SessionAck {
+                client: 9,
+                seq: 4,
+                dup: true,
+            },
+            r#"{"SessionAck":{"client":9,"seq":4,"dup":true}}"#,
+        ),
+        (
+            EventKind::AvailabilityWindow {
+                index: 3,
+                attempted: 20,
+                acked: 17,
+                refused: 1,
+                lost: 2,
+            },
+            r#"{"AvailabilityWindow":{"index":3,"attempted":20,"acked":17,"refused":1,"lost":2}}"#,
+        ),
+        (
+            EventKind::BadFrame {
+                nid: 2,
+                reason: "corrupt".into(),
+            },
+            r#"{"BadFrame":{"nid":2,"reason":"corrupt"}}"#,
+        ),
+        (
             EventKind::InvariantEval {
                 name: "log-safety".into(),
                 ok: true,
