@@ -19,19 +19,30 @@ cargo test -q -p adore-storage --offline
 
 # Source-level protocol discipline: determinism (L1), panic-free
 # recovery (L2), mutation/construction encapsulation (L3), certificate
-# hygiene (L4), no stray console output in protocol crates (L5), and
-# the flow-sensitive rules — guard-before-mutation (L6), nondeterminism
-# taint (L7), discarded fallible results in recovery scopes (L8).
+# hygiene (L4), no stray console output in protocol crates (L5), the
+# flow-sensitive rules — guard-before-mutation (L6), nondeterminism
+# taint (L7), discarded fallible results in recovery scopes (L8) — and
+# the concurrency-discipline rules L9-L12 (lock order, no-panic lock
+# acquisition, no guard across blocking calls, bounded channels).
 # Exits non-zero on any unsuppressed finding (-D semantics); every
 # suppression pragma must carry a written reason. Config: adore-lint.toml.
 echo "== adore-lint =="
 cargo run -q -p adore-lint --offline
 
-# Flow-discipline table: per-rule L6-L8 findings and analysis timing.
-# The bench self-asserts 0 unsuppressed findings (same -D semantics as
-# the scan above), and CI asserts the table was actually regenerated so
-# results/flow_table.txt cannot go stale.
-echo "== flow-lint table (L6-L8) =="
+# Concurrency-discipline gate, isolated: the L9-L12 self-scan runs on
+# its own (same -D semantics) so a deadlock- or backpressure-discipline
+# regression in the threaded runtime is reported as exactly that, not
+# buried in the full-rule output above — and so the gate survives even
+# if a future change teaches the full scan to tolerate other rules.
+echo "== adore-lint --only L9,L10,L11,L12 =="
+cargo run -q -p adore-lint --offline -- --only L9,L10,L11,L12
+
+# Flow-discipline table: per-rule L6-L8 and L9-L12 findings plus
+# isolated per-rule analysis timing. The bench self-asserts 0
+# unsuppressed findings (same -D semantics as the scan above), and CI
+# asserts the table was actually regenerated so results/flow_table.txt
+# cannot go stale.
+echo "== flow-lint table (L6-L12) =="
 rm -f results/flow_table.txt
 cargo run -p adore-bench --bin flow_table --release --offline >/dev/null
 test -s results/flow_table.txt || {

@@ -35,7 +35,7 @@ use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
@@ -111,7 +111,29 @@ enum Event {
     /// (`bad-payload`, i.e. protocol-version confusion). Journaled so
     /// the auditor can certify the rejection path actually fired.
     BadFrame { reason: String },
+    /// A thread found a mutex poisoned and adopted the value instead
+    /// of panicking (see [`lock_clients`]). Journaled so the adoption
+    /// is auditable rather than silent.
+    LockPoisoned { lock: &'static str },
     Shutdown,
+}
+
+/// Locks the client map, adopting a poisoned value instead of
+/// panicking the thread. Safe because the map's invariant is
+/// per-entry — each value is an independent writer handle, inserted or
+/// removed in a single map operation — so a thread that panicked while
+/// holding the lock cannot have left it torn. The adoption is reported
+/// through the engine inbox and journaled, never silent; `try_send`
+/// keeps this path non-blocking (a full inbox drops the report, and
+/// the next adoption re-reports).
+fn lock_clients<'m>(
+    clients: &'m Mutex<BTreeMap<u64, TcpStream>>,
+    tx: &SyncSender<Event>,
+) -> MutexGuard<'m, BTreeMap<u64, TcpStream>> {
+    clients.lock().unwrap_or_else(|poisoned| {
+        let _ = tx.try_send(Event::LockPoisoned { lock: "clients" });
+        poisoned.into_inner()
+    })
 }
 
 /// Microseconds since the UNIX epoch; journal stamps must be
@@ -366,6 +388,13 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
                 });
                 continue;
             }
+            Event::LockPoisoned { lock } => {
+                journal.record(EventKind::LockPoisoned {
+                    nid: cfg.nid,
+                    lock: lock.to_string(),
+                });
+                continue;
+            }
             Event::Shutdown => break,
         };
         let mut dead_conns = Vec::new();
@@ -387,13 +416,20 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
                     }
                 }
                 Output::Reply { conn, reply } => {
-                    let mut map = clients.lock().expect("client map lock");
-                    let gone = match map.get_mut(&conn) {
-                        Some(stream) => write_frame(stream, &reply).is_err(),
+                    // Clone the writer handle under the lock, write
+                    // outside it: the socket write carries a deadline,
+                    // and a slow client must not stall every thread
+                    // that needs the map while it drains.
+                    let writer = lock_clients(&clients, &inbox_tx)
+                        .get(&conn)
+                        .map(TcpStream::try_clone);
+                    let gone = match writer {
+                        Some(Ok(mut stream)) => write_frame(&mut stream, &reply).is_err(),
+                        Some(Err(_)) => true,
                         None => false,
                     };
                     if gone {
-                        map.remove(&conn);
+                        lock_clients(&clients, &inbox_tx).remove(&conn);
                         dead_conns.push(conn);
                     }
                 }
@@ -529,10 +565,7 @@ fn serve_connection(
             let Ok(writer) = stream.try_clone() else {
                 return;
             };
-            clients
-                .lock()
-                .expect("client map lock")
-                .insert(conn, writer);
+            lock_clients(clients, tx).insert(conn, writer);
             let _ = stream.set_read_timeout(None);
             loop {
                 match read_frame(&mut stream) {
@@ -565,7 +598,7 @@ fn serve_connection(
                     }
                 }
             }
-            clients.lock().expect("client map lock").remove(&conn);
+            lock_clients(clients, tx).remove(&conn);
             let _ = tx.send(Event::ClientGone { conn });
         }
     }

@@ -1,12 +1,14 @@
 //! Flow-sensitive discipline table: the CFG/dataflow layer (rules
-//! L6-L8) over the whole workspace, with per-rule finding counts and
-//! per-rule analysis wall-time.
+//! L6-L8) and the concurrency-discipline layer (rules L9-L12) over the
+//! whole workspace, with per-rule finding counts and per-rule analysis
+//! wall-time.
 //!
 //! Each rule is also timed in isolation — a config variant activates
-//! only that rule and `scan_flow` runs over the pre-parsed files — so
-//! the cost of the must-reach guard analysis (L6), the may-taint
-//! analysis (L7), and the discarded-result check (L8) are visible
-//! separately from parsing.
+//! only that rule and `scan_flow`/`scan_conc` runs over the pre-parsed
+//! files — so the cost of the must-reach guard analysis (L6), the
+//! may-taint analysis (L7), the discarded-result check (L8), and the
+//! guard-live-range walks with crate-wide summary fixpoints (L9-L12)
+//! are visible separately from parsing.
 //!
 //! Usage: `cargo run -p adore-bench --bin flow_table --release`
 //! (also writes `results/flow_table.txt`).
@@ -16,7 +18,7 @@ use std::time::Instant;
 
 use adore_bench::render_table;
 use adore_lint::config::Config;
-use adore_lint::flow_rules;
+use adore_lint::{conc_rules, flow_rules};
 
 /// A config variant that activates exactly one flow rule.
 fn isolate(rule: &str, full: &Config) -> Config {
@@ -46,6 +48,40 @@ const FLOW_RULES: &[(&str, &str)] = &[
     ("L6", "guard-before-mutation (must-reach, R1+/R2/R3 analogue)"),
     ("L7", "nondeterminism taint (may-analysis over renames/joins)"),
     ("L8", "discarded fallible results in recovery scopes"),
+];
+
+/// A config variant that activates exactly one concurrency rule.
+fn isolate_conc(rule: &str, full: &Config) -> Config {
+    let mut cfg = Config {
+        l9_crates: Vec::new(),
+        l9_locks: Vec::new(),
+        l10_scopes: Vec::new(),
+        l11_crates: Vec::new(),
+        l12_crates: Vec::new(),
+        l12_scopes: Vec::new(),
+        ..full.clone()
+    };
+    match rule {
+        "L9" => {
+            cfg.l9_crates = full.l9_crates.clone();
+            cfg.l9_locks = full.l9_locks.clone();
+        }
+        "L10" => cfg.l10_scopes = full.l10_scopes.clone(),
+        "L11" => cfg.l11_crates = full.l11_crates.clone(),
+        "L12" => {
+            cfg.l12_crates = full.l12_crates.clone();
+            cfg.l12_scopes = full.l12_scopes.clone();
+        }
+        other => panic!("not a concurrency rule: {other}"),
+    }
+    cfg
+}
+
+const CONC_RULES: &[(&str, &str)] = &[
+    ("L9", "lock-order cycles (crate-wide acquisition graph)"),
+    ("L10", "no-panic lock acquisition in long-lived threads"),
+    ("L11", "no lock guard held across blocking calls"),
+    ("L12", "bounded-channel discipline (sync_channel + try_send)"),
 ];
 
 fn main() {
@@ -100,18 +136,45 @@ fn main() {
         ]);
     }
 
+    let mut conc_ms_total = 0.0;
+    for (rule, desc) in CONC_RULES {
+        let iso = isolate_conc(rule, &cfg);
+        let start = Instant::now();
+        let raw = conc_rules::scan_conc(&parsed, &iso)
+            .iter()
+            .filter(|f| f.rule == *rule)
+            .count();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        conc_ms_total += ms;
+        let (active, suppressed) = tally.get(*rule).copied().unwrap_or((0, 0));
+        assert_eq!(
+            raw,
+            active + suppressed,
+            "{rule}: isolated scan disagrees with the full report"
+        );
+        rows.push(vec![
+            (*rule).to_string(),
+            (*desc).to_string(),
+            active.to_string(),
+            suppressed.to_string(),
+            format!("{ms:.1}"),
+        ]);
+    }
+
     let mut out = String::new();
-    out.push_str("flow-sensitive discipline — CFG/dataflow rules over the workspace\n\n");
+    out.push_str("flow-sensitive discipline — CFG/dataflow and concurrency rules over the workspace\n\n");
     out.push_str(&render_table(
         &["rule", "what it certifies", "findings", "suppressed", "analysis ms"],
         &rows,
     ));
     out.push_str(&format!(
-        "\n{} files parsed in {:.1} ms; flow analyses {:.1} ms total; \
-         {} unsuppressed findings, {} pragma-suppressed across all rules\n",
+        "\n{} files parsed in {:.1} ms; flow analyses {:.1} ms, concurrency \
+         analyses {:.1} ms; {} unsuppressed findings, {} pragma-suppressed \
+         across all rules\n",
         parsed.len(),
         parse_ms,
         flow_ms_total,
+        conc_ms_total,
         report.active_count(),
         report.suppressed_count()
     ));

@@ -22,6 +22,10 @@ const RULES: &[(&str, &str)] = &[
     ("L6", "guard-before-mutation (flow-sensitive R1+/R2/R3 analogue)"),
     ("L7", "nondeterminism taint (banned sources cannot reach state)"),
     ("L8", "discarded fallible results in recovery scopes"),
+    ("L9", "lock-order cycles (crate-wide acquisition graph)"),
+    ("L10", "no-panic lock acquisition in long-lived threads"),
+    ("L11", "no lock guard held across blocking calls"),
+    ("L12", "bounded-channel discipline (sync_channel + try_send)"),
     ("P0", "malformed suppression pragma"),
     ("E0", "unparsable file"),
 ];

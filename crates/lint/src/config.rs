@@ -139,7 +139,49 @@ pub struct Config {
     /// L8: names treated as fallible callees in addition to same-file
     /// functions whose signature returns `Result`/`Option`.
     pub l8_fallible: Vec<String>,
+    /// L9: crate directories whose lock-acquisition graph must be
+    /// acyclic (each crate gets its own graph; helpers are summarized
+    /// cross-file within the crate).
+    pub l9_crates: Vec<String>,
+    /// L9: lock names pinned to a global acquisition order. Optional —
+    /// cycles are reported regardless; listed names additionally fix
+    /// the documented order for diagnostics.
+    pub l9_locks: Vec<String>,
+    /// L10: long-lived-thread scopes where `lock().unwrap()/.expect()`
+    /// is banned (poisoning must flow through a typed path).
+    pub l10_scopes: Vec<L2Scope>,
+    /// L11: crate directories where no lock guard may be live across a
+    /// blocking call.
+    pub l11_crates: Vec<String>,
+    /// L11: callee names treated as blocking (socket reads/writes,
+    /// channel recv/send, sleeps, joins).
+    pub l11_blocking: Vec<String>,
+    /// L12: crate directories where unbounded `mpsc::channel()` is
+    /// banned on protocol paths (bounded `sync_channel` only).
+    pub l12_crates: Vec<String>,
+    /// L12: hot-path scopes where channel sends must be `try_send`
+    /// with the shed outcome explicitly handled.
+    pub l12_scopes: Vec<L2Scope>,
 }
+
+/// The blocking-callee names L11 assumes when the config does not
+/// override them: blocking socket IO, blocking channel endpoints, and
+/// thread parking.
+pub const DEFAULT_BLOCKING: &[&str] = &[
+    "read",
+    "read_exact",
+    "read_to_end",
+    "write_all",
+    "flush",
+    "connect",
+    "accept",
+    "recv",
+    "recv_timeout",
+    "send",
+    "sleep",
+    "join",
+    "wait",
+];
 
 impl Default for Config {
     fn default() -> Self {
@@ -158,6 +200,13 @@ impl Default for Config {
             l7_crates: Vec::new(),
             l7_sink_fields: Vec::new(),
             l8_fallible: Vec::new(),
+            l9_crates: Vec::new(),
+            l9_locks: Vec::new(),
+            l10_scopes: Vec::new(),
+            l11_crates: Vec::new(),
+            l11_blocking: DEFAULT_BLOCKING.iter().map(|s| (*s).into()).collect(),
+            l12_crates: Vec::new(),
+            l12_scopes: Vec::new(),
         }
     }
 }
@@ -268,6 +317,53 @@ impl Config {
         if let Some(Value::Table(l8)) = rules.get("L8") {
             if let Some(v) = l8.get("fallible") {
                 cfg.l8_fallible = v.string_array();
+            }
+        }
+        if let Some(Value::Table(l9)) = rules.get("L9") {
+            if let Some(v) = l9.get("crates") {
+                cfg.l9_crates = v.string_array();
+            }
+            if let Some(v) = l9.get("locks") {
+                cfg.l9_locks = v.string_array();
+            }
+        }
+        if let Some(Value::Table(l10)) = rules.get("L10") {
+            if let Some(Value::Array(scopes)) = l10.get("scopes") {
+                for s in scopes {
+                    let Value::Table(t) = s else { continue };
+                    cfg.l10_scopes.push(L2Scope {
+                        file: t.get("file").and_then(Value::as_str).unwrap_or("").into(),
+                        functions: t
+                            .get("functions")
+                            .map(Value::string_array)
+                            .unwrap_or_default(),
+                    });
+                }
+            }
+        }
+        if let Some(Value::Table(l11)) = rules.get("L11") {
+            if let Some(v) = l11.get("crates") {
+                cfg.l11_crates = v.string_array();
+            }
+            if let Some(v) = l11.get("blocking") {
+                cfg.l11_blocking = v.string_array();
+            }
+        }
+        if let Some(Value::Table(l12)) = rules.get("L12") {
+            if let Some(v) = l12.get("crates") {
+                cfg.l12_crates = v.string_array();
+            }
+            if let Some(Value::Array(scopes)) = l12.get("scopes") {
+                for s in scopes {
+                    let Value::Table(t) = s else { continue };
+                    cfg.l12_scopes.push(L2Scope {
+                        file: t.get("file").and_then(Value::as_str).unwrap_or("").into(),
+                        functions: t
+                            .get("functions")
+                            .map(Value::string_array)
+                            .unwrap_or_default(),
+                    });
+                }
             }
         }
         Ok(cfg)
@@ -585,6 +681,25 @@ sink_fields = ["commit_len", "log"]
 
 [rules.L8]
 fallible = ["split_frame"]
+
+[rules.L9]
+crates = ["crates/adored"]
+locks = ["clients", "state"]
+
+[[rules.L10.scopes]]
+file = "crates/adored/src/node.rs"
+functions = ["*"]
+
+[rules.L11]
+crates = ["crates/adored"]
+blocking = ["recv", "write_all"]
+
+[rules.L12]
+crates = ["crates/adored"]
+
+[[rules.L12.scopes]]
+file = "crates/adored/src/node.rs"
+functions = ["run"]
 "#,
         )
         .expect("parses");
@@ -604,6 +719,22 @@ fallible = ["split_frame"]
         assert_eq!(cfg.l7_crates, vec!["crates/raft"]);
         assert_eq!(cfg.l7_sink_fields, vec!["commit_len", "log"]);
         assert_eq!(cfg.l8_fallible, vec!["split_frame"]);
+        assert_eq!(cfg.l9_crates, vec!["crates/adored"]);
+        assert_eq!(cfg.l9_locks, vec!["clients", "state"]);
+        assert_eq!(cfg.l10_scopes.len(), 1);
+        assert_eq!(cfg.l10_scopes[0].functions, vec!["*"]);
+        assert_eq!(cfg.l11_blocking, vec!["recv", "write_all"]);
+        assert_eq!(cfg.l12_crates, vec!["crates/adored"]);
+        assert_eq!(cfg.l12_scopes[0].functions, vec!["run"]);
+    }
+
+    #[test]
+    fn blocking_list_defaults_when_unconfigured() {
+        let cfg = Config::from_toml("[rules.L11]\ncrates = [\"crates/adored\"]").expect("parses");
+        assert_eq!(cfg.l11_crates, vec!["crates/adored"]);
+        assert!(cfg.l11_blocking.iter().any(|b| b == "recv"));
+        assert!(cfg.l11_blocking.iter().any(|b| b == "write_all"));
+        assert!(cfg.l11_blocking.iter().any(|b| b == "sleep"));
     }
 
     #[test]

@@ -145,6 +145,94 @@ pub fn explain(rule: &str) -> Option<&'static str> {
                  let _ = parse_payload(frame);   // L8\n\
                  sync_mirror(state);             // L8 if sync_mirror -> Result\n"
         }
+        "L9" => {
+            "L9 — lock-order cycles (concurrency-discipline)\n\
+             \n\
+             Within a configured crate, the lint tracks which lock guards are\n\
+             held (lexically, over guard live ranges) at every `lock()` site and\n\
+             builds the crate's lock-acquisition order graph. Any cycle — two\n\
+             sites acquiring the same pair of locks in opposite orders, or a\n\
+             re-acquisition of a lock already held — is reported at both\n\
+             acquisition sites. With `locks = [..]` configured, any acquisition\n\
+             against the pinned global order is flagged even before the second\n\
+             half of the cycle exists.\n\
+             \n\
+             Paper invariant: the safety theorem is proved over the\n\
+             deterministic engine; the threaded shell around it (node loops,\n\
+             proxy pumps) must not deadlock, or certified runs simply stop\n\
+             producing journal entries — an availability hole no trace audit\n\
+             can see. std::sync::Mutex is not reentrant, so even a self-cycle\n\
+             is a guaranteed deadlock.\n\
+             \n\
+             Violating example (two threads, opposite orders):\n\
+             \n\
+                 let g = state.lock()?;  let h = clients.lock()?;   // thread A\n\
+                 let h = clients.lock()?; let g = state.lock()?;    // L9 (both)\n"
+        }
+        "L10" => {
+            "L10 — no-panic lock acquisition (concurrency-discipline)\n\
+             \n\
+             In configured long-lived-thread scopes (node event loops, proxy\n\
+             pumps, the monitor), `lock().unwrap()` and `lock().expect(..)`\n\
+             are banned: a poisoned mutex must flow through a typed path —\n\
+             `unwrap_or_else(PoisonError::into_inner)` with a journaled\n\
+             adoption event, or a per-connection exit — never a panic.\n\
+             \n\
+             Paper invariant: extends L2's panic-free discipline beyond\n\
+             recovery scopes. Poisoning means some other thread already\n\
+             panicked; unwrap() converts one thread's bug into whole-process\n\
+             death of a replica that the protocol (and the paper's fault\n\
+             model) expects to keep serving or to crash *cleanly* through the\n\
+             kill -9 harness, not via cascading panics.\n\
+             \n\
+             Violating example (inside a long-lived-thread scope):\n\
+             \n\
+                 let map = clients.lock().expect(\"client map lock\");   // L10\n"
+        }
+        "L11" => {
+            "L11 — no lock held across a blocking call (concurrency-discipline)\n\
+             \n\
+             Within a configured crate, no lock guard may be live across a\n\
+             blocking call: socket read/write/connect/accept, Receiver::recv,\n\
+             blocking channel send, thread::sleep, join. The blocking-call\n\
+             list is configurable, and crate-local helpers that (transitively)\n\
+             block taint their callers through cross-file call summaries.\n\
+             \n\
+             Paper invariant: certifies DESIGN §11's bounded-stall claim. A\n\
+             guard held across a peer socket write makes every thread needing\n\
+             that lock wait on the *slowest peer's* TCP buffer — the classic\n\
+             tail-latency collapse, and (combined with an L9 edge) a deadlock\n\
+             amplifier. Copy out what the critical section needs, drop the\n\
+             guard, then block.\n\
+             \n\
+             Violating example:\n\
+             \n\
+                 let map = clients.lock()?;\n\
+                 write_frame(map.get_mut(&id)?, &reply)?;   // L11: socket\n\
+                                                            // write under lock\n"
+        }
+        "L12" => {
+            "L12 — bounded-channel discipline (concurrency-discipline)\n\
+             \n\
+             Two halves. (a) In configured crates, unbounded `mpsc::channel()`\n\
+             is banned on protocol paths: only `sync_channel(depth)` carries\n\
+             backpressure. (b) In configured hot-path scopes, sends must be\n\
+             `try_send` with the shed outcome consumed — a blocking `send` can\n\
+             stall the pump, and a discarded `try_send` silently drops the\n\
+             overflow signal the availability monitor is supposed to see.\n\
+             \n\
+             Paper invariant: DESIGN §11 claims every inter-thread queue is\n\
+             bounded with explicit shed behavior, so overload degrades into\n\
+             *measured* refusals (the availability ledger) instead of\n\
+             unbounded memory growth. L12 makes that claim machine-checked\n\
+             rather than aspirational.\n\
+             \n\
+             Violating example (hot-path scope):\n\
+             \n\
+                 let (tx, rx) = mpsc::channel();   // L12a: unbounded\n\
+                 tx.send(ev).unwrap();             // L12b: blocking send\n\
+                 tx.try_send(ev);                  // L12b: shed outcome dropped\n"
+        }
         // The example lines assemble the pragma marker with concat! so
         // this file's own source never contains the live marker the
         // pragma scanner looks for.
@@ -176,7 +264,9 @@ pub fn explain(rule: &str) -> Option<&'static str> {
 }
 
 /// Every rule id `--explain` accepts, in display order.
-pub const RULE_IDS: &[&str] = &["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "P0", "E0"];
+pub const RULE_IDS: &[&str] = &[
+    "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12", "P0", "E0",
+];
 
 #[cfg(test)]
 mod tests {
@@ -197,5 +287,13 @@ mod tests {
         assert!(explain("L6").expect("L6").contains("R1+/R2/R3"));
         assert!(explain("L7").expect("L7").contains("replay"));
         assert!(explain("L8").expect("L8").contains("recovery"));
+    }
+
+    #[test]
+    fn conc_rules_cite_their_hazards() {
+        assert!(explain("L9").expect("L9").contains("deadlock"));
+        assert!(explain("L10").expect("L10").contains("Poisoning"));
+        assert!(explain("L11").expect("L11").contains("blocking"));
+        assert!(explain("L12").expect("L12").contains("backpressure"));
     }
 }

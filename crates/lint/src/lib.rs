@@ -19,11 +19,20 @@
 //! on every path), a may-taint analysis (L7 nondeterminism taint), and
 //! a discarded-fallible-result check in recovery scopes (L8).
 //!
+//! A third, concurrency-discipline layer ([`conc_rules`]) certifies the
+//! threaded runtime around the deterministic engine: lock-order cycles
+//! (L9), panic-free lock acquisition in long-lived threads (L10),
+//! guards held across blocking calls (L11), and bounded-channel
+//! discipline on protocol paths (L12). Its call summaries are
+//! cross-file within a crate, so [`run_lint`] scans it globally over
+//! every parsed file rather than file-by-file.
+//!
 //! Findings are deterministic (files walked in sorted order, findings
 //! sorted by position) so CI output is stable.
 
 pub mod callgraph;
 pub mod cfg;
+pub mod conc_rules;
 pub mod config;
 pub mod dataflow;
 pub mod explain;
@@ -42,7 +51,7 @@ use config::Config;
 /// One lint finding.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Rule id: `L1`-`L8`, `P0` (malformed pragma), `E0` (parse error).
+    /// Rule id: `L1`-`L12`, `P0` (malformed pragma), `E0` (parse error).
     pub rule: String,
     /// Workspace-relative path, forward slashes.
     pub file: String,
@@ -101,13 +110,17 @@ impl Report {
     }
 }
 
-/// Lints one file's source text. `rel` is the workspace-relative path
-/// used for scope matching and reporting.
-#[must_use]
-pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
-    let pragmas = pragma::scan(source);
+/// Per-file findings that need no cross-file context: pragma errors
+/// plus the token-pattern and flow layers (or `E0` when the file does
+/// not parse). Returns the parse for reuse by the global
+/// concurrency-discipline scan.
+fn base_findings(
+    rel: &str,
+    source: &str,
+    cfg: &Config,
+    pragmas: &pragma::PragmaSet,
+) -> (Vec<Finding>, Option<syn::File>) {
     let mut findings = Vec::new();
-
     for err in &pragmas.errors {
         findings.push(Finding {
             rule: "P0".into(),
@@ -119,24 +132,31 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             reason: None,
         });
     }
-
     match syn::parse_file(source) {
         Ok(file) => {
             findings.extend(rules::scan_file(rel, &file, cfg));
             findings.extend(flow_rules::scan_flow(rel, &file, cfg));
+            (findings, Some(file))
         }
-        Err(e) => findings.push(Finding {
-            rule: "E0".into(),
-            file: rel.into(),
-            line: e.position().line,
-            col: e.position().column,
-            msg: format!("file does not parse: {e}"),
-            suppressed: false,
-            reason: None,
-        }),
+        Err(e) => {
+            findings.push(Finding {
+                rule: "E0".into(),
+                file: rel.into(),
+                line: e.position().line,
+                col: e.position().column,
+                msg: format!("file does not parse: {e}"),
+                suppressed: false,
+                reason: None,
+            });
+            (findings, None)
+        }
     }
+}
 
-    for f in &mut findings {
+/// Marks findings suppressed by a matching same-file pragma, then sorts
+/// into the stable report order.
+fn finish_file(findings: &mut [Finding], pragmas: &pragma::PragmaSet) {
+    for f in findings.iter_mut() {
         if let Some(p) = pragmas
             .pragmas
             .iter()
@@ -146,10 +166,26 @@ pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             f.reason = Some(p.reason.clone());
         }
     }
-
     findings.sort_by(|a, b| {
         (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str()))
     });
+}
+
+/// Lints one file's source text. `rel` is the workspace-relative path
+/// used for scope matching and reporting.
+///
+/// The concurrency-discipline layer runs with this file as the whole
+/// crate, so cross-file summaries are empty; [`run_lint`] is the entry
+/// point that sees helpers across a crate.
+#[must_use]
+pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let pragmas = pragma::scan(source);
+    let (mut findings, parsed) = base_findings(rel, source, cfg, &pragmas);
+    if let Some(file) = parsed {
+        let files = vec![(rel.to_string(), file)];
+        findings.extend(conc_rules::scan_conc(&files, cfg));
+    }
+    finish_file(&mut findings, &pragmas);
     findings
 }
 
@@ -215,9 +251,32 @@ pub fn run_lint(root: &Path, cfg: &Config) -> io::Result<Report> {
         files_scanned: rels.len(),
         ..Report::default()
     };
+    // Pass 1: per-file layers, keeping each parse and pragma set so the
+    // cross-file concurrency layer sees the whole workspace at once.
+    let mut per_file: BTreeMap<String, (Vec<Finding>, pragma::PragmaSet)> = BTreeMap::new();
+    let mut parsed: Vec<(String, syn::File)> = Vec::new();
     for rel in &rels {
         let source = fs::read_to_string(root.join(rel))?;
-        report.findings.extend(lint_source(rel, &source, cfg));
+        let pragmas = pragma::scan(&source);
+        let (findings, file) = base_findings(rel, &source, cfg, &pragmas);
+        if let Some(file) = file {
+            parsed.push((rel.clone(), file));
+        }
+        per_file.insert(rel.clone(), (findings, pragmas));
+    }
+    // Pass 2: one global L9–L12 scan, findings bucketed back per file so
+    // pragmas and position sorting apply uniformly.
+    for f in conc_rules::scan_conc(&parsed, cfg) {
+        if let Some((findings, _)) = per_file.get_mut(&f.file) {
+            findings.push(f);
+        }
+    }
+    for rel in &rels {
+        let Some((mut findings, pragmas)) = per_file.remove(rel) else {
+            continue;
+        };
+        finish_file(&mut findings, &pragmas);
+        report.findings.extend(findings);
     }
     Ok(report)
 }

@@ -12,10 +12,37 @@ fn main() -> ExitCode {
     let mut format = "text".to_string();
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
+    let mut only: Option<Vec<String>> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--only" => match args.next() {
+                Some(list) => {
+                    let rules: Vec<String> = list
+                        .split(',')
+                        .map(|r| r.trim().to_ascii_uppercase())
+                        .filter(|r| !r.is_empty())
+                        .collect();
+                    if rules.is_empty()
+                        || rules
+                            .iter()
+                            .any(|r| !adore_lint::explain::RULE_IDS.contains(&r.as_str()))
+                    {
+                        eprintln!(
+                            "adore-lint: --only expects a comma-separated rule list \
+                             (known: {})",
+                            adore_lint::explain::RULE_IDS.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                    only = Some(rules);
+                }
+                None => {
+                    eprintln!("adore-lint: --only expects a rule list (e.g. L9,L10,L11,L12)");
+                    return ExitCode::from(2);
+                }
+            },
             "--format" => match args.next() {
                 Some(f) if f == "text" || f == "json" => format = f,
                 other => {
@@ -61,18 +88,23 @@ fn main() -> ExitCode {
                     "adore-lint: certify protocol discipline at the source level\n\
                      \n\
                      USAGE: adore-lint [--format text|json] [--root DIR] [--config FILE]\n\
+                     \n                  [--only RULE[,RULE...]]\n\
                      \n       adore-lint --explain RULE\n\
                      \n\
                      Scans the workspace for violations of rules L1 (determinism),\n\
                      L2 (panic-free recovery), L3 (mutation/construction\n\
                      encapsulation), L4 (certificate hygiene), L5 (no stray console\n\
-                     output), and the flow-sensitive rules L6 (guard-before-\n\
-                     mutation), L7 (nondeterminism taint), and L8 (discarded\n\
-                     fallible results in recovery scopes). `--explain RULE` prints\n\
-                     a rule's rationale, the paper invariant it guards, and a\n\
-                     minimal violating example. Configuration: adore-lint.toml at\n\
-                     the workspace root. Exit status is non-zero when unsuppressed\n\
-                     findings exist."
+                     output), the flow-sensitive rules L6 (guard-before-mutation),\n\
+                     L7 (nondeterminism taint), and L8 (discarded fallible results\n\
+                     in recovery scopes), and the concurrency-discipline rules L9\n\
+                     (lock-order cycles), L10 (no-panic lock acquisition), L11 (no\n\
+                     lock held across blocking calls), and L12 (bounded-channel\n\
+                     discipline). `--only L9,L10,L11,L12` narrows the report (and\n\
+                     the exit status) to the listed rules; P0/E0 always count.\n\
+                     `--explain RULE` prints a rule's rationale, the paper\n\
+                     invariant it guards, and a minimal violating example.\n\
+                     Configuration: adore-lint.toml at the workspace root. Exit\n\
+                     status is non-zero when unsuppressed findings exist."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -108,13 +140,22 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match adore_lint::run_lint(&root, &cfg) {
+    let mut report = match adore_lint::run_lint(&root, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("adore-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+
+    // `--only` narrows the report to the listed rules, e.g. the ci.sh
+    // L9-L12 concurrency gate. P0/E0 stay: a malformed pragma or an
+    // unparsable file undermines whichever rules were requested.
+    if let Some(only) = &only {
+        report
+            .findings
+            .retain(|f| f.rule == "P0" || f.rule == "E0" || only.contains(&f.rule));
+    }
 
     match format.as_str() {
         "json" => print!("{}", adore_lint::render_json(&report)),

@@ -46,6 +46,7 @@ fn fixture_config() -> Config {
         l7_crates: Vec::new(),
         l7_sink_fields: Vec::new(),
         l8_fallible: Vec::new(),
+        ..Config::default()
     }
 }
 

@@ -1,0 +1,9 @@
+//! L10 fixture: a long-lived event loop must adopt poisoning through
+//! a typed path, never unwrap()/expect() it into a thread death.
+
+fn event_loop(alpha: M, beta: M, gamma: M) {
+    let a = alpha.lock().unwrap();
+    let b = beta.lock().expect("poisoned");
+    let c = gamma.lock().unwrap_or_else(PoisonError::into_inner);
+    use_all(a, b, c);
+}

@@ -1,0 +1,15 @@
+//! L11 fixture: no guard may live across a blocking call; copying
+//! out, dropping, then blocking is the sanctioned shape.
+
+fn reply(clients: M, stream: S) {
+    let map = clients.lock().unwrap();
+    stream.write_all(map.bytes());
+    drop(map);
+    stream.flush();
+}
+
+fn tick(state: M) {
+    let g = state.lock().unwrap();
+    thread::sleep(D);
+    use_it(g);
+}

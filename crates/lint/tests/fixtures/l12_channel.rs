@@ -1,0 +1,14 @@
+//! L12 fixture: protocol-path channels must be bounded and hot-path
+//! sends must be try_send with the shed outcome consumed.
+
+fn wire(tx: T) {
+    let (atx, arx) = mpsc::channel();
+    tx.send(Ping).unwrap();
+    let _ = tx.try_send(Ping);
+    tx.try_send(Ping);
+    match tx.try_send(Ping) {
+        Ok(()) => {}
+        Err(e) => shed(e),
+    }
+    consume(atx, arx);
+}

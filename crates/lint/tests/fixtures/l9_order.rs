@@ -1,0 +1,21 @@
+//! L9 fixture: the pump and admin threads take the same two locks in
+//! opposite orders, and the stats path re-acquires a lock it already
+//! holds (std::sync::Mutex is not reentrant).
+
+fn pump(state: M, counters: M) {
+    let st = state.lock().unwrap();
+    let ct = counters.lock().unwrap();
+    use_both(st, ct);
+}
+
+fn admin(state: M, counters: M) {
+    let ct = counters.lock().unwrap();
+    let st = state.lock().unwrap();
+    use_both(st, ct);
+}
+
+fn stats(state: M) {
+    let a = state.lock().unwrap();
+    let b = state.lock().unwrap();
+    use_both(a, b);
+}

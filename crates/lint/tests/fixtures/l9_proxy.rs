@@ -1,0 +1,18 @@
+//! Distilled locking structure of the netmesis proxy
+//! (crates/adored/src/proxy.rs): per-link fault state plus the shared
+//! link tally, always acquired state-before-tally. The L9 self-
+//! ablation test swaps the order in `apply_admin` and asserts L9
+//! pinpoints both acquisition chains; this unmodified copy must scan
+//! clean.
+
+fn pump(state: M, tally: M) {
+    let st = state.lock().unwrap_or_else(PoisonError::into_inner);
+    let tl = tally.lock().unwrap_or_else(PoisonError::into_inner);
+    forward(st.mode(), tl);
+}
+
+fn apply_admin(state: M, tally: M) {
+    let sa = state.lock().unwrap_or_else(PoisonError::into_inner);
+    let ta = tally.lock().unwrap_or_else(PoisonError::into_inner);
+    reset(sa, ta);
+}

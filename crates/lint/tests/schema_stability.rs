@@ -3,7 +3,7 @@
 //! field names, field order, indentation, or the footer must show up
 //! here as a deliberate diff.
 
-use adore_lint::config::Config;
+use adore_lint::config::{Config, L2Scope};
 use adore_lint::{lint_source, render_json, Report};
 
 fn pragma_line(rest: &str) -> String {
@@ -38,6 +38,63 @@ fn json_output_is_pinned_byte_for_byte() {
         "  \"files_scanned\": 1,\n",
         "  \"active\": 1,\n",
         "  \"suppressed\": 1\n",
+        "}\n",
+    );
+    assert_eq!(render_json(&report), expected);
+}
+
+#[test]
+fn conc_findings_json_is_pinned_byte_for_byte() {
+    let cfg = Config {
+        l9_crates: vec!["crates/adored".into()],
+        l10_scopes: vec![L2Scope {
+            file: "crates/adored/src/x.rs".into(),
+            functions: vec!["*".into()],
+        }],
+        l11_crates: vec!["crates/adored".into()],
+        l12_crates: vec!["crates/adored".into()],
+        l12_scopes: vec![L2Scope {
+            file: "crates/adored/src/x.rs".into(),
+            functions: vec!["*".into()],
+        }],
+        ..Config::default()
+    };
+    let src = "fn f(state: M, tx: T) {\n    let a = state.lock().unwrap();\n    \
+               let b = state.lock().unwrap();\n    thread::sleep(d);\n    \
+               tx.try_send(e);\n    use3(a, b);\n}\n";
+    let findings = lint_source("crates/adored/src/x.rs", src, &cfg);
+    let report = Report {
+        findings,
+        files_scanned: 1,
+    };
+    let expected = concat!(
+        "{\n",
+        "  \"findings\": [\n",
+        "    {\"rule\": \"L10\", \"file\": \"crates/adored/src/x.rs\", \"line\": 2, ",
+        "\"col\": 26, \"msg\": \"`lock().unwrap()` on `state` in a long-lived thread scope ",
+        "panics on poisoning: recover via a typed path ",
+        "(`unwrap_or_else(PoisonError::into_inner)` + journal) instead\", ",
+        "\"suppressed\": false},\n",
+        "    {\"rule\": \"L9\", \"file\": \"crates/adored/src/x.rs\", \"line\": 3, ",
+        "\"col\": 19, \"msg\": \"lock `state` re-acquired while already held ",
+        "(acquired at crates/adored/src/x.rs:2): std::sync::Mutex is not reentrant ",
+        "— this deadlocks\", \"suppressed\": false},\n",
+        "    {\"rule\": \"L10\", \"file\": \"crates/adored/src/x.rs\", \"line\": 3, ",
+        "\"col\": 26, \"msg\": \"`lock().unwrap()` on `state` in a long-lived thread scope ",
+        "panics on poisoning: recover via a typed path ",
+        "(`unwrap_or_else(PoisonError::into_inner)` + journal) instead\", ",
+        "\"suppressed\": false},\n",
+        "    {\"rule\": \"L11\", \"file\": \"crates/adored/src/x.rs\", \"line\": 4, ",
+        "\"col\": 13, \"msg\": \"blocking call `sleep` while holding lock `state` ",
+        "(acquired at crates/adored/src/x.rs:3): a stalled peer holds up every thread ",
+        "needing the lock\", \"suppressed\": false},\n",
+        "    {\"rule\": \"L12\", \"file\": \"crates/adored/src/x.rs\", \"line\": 5, ",
+        "\"col\": 8, \"msg\": \"`try_send` result discarded on a hot path: the overflow ",
+        "(shed) outcome must be handled explicitly\", \"suppressed\": false}\n",
+        "  ],\n",
+        "  \"files_scanned\": 1,\n",
+        "  \"active\": 5,\n",
+        "  \"suppressed\": 0\n",
         "}\n",
     );
     assert_eq!(render_json(&report), expected);

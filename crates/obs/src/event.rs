@@ -225,6 +225,18 @@ pub enum EventKind {
         /// Why ("corrupt", "oversized", "bad-payload").
         reason: String,
     },
+    /// A thread found a mutex poisoned (a peer thread panicked while
+    /// holding it) and *adopted* the value instead of propagating the
+    /// panic. Safe only for locks whose critical sections are atomic
+    /// with respect to the protected invariant (e.g. single-map-op
+    /// sections); the event makes the adoption auditable rather than
+    /// silent.
+    LockPoisoned {
+        /// The recovering node.
+        nid: u32,
+        /// The lock's name (e.g. "clients").
+        lock: String,
+    },
     /// The live run evaluated an invariant.
     InvariantEval {
         /// Invariant name (e.g. "log-safety").
@@ -276,6 +288,7 @@ impl EventKind {
             EventKind::SessionAck { .. } => "session-ack",
             EventKind::AvailabilityWindow { .. } => "availability-window",
             EventKind::BadFrame { .. } => "bad-frame",
+            EventKind::LockPoisoned { .. } => "lock-poisoned",
             EventKind::InvariantEval { .. } => "invariant-eval",
             EventKind::Verdict { .. } => "verdict",
             EventKind::RunEnd { .. } => "run-end",

@@ -155,6 +155,13 @@ fn pinned_kinds() -> Vec<(EventKind, &'static str)> {
             r#"{"BadFrame":{"nid":2,"reason":"corrupt"}}"#,
         ),
         (
+            EventKind::LockPoisoned {
+                nid: 1,
+                lock: "clients".into(),
+            },
+            r#"{"LockPoisoned":{"nid":1,"lock":"clients"}}"#,
+        ),
+        (
             EventKind::InvariantEval {
                 name: "log-safety".into(),
                 ok: true,
