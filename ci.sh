@@ -70,14 +70,22 @@ STORAGE_TABLE_SEEDS=10 \
     cargo run -p adore-bench --bin storage_table --release --offline >/dev/null
 
 # Observability gate: run the E11 harness (self-asserts that tracing is
-# invisible to the simulation and that every ablation's audit reproduces
-# its live verdict), then re-audit the written journals with the
-# standalone auditor. The auditor reconstructs protocol state purely
-# from the trace; a non-zero exit means the audit's independent verdict
-# no longer matches the live run's — i.e. instrumentation and protocol
-# have drifted apart.
-echo "== observability gate (trace-certified audit) =="
+# invisible to the simulation, that every ablation's audit reproduces
+# its live verdict, and that the streaming OnlineAuditor reproduces
+# every batch verdict on every journal it writes), then re-audit the
+# written journals with the standalone auditor. The auditor
+# reconstructs protocol state purely from the trace; a non-zero exit
+# means the audit's independent verdict no longer matches the live
+# run's — i.e. instrumentation and protocol have drifted apart. CI also
+# asserts the table was actually regenerated so results/obs_table.txt
+# cannot go stale.
+echo "== observability gate (trace-certified audit, batch == online) =="
+rm -f results/obs_table.txt
 cargo run -p adore-bench --bin obs_table --release --offline >/dev/null
+test -s results/obs_table.txt || {
+    echo "ci: results/obs_table.txt was not regenerated" >&2
+    exit 1
+}
 cargo run -q -p adore-obs --release --offline -- --audit target/obs/r3-sound.jsonl >/dev/null
 cargo run -q -p adore-obs --release --offline -- --audit target/obs/no-R3-ablated.jsonl >/dev/null
 
@@ -106,5 +114,22 @@ rm -rf target/netmesis-gate
 timeout 90 cargo run -q -p adored --release --offline -- \
     hunt --gate --dir target/netmesis-gate
 cargo run -q -p adore-obs --release --offline -- --audit target/netmesis-gate/netmesis-gate/merged.jsonl >/dev/null
+
+# Live-plane gate: the open-loop load generator drives a real 3-node
+# cluster at three fixed offered rates while every node streams its
+# trace to the in-process online auditor over TCP. The bench exits
+# non-zero unless the online audit reports CERTIFIED (and, when zero
+# frames were shed, unless the batch auditor agrees with the online
+# verdict event-for-event). Small rates and short phases keep the gate
+# bounded; the full campaign is E15.
+echo "== live-plane gate (open-loop bench, online-audited) =="
+rm -rf target/bench-live
+timeout 120 cargo run -q -p adored --release --offline -- \
+    bench --open-loop 40,80,120 --secs-per-rate 2 --seed 11 \
+    --dir target/bench-live --out results/BENCH_live.json
+test -s results/BENCH_live.json || {
+    echo "ci: results/BENCH_live.json was not regenerated" >&2
+    exit 1
+}
 
 echo "ci: all green"

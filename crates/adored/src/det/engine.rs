@@ -875,6 +875,25 @@ impl Engine {
     pub fn get(&self, key: &str) -> Option<&str> {
         self.applied.get(key)
     }
+
+    /// Configuration epoch: how many configuration entries the log
+    /// holds (0 while still on the bootstrap configuration). Exposed
+    /// as a `/metrics` gauge so a scrape shows reconfiguration
+    /// progress without parsing the journal.
+    #[must_use]
+    pub fn config_epoch(&self) -> usize {
+        self.log
+            .iter()
+            .filter(|e| matches!(e.cmd, Command::Config(_)))
+            .count()
+    }
+
+    /// Distinct clients tracked in the session table (the session-table
+    /// occupancy gauge).
+    #[must_use]
+    pub fn session_occupancy(&self) -> usize {
+        self.sessions.clients()
+    }
 }
 
 fn role_name(role: Role) -> &'static str {

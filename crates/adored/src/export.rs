@@ -1,0 +1,399 @@
+//! Streaming trace export: a node's journal, live over TCP.
+//!
+//! Each node can serve its per-boot [`adore_obs::TraceEvent`] stream
+//! on a side-channel socket, framed with the same `[len][crc32][JSON]`
+//! wire codec as the data plane. The design keeps the protocol loop
+//! honest and the loss model explicit:
+//!
+//! - **Bounded tee, never blocking**: the journal tees each event into
+//!   a bounded queue with `try_send`. A full queue sheds the event and
+//!   the *next* successful push is preceded by a synthesized
+//!   [`EventKind::TraceDropped`] marker carrying the shed count — so
+//!   backpressure is visible in the stream itself, never silent, and
+//!   the engine loop never waits on a slow observer.
+//! - **Replay on subscribe**: the pump retains this boot's frames (up
+//!   to [`RETAIN_FRAMES`]); a subscriber connecting late — or redialing
+//!   a restarted node — receives the boot's history first, then live
+//!   events. Trimmed history is announced with a leading
+//!   `TraceDropped` marker, same accounting as queue loss.
+//! - **Slow subscribers stall the pump, not the node**: subscriber
+//!   writes carry no deadline, so an unread socket eventually blocks
+//!   the pump thread — at which point the bounded queue fills and
+//!   sheds with markers. The node's event loop is never the party that
+//!   waits.
+//!
+//! The consumer half ([`ExportReader`]) reads frames through its own
+//! buffer with a poll timeout, so a silent stream (a SIGSTOPped node)
+//! is distinguishable from a dead one.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use adore_obs::{EventKind, TraceEvent};
+
+use crate::det::msg::{decode_msg, encode_msg};
+use crate::det::wire;
+
+/// Bound on the export queue between the engine loop's tee and the
+/// pump thread. Deep enough to ride out scheduling hiccups at bench
+/// rates; overflow sheds with `TraceDropped` markers.
+pub const EXPORT_QUEUE_DEPTH: usize = 8_192;
+
+/// Frames of the current boot retained for late subscribers. Above
+/// this the oldest are trimmed and announced via a `TraceDropped`
+/// marker on subscribe.
+const RETAIN_FRAMES: usize = 65_536;
+
+/// How long the pump waits for the next event before re-checking for
+/// new subscribers.
+const PUMP_POLL: Duration = Duration::from_millis(50);
+
+/// Read-poll timeout on the consumer side.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Shared export counters, readable from the node's metrics loop.
+#[derive(Debug, Clone, Default)]
+pub struct ExportStats {
+    dropped: Arc<AtomicU64>,
+    depth: Arc<AtomicU64>,
+}
+
+impl ExportStats {
+    /// Total events shed under backpressure so far (every one of them
+    /// accounted by a `TraceDropped` marker in the stream).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently queued between the tee and the pump.
+    #[must_use]
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
+/// The producer half of an export stream: a bounded, loss-accounting
+/// tee for trace events.
+///
+/// Owned by whatever records the journal (the node's [`crate::node`]
+/// event loop, the availability monitor, a harness driver). `push`
+/// never blocks.
+#[derive(Debug)]
+pub struct ExportQueue {
+    nid: u32,
+    tx: SyncSender<TraceEvent>,
+    /// Events shed since the last marker made it into the stream.
+    pending_dropped: u64,
+    stats: ExportStats,
+}
+
+impl ExportQueue {
+    /// A fresh queue and its consumer end — the in-process form, used
+    /// for local streams (drivers, monitors) feeding a collector
+    /// directly.
+    #[must_use]
+    pub fn new(nid: u32, depth: usize) -> (ExportQueue, Receiver<TraceEvent>) {
+        let (tx, rx) = mpsc::sync_channel(depth.max(1));
+        (
+            ExportQueue {
+                nid,
+                tx,
+                pending_dropped: 0,
+                stats: ExportStats::default(),
+            },
+            rx,
+        )
+    }
+
+    /// Shared counter handles (clone of the atomics, safe to keep
+    /// after the queue moves into the journal).
+    #[must_use]
+    pub fn stats(&self) -> ExportStats {
+        self.stats.clone()
+    }
+
+    /// Tee one event into the stream; sheds (with accounting) instead
+    /// of blocking when the queue is full.
+    pub fn push(&mut self, ev: &TraceEvent) {
+        if self.pending_dropped > 0 {
+            // Announce prior loss before the event that found room.
+            // The marker borrows the event's stamp so the stream stays
+            // clock-monotone.
+            let marker = TraceEvent::root(
+                ev.at_us,
+                EventKind::TraceDropped {
+                    nid: self.nid,
+                    count: self.pending_dropped,
+                },
+            );
+            match self.tx.try_send(marker) {
+                Ok(()) => {
+                    self.pending_dropped = 0;
+                    self.stats.depth.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                    // Still no room: the event below will be shed too.
+                }
+            }
+        }
+        if self.pending_dropped > 0 {
+            self.shed();
+            return;
+        }
+        match self.tx.try_send(ev.clone()) {
+            Ok(()) => {
+                self.stats.depth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => self.shed(),
+        }
+    }
+
+    fn shed(&mut self) {
+        self.pending_dropped += 1;
+        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Binds the export listener and spawns the accept + pump threads.
+/// Returns the producer queue for the journal tee and the bound
+/// address.
+///
+/// # Errors
+///
+/// Socket bind failure.
+pub fn serve(nid: u32, addr: &str) -> io::Result<(ExportQueue, SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let (queue, rx) = ExportQueue::new(nid, EXPORT_QUEUE_DEPTH);
+    let stats = queue.stats();
+    let (sub_tx, sub_rx) = mpsc::sync_channel::<TcpStream>(16);
+    thread::spawn(move || accept_loop(&listener, &sub_tx));
+    thread::spawn(move || pump(&rx, &sub_rx, &stats, nid));
+    Ok((queue, local))
+}
+
+fn accept_loop(listener: &TcpListener, sub_tx: &SyncSender<TcpStream>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        match sub_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // Subscriber burst beyond the handoff bound: the
+                // dropped socket closes, and the consumer's redial
+                // loop tries again.
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// The pump: single owner of the subscriber set and the replay buffer.
+fn pump(
+    rx: &Receiver<TraceEvent>,
+    sub_rx: &Receiver<TcpStream>,
+    stats: &ExportStats,
+    nid: u32,
+) {
+    let mut subs: Vec<TcpStream> = Vec::new();
+    // (stamp, frame) of every event pumped this boot, for late joiners.
+    let mut retained: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut trimmed: u64 = 0;
+    loop {
+        while let Ok(mut stream) = sub_rx.try_recv() {
+            if replay(&mut stream, &retained, trimmed, nid).is_ok() {
+                subs.push(stream);
+            }
+        }
+        match rx.recv_timeout(PUMP_POLL) {
+            Ok(ev) => {
+                stats.depth.fetch_sub(1, Ordering::Relaxed);
+                let Ok(frame) = encode_msg(&ev) else { continue };
+                subs.retain_mut(|s| s.write_all(&frame).is_ok());
+                retained.push((ev.at_us, frame));
+                if retained.len() > RETAIN_FRAMES {
+                    let excess = retained.len() - RETAIN_FRAMES;
+                    retained.drain(..excess);
+                    trimmed += excess as u64;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Sends a new subscriber the boot's retained history (prefixed with a
+/// loss marker if the buffer was trimmed).
+fn replay(
+    stream: &mut TcpStream,
+    retained: &[(u64, Vec<u8>)],
+    trimmed: u64,
+    nid: u32,
+) -> io::Result<()> {
+    if trimmed > 0 {
+        let at_us = retained.first().map_or(0, |(at, _)| *at);
+        let marker = TraceEvent::root(
+            at_us,
+            EventKind::TraceDropped {
+                nid,
+                count: trimmed,
+            },
+        );
+        let frame = encode_msg(&marker)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        stream.write_all(&frame)?;
+    }
+    for (_, frame) in retained {
+        stream.write_all(frame)?;
+    }
+    Ok(())
+}
+
+/// The consumer half: connects to a node's export socket and yields
+/// decoded [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct ExportReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl ExportReader {
+    /// Dials an export socket.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure (the node may not be up yet — redial).
+    pub fn connect(addr: &str) -> io::Result<ExportReader> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        Ok(ExportReader {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The next event, if one is available within the poll timeout.
+    ///
+    /// `Ok(None)` means "nothing yet, stream alive" — a silent or
+    /// paused node, not a dead one.
+    ///
+    /// # Errors
+    ///
+    /// A dead link (EOF, reset) or an undecodable frame; either way
+    /// the stream is done and the caller should redial (a restarted
+    /// node replays its new boot from the start).
+    pub fn poll_event(&mut self) -> io::Result<Option<TraceEvent>> {
+        loop {
+            match wire::split_frame(&self.buf) {
+                Ok(Some((payload, used))) => {
+                    let ev = decode_msg::<TraceEvent>(payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    self.buf.drain(..used);
+                    return Ok(Some(ev));
+                }
+                Ok(None) => {}
+                Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "export stream closed",
+                    ));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_us: u64, nid: u32) -> TraceEvent {
+        TraceEvent::root(at_us, EventKind::WalSync { nid })
+    }
+
+    /// The export frame is the data-plane codec applied to the pinned
+    /// event JSON — pin the exact bytes so an exporter drift breaks
+    /// loudly.
+    #[test]
+    fn export_frame_bytes_are_pinned() {
+        let event = TraceEvent::root(7, EventKind::TraceDropped { nid: 2, count: 3 });
+        let frame = encode_msg(&event).expect("encodes");
+        let payload = br#"{"seq":0,"at_us":7,"parent":null,"kind":{"TraceDropped":{"nid":2,"count":3}}}"#;
+        assert_eq!(&frame[wire::HEADER..], payload.as_slice());
+        let header: [u8; wire::HEADER] = frame[..wire::HEADER].try_into().expect("header width");
+        let (len, crc) = wire::decode_header(&header).expect("header");
+        assert_eq!(len, payload.len());
+        wire::verify_payload(payload, crc).expect("crc of pinned payload");
+        let back: TraceEvent = decode_msg(&frame[wire::HEADER..]).expect("decodes");
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn overflow_sheds_with_an_accounting_marker_never_blocks() {
+        let (mut q, rx) = ExportQueue::new(1, 2);
+        q.push(&ev(10, 1));
+        q.push(&ev(20, 1));
+        q.push(&ev(30, 1)); // full: shed
+        q.push(&ev(40, 1)); // full: shed
+        assert_eq!(q.stats().dropped(), 2);
+        // Drain, making room: the next push emits the marker first.
+        let first = rx.recv().expect("queued");
+        assert_eq!(first.at_us, 10);
+        let _ = rx.recv().expect("queued");
+        q.push(&ev(50, 1));
+        let marker = rx.recv().expect("marker");
+        assert!(
+            matches!(marker.kind, EventKind::TraceDropped { nid: 1, count: 2 }),
+            "got {marker:?}"
+        );
+        assert_eq!(marker.at_us, 50, "marker borrows the unblocking stamp");
+        let live = rx.recv().expect("event after marker");
+        assert_eq!(live.at_us, 50);
+    }
+
+    #[test]
+    fn served_stream_replays_history_then_streams_live() {
+        let (mut queue, addr) = serve(3, "127.0.0.1:0").expect("bind");
+
+        // History before anyone subscribes.
+        queue.push(&ev(10, 3));
+        queue.push(&ev(20, 3));
+        thread::sleep(Duration::from_millis(120)); // let the pump retain them
+        let mut reader = ExportReader::connect(&addr.to_string()).expect("connect");
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            if let Some(e) = reader.poll_event().expect("alive") {
+                got.push(e.at_us);
+            }
+        }
+        assert_eq!(got, vec![10, 20], "late joiner got the boot history");
+        // Live tail.
+        queue.push(&ev(30, 3));
+        loop {
+            if let Some(e) = reader.poll_event().expect("alive") {
+                assert_eq!(e.at_us, 30);
+                break;
+            }
+        }
+    }
+}

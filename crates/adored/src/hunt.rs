@@ -33,6 +33,8 @@ use adore_nemesis::{
 };
 use adore_obs::{audit_events, merge_journals, to_jsonl, EventKind, TraceEvent, Tracer};
 use adored::client::{ClientError, ClientParams, NetClient};
+use adored::collect::OnlineCollector;
+use adored::export::ExportQueue;
 use adored::monitor::{self, MonitorConfig, MonitorReport};
 use adored::proxy::{LinkTally, ProxyNet};
 
@@ -115,6 +117,13 @@ struct SeedResult {
     proxy_dropped: u64,
     proxy_resets: u64,
     audit_events: usize,
+    /// The live collector's verdict, raised while the run was still
+    /// going (vs. the batch audit after the fact).
+    online_certified: bool,
+    online_events: usize,
+    /// Export-channel events shed under backpressure, all accounted by
+    /// `TraceDropped` markers in the online stream.
+    trace_dropped: u64,
     elapsed_ms: u64,
 }
 
@@ -208,6 +217,9 @@ fn seal_result(
                 proxy_dropped: live.proxy.dropped,
                 proxy_resets: live.proxy.resets,
                 audit_events: live.audit_events,
+                online_certified: live.online_certified,
+                online_events: live.online_events,
+                trace_dropped: live.trace_dropped,
                 elapsed_ms,
             })
         }
@@ -286,8 +298,32 @@ struct LiveOutcome {
     /// `BadFrame { reason: "corrupt" }` events across all journals.
     crc_rejections: u64,
     audit_events: usize,
+    /// The online collector certified the run (live T1–T7 verdict).
+    online_certified: bool,
+    online_events: usize,
+    /// Exporter-shed events, accounted by `TraceDropped` markers.
+    trace_dropped: u64,
     /// The merged JSONL journal.
     journal: String,
+}
+
+/// The driver's journal, written twice at once: into the batch tracer
+/// (merged and audited after the run) and onto the collector's live
+/// stream. One record call, two sinks, no divergence between them.
+struct DriverLog {
+    tracer: Tracer,
+    tee: ExportQueue,
+}
+
+impl DriverLog {
+    fn record(&mut self, at_us: u64, kind: EventKind) {
+        self.tee.push(&TraceEvent::root(at_us, kind.clone()));
+        self.tracer.record(at_us, kind);
+    }
+
+    fn to_jsonl(&self) -> String {
+        self.tracer.to_jsonl()
+    }
 }
 
 /// Boots a proxied cluster, enacts the schedule's wire timeline under
@@ -320,6 +356,16 @@ fn run_live(
     let mut harness = Harness::start_with(seed_dir, addrs.clone(), node_peers, canonical.seed, extra)
         .map_err(|e| e.to_string())?;
 
+    // The online plane: one live stream per node's export channel
+    // (readers redial across restarts), plus local streams for the
+    // driver's and the monitor's own journals.
+    let (collector, mut locals) =
+        OnlineCollector::attach(&harness.export_addrs(), &[90, 91]);
+    let monitor_tee = locals.pop();
+    let driver_tee = locals
+        .pop()
+        .ok_or("collector returned no driver stream")?;
+
     let mut probe = harness.client(999);
     let first_leader = harness.wait_for_leader(&mut probe)?;
 
@@ -334,7 +380,10 @@ fn run_live(
     };
     let timeline = compile_schedule(&enacted);
 
-    let mut driver = Tracer::enabled();
+    let mut driver = DriverLog {
+        tracer: Tracer::enabled(),
+        tee: driver_tee,
+    };
     driver.record(
         now_us(),
         EventKind::RunStart {
@@ -349,6 +398,7 @@ fn run_live(
         seed_dir,
         boot_us,
         MonitorConfig::default(),
+        monitor_tee,
     )
     .map_err(|e| e.to_string())?;
 
@@ -376,6 +426,7 @@ fn run_live(
 
     // Quiesce: heal everything, resume and restart everyone, let the
     // cluster converge, then stop the monitor and the cluster.
+    let ever_killed = walk.kill_count > 0;
     proxy.heal_all();
     driver.record(now_us(), EventKind::Heal);
     for nid in walk.paused {
@@ -426,6 +477,11 @@ fn run_live(
     );
 
     let driver_text = driver.to_jsonl();
+    // Close the driver's live stream, then the whole collector: the
+    // monitor's stream already closed when `mon.stop()` joined it.
+    drop(driver);
+    let online = collector.stop();
+
     let mut all_texts: Vec<&str> = texts.iter().map(String::as_str).collect();
     all_texts.push(monitor_text.as_str());
     all_texts.push(driver_text.as_str());
@@ -441,12 +497,31 @@ fn run_live(
             report.errors, report.divergence
         ));
     }
+    // Online ≡ batch: with no kills and nothing shed, the collector
+    // saw the complete trace and the two verdicts must agree. (A
+    // SIGKILL can eat a node's last unpumped export frames — frames
+    // the flushed journal file still has — so kills relax the check.)
+    if !ever_killed && online.dropped == 0 && online.report.consistent != report.consistent {
+        problems.push(format!(
+            "online/batch audit verdict mismatch: online={} batch={}",
+            online.report.consistent, report.consistent
+        ));
+    }
+    println!(
+        "hunt: online audit {} over {} events ({} trace-dropped)",
+        if online.report.consistent { "CERTIFIED" } else { "REJECTED" },
+        online.report.events,
+        online.dropped
+    );
     Ok(LiveOutcome {
         violation: (!problems.is_empty()).then(|| problems.join("; ")),
         monitor: monitor_report,
         proxy: proxy_totals,
         crc_rejections,
         audit_events: report.events,
+        online_certified: online.report.consistent,
+        online_events: online.report.events,
+        trace_dropped: online.dropped,
         journal,
     })
 }
@@ -463,6 +538,11 @@ fn count_crc_rejections(events: &[TraceEvent]) -> u64 {
 struct WalkState {
     paused: BTreeSet<u32>,
     killed: BTreeSet<u32>,
+    /// Kills enacted over the whole walk (including nodes restarted
+    /// later). A SIGKILL can eat a node's last unpumped export frames,
+    /// so the strict online ≡ batch comparison only applies when this
+    /// stays zero.
+    kill_count: u64,
     /// First hard failure during the walk (a reconfiguration or burst
     /// that could not complete even through retries), if any.
     error: Option<String>,
@@ -479,12 +559,13 @@ fn enact_timeline(
     harness: &mut Harness,
     probe: &mut NetClient,
     client: &mut NetClient,
-    driver: &mut Tracer,
+    driver: &mut DriverLog,
 ) -> WalkState {
     let started = Instant::now();
     let mut walk = WalkState {
         paused: BTreeSet::new(),
         killed: BTreeSet::new(),
+        kill_count: 0,
         error: None,
     };
     let mut members: Vec<u32> = schedule.members.clone();
@@ -523,11 +604,13 @@ fn enact_timeline(
             WireAction::Kill { nid } => {
                 harness.kill(*nid);
                 walk.killed.insert(*nid);
+                walk.kill_count += 1;
             }
             WireAction::KillLeader => {
                 if let Ok(leader) = harness.wait_for_leader(probe) {
                     harness.kill(leader);
                     walk.killed.insert(leader);
+                    walk.kill_count += 1;
                 }
             }
             WireAction::Restart { nid } => {

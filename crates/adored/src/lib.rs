@@ -23,9 +23,21 @@
 //!   corruption, delay, reorder, slow-loris, resets).
 //! - [`monitor`] — the availability monitor whose acked writes become
 //!   the audit's zero-loss / zero-duplicate obligations.
+//! - [`export`] — the streaming trace export side-channel: each node's
+//!   journal, live over TCP in the same `[len][crc32][payload]`
+//!   framing, with bounded-queue loss accounted as `TraceDropped`
+//!   markers.
+//! - [`collect`] — the online collector: merges live export streams on
+//!   a virtual-clock watermark and drives the same T1–T7 audit engine
+//!   incrementally, raising divergence while the cluster still runs.
+//! - [`scrape`] — the read-only `/metrics` endpoint serving the node's
+//!   metrics registry as Prometheus text.
 
 pub mod client;
+pub mod collect;
 pub mod det;
+pub mod export;
 pub mod monitor;
 pub mod node;
 pub mod proxy;
+pub mod scrape;

@@ -33,6 +33,7 @@ use adore_obs::{
     audit_events, merge_journals, to_jsonl, EventKind, Histogram, TraceEvent, Tracer,
 };
 use adored::client::{ClientError, ClientParams, NetClient};
+use adored::collect::OnlineCollector;
 use adored::det::engine::EngineParams;
 use adored::det::msg::{ClientReply, NetEntry, SessionCmd};
 use adored::node::{run, NodeConfig};
@@ -56,9 +57,11 @@ fn main() {
             eprintln!(
                 "usage: adored node --nid N --peers 1=host:port,2=... --data DIR \
                  [--seed S] [--tick-ms T] [--max-runtime-ms M] [--ablate-guard r1|r2|r3] \
-                 [--peer-deadline-ms M]\n\
+                 [--peer-deadline-ms M] [--export host:port] [--metrics host:port]\n\
                  \x20      adored smoke [--nodes N] [--dir DIR] [--seed S] [--reconfig]\n\
                  \x20      adored bench [--writes N] [--dir DIR] [--out FILE] [--seed S]\n\
+                 \x20      adored bench --open-loop [RATES] [--secs-per-rate S] [--dir DIR] \
+                 [--out FILE] [--seed S]\n\
                  \x20      adored hunt [--gate | --seeds N] [--nodes N] [--dir DIR] \
                  [--seed S] [--ablate r1] [--out FILE]"
             );
@@ -142,6 +145,8 @@ fn cmd_node(args: &[String]) -> i32 {
             "--peer-deadline-ms",
             adored::node::DEFAULT_PEER_READ_DEADLINE_MS,
         ),
+        export_addr: arg_value(args, "--export"),
+        metrics_addr: arg_value(args, "--metrics"),
     };
     match run(cfg) {
         Ok(()) => 0,
@@ -160,6 +165,11 @@ fn now_us() -> u64 {
         .duration_since(UNIX_EPOCH)
         .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
         .unwrap_or(0)
+}
+
+/// A duration as saturating microseconds.
+fn dur_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Reserves `n` distinct ephemeral localhost ports.
@@ -184,6 +194,12 @@ struct Harness {
     node_peers: BTreeMap<u32, String>,
     /// Real (un-proxied) addresses, for clients and status probes.
     addrs: BTreeMap<u32, String>,
+    /// Per-node streaming-export listen addresses, allocated once and
+    /// reused across respawns so a collector's redial to one address
+    /// spans every boot of that node.
+    export_addrs: BTreeMap<u32, String>,
+    /// Per-node `/metrics` scrape addresses, likewise stable.
+    metrics_addrs: BTreeMap<u32, String>,
     children: BTreeMap<u32, Child>,
     seed: u64,
     /// Extra `adored node` flags appended to every spawn (e.g.
@@ -217,11 +233,24 @@ impl Harness {
     ) -> std::io::Result<Harness> {
         fs::create_dir_all(dir)?;
         let exe = std::env::current_exe()?;
+        let obs_ports = pick_ports(2 * addrs.len())?;
+        let export_addrs = addrs
+            .keys()
+            .enumerate()
+            .map(|(i, &n)| (n, format!("127.0.0.1:{}", obs_ports[2 * i])))
+            .collect();
+        let metrics_addrs = addrs
+            .keys()
+            .enumerate()
+            .map(|(i, &n)| (n, format!("127.0.0.1:{}", obs_ports[2 * i + 1])))
+            .collect();
         let mut h = Harness {
             exe,
             dir: dir.to_path_buf(),
             node_peers,
             addrs,
+            export_addrs,
+            metrics_addrs,
             children: BTreeMap::new(),
             seed,
             extra_args,
@@ -241,28 +270,35 @@ impl Harness {
             .get(&nid)
             .cloned()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "unknown nid"))?;
-        let child = Command::new(&self.exe)
-            .args([
-                "node",
-                "--nid",
-                &nid.to_string(),
-                "--peers",
-                &peers_spec,
-                "--data",
-                data.to_str().unwrap_or("."),
-                // Every node gets the same base seed: the engine mixes
-                // the node id in by XOR, which keeps per-node jitter
-                // streams distinct for ANY base. (Passing seed+nid here
-                // instead can collide — (s+a)^a == (s+b)^b for many
-                // small values — leaving two survivors with identical
-                // election jitter and a perpetual split vote.)
-                "--seed",
-                &self.seed.to_string(),
-                "--tick-ms",
-                &CHILD_TICK_MS.to_string(),
-                "--max-runtime-ms",
-                &CHILD_MAX_RUNTIME_MS.to_string(),
-            ])
+        let mut cmd = Command::new(&self.exe);
+        cmd.args([
+            "node",
+            "--nid",
+            &nid.to_string(),
+            "--peers",
+            &peers_spec,
+            "--data",
+            data.to_str().unwrap_or("."),
+            // Every node gets the same base seed: the engine mixes
+            // the node id in by XOR, which keeps per-node jitter
+            // streams distinct for ANY base. (Passing seed+nid here
+            // instead can collide — (s+a)^a == (s+b)^b for many
+            // small values — leaving two survivors with identical
+            // election jitter and a perpetual split vote.)
+            "--seed",
+            &self.seed.to_string(),
+            "--tick-ms",
+            &CHILD_TICK_MS.to_string(),
+            "--max-runtime-ms",
+            &CHILD_MAX_RUNTIME_MS.to_string(),
+        ]);
+        if let Some(addr) = self.export_addrs.get(&nid) {
+            cmd.args(["--export", addr]);
+        }
+        if let Some(addr) = self.metrics_addrs.get(&nid) {
+            cmd.args(["--metrics", addr]);
+        }
+        let child = cmd
             .args(&self.extra_args)
             .stdout(Stdio::null())
             .stderr(Stdio::inherit())
@@ -308,6 +344,18 @@ impl Harness {
     /// Every configured node id (running or not).
     fn node_ids(&self) -> Vec<u32> {
         self.addrs.keys().copied().collect()
+    }
+
+    /// Streaming-export addresses in nid order, for an online
+    /// collector: one merger stream per address spans every boot of
+    /// that node (the port is reused across respawns).
+    fn export_addrs(&self) -> Vec<String> {
+        self.export_addrs.values().cloned().collect()
+    }
+
+    /// The `/metrics` scrape address of node `nid`.
+    fn metrics_addr(&self, nid: u32) -> Option<String> {
+        self.metrics_addrs.get(&nid).cloned()
     }
 
     /// Polls until some node reports itself leader; returns its nid.
@@ -671,6 +719,23 @@ fn cmd_bench(args: &[String]) -> i32 {
     let dir = arg_value(args, "--dir")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(format!("target/bench-{}", std::process::id())));
+    if arg_flag(args, "--open-loop") {
+        let out = arg_value(args, "--out")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results/BENCH_live.json"));
+        let rates: Vec<u64> = arg_value(args, "--open-loop")
+            .map(|spec| spec.split(',').filter_map(|r| r.trim().parse().ok()).collect())
+            .filter(|v: &Vec<u64>| !v.is_empty())
+            .unwrap_or_else(|| vec![60, 120, 240]);
+        let secs = arg_u64(args, "--secs-per-rate", 3).max(1);
+        return match bench_open_loop(&dir, &rates, secs, seed, &out) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("bench --open-loop: FAIL: {e}");
+                1
+            }
+        };
+    }
     let out = arg_value(args, "--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results/BENCH_net.json"));
@@ -688,9 +753,20 @@ fn cmd_bench(args: &[String]) -> i32 {
 struct BenchReport {
     name: &'static str,
     nodes: u32,
+    /// `"closed-loop"`: the next write is issued only after the
+    /// previous ack, so the measured latency folds queue wait into
+    /// service time under overload — compare against the open-loop
+    /// numbers in `BENCH_live.json`, which separate the two.
+    mode: &'static str,
     writes: u64,
     seed: u64,
     elapsed_us: u64,
+    /// The rate the loop *offered*. Closed-loop self-throttles, so
+    /// offered equals achieved by construction; reported so the two
+    /// bench modes share a comparable schema.
+    offered_per_s: u64,
+    /// The rate the cluster *achieved* (acked writes per second).
+    achieved_per_s: u64,
     throughput_per_s: u64,
     latency_us: BenchLatency,
     histogram: adore_obs::HistogramSnapshot,
@@ -735,9 +811,12 @@ fn bench(dir: &Path, writes: u64, seed: u64, out: &Path) -> Result<(), String> {
     let report = BenchReport {
         name: "BENCH_net",
         nodes: 3,
+        mode: "closed-loop",
         writes,
         seed,
         elapsed_us,
+        offered_per_s: throughput_per_s,
+        achieved_per_s: throughput_per_s,
         throughput_per_s,
         latency_us: BenchLatency {
             mean: snap.mean(),
@@ -757,5 +836,309 @@ fn bench(dir: &Path, writes: u64, seed: u64, out: &Path) -> Result<(), String> {
         snap.quantile(0.99),
         out.display()
     );
+    Ok(())
+}
+
+// ---- `adored bench --open-loop` ------------------------------------------
+
+/// Worker threads sharing one offered-rate schedule. Eight keeps the
+/// per-worker issue rate low enough that one slow ack rarely delays
+/// the next intended start (and when it does, the latency is charged
+/// from the *intended* start anyway).
+const OPEN_LOOP_WORKERS: u64 = 8;
+
+/// The serialized shape of `results/BENCH_live.json`.
+#[derive(serde::Serialize)]
+struct LiveBenchReport {
+    name: &'static str,
+    nodes: u32,
+    mode: &'static str,
+    seed: u64,
+    secs_per_rate: u64,
+    rates: Vec<RatePoint>,
+    online: OnlineVerdict,
+    /// The batch auditor's verdict over the same run's journal files,
+    /// for the online ≡ batch cross-check. `None` if the files could
+    /// not be merged.
+    batch_consistent: Option<bool>,
+}
+
+/// One offered rate's measurements.
+#[derive(serde::Serialize)]
+struct RatePoint {
+    offered_per_s: u64,
+    achieved_per_s: u64,
+    issued: u64,
+    acked: u64,
+    errors: u64,
+    elapsed_us: u64,
+    /// Series count from one live `/metrics` scrape of the leader
+    /// during this rate, when the scrape succeeded.
+    scraped_series: Option<u64>,
+    latency_us: BenchLatency,
+    histogram: adore_obs::HistogramSnapshot,
+}
+
+/// The online collector's close-out, serialized.
+#[derive(serde::Serialize)]
+struct OnlineVerdict {
+    /// The headline: the live T1–T7 audit certified the run.
+    certified: bool,
+    events: usize,
+    nodes: usize,
+    acked: usize,
+    /// Exporter-shed events, all accounted by `TraceDropped` markers.
+    /// Zero means the online auditor saw every journaled event.
+    trace_dropped: u64,
+    flagged_at: Option<u64>,
+    errors: Vec<String>,
+}
+
+/// One `/metrics` scrape: returns the exposition's sample-line count.
+fn scrape_series(addr: &str) -> Option<u64> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok()?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").ok()?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text).ok()?;
+    let body = text.split_once("\r\n\r\n")?.1;
+    Some(
+        body.lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count() as u64,
+    )
+}
+
+/// What one open-loop worker measured: its latency histogram, the
+/// `(seq, dup)` of every acked write, and its error count.
+type WorkerTake = (adore_obs::HistogramSnapshot, Vec<(u64, bool)>, u64);
+
+/// Issues `total` writes on a fixed schedule shared across workers
+/// (worker `w` owns indices `w, w+W, w+2W, ...`). Latency is charged
+/// from each write's *intended* start, never its actual dispatch, so a
+/// stall delays the schedule without hiding its cost (no coordinated
+/// omission).
+fn open_loop_worker(
+    mut client: NetClient,
+    start: Instant,
+    rate: u64,
+    total: u64,
+    w: u64,
+    label: usize,
+) -> WorkerTake {
+    let mut hist = Histogram::default();
+    let mut acks = Vec::new();
+    let mut errors = 0u64;
+    let mut i = w;
+    while i < total {
+        let intended = start + Duration::from_micros(i.saturating_mul(1_000_000) / rate.max(1));
+        let now = Instant::now();
+        if intended > now {
+            thread::sleep(intended - now);
+        }
+        let key = format!("ol{label}-{w}-{i}");
+        match client.put(&key, "x") {
+            Ok(acked) => {
+                hist.observe(dur_us(intended.elapsed()));
+                acks.push((acked.seq, acked.duplicate));
+            }
+            Err(_) => errors += 1,
+        }
+        i += OPEN_LOOP_WORKERS;
+    }
+    (hist.snapshot(), acks, errors)
+}
+
+/// The open-loop campaign: a 3-node cluster with the online auditor
+/// attached, driven at each offered rate in turn. Fails unless the
+/// online audit certifies the run.
+#[allow(clippy::too_many_lines)]
+fn bench_open_loop(
+    dir: &Path,
+    rates: &[u64],
+    secs: u64,
+    seed: u64,
+    out: &Path,
+) -> Result<(), String> {
+    let harness = Harness::start(dir, 3, seed).map_err(|e| e.to_string())?;
+    let mut probe = harness.client(999);
+    let leader = harness.wait_for_leader(&mut probe)?;
+    println!("bench: leader is node {leader}; open-loop at {rates:?}/s, {secs}s per rate");
+
+    // The live plane: one stream per node's export channel, plus the
+    // driver's own stream (RunStart/SessionAck/Verdict/RunEnd), all
+    // merged and audited as they arrive.
+    let (collector, mut locals) = OnlineCollector::attach(&harness.export_addrs(), &[90]);
+    let mut driver = locals.pop().ok_or("collector returned no driver stream")?;
+    // `pushed` mirrors every driver event for the batch cross-check.
+    let mut pushed: Vec<TraceEvent> = Vec::new();
+    let record = |q: &mut adored::export::ExportQueue, pushed: &mut Vec<TraceEvent>, kind: EventKind| {
+        let ev = TraceEvent::root(now_us(), kind);
+        q.push(&ev);
+        pushed.push(ev);
+    };
+    record(
+        &mut driver,
+        &mut pushed,
+        EventKind::RunStart {
+            name: "bench-open-loop".to_string(),
+            members: harness.node_ids(),
+        },
+    );
+
+    let mut points = Vec::new();
+    let mut total_acked: u64 = 0;
+    for (ri, &rate) in rates.iter().enumerate() {
+        record(
+            &mut driver,
+            &mut pushed,
+            EventKind::PhaseStart {
+                index: u32::try_from(ri).unwrap_or(u32::MAX),
+                label: format!("open-loop {rate}/s"),
+            },
+        );
+        let total = rate.saturating_mul(secs);
+        let start = Instant::now();
+        let mut workers = Vec::new();
+        for w in 0..OPEN_LOOP_WORKERS {
+            let client = harness.client(100 + (ri as u64) * OPEN_LOOP_WORKERS + w);
+            workers.push(thread::spawn(move || {
+                open_loop_worker(client, start, rate, total, w, ri)
+            }));
+        }
+        let mut merged = Histogram::default().snapshot();
+        let mut acked = 0u64;
+        let mut errors = 0u64;
+        for (w, handle) in workers.into_iter().enumerate() {
+            let (snap, acks, errs) = handle
+                .join()
+                .map_err(|_| format!("open-loop worker {w} panicked"))?;
+            merged.merge(&snap);
+            errors += errs;
+            let client_id = 100 + (ri as u64) * OPEN_LOOP_WORKERS + w as u64;
+            for (seq, dup) in acks {
+                acked += 1;
+                record(
+                    &mut driver,
+                    &mut pushed,
+                    EventKind::SessionAck {
+                        client: client_id,
+                        seq,
+                        dup,
+                    },
+                );
+            }
+        }
+        let elapsed_us = dur_us(start.elapsed());
+        let achieved_per_s = acked
+            .saturating_mul(1_000_000)
+            .checked_div(elapsed_us)
+            .unwrap_or(0);
+        let scraped_series = harness
+            .metrics_addr(leader)
+            .as_deref()
+            .and_then(scrape_series);
+        total_acked += acked;
+        println!(
+            "bench: offered {rate}/s -> achieved {achieved_per_s}/s \
+             (p50={}us p95={}us p99={}us, {errors} errors)",
+            merged.quantile(0.50),
+            merged.quantile(0.95),
+            merged.quantile(0.99)
+        );
+        points.push(RatePoint {
+            offered_per_s: rate,
+            achieved_per_s,
+            issued: total,
+            acked,
+            errors,
+            elapsed_us,
+            scraped_series,
+            latency_us: BenchLatency {
+                mean: merged.mean(),
+                min: merged.min,
+                p50: merged.quantile(0.50),
+                p95: merged.quantile(0.95),
+                p99: merged.quantile(0.99),
+                max: merged.max,
+            },
+            histogram: merged,
+        });
+    }
+
+    // Let the nodes stream their final commits, then close the run out.
+    thread::sleep(Duration::from_millis(700));
+    record(
+        &mut driver,
+        &mut pushed,
+        EventKind::Verdict {
+            safe: true,
+            kind: None,
+            detail: None,
+            phase: u32::try_from(rates.len()).unwrap_or(u32::MAX),
+        },
+    );
+    record(
+        &mut driver,
+        &mut pushed,
+        EventKind::RunEnd {
+            committed: total_acked,
+        },
+    );
+    drop(driver);
+    let creport = collector.stop();
+
+    // Batch cross-check: the same run, audited from the journal files
+    // plus the driver's mirrored events.
+    let texts = harness.journal_texts().map_err(|e| e.to_string())?;
+    drop(probe);
+    drop(harness);
+    let driver_text = to_jsonl(&pushed);
+    let mut all_texts: Vec<&str> = texts.iter().map(String::as_str).collect();
+    all_texts.push(driver_text.as_str());
+    let batch_consistent = merge_journals(all_texts)
+        .ok()
+        .map(|events| audit_events(&events).consistent);
+
+    let online = OnlineVerdict {
+        certified: creport.report.consistent,
+        events: creport.report.events,
+        nodes: creport.report.nodes,
+        acked: creport.report.acked,
+        trace_dropped: creport.dropped,
+        flagged_at: creport.flagged_at,
+        errors: creport.report.errors.clone(),
+    };
+    let verdict = if online.certified { "CERTIFIED" } else { "REJECTED" };
+    println!(
+        "bench: online audit {verdict} over {} events / {} nodes ({} acked obligations, {} trace-dropped)",
+        online.events, online.nodes, online.acked, online.trace_dropped
+    );
+    let report = LiveBenchReport {
+        name: "BENCH_live",
+        nodes: 3,
+        mode: "open-loop",
+        seed,
+        secs_per_rate: secs,
+        rates: points,
+        online,
+        batch_consistent,
+    };
+    adore_obs::write_json_report(out, &report).map_err(|e| e.to_string())?;
+    println!("bench: report -> {}", out.display());
+
+    if !creport.report.consistent {
+        return Err(format!(
+            "online audit rejected the run: errors={:?} divergence={:?}",
+            creport.report.errors, creport.report.divergence
+        ));
+    }
+    // With zero shed events the online auditor saw the complete trace,
+    // so the batch verdict over the files must agree (online ≡ batch).
+    if creport.dropped == 0 && batch_consistent == Some(false) {
+        return Err("batch audit disagrees with the certified online verdict".to_string());
+    }
     Ok(())
 }

@@ -20,19 +20,26 @@
 //! Each completed window is journaled as an `AvailabilityWindow` event,
 //! so the merged journal tells the whole availability story alongside
 //! the safety story.
+//!
+//! All counting flows through one metrics registry — the same registry
+//! type the nodes scrape — and the per-window stats are *derived* from
+//! counter deltas at each window roll, which also sets the live
+//! `monitor.acked_per_s` gauge. One number pipeline: the gauge, the
+//! windows, and the report totals cannot disagree.
 
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use adore_obs::EventKind;
+use adore_obs::{EventKind, Metrics, MetricsSnapshot};
 use serde::Serialize;
 
 use crate::client::{ClientError, ClientParams, NetClient};
+use crate::export::ExportQueue;
 use crate::node::Journal;
 
 /// One completed availability window.
@@ -76,26 +83,47 @@ pub struct MonitorReport {
     pub refused: u64,
     /// Total writes with unknown outcome.
     pub lost: u64,
+    /// The final registry snapshot: the `monitor.*` counters the
+    /// windows were derived from, plus the last `monitor.acked_per_s`
+    /// gauge value.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A running monitor; [`MonitorHandle::stop`] joins it and returns the
 /// report.
 pub struct MonitorHandle {
     stop: Arc<AtomicBool>,
+    metrics: Arc<Mutex<Metrics>>,
     join: JoinHandle<MonitorReport>,
 }
 
+/// Locks the monitor's registry, adopting a poisoned value: every
+/// critical section is a single registry operation, so a panicking
+/// holder cannot leave it torn.
+fn lock_registry(metrics: &Mutex<Metrics>) -> MutexGuard<'_, Metrics> {
+    metrics.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl MonitorHandle {
+    /// A live snapshot of the monitor's registry — counters plus the
+    /// `monitor.acked_per_s` gauge — while the monitor is still
+    /// running.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        lock_registry(&self.metrics).snapshot()
+    }
+
     /// Signals the monitor to finish its current op and joins it.
     #[must_use]
     pub fn stop(self) -> MonitorReport {
         self.stop.store(true, Ordering::SeqCst);
-        self.join.join().unwrap_or(MonitorReport {
+        self.join.join().unwrap_or_else(|_| MonitorReport {
             windows: Vec::new(),
             acked: Vec::new(),
             attempted: 0,
             refused: 0,
             lost: 0,
+            metrics: Metrics::new().snapshot(),
         })
     }
 }
@@ -130,8 +158,68 @@ impl Default for MonitorConfig {
     }
 }
 
+/// Running totals read from the registry at the last window roll.
+#[derive(Clone, Copy, Default)]
+struct Totals {
+    attempted: u64,
+    acked: u64,
+    refused: u64,
+    lost: u64,
+}
+
+/// One registry read: the four `monitor.*` counters.
+fn totals(metrics: &Mutex<Metrics>) -> Totals {
+    let m = lock_registry(metrics);
+    Totals {
+        attempted: m.counter("monitor.attempted"),
+        acked: m.counter("monitor.acked"),
+        refused: m.counter("monitor.refused"),
+        lost: m.counter("monitor.lost"),
+    }
+}
+
+/// Rolls one window closed: derives its stats from the counter deltas
+/// since the previous roll, refreshes the live `monitor.acked_per_s`
+/// gauge from the same delta, journals the window, and returns the new
+/// baseline.
+fn roll_window(
+    metrics: &Mutex<Metrics>,
+    journal: &mut Journal,
+    windows: &mut Vec<WindowStat>,
+    index: u32,
+    prev: Totals,
+    window_ms: u64,
+) -> Totals {
+    let now = totals(metrics);
+    let delta = |a: u64, b: u64| u32::try_from(a.saturating_sub(b)).unwrap_or(u32::MAX);
+    let stat = WindowStat {
+        index,
+        attempted: delta(now.attempted, prev.attempted),
+        acked: delta(now.acked, prev.acked),
+        refused: delta(now.refused, prev.refused),
+        lost: delta(now.lost, prev.lost),
+    };
+    let per_s = now
+        .acked
+        .saturating_sub(prev.acked)
+        .saturating_mul(1_000)
+        .checked_div(window_ms.max(1))
+        .unwrap_or(0);
+    lock_registry(metrics).set_gauge("monitor.acked_per_s", i64::try_from(per_s).unwrap_or(i64::MAX));
+    journal.record(EventKind::AvailabilityWindow {
+        index: stat.index,
+        attempted: stat.attempted,
+        acked: stat.acked,
+        refused: stat.refused,
+        lost: stat.lost,
+    });
+    windows.push(stat);
+    now
+}
+
 /// Starts the monitor against the cluster's (un-proxied) address book,
-/// journaling into `dir`.
+/// journaling into `dir`. When `tee` is given, every journaled event
+/// also streams to the online collector behind it.
 ///
 /// # Errors
 ///
@@ -141,28 +229,24 @@ pub fn start(
     dir: &Path,
     boot_us: u64,
     cfg: MonitorConfig,
+    tee: Option<ExportQueue>,
 ) -> io::Result<MonitorHandle> {
     let mut journal = Journal::open(dir, boot_us)?;
+    if let Some(queue) = tee {
+        journal.attach_export(queue);
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let metrics: Arc<Mutex<Metrics>> = Arc::new(Mutex::new(Metrics::new()));
+    let registry = Arc::clone(&metrics);
     let join = thread::spawn(move || {
         let mut client = NetClient::new(addrs, cfg.client_id, cfg.params.clone());
         let started = Instant::now();
         let window = Duration::from_millis(cfg.window_ms.max(1));
-        let mut report = MonitorReport {
-            windows: Vec::new(),
-            acked: Vec::new(),
-            attempted: 0,
-            refused: 0,
-            lost: 0,
-        };
-        let mut cur = WindowStat {
-            index: 0,
-            attempted: 0,
-            acked: 0,
-            refused: 0,
-            lost: 0,
-        };
+        let mut windows: Vec<WindowStat> = Vec::new();
+        let mut acked: Vec<AckedWrite> = Vec::new();
+        let mut prev = Totals::default();
+        let mut index: u32 = 0;
         let mut op: u64 = 0;
         loop {
             // Roll windows forward to wherever the clock is now (an op
@@ -170,22 +254,9 @@ pub fn start(
             #[allow(clippy::cast_possible_truncation)]
             let now_index =
                 (started.elapsed().as_millis() / window.as_millis().max(1)) as u32;
-            while cur.index < now_index {
-                journal.record(EventKind::AvailabilityWindow {
-                    index: cur.index,
-                    attempted: cur.attempted,
-                    acked: cur.acked,
-                    refused: cur.refused,
-                    lost: cur.lost,
-                });
-                report.windows.push(cur);
-                cur = WindowStat {
-                    index: cur.index + 1,
-                    attempted: 0,
-                    acked: 0,
-                    refused: 0,
-                    lost: 0,
-                };
+            while index < now_index {
+                prev = roll_window(&registry, &mut journal, &mut windows, index, prev, cfg.window_ms);
+                index += 1;
             }
             if stop_flag.load(Ordering::SeqCst) {
                 break;
@@ -193,44 +264,46 @@ pub fn start(
             op += 1;
             let key = format!("mon-{}-{op}", cfg.client_id);
             let value = format!("v{op}");
-            cur.attempted += 1;
-            report.attempted += 1;
+            lock_registry(&registry).inc("monitor.attempted");
             match client.put(&key, &value) {
-                Ok(acked) => {
-                    cur.acked += 1;
+                Ok(ack) => {
+                    lock_registry(&registry).inc("monitor.acked");
                     journal.record(EventKind::SessionAck {
                         client: cfg.client_id,
-                        seq: acked.seq,
-                        dup: acked.duplicate,
+                        seq: ack.seq,
+                        dup: ack.duplicate,
                     });
-                    report.acked.push(AckedWrite {
+                    acked.push(AckedWrite {
                         key,
                         value,
-                        seq: acked.seq,
-                        duplicate: acked.duplicate,
+                        seq: ack.seq,
+                        duplicate: ack.duplicate,
                     });
                 }
                 Err(ClientError::Rejected { .. } | ClientError::SessionStale { .. }) => {
-                    cur.refused += 1;
-                    report.refused += 1;
+                    lock_registry(&registry).inc("monitor.refused");
                 }
                 Err(ClientError::Exhausted { .. }) => {
-                    cur.lost += 1;
-                    report.lost += 1;
+                    lock_registry(&registry).inc("monitor.lost");
                 }
             }
             thread::sleep(Duration::from_millis(cfg.op_gap_ms));
         }
         // Flush the final, partial window.
-        journal.record(EventKind::AvailabilityWindow {
-            index: cur.index,
-            attempted: cur.attempted,
-            acked: cur.acked,
-            refused: cur.refused,
-            lost: cur.lost,
-        });
-        report.windows.push(cur);
-        report
+        let _ = roll_window(&registry, &mut journal, &mut windows, index, prev, cfg.window_ms);
+        let snap = lock_registry(&registry).snapshot();
+        MonitorReport {
+            windows,
+            acked,
+            attempted: snap.counter("monitor.attempted"),
+            refused: snap.counter("monitor.refused"),
+            lost: snap.counter("monitor.lost"),
+            metrics: snap,
+        }
     });
-    Ok(MonitorHandle { stop, join })
+    Ok(MonitorHandle {
+        stop,
+        metrics,
+        join,
+    })
 }

@@ -37,18 +37,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use adore_core::NodeId;
-use adore_obs::{EventKind, Tracer};
+use adore_obs::{EventKind, Metrics, Tracer};
 use adore_schemes::SingleNode;
 use adore_storage::{DurabilityPolicy, Recovery, Wal};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::Serialize;
 
 use crate::det::engine::{Engine, EngineConfig, EngineParams, Input, Output};
-use crate::det::msg::{decode_msg, encode_msg, ClientMsg, Hello, PeerMsg, SessionCmd};
+use crate::det::msg::{decode_msg, encode_msg, ClientMsg, ClientReply, Hello, PeerMsg, SessionCmd};
 use crate::det::wire;
+use crate::export::{self, ExportQueue, ExportStats};
+use crate::scrape;
 
 /// Write timeout on every socket: a hung peer fails fast instead of
 /// wedging a sender thread.
@@ -98,10 +100,17 @@ pub struct NodeConfig {
     /// ([`DEFAULT_PEER_READ_DEADLINE_MS`] in production). Gray pauses
     /// (SIGSTOP) longer than this reap the link and force a redial.
     pub peer_read_deadline_ms: u64,
+    /// Optional listen address for the streaming trace export
+    /// side-channel (the journal, live over TCP — see
+    /// [`crate::export`]). `None` disables export.
+    pub export_addr: Option<String>,
+    /// Optional listen address for the read-only `/metrics` scrape
+    /// endpoint (see [`crate::scrape`]). `None` disables it.
+    pub metrics_addr: Option<String>,
 }
 
 /// Events flowing into the engine loop from the IO threads.
-enum Event {
+pub(crate) enum Event {
     Tick,
     Peer(PeerMsg),
     Client { conn: u64, msg: ClientMsg },
@@ -115,6 +124,9 @@ enum Event {
     /// of panicking (see [`lock_clients`]). Journaled so the adoption
     /// is auditable rather than silent.
     LockPoisoned { lock: &'static str },
+    /// The `/metrics` endpoint served a scrape; journaled as a
+    /// `MetricsScrape` event by the single journal writer.
+    Scraped { series: u32 },
     Shutdown,
 }
 
@@ -136,6 +148,21 @@ fn lock_clients<'m>(
     })
 }
 
+/// Locks the shared metrics registry with the same poison-adoption
+/// discipline as [`lock_clients`]: registry mutations are single-map
+/// operations, so a panicking holder cannot leave it torn, and the
+/// adoption is journaled, never silent. Shared with the scrape
+/// endpoint — the only other reader.
+pub(crate) fn lock_metrics<'m>(
+    metrics: &'m Mutex<Metrics>,
+    tx: &SyncSender<Event>,
+) -> MutexGuard<'m, Metrics> {
+    metrics.lock().unwrap_or_else(|poisoned| {
+        let _ = tx.try_send(Event::LockPoisoned { lock: "metrics" });
+        poisoned.into_inner()
+    })
+}
+
 /// Microseconds since the UNIX epoch; journal stamps must be
 /// comparable across the processes of one host-local cluster.
 fn now_us() -> u64 {
@@ -150,6 +177,9 @@ fn now_us() -> u64 {
 pub(crate) struct Journal {
     tracer: Tracer,
     file: fs::File,
+    /// Optional live tee: every journaled event is also pushed (non-
+    /// blocking, loss-accounted) to the streaming export channel.
+    export: Option<ExportQueue>,
 }
 
 impl Journal {
@@ -158,7 +188,14 @@ impl Journal {
         Ok(Journal {
             tracer: Tracer::enabled(),
             file: fs::File::create(path)?,
+            export: None,
         })
+    }
+
+    /// Attaches the streaming export tee. Do this before the first
+    /// `record` so subscribers see the whole boot.
+    pub(crate) fn attach_export(&mut self, queue: ExportQueue) {
+        self.export = Some(queue);
     }
 
     pub(crate) fn record(&mut self, kind: EventKind) {
@@ -167,6 +204,9 @@ impl Journal {
             if let Ok(line) = serde_json::to_string(&ev) {
                 let _ = writeln!(self.file, "{line}");
                 let _ = self.file.flush();
+            }
+            if let Some(queue) = &mut self.export {
+                queue.push(&ev);
             }
         }
     }
@@ -294,6 +334,17 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
     let nid = NodeId(cfg.nid);
     let boot_us = now_us();
     let mut journal = Journal::open(&cfg.data_dir, boot_us)?;
+    // Attach the streaming export tee before recovery runs, so a
+    // subscriber sees this boot's Crash/WalRecover pair too.
+    let export_stats: Option<ExportStats> = match &cfg.export_addr {
+        Some(addr) => {
+            let (queue, _bound) = export::serve(cfg.nid, addr)?;
+            let stats = queue.stats();
+            journal.attach_export(queue);
+            Some(stats)
+        }
+        None => None,
+    };
     let wal_path = cfg.data_dir.join("wal.bin");
     let (wal, state, abstaining) = load_wal(nid, &wal_path, &mut journal)?;
     let mut wal_file = fs::OpenOptions::new().append(true).open(&wal_path)?;
@@ -311,6 +362,14 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
 
     let (inbox_tx, inbox_rx) = mpsc::sync_channel::<Event>(INBOX_DEPTH);
     let clients: Arc<Mutex<BTreeMap<u64, TcpStream>>> = Arc::new(Mutex::new(BTreeMap::new()));
+
+    // The metrics registry: written by the engine loop, snapshotted by
+    // the scrape endpoint. Never held together with the clients lock
+    // (L9) and never across a blocking call (L11).
+    let metrics: Arc<Mutex<Metrics>> = Arc::new(Mutex::new(Metrics::new()));
+    if let Some(addr) = &cfg.metrics_addr {
+        scrape::serve(addr, Arc::clone(&metrics), inbox_tx.clone())?;
+    }
 
     // Tick timer + watchdog.
     {
@@ -372,12 +431,29 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
     }
 
     // The engine loop: the single deterministic thread.
+    //
+    // `in_flight` times acked requests for the `request_latency_us`
+    // histogram: one pending (seq, start) per client connection —
+    // sessions are serial per client, and a retry overwrite restarts
+    // the clock, which only biases the measurement pessimistically.
+    let mut in_flight: BTreeMap<u64, (u64, Instant)> = BTreeMap::new();
     while let Ok(event) = inbox_rx.recv() {
         let input = match event {
             Event::Tick => Input::Tick,
             Event::Peer(msg) => Input::Peer(msg),
-            Event::Client { conn, msg } => Input::Client { conn, msg },
-            Event::ClientGone { conn } => Input::ClientGone { conn },
+            Event::Client { conn, msg } => {
+                match &msg {
+                    ClientMsg::Put { seq, .. } | ClientMsg::Reconfigure { seq, .. } => {
+                        in_flight.insert(conn, (*seq, Instant::now()));
+                    }
+                    ClientMsg::Get { .. } | ClientMsg::Status => {}
+                }
+                Input::Client { conn, msg }
+            }
+            Event::ClientGone { conn } => {
+                in_flight.remove(&conn);
+                Input::ClientGone { conn }
+            }
             Event::BadFrame { reason } => {
                 // Rejected frames never reach the engine; journal the
                 // rejection so `adore-obs --audit` can certify the
@@ -392,6 +468,13 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
                 journal.record(EventKind::LockPoisoned {
                     nid: cfg.nid,
                     lock: lock.to_string(),
+                });
+                continue;
+            }
+            Event::Scraped { series } => {
+                journal.record(EventKind::MetricsScrape {
+                    nid: cfg.nid,
+                    series,
                 });
                 continue;
             }
@@ -416,6 +499,28 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
                     }
                 }
                 Output::Reply { conn, reply } => {
+                    match &reply {
+                        ClientReply::Acked { seq, .. } => {
+                            if let Some(&(want, started)) = in_flight.get(&conn) {
+                                if want == *seq {
+                                    in_flight.remove(&conn);
+                                    let us = u64::try_from(started.elapsed().as_micros())
+                                        .unwrap_or(u64::MAX);
+                                    lock_metrics(&metrics, &inbox_tx)
+                                        .observe("request_latency_us", us);
+                                }
+                            }
+                        }
+                        ClientReply::Redirect { .. }
+                        | ClientReply::Overloaded
+                        | ClientReply::SessionStale { .. }
+                        | ClientReply::Rejected { .. } => {
+                            // The request resolved without committing:
+                            // its timer must not bleed into a later ack.
+                            in_flight.remove(&conn);
+                        }
+                        ClientReply::Value { .. } | ClientReply::Status { .. } => {}
+                    }
                     // Clone the writer handle under the lock, write
                     // outside it: the socket write carries a deadline,
                     // and a slow client must not stall every thread
@@ -438,7 +543,23 @@ pub fn run(cfg: NodeConfig) -> io::Result<()> {
         for conn in dead_conns {
             // A reply we could not deliver: drop the connection's
             // remaining waiters too.
+            in_flight.remove(&conn);
             let _ = engine.step(Input::ClientGone { conn });
+        }
+        // Refresh the scrapeable gauges once per engine step. The
+        // guard's scope is exactly these registry writes (L11), and it
+        // never overlaps the clients lock (L9).
+        {
+            let gauge = |v: usize| i64::try_from(v).unwrap_or(i64::MAX);
+            let mut m = lock_metrics(&metrics, &inbox_tx);
+            m.set_gauge("node.commit_index", gauge(engine.commit_len()));
+            m.set_gauge("node.config_epoch", gauge(engine.config_epoch()));
+            m.set_gauge("node.session_occupancy", gauge(engine.session_occupancy()));
+            if let Some(stats) = &export_stats {
+                let wide = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+                m.set_gauge("export.queue_depth", wide(stats.depth()));
+                m.set_gauge("export.dropped_total", wide(stats.dropped()));
+            }
         }
     }
     Ok(())

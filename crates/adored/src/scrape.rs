@@ -1,0 +1,77 @@
+//! The `/metrics` scrape endpoint: read-only Prometheus text over TCP.
+//!
+//! The *only* layer of the runtime where a wall clock and ad-hoc
+//! socket I/O are acceptable: scraping observes, it never participates.
+//! The endpoint snapshots the shared metrics registry under a short
+//! lock, renders outside it with [`adore_obs::render_prometheus`]
+//! (pure, byte-pinned), and answers any request on the socket with one
+//! exposition — there is exactly one resource, so the request line is
+//! read for politeness and otherwise ignored.
+//!
+//! Each served scrape is reported into the node's event loop
+//! (non-blocking `try_send`), which journals a `MetricsScrape` event —
+//! the journal keeps its single writer, and scrapes stay auditable.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use adore_obs::{render_prometheus, series_count, Metrics};
+
+use crate::node::{lock_metrics, Event};
+
+/// Per-request socket deadline: a stalled scraper is dropped, not
+/// waited on.
+const SCRAPE_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Binds the scrape listener and serves expositions until the process
+/// exits. Returns the bound address. Crate-internal: the endpoint
+/// reports into the node's private event loop, so only [`crate::node`]
+/// can wire it up.
+///
+/// # Errors
+///
+/// Socket bind failure.
+pub(crate) fn serve(
+    addr: &str,
+    metrics: Arc<Mutex<Metrics>>,
+    tx: SyncSender<Event>,
+) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.set_read_timeout(Some(SCRAPE_DEADLINE));
+            let _ = stream.set_write_timeout(Some(SCRAPE_DEADLINE));
+            // One resource: read (and discard) the request line, then
+            // answer with the exposition.
+            let mut req = [0u8; 1024];
+            let _ = stream.read(&mut req);
+            let snap = {
+                let m = lock_metrics(&metrics, &tx);
+                m.snapshot()
+            };
+            let body = render_prometheus(&snap);
+            let head = format!(
+                "HTTP/1.1 200 OK\r\ncontent-type: text/plain; version=0.0.4; charset=utf-8\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                body.len()
+            );
+            let ok = stream
+                .write_all(head.as_bytes())
+                .and_then(|()| stream.write_all(body.as_bytes()))
+                .is_ok();
+            if ok {
+                // Report the served scrape for journaling; a full
+                // inbox drops the report, never blocks the endpoint.
+                let _ = tx.try_send(Event::Scraped {
+                    series: series_count(&snap),
+                });
+            }
+        }
+    });
+    Ok(local)
+}

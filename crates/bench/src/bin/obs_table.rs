@@ -15,8 +15,11 @@
 //!    audited by [`adore_obs::audit_events`], which reconstructs
 //!    protocol state purely from the trace. Every ablated run's audit
 //!    must independently reproduce the live divergence verdict, and the
-//!    sound-guard run's trace must certify clean. `ci.sh` re-audits the
-//!    written journals with the standalone `adore-obs --audit` binary.
+//!    sound-guard run's trace must certify clean. Each journal is also
+//!    replayed through the streaming [`adore_obs::OnlineAuditor`],
+//!    which must land on the identical verdict — batch ≡ online on
+//!    every journal in `target/obs/`. `ci.sh` re-audits the written
+//!    journals with the standalone `adore-obs --audit` binary.
 //!
 //! Usage: `cargo run -p adore-bench --bin obs_table --release`
 //! (also writes `results/obs_table.txt` and `target/obs/*.jsonl`).
@@ -31,7 +34,7 @@ use adore_kv::{run_fig16, Fig16Params};
 use adore_nemesis::{
     ablation_suite, run_schedule, run_schedule_traced, EngineParams, ViolationKind,
 };
-use adore_obs::{audit_events, to_jsonl};
+use adore_obs::{audit_events, to_jsonl, OnlineAuditor};
 use adore_schemes::SingleNode;
 
 fn main() {
@@ -165,6 +168,26 @@ fn main() {
         let file = format!("{name}.jsonl");
         std::fs::write(obs_dir.join(&file), to_jsonl(&events)).expect("write journal");
 
+        // The streaming auditor, fed the same journal one event at a
+        // time, must land on the identical verdict as the batch pass.
+        let mut streaming = OnlineAuditor::new();
+        for ev in &events {
+            let _ = streaming.ingest(ev);
+        }
+        let online = streaming.finish();
+        assert_eq!(
+            online.consistent, audit.consistent,
+            "{label}: online/batch consistency disagree"
+        );
+        assert_eq!(
+            online.divergence, audit.divergence,
+            "{label}: online/batch divergence disagree"
+        );
+        assert_eq!(
+            online.errors, audit.errors,
+            "{label}: online/batch errors disagree"
+        );
+
         assert!(audit.consistent, "{label}: audit errors {:?}", audit.errors);
         if expect_divergence {
             assert!(
@@ -211,7 +234,8 @@ fn main() {
     ));
     out.push_str(
         "\nevery ablated campaign's divergence is independently reproduced by the auditor; \
-         the sound-guard trace certifies clean\n",
+         the sound-guard trace certifies clean; the streaming OnlineAuditor, replaying each \
+         journal event-by-event, reproduced every batch verdict exactly\n",
     );
 
     print!("{out}");

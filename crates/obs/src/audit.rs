@@ -150,9 +150,19 @@ struct Node {
     last_disk: Option<String>,
 }
 
-/// Running audit state.
+/// The incremental T1–T7 audit engine.
+///
+/// One event at a time via [`AuditEngine::ingest`], then
+/// [`AuditEngine::finish`] for the final report. The batch entry point
+/// [`audit_events`] is a thin driver over this same engine, so the
+/// batch and online auditors *cannot* disagree on any event sequence:
+/// they are one state machine with two drivers.
+///
+/// Per-event work is bounded by the reconstruction size (T3 compares
+/// prefixes), never by journal length: the engine retains no event
+/// history beyond a position-indexed map of sends for T2.
 #[derive(Debug, Default)]
-struct Auditor {
+pub struct AuditEngine {
     nodes: BTreeMap<u32, Node>,
     checks: BTreeMap<&'static str, u64>,
     errors: Vec<String>,
@@ -163,9 +173,72 @@ struct Auditor {
     acks: BTreeSet<(u64, u64)>,
     /// Rejected wire frames counted from [`EventKind::BadFrame`].
     bad_frames: u64,
+    /// `(send.seq, msg, to)` of every `MsgSend`, keyed by journal
+    /// position, for T2 parent lookups without the event history.
+    sends: BTreeMap<u64, (u64, u32, u32)>,
+    /// Events ingested so far (== the next event's expected position).
+    pos: u64,
+    /// Stamp of the previously ingested event (T1 clock monotonicity).
+    last_at: u64,
 }
 
-impl Auditor {
+impl AuditEngine {
+    /// A fresh engine with nothing ingested.
+    #[must_use]
+    pub fn new() -> Self {
+        AuditEngine::default()
+    }
+
+    /// Feed the next journal event through every streaming invariant.
+    ///
+    /// T1 (density, clock monotonicity), T2 (causality), T3 (committed-
+    /// prefix agreement), T4 (commit monotonicity) and T5 (recovery
+    /// faithfulness) are all evaluated here, on arrival; only T7's
+    /// final sweep and the T6 consistency verdict wait for
+    /// [`AuditEngine::finish`]. A divergence is therefore raised on the
+    /// *exact* event that completes its evidence — the online auditor's
+    /// bounded-window claim rests on this.
+    pub fn ingest(&mut self, ev: &TraceEvent) {
+        let i = self.pos;
+        self.pos += 1;
+        self.bump("T1.order");
+        if ev.seq != i {
+            self.error(format!(
+                "event at position {i} has sequence {} (journal incomplete?)",
+                ev.seq
+            ));
+        }
+        if ev.at_us < self.last_at {
+            self.error(format!(
+                "event {}: virtual clock ran backwards ({} < {})",
+                ev.seq, ev.at_us, self.last_at
+            ));
+        }
+        self.last_at = ev.at_us;
+        if let EventKind::MsgSend { msg, to, .. } = &ev.kind {
+            self.sends.insert(i, (ev.seq, *msg, *to));
+        }
+        self.apply(ev);
+    }
+
+    /// Events ingested so far.
+    #[must_use]
+    pub fn events_ingested(&self) -> u64 {
+        self.pos
+    }
+
+    /// The first committed-prefix disagreement found, if any.
+    #[must_use]
+    pub fn divergence(&self) -> Option<Divergence> {
+        self.divergence
+    }
+
+    /// The first structural (T1/T2/T4/T5/T7) error found, if any.
+    #[must_use]
+    pub fn first_error(&self) -> Option<&str> {
+        self.errors.first().map(String::as_str)
+    }
+
     fn error(&mut self, msg: String) {
         if self.errors.len() < MAX_ERRORS {
             self.errors.push(msg);
@@ -211,19 +284,15 @@ impl Auditor {
         }
     }
 
-    fn apply(&mut self, ev: &TraceEvent, events: &[TraceEvent]) {
+    fn apply(&mut self, ev: &TraceEvent) {
         match &ev.kind {
             EventKind::MsgRecv { msg, to, .. } => {
                 self.bump("T2.causality");
                 let linked = ev
                     .parent
-                    .and_then(|p| events.get(p as usize))
-                    .is_some_and(|send| {
-                        send.seq < ev.seq
-                            && matches!(
-                                &send.kind,
-                                EventKind::MsgSend { msg: m, to: t, .. } if m == msg && t == to
-                            )
+                    .and_then(|p| self.sends.get(&p))
+                    .is_some_and(|&(send_seq, m, t)| {
+                        send_seq < ev.seq && m == *msg && t == *to
                     });
                 if !linked {
                     self.error(format!(
@@ -389,6 +458,60 @@ impl Auditor {
             ));
         }
     }
+
+    /// Close out the audit: run T7's final sweep over the
+    /// reconstruction, settle T6 verdict consistency, and produce the
+    /// report. Certification semantics are documented on
+    /// [`audit_events`], which is exactly this engine driven over a
+    /// whole journal.
+    pub fn finish(mut self) -> AuditReport {
+        if self.pos == 0 {
+            self.error("empty trace".to_string());
+        }
+
+        // T7: acked sessions must survive, committed prefixes must
+        // apply each at most once — evaluated over the final
+        // reconstruction.
+        // adore-lint: allow(L4, reason = "returns unit; its verdicts accumulate into self.errors which T6 consumes below")
+        self.certify_sessions();
+
+        // T6: does the audit's independent verdict agree with the live
+        // one?
+        let consistent = match self.live_safe {
+            Some(true) | None => self.divergence.is_none() && self.errors.is_empty(),
+            Some(false) => {
+                if self.live_kind.as_deref() == Some("LogDivergence") {
+                    // The trace must exhibit the divergence on its own.
+                    self.divergence.is_some()
+                } else {
+                    // Other violation kinds (lost writes, stale reads,
+                    // durability breaches) are found by checkers whose
+                    // evidence (client ghost state, WAL mirrors) is
+                    // beyond the protocol-state reconstruction; the
+                    // trace is consistent as long as it does not
+                    // *contradict* the verdict.
+                    true
+                }
+            }
+        };
+
+        AuditReport {
+            events: self.pos as usize,
+            nodes: self.nodes.len(),
+            checks: self
+                .checks
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), *v))
+                .collect(),
+            errors: self.errors,
+            live_safe: self.live_safe,
+            live_kind: self.live_kind,
+            divergence: self.divergence,
+            acked: self.acks.len(),
+            bad_frames: self.bad_frames,
+            consistent,
+        }
+    }
 }
 
 /// Extracts the exactly-once session pair from a committed entry's
@@ -434,69 +557,11 @@ fn find_session(v: &serde_json::JsonValue) -> Option<(u64, u64)> {
 ///   reconstruction alone, and a live safe verdict is confirmed by
 ///   finding no divergence.
 pub fn audit_events(events: &[TraceEvent]) -> AuditReport {
-    let mut a = Auditor::default();
-    if events.is_empty() {
-        a.error("empty trace".to_string());
+    let mut engine = AuditEngine::new();
+    for ev in events {
+        engine.ingest(ev);
     }
-    let mut last_at = 0;
-    for (i, ev) in events.iter().enumerate() {
-        a.bump("T1.order");
-        if ev.seq != i as u64 {
-            a.error(format!(
-                "event at position {i} has sequence {} (journal incomplete?)",
-                ev.seq
-            ));
-        }
-        if ev.at_us < last_at {
-            a.error(format!(
-                "event {}: virtual clock ran backwards ({} < {last_at})",
-                ev.seq, ev.at_us
-            ));
-        }
-        last_at = ev.at_us;
-        a.apply(ev, events);
-    }
-
-    // T7: acked sessions must survive, committed prefixes must apply
-    // each at most once — evaluated over the final reconstruction.
-    // adore-lint: allow(L4, reason = "returns unit; its verdicts accumulate into self.errors which T6 consumes below")
-    a.certify_sessions();
-
-    // T6: does the audit's independent verdict agree with the live one?
-    let consistent = match a.live_safe {
-        Some(true) | None => a.divergence.is_none() && a.errors.is_empty(),
-        Some(false) => {
-            if a.live_kind.as_deref() == Some("LogDivergence") {
-                // The trace must exhibit the divergence on its own.
-                a.divergence.is_some()
-            } else {
-                // Other violation kinds (lost writes, stale reads,
-                // durability breaches) are found by checkers whose
-                // evidence (client ghost state, WAL mirrors) is beyond
-                // the protocol-state reconstruction; the trace is
-                // consistent as long as it does not *contradict* the
-                // verdict.
-                true
-            }
-        }
-    };
-
-    AuditReport {
-        events: events.len(),
-        nodes: a.nodes.len(),
-        checks: a
-            .checks
-            .iter()
-            .map(|(k, v)| ((*k).to_string(), *v))
-            .collect(),
-        errors: a.errors,
-        live_safe: a.live_safe,
-        live_kind: a.live_kind,
-        divergence: a.divergence,
-        acked: a.acks.len(),
-        bad_frames: a.bad_frames,
-        consistent,
-    }
+    engine.finish()
 }
 
 #[cfg(test)]

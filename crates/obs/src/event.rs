@@ -261,6 +261,29 @@ pub enum EventKind {
         /// Entries committed over the run.
         committed: u64,
     },
+    /// The streaming trace exporter shed `count` events under
+    /// backpressure (its bounded queue was full). The marker makes
+    /// export loss *visible in the stream itself*: an online consumer
+    /// can account for every missing event, so silent trace loss is
+    /// impossible by construction. The marker carries the stamp of the
+    /// event whose arrival flushed it, preserving per-stream clock
+    /// monotonicity.
+    TraceDropped {
+        /// The exporting node.
+        nid: u32,
+        /// Events shed since the previous marker (or stream start).
+        count: u64,
+    },
+    /// A read-only `/metrics` scrape was served by a node's endpoint.
+    /// Journaled through the node's single-writer event loop so the
+    /// scrape layer (the only place wall clocks are allowed) never
+    /// writes the journal itself.
+    MetricsScrape {
+        /// The scraped node.
+        nid: u32,
+        /// Number of series (counters + gauges + histograms) rendered.
+        series: u32,
+    },
 }
 
 impl EventKind {
@@ -292,6 +315,23 @@ impl EventKind {
             EventKind::InvariantEval { .. } => "invariant-eval",
             EventKind::Verdict { .. } => "verdict",
             EventKind::RunEnd { .. } => "run-end",
+            EventKind::TraceDropped { .. } => "trace-dropped",
+            EventKind::MetricsScrape { .. } => "metrics-scrape",
         }
+    }
+}
+
+impl TraceEvent {
+    /// Construct a parentless event at the given stamp with `seq` 0.
+    ///
+    /// For events that live outside a [`crate::Tracer`]'s dense journal
+    /// — synthesized stream markers such as
+    /// [`EventKind::TraceDropped`], or locally teed copies fed to a
+    /// stream merger that renumbers on release. Journal events should
+    /// keep coming from the tracer, which owns dense numbering and
+    /// causal parents.
+    #[must_use]
+    pub fn root(at_us: u64, kind: EventKind) -> Self {
+        TraceEvent { seq: 0, at_us, parent: None, kind }
     }
 }

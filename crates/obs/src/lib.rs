@@ -18,6 +18,11 @@
 //!   agreement over the reconstruction, confirming (or independently
 //!   reproducing) the live run's verdict. `adore-obs --audit
 //!   trace.jsonl` is the CLI form, wired into CI.
+//! - [`OnlineAuditor`] / [`StreamMerger`] — the same audit engine
+//!   driven incrementally over live exported streams, merged
+//!   deterministically under a virtual-clock watermark; and
+//!   [`render_prometheus`] — the pure text-exposition renderer behind
+//!   each node's `/metrics` endpoint.
 //!
 //! The crate deliberately depends on nothing but the vendored serde
 //! stand-ins: instrumented crates (`adore-kv`, `adore-nemesis`,
@@ -27,14 +32,18 @@
 mod audit;
 mod event;
 mod metrics;
+mod online;
+mod prom;
 mod results;
 mod trace;
 
-pub use audit::{audit_events, AuditReport, Divergence};
+pub use audit::{audit_events, AuditEngine, AuditReport, Divergence};
 pub use event::{EventKind, TraceEvent};
 pub use metrics::{
     Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, LATENCY_BOUNDS_US,
 };
+pub use online::{OnlineAuditor, StreamMerger, Verdict};
+pub use prom::{render_prometheus, series_count};
 pub use results::write_json_report;
 pub use trace::{merge_journals, parse_jsonl, to_jsonl, TraceError, Tracer};
 

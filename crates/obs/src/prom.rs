@@ -1,0 +1,129 @@
+//! Prometheus text-format rendering of a metrics snapshot.
+//!
+//! A pure function from [`MetricsSnapshot`] to the Prometheus text
+//! exposition format (version 0.0.4): counters and gauges as single
+//! samples, histograms as cumulative `_bucket{le="..."}` series plus
+//! `_sum` and `_count`. No clock, no I/O, no printing — the scrape
+//! *endpoint* (the only layer allowed a wall clock) lives in the
+//! `adored` runtime; this module only formats, so it stays inside the
+//! deterministic perimeter and its output can be byte-pinned.
+
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Metric names are sanitized to the Prometheus charset (anything
+/// outside `[A-Za-z0-9_:]` becomes `_`, so `node.commit_index` scrapes
+/// as `node_commit_index`). Output order is the registry's
+/// deterministic order: counters, then gauges, then histograms, each
+/// name-sorted.
+#[must_use]
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Number of time series the snapshot renders to (counters + gauges +
+/// one per histogram) — reported in the endpoint's `MetricsScrape`
+/// journal event.
+#[must_use]
+pub fn series_count(snap: &MetricsSnapshot) -> u32 {
+    let n = snap.counters.len() + snap.gauges.len() + snap.histograms.len();
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{HistogramSnapshot, Metrics, MetricsSnapshot};
+
+    /// The exposition format is part of the observable surface: pin it
+    /// byte-for-byte so a format drift is a deliberate, reviewed
+    /// change.
+    #[test]
+    fn exposition_format_is_pinned() {
+        let snap = MetricsSnapshot {
+            counters: vec![("wire.frames_in".to_string(), 2)],
+            gauges: vec![("node.commit_index".to_string(), 7)],
+            histograms: vec![(
+                "request_latency_us".to_string(),
+                HistogramSnapshot {
+                    count: 3,
+                    sum: 1199,
+                    min: 50,
+                    max: 999,
+                    bounds: vec![100, 200],
+                    counts: vec![1, 1, 1],
+                },
+            )],
+        };
+        let text = render_prometheus(&snap);
+        let want = "\
+# TYPE wire_frames_in counter
+wire_frames_in 2
+# TYPE node_commit_index gauge
+node_commit_index 7
+# TYPE request_latency_us histogram
+request_latency_us_bucket{le=\"100\"} 1
+request_latency_us_bucket{le=\"200\"} 2
+request_latency_us_bucket{le=\"+Inf\"} 3
+request_latency_us_sum 1199
+request_latency_us_count 3
+";
+        assert_eq!(text, want);
+        assert_eq!(series_count(&snap), 3);
+    }
+
+    #[test]
+    fn registry_round_trip_renders_live_values() {
+        let mut m = Metrics::default();
+        m.inc("wire.frames_in");
+        m.set_gauge("node.commit_index", 7);
+        m.observe("request_latency_us", 150);
+        let text = render_prometheus(&m.snapshot());
+        assert!(text.contains("wire_frames_in 1"));
+        assert!(text.contains("node_commit_index 7"));
+        assert!(text.contains("request_latency_us_count 1"));
+        assert!(text.contains("request_latency_us_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_prometheus(&Metrics::default().snapshot()), "");
+    }
+}

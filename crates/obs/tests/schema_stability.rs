@@ -181,6 +181,14 @@ fn pinned_kinds() -> Vec<(EventKind, &'static str)> {
             EventKind::RunEnd { committed: 12 },
             r#"{"RunEnd":{"committed":12}}"#,
         ),
+        (
+            EventKind::TraceDropped { nid: 2, count: 17 },
+            r#"{"TraceDropped":{"nid":2,"count":17}}"#,
+        ),
+        (
+            EventKind::MetricsScrape { nid: 1, series: 14 },
+            r#"{"MetricsScrape":{"nid":1,"series":14}}"#,
+        ),
     ]
 }
 
