@@ -23,7 +23,9 @@ cargo test -q -p adore-storage --offline
 # flow-sensitive rules — guard-before-mutation (L6), nondeterminism
 # taint (L7), discarded fallible results in recovery scopes (L8) — and
 # the concurrency-discipline rules L9-L12 (lock order, no-panic lock
-# acquisition, no guard across blocking calls, bounded channels).
+# acquisition, no guard across blocking calls, bounded channels), and
+# the spec-conformance rules L13-L15 (differential drift against the
+# checker, semantic guard sufficiency, durable-before-outbound order).
 # Exits non-zero on any unsuppressed finding (-D semantics); every
 # suppression pragma must carry a written reason. Config: adore-lint.toml.
 echo "== adore-lint =="
@@ -47,6 +49,20 @@ rm -f results/flow_table.txt
 cargo run -p adore-bench --bin flow_table --release --offline >/dev/null
 test -s results/flow_table.txt || {
     echo "ci: results/flow_table.txt was not regenerated" >&2
+    exit 1
+}
+
+# Spec-conformance gate, isolated: the protocol handlers' extracted
+# guarded-command IR is replayed differentially against the checker's
+# transition system (L13), guard sufficiency (L14) and emission order
+# (L15) are certified on the same IR, and the committed IR dump is
+# regenerated and diffed so results/gcir.json always shows reviewers
+# the exact model the gate certified.
+echo "== adore-lint --only L13,L14,L15 (differential conformance) =="
+cargo run -q -p adore-lint --offline -- --only L13,L14,L15
+cargo run -q -p adore-lint --offline -- --dump-ir > target/gcir.regen.json
+diff -u results/gcir.json target/gcir.regen.json || {
+    echo "ci: results/gcir.json is stale — regenerate with adore-lint --dump-ir" >&2
     exit 1
 }
 

@@ -346,6 +346,7 @@ fn accept_loop(
                 let shutdown = Arc::clone(shutdown);
                 let target = target.to_string();
                 let conn_seed = seed ^ conn_no;
+                // adore-lint: allow(L8, reason = "thread::spawn returns a JoinHandle rather than a Result; the workspace call-graph cannot tell it from ClusterProc::spawn and the pump thread is deliberately detached")
                 thread::spawn(move || {
                     pump(&inbound, &target, &state, &counters, &shutdown, conn_seed);
                 });

@@ -1,14 +1,15 @@
 //! Flow-sensitive discipline table: the CFG/dataflow layer (rules
-//! L6-L8) and the concurrency-discipline layer (rules L9-L12) over the
-//! whole workspace, with per-rule finding counts and per-rule analysis
-//! wall-time.
+//! L6-L8), the concurrency-discipline layer (rules L9-L12), and the
+//! spec-conformance layer (rules L13-L15) over the whole workspace,
+//! with per-rule finding counts and per-rule analysis wall-time.
 //!
 //! Each rule is also timed in isolation — a config variant activates
 //! only that rule and `scan_flow`/`scan_conc` runs over the pre-parsed
 //! files — so the cost of the must-reach guard analysis (L6), the
 //! may-taint analysis (L7), the discarded-result check (L8), and the
-//! guard-live-range walks with crate-wide summary fixpoints (L9-L12)
-//! are visible separately from parsing.
+//! guard-live-range walks with crate-wide summary fixpoints (L9-L12),
+//! and the guarded-command IR extraction plus checker-corpus replay
+//! (L13-L15) are visible separately from parsing.
 //!
 //! Usage: `cargo run -p adore-bench --bin flow_table --release`
 //! (also writes `results/flow_table.txt`).
@@ -18,7 +19,7 @@ use std::time::Instant;
 
 use adore_bench::render_table;
 use adore_lint::config::Config;
-use adore_lint::{conc_rules, flow_rules};
+use adore_lint::{conc_rules, conform, flow_rules};
 
 /// A config variant that activates exactly one flow rule.
 fn isolate(rule: &str, full: &Config) -> Config {
@@ -84,6 +85,29 @@ const CONC_RULES: &[(&str, &str)] = &[
     ("L12", "bounded-channel discipline (sync_channel + try_send)"),
 ];
 
+/// A config variant that activates exactly one conformance rule.
+fn isolate_conform(rule: &str, full: &Config) -> Config {
+    let mut cfg = Config {
+        l13_conform: Vec::new(),
+        l14_protected: Vec::new(),
+        l15_scopes: Vec::new(),
+        ..full.clone()
+    };
+    match rule {
+        "L13" => cfg.l13_conform = full.l13_conform.clone(),
+        "L14" => cfg.l14_protected = full.l14_protected.clone(),
+        "L15" => cfg.l15_scopes = full.l15_scopes.clone(),
+        other => panic!("not a conformance rule: {other}"),
+    }
+    cfg
+}
+
+const CONFORM_RULES: &[(&str, &str)] = &[
+    ("L13", "spec drift (IR replayed on the checker's corpus)"),
+    ("L14", "semantic guard sufficiency on protected fields"),
+    ("L15", "emission order (durable-before-outbound on IR paths)"),
+];
+
 fn main() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let cfg_text =
@@ -111,10 +135,21 @@ fn main() {
     let mut flow_ms_total = 0.0;
     for (rule, desc) in FLOW_RULES {
         let iso = isolate(rule, &cfg);
+        // Mirror the real pass: each isolated run pays for the
+        // workspace call-graph fixpoint it depends on, so the timing
+        // reflects what enabling that rule alone would cost.
         let start = Instant::now();
+        let guard_names: std::collections::BTreeSet<String> = iso
+            .l6_protected
+            .iter()
+            .flat_map(|e| e.guards.iter().cloned())
+            .collect();
+        let workspace = adore_lint::callgraph::summarize_workspace(&parsed, &guard_names);
         let mut raw = 0usize;
         for (rel, file) in &parsed {
-            raw += flow_rules::scan_flow(rel, file, &iso)
+            let local = adore_lint::callgraph::summarize(file, &guard_names);
+            let summaries = adore_lint::callgraph::overlay(local, &workspace);
+            raw += flow_rules::scan_flow_with(rel, file, &iso, &summaries)
                 .iter()
                 .filter(|f| f.rule == *rule)
                 .count();
@@ -161,6 +196,31 @@ fn main() {
         ]);
     }
 
+    let mut conform_ms_total = 0.0;
+    for (rule, desc) in CONFORM_RULES {
+        let iso = isolate_conform(rule, &cfg);
+        let start = Instant::now();
+        let raw = conform::scan_conform(&parsed, &iso)
+            .iter()
+            .filter(|f| f.rule == *rule)
+            .count();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        conform_ms_total += ms;
+        let (active, suppressed) = tally.get(*rule).copied().unwrap_or((0, 0));
+        assert_eq!(
+            raw,
+            active + suppressed,
+            "{rule}: isolated scan disagrees with the full report"
+        );
+        rows.push(vec![
+            (*rule).to_string(),
+            (*desc).to_string(),
+            active.to_string(),
+            suppressed.to_string(),
+            format!("{ms:.1}"),
+        ]);
+    }
+
     let mut out = String::new();
     out.push_str("flow-sensitive discipline — CFG/dataflow and concurrency rules over the workspace\n\n");
     out.push_str(&render_table(
@@ -169,12 +229,14 @@ fn main() {
     ));
     out.push_str(&format!(
         "\n{} files parsed in {:.1} ms; flow analyses {:.1} ms, concurrency \
-         analyses {:.1} ms; {} unsuppressed findings, {} pragma-suppressed \
+         analyses {:.1} ms, conformance (IR extraction + corpus replay) \
+         {:.1} ms; {} unsuppressed findings, {} pragma-suppressed \
          across all rules\n",
         parsed.len(),
         parse_ms,
         flow_ms_total,
         conc_ms_total,
+        conform_ms_total,
         report.active_count(),
         report.suppressed_count()
     ));

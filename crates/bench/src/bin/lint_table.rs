@@ -26,6 +26,9 @@ const RULES: &[(&str, &str)] = &[
     ("L10", "no-panic lock acquisition in long-lived threads"),
     ("L11", "no lock guard held across blocking calls"),
     ("L12", "bounded-channel discipline (sync_channel + try_send)"),
+    ("L13", "spec drift (differential conformance vs the checker)"),
+    ("L14", "semantic guard sufficiency on protected fields"),
+    ("L15", "emission order (no durable write after outbound send)"),
     ("P0", "malformed suppression pragma"),
     ("E0", "unparsable file"),
 ];

@@ -1,0 +1,617 @@
+//! Conformance corpus: the checker-side hook for differential
+//! spec-drift detection (adore-lint rule L13).
+//!
+//! The corpus is every `(state, event, post-state)` transition attempt
+//! the bounded explorer visits from the initial cluster, re-expressed
+//! in a plain *mirror* representation (`CState`/`CEvent`) that carries
+//! no generics and no private fields. adore-lint's micro-interpreter
+//! executes a guarded-command IR — extracted from the *source text* of
+//! `raft/src/net.rs` — against every sample and diffs guard verdicts
+//! and post-states against what the compiled transition function
+//! actually did. Any mismatch is spec drift between the code and the
+//! certified model, reported with a replayable event-trace witness.
+//!
+//! The corpus instantiates the configuration scheme with
+//! [`SingleNode`] (majority quorums, one-node-at-a-time `R1⁺`) and the
+//! full [`ReconfigGuard`]; the mirror semantics in
+//! [`CState::is_quorum`]/[`CState::r1_plus`] reproduce exactly that
+//! instantiation. Drift in *other* scheme instantiations is out of
+//! scope for L13 (see DESIGN §15 for the soundness caveats).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use adore_core::{Configuration, NodeId, ReconfigGuard};
+use adore_raft::{Command, Entry, EventOutcome, MsgId, NetEvent, NetState, Request, Role};
+use adore_schemes::{ReconfigSpace, SingleNode};
+
+/// Mirror of a replicated command over the corpus instantiation
+/// (`SingleNode` configs, `u32` methods).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CCmd {
+    /// An application method.
+    Method(u32),
+    /// A configuration change to the given member set.
+    Config(BTreeSet<u32>),
+}
+
+/// Mirror of one log slot.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CEntry {
+    /// Leader term under which the entry was created.
+    pub time: u64,
+    /// The replicated command.
+    pub cmd: CCmd,
+}
+
+/// Mirror of a replica role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum CRole {
+    /// Passive replica.
+    #[default]
+    Follower,
+    /// Election in progress.
+    Candidate,
+    /// Commit phase.
+    Leader,
+}
+
+/// Mirror of one replica's full state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct CServer {
+    /// Largest observed term.
+    pub time: u64,
+    /// Local command log.
+    pub log: Vec<CEntry>,
+    /// Number of entries known committed.
+    pub commit_len: usize,
+    /// Current role.
+    pub role: CRole,
+    /// Votes received while a candidate.
+    pub votes: BTreeSet<u32>,
+    /// Commit acks per acked log length.
+    pub acks: BTreeMap<usize, BTreeSet<u32>>,
+    /// Whether the replica is crashed.
+    pub crashed: bool,
+    /// Whether the replica has renounced voting.
+    pub abstaining: bool,
+}
+
+impl CServer {
+    /// Whether this server is indistinguishable from a never-touched
+    /// one. Pristine servers are dropped by the state projection so
+    /// that materializing a default entry (as `ensure_server` does on
+    /// rejected paths) is not reported as a state change — mirroring
+    /// how `NetState::net_relation` filters its summary.
+    #[must_use]
+    pub fn pristine(&self) -> bool {
+        self == &CServer::default()
+    }
+}
+
+/// Mirror of a broadcast request.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CMsg {
+    /// An election request.
+    Elect {
+        /// The candidate.
+        from: u32,
+        /// The candidate's new term.
+        time: u64,
+        /// The candidate's log at broadcast time.
+        log: Vec<CEntry>,
+    },
+    /// A commit request.
+    Commit {
+        /// The leader.
+        from: u32,
+        /// The leader's term.
+        time: u64,
+        /// The leader's log at broadcast time.
+        log: Vec<CEntry>,
+        /// The leader's commit index at broadcast time.
+        commit_len: usize,
+    },
+}
+
+/// Mirror of a schedulable network event, over the corpus
+/// instantiation. Crash/recover events are not enumerated by the
+/// bounded explorer and so do not appear here.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CEvent {
+    /// `elect(nid)`.
+    Elect {
+        /// The candidate.
+        nid: u32,
+    },
+    /// `invoke(nid, m)`.
+    Invoke {
+        /// The leader.
+        nid: u32,
+        /// The method.
+        method: u32,
+    },
+    /// `reconfig(nid, cf)`.
+    Reconfig {
+        /// The leader.
+        nid: u32,
+        /// The proposed member set.
+        members: BTreeSet<u32>,
+    },
+    /// `commit(nid)`.
+    Commit {
+        /// The leader.
+        nid: u32,
+    },
+    /// `deliver(msg, to)`.
+    Deliver {
+        /// Index of the request in the sent bag.
+        msg: u32,
+        /// The recipient.
+        to: u32,
+    },
+}
+
+impl CEvent {
+    /// Compact single-token rendering (`Elect(1)`, `Deliver(0,2)`, …)
+    /// used in L13 witness messages.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            CEvent::Elect { nid } => format!("Elect({nid})"),
+            CEvent::Invoke { nid, method } => format!("Invoke({nid},m{method})"),
+            CEvent::Reconfig { nid, members } => {
+                let ms: Vec<String> = members.iter().map(u32::to_string).collect();
+                format!("Reconfig({nid},{{{}}})", ms.join(","))
+            }
+            CEvent::Commit { nid } => format!("Commit({nid})"),
+            CEvent::Deliver { msg, to } => format!("Deliver(m{msg},{to})"),
+        }
+    }
+}
+
+/// Mirror of the full network state: everything the differential
+/// comparison looks at. The `delivered` audit trail is deliberately
+/// excluded (it is bookkeeping, not protocol state), and pristine
+/// servers are dropped (see [`CServer::pristine`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct CState {
+    /// The genesis member set.
+    pub conf0: BTreeSet<u32>,
+    /// Non-pristine replicas.
+    pub servers: BTreeMap<u32, CServer>,
+    /// The sent-request bag.
+    pub messages: Vec<CMsg>,
+}
+
+impl CState {
+    /// The member set in effect at the end of `log`: last config entry
+    /// wins, else `conf0` — the hot-reconfiguration rule.
+    #[must_use]
+    pub fn effective_members(&self, log: &[CEntry]) -> BTreeSet<u32> {
+        log.iter()
+            .rev()
+            .find_map(|e| match &e.cmd {
+                CCmd::Config(m) => Some(m.clone()),
+                CCmd::Method(_) => None,
+            })
+            .unwrap_or_else(|| self.conf0.clone())
+    }
+
+    /// `SingleNode` majority quorum: strictly more than half of
+    /// `members` appear in `s`.
+    #[must_use]
+    pub fn is_quorum(members: &BTreeSet<u32>, s: &BTreeSet<u32>) -> bool {
+        members.len() < 2 * s.intersection(members).count()
+    }
+
+    /// `SingleNode` `R1⁺`: the next member set differs from the
+    /// current one by at most one node in total.
+    #[must_use]
+    pub fn r1_plus(current: &BTreeSet<u32>, next: &BTreeSet<u32>) -> bool {
+        let added = next.difference(current).count();
+        let removed = current.difference(next).count();
+        added + removed <= 1
+    }
+
+    /// Lexicographic log up-to-dateness: compare the last entries'
+    /// timestamps, then the lengths.
+    #[must_use]
+    pub fn log_up_to_date(candidate: &[CEntry], voter: &[CEntry]) -> bool {
+        let key = |log: &[CEntry]| (log.last().map_or(0, |e| e.time), log.len());
+        key(candidate) >= key(voter)
+    }
+
+    /// The committed-prefix agreement invariant, mirrored from
+    /// `NetState::check_log_safety`: no dangling commit watermark, and
+    /// no two committed prefixes that disagree on a shared slot.
+    /// Returns the offending pair on violation.
+    ///
+    /// # Errors
+    ///
+    /// `Err((a, b))` names the two replicas whose committed prefixes
+    /// conflict (`a == b` for a dangling watermark).
+    pub fn check_log_safety(&self) -> Result<(), (u32, u32)> {
+        for (&a, sa) in &self.servers {
+            if sa.commit_len > sa.log.len() {
+                return Err((a, a));
+            }
+            for (&b, sb) in &self.servers {
+                if b <= a {
+                    continue;
+                }
+                let shared = sa.commit_len.min(sb.commit_len);
+                if sa.log[..shared] != sb.log[..shared] {
+                    return Err((a, b));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One differential sample: a transition attempt the explorer made.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformSample {
+    /// The pre-state (projected).
+    pub state: CState,
+    /// The event attempted.
+    pub event: CEvent,
+    /// The post-state the compiled transition function produced
+    /// (projected).
+    pub post: CState,
+    /// Whether the compiled step reported `EventOutcome::Applied`.
+    pub applied: bool,
+    /// The applied-event trace that reaches `state` from the initial
+    /// cluster — the replayable witness prefix.
+    pub trace: Vec<CEvent>,
+}
+
+/// Parameters for [`conform_corpus`].
+#[derive(Debug, Clone)]
+pub struct ConformParams {
+    /// Genesis member ids.
+    pub members: Vec<u32>,
+    /// Extra never-member node ids added to the event universe.
+    pub spare_nodes: u32,
+    /// Maximum applied-trace length explored.
+    pub depth: usize,
+    /// Whether reconfiguration events are enumerated.
+    pub with_reconfig: bool,
+    /// Hard cap on recorded samples.
+    pub max_samples: usize,
+}
+
+impl Default for ConformParams {
+    fn default() -> Self {
+        ConformParams {
+            members: vec![1, 2],
+            spare_nodes: 1,
+            depth: 4,
+            with_reconfig: true,
+            max_samples: 60_000,
+        }
+    }
+}
+
+/// The generated corpus plus the universe it was enumerated over.
+#[derive(Debug, Clone)]
+pub struct ConformCorpus {
+    /// Genesis member ids.
+    pub members: Vec<u32>,
+    /// Full event universe (members plus spares).
+    pub universe: Vec<u32>,
+    /// Horizon the samples were collected at.
+    pub depth: usize,
+    /// Whether the sample cap truncated collection.
+    pub truncated: bool,
+    /// The transition samples, in deterministic BFS order.
+    pub samples: Vec<ConformSample>,
+}
+
+fn mirror_log(log: &[Entry<SingleNode, u32>]) -> Vec<CEntry> {
+    log.iter()
+        .map(|e| CEntry {
+            time: e.time.0,
+            cmd: match &e.cmd {
+                Command::Method(m) => CCmd::Method(*m),
+                Command::Config(c) => {
+                    CCmd::Config(c.members().iter().map(|n| n.0).collect())
+                }
+            },
+        })
+        .collect()
+}
+
+/// Projects a live `NetState` into its mirror, dropping pristine
+/// servers and the delivered audit trail.
+#[must_use]
+pub fn mirror_state(st: &NetState<SingleNode, u32>) -> CState {
+    let mut servers = BTreeMap::new();
+    for (nid, s) in st.servers() {
+        let cs = CServer {
+            time: s.time.0,
+            log: mirror_log(&s.log),
+            commit_len: s.commit_len,
+            role: match s.role {
+                Role::Follower => CRole::Follower,
+                Role::Candidate => CRole::Candidate,
+                Role::Leader => CRole::Leader,
+            },
+            votes: s.votes.iter().map(|n| n.0).collect(),
+            acks: s
+                .acks
+                .iter()
+                .map(|(&len, who)| (len, who.iter().map(|n| n.0).collect()))
+                .collect(),
+            crashed: s.crashed,
+            abstaining: s.abstaining,
+        };
+        if !cs.pristine() {
+            servers.insert(nid.0, cs);
+        }
+    }
+    CState {
+        conf0: st.conf0().members().iter().map(|n| n.0).collect(),
+        servers,
+        messages: st
+            .messages()
+            .iter()
+            .map(|m| match m {
+                Request::Elect { from, time, log } => CMsg::Elect {
+                    from: from.0,
+                    time: time.0,
+                    log: mirror_log(log),
+                },
+                Request::Commit {
+                    from,
+                    time,
+                    log,
+                    commit_len,
+                } => CMsg::Commit {
+                    from: from.0,
+                    time: time.0,
+                    log: mirror_log(log),
+                    commit_len: *commit_len,
+                },
+            })
+            .collect(),
+    }
+}
+
+/// Converts a mirror event back into a live `NetEvent`, for replaying
+/// witnesses through the compiled transition function.
+#[must_use]
+pub fn to_net_event(ev: &CEvent) -> NetEvent<SingleNode, u32> {
+    match ev {
+        CEvent::Elect { nid } => NetEvent::Elect { nid: NodeId(*nid) },
+        CEvent::Invoke { nid, method } => NetEvent::Invoke {
+            nid: NodeId(*nid),
+            method: *method,
+        },
+        CEvent::Reconfig { nid, members } => NetEvent::Reconfig {
+            nid: NodeId(*nid),
+            config: SingleNode::new(members.iter().copied()),
+        },
+        CEvent::Commit { nid } => NetEvent::Commit { nid: NodeId(*nid) },
+        CEvent::Deliver { msg, to } => NetEvent::Deliver {
+            msg: MsgId(*msg),
+            to: NodeId(*to),
+        },
+    }
+}
+
+fn to_cevent(ev: &NetEvent<SingleNode, u32>) -> CEvent {
+    match ev {
+        NetEvent::Elect { nid } => CEvent::Elect { nid: nid.0 },
+        NetEvent::Invoke { nid, method } => CEvent::Invoke {
+            nid: nid.0,
+            method: *method,
+        },
+        NetEvent::Reconfig { nid, config } => CEvent::Reconfig {
+            nid: nid.0,
+            members: config.members().iter().map(|n| n.0).collect(),
+        },
+        NetEvent::Commit { nid } => CEvent::Commit { nid: nid.0 },
+        NetEvent::Deliver { msg, to } => CEvent::Deliver {
+            msg: msg.0,
+            to: to.0,
+        },
+        // The corpus enumeration never emits crash/recover events
+        // (matching `explore_net`); see the `CEvent` docs.
+        NetEvent::Crash { .. } | NetEvent::Recover { .. } => {
+            unreachable!("crash/recover are not enumerated by the conformance corpus")
+        }
+    }
+}
+
+/// Replays a mirror-event trace from the initial cluster over
+/// `members` through the *compiled* transition function, returning
+/// the resulting live state. This is how an L13 witness is validated
+/// against the real code.
+#[must_use]
+pub fn replay_trace(members: &[u32], trace: &[CEvent]) -> NetState<SingleNode, u32> {
+    let mut st: NetState<SingleNode, u32> =
+        NetState::new(SingleNode::new(members.iter().copied()), ReconfigGuard::all());
+    for ev in trace {
+        let _ = st.step(&to_net_event(ev));
+    }
+    st
+}
+
+/// Generates the differential corpus: a BFS over applied transitions
+/// (mirroring `explore_net`'s enumeration exactly — every member and
+/// spare node attempts elect/invoke/commit, reconfig over the
+/// one-step candidate space, and delivery of every sent message),
+/// recording *every* transition attempt, applied or rejected,
+/// together with the applied trace that reaches its pre-state.
+#[must_use]
+pub fn conform_corpus(params: &ConformParams) -> ConformCorpus {
+    let conf0 = SingleNode::new(params.members.iter().copied());
+    let initial: NetState<SingleNode, u32> = NetState::new(conf0.clone(), ReconfigGuard::all());
+    let mut universe = conf0.members();
+    let max = universe.iter().map(|n| n.0).max().unwrap_or(0);
+    for extra in 1..=params.spare_nodes {
+        universe.insert(NodeId(max + extra));
+    }
+
+    let fingerprint = |st: &NetState<SingleNode, u32>| {
+        format!("{:?}|{:?}", st.net_relation(), st.messages())
+    };
+
+    let mut samples = Vec::new();
+    let mut truncated = false;
+    let mut visited = BTreeSet::new();
+    visited.insert(fingerprint(&initial));
+    let mut frontier: Vec<(NetState<SingleNode, u32>, Vec<CEvent>)> =
+        vec![(initial, Vec::new())];
+
+    'bfs: for d in 0..params.depth {
+        let mut next = Vec::new();
+        for (st, trace) in &frontier {
+            let pre = mirror_state(st);
+            for ev in successors(st, params.with_reconfig, &universe) {
+                if samples.len() >= params.max_samples {
+                    truncated = true;
+                    break 'bfs;
+                }
+                let mut post = st.clone();
+                let outcome = post.step(&ev);
+                let cev = to_cevent(&ev);
+                samples.push(ConformSample {
+                    state: pre.clone(),
+                    event: cev.clone(),
+                    post: mirror_state(&post),
+                    applied: outcome.applied(),
+                    trace: trace.clone(),
+                });
+                if outcome == EventOutcome::Applied
+                    && d + 1 < params.depth
+                    && visited.insert(fingerprint(&post))
+                {
+                    let mut t = trace.clone();
+                    t.push(cev);
+                    next.push((post, t));
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    ConformCorpus {
+        members: params.members.clone(),
+        universe: universe.iter().map(|n| n.0).collect(),
+        depth: params.depth,
+        truncated,
+        samples,
+    }
+}
+
+fn successors(
+    st: &NetState<SingleNode, u32>,
+    with_reconfig: bool,
+    universe: &adore_core::NodeSet,
+) -> Vec<NetEvent<SingleNode, u32>> {
+    let mut evs = Vec::new();
+    for &nid in universe {
+        evs.push(NetEvent::Elect { nid });
+        evs.push(NetEvent::Invoke { nid, method: 0 });
+        evs.push(NetEvent::Commit { nid });
+        if with_reconfig {
+            let current = st.config_of(nid).unwrap_or_else(|| st.conf0().clone());
+            for cand in current.candidates(universe) {
+                evs.push(NetEvent::Reconfig { nid, config: cand });
+            }
+        }
+        for msg in 0..st.messages().len() {
+            evs.push(NetEvent::Deliver {
+                msg: MsgId(msg as u32),
+                to: nid,
+            });
+        }
+    }
+    evs
+}
+
+/// A sanity bound used by tests and the IR dump: the default corpus
+/// must contain the quorum-drift witness prefix
+/// `[Elect(1), Deliver(m0,2), Invoke(1,m0)]` with a `Commit(1)`
+/// attempt recorded from its post-state.
+#[must_use]
+pub fn default_corpus() -> ConformCorpus {
+    conform_corpus(&ConformParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_records_rejections_and_applies() {
+        let c = conform_corpus(&ConformParams {
+            members: vec![1, 2],
+            spare_nodes: 0,
+            depth: 2,
+            with_reconfig: false,
+            max_samples: 10_000,
+        });
+        assert!(!c.truncated);
+        assert!(c.samples.iter().any(|s| s.applied));
+        assert!(c.samples.iter().any(|s| !s.applied));
+        // Rejected attempts must not change the projected state.
+        for s in &c.samples {
+            if !s.applied {
+                assert_eq!(s.state, s.post, "rejected event changed state: {:?}", s.event);
+            }
+        }
+    }
+
+    #[test]
+    fn traces_replay_to_their_prestates() {
+        let c = conform_corpus(&ConformParams {
+            members: vec![1, 2],
+            spare_nodes: 1,
+            depth: 3,
+            with_reconfig: true,
+            max_samples: 60_000,
+        });
+        for s in c.samples.iter().step_by(97) {
+            let live = replay_trace(&c.members, &s.trace);
+            assert_eq!(mirror_state(&live), s.state);
+        }
+    }
+
+    #[test]
+    fn default_corpus_contains_commit_after_leader_append() {
+        let c = default_corpus();
+        let want = [
+            CEvent::Elect { nid: 1 },
+            CEvent::Deliver { msg: 0, to: 2 },
+            CEvent::Invoke { nid: 1, method: 0 },
+        ];
+        assert!(
+            c.samples
+                .iter()
+                .any(|s| s.trace == want && s.event == (CEvent::Commit { nid: 1 })),
+            "quorum-drift witness prefix missing from default corpus"
+        );
+    }
+
+    #[test]
+    fn mirror_safety_check_matches_live() {
+        let c = conform_corpus(&ConformParams {
+            members: vec![1, 2],
+            spare_nodes: 0,
+            depth: 3,
+            with_reconfig: false,
+            max_samples: 60_000,
+        });
+        for s in c.samples.iter().step_by(53) {
+            let mut live = replay_trace(&c.members, &s.trace);
+            let _ = live.step(&to_net_event(&s.event));
+            assert_eq!(
+                live.check_log_safety().is_ok(),
+                s.post.check_log_safety().is_ok()
+            );
+        }
+    }
+}

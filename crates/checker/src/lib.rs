@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conform;
 pub mod explore;
 mod net_explore;
 mod op;
@@ -41,6 +42,10 @@ mod scenario;
 mod shrink;
 mod walker;
 
+pub use conform::{
+    conform_corpus, mirror_state, replay_trace, to_net_event, CCmd, CEntry, CEvent, CMsg, CRole,
+    CServer, CState, ConformCorpus, ConformParams, ConformSample,
+};
 pub use explore::{explore, ExploreParams, ExploreReport, InvariantSuite, CANONICAL_METHOD};
 pub use net_explore::{explore_net, NetExploreParams, NetExploreReport};
 pub use profile::ExploreProfile;

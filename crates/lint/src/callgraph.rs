@@ -1,16 +1,22 @@
-//! One-level call-graph summaries.
+//! Call-graph summaries: one-level same-file, and workspace fixpoint.
 //!
-//! The flow rules need to see through one layer of helper functions:
+//! The flow rules need to see through helper functions:
 //! `self.check_r3(...)` delegations must count as guard calls (L6), a
 //! helper returning `thread_rng().gen()` must taint its callers' bindings
 //! (L7), and `self.append_frame(...)` must count as fallible when its
-//! signature says `-> io::Result<...>` (L8). This module walks one file's
-//! items and produces a [`FnSummary`] per function name.
+//! signature says `-> io::Result<...>` (L8).
 //!
-//! The summaries are **one level deep and same-file only** — a helper
-//! that itself only delegates to a second helper in another file is not
-//! seen through. DESIGN.md §10 records this imprecision; call sites that
-//! rely on deeper delegation carry a reasoned pragma instead.
+//! Two strengths are provided. [`summarize`] walks one file's items and
+//! produces a **one-level, same-file** [`FnSummary`] per function name —
+//! the single-file entry point (`lint_source`) uses it.
+//! [`summarize_workspace`] instead computes the summaries as a
+//! **fixpoint over the whole workspace's call graph**: a helper that
+//! delegates to a second helper in another file is seen through, guards
+//! established on all paths propagate transitively, and taint flows
+//! through arbitrarily deep call chains. `run_lint` feeds the workspace
+//! summaries to the flow layer, so L6/L7/L8 no longer stop at file
+//! boundaries (resolution stays name-based and conservative: same-named
+//! functions merge to what holds for all of them).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -21,7 +27,7 @@ use crate::dataflow;
 
 /// What one function guarantees to its callers, as far as a one-level
 /// syntactic summary can tell.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FnSummary {
     /// The signature returns `Result<..>` or `Option<..>`.
     pub returns_fallible: bool,
@@ -162,6 +168,154 @@ pub fn summarize(
     out
 }
 
+/// The per-body facts the fixpoint re-evaluates each round. The CFG and
+/// per-node call lists are extracted once; only the summary map varies.
+struct FnFacts {
+    name: String,
+    returns_fallible: bool,
+    returns_value: bool,
+    direct_source: bool,
+    graph: Option<cfg::Cfg>,
+    calls_per_node: Vec<Vec<String>>,
+}
+
+/// Summarizes every non-test function across the whole parsed
+/// workspace, iterating to a fixpoint over the cross-file call graph:
+///
+/// - `guards_on_all_paths` propagates transitively — a wrapper whose
+///   every path calls a helper that itself guards on every path counts
+///   as guarding;
+/// - `tainted_return` propagates through call chains of any depth;
+/// - `returns_fallible` stays signature-derived (a delegating wrapper's
+///   own signature already says `Result`/`Option`).
+///
+/// Resolution is by bare name and therefore ambiguous across the
+/// workspace, so every fact is merged with **AND across same-named
+/// definitions**: a name's entry claims only what holds for *every*
+/// function the call could resolve to. That is conservative in both
+/// directions — no false guard credit for L6, and no false taint/
+/// fallibility blame for L7/L8 from an unrelated `push`/`apply`/
+/// `default` in another crate. Same-file facts (where resolution is
+/// near-certain) are layered back on top by [`overlay`].
+///
+/// Both propagated facts grow monotonically from the direct seed, so
+/// the iteration terminates; a depth cap bounds pathological graphs.
+#[must_use]
+pub fn summarize_workspace(
+    parsed: &[(String, syn::File)],
+    guard_names: &BTreeSet<String>,
+) -> BTreeMap<String, FnSummary> {
+    let mut facts: Vec<FnFacts> = Vec::new();
+    for (_, file) in parsed {
+        let mut fns = Vec::new();
+        collect_fns(&file.items, false, &mut fns);
+        for f in fns {
+            let sig = f.signature.to_string();
+            let (graph, calls_per_node, direct_source) = match &f.body {
+                Some(body) => {
+                    let graph = cfg::build(body);
+                    let calls = graph
+                        .nodes
+                        .iter()
+                        .map(|n| calls_in(&n.tokens).into_iter().map(|(name, _)| name).collect())
+                        .collect();
+                    let src = banned_source_in(body.stream().trees()).is_some();
+                    (Some(graph), calls, src)
+                }
+                None => (None, Vec::new(), false),
+            };
+            facts.push(FnFacts {
+                name: f.ident.clone(),
+                returns_fallible: signature_returns_fallible(&sig),
+                returns_value: signature_returns_value(&sig),
+                direct_source,
+                graph,
+                calls_per_node,
+            });
+        }
+    }
+    let mut map: BTreeMap<String, FnSummary> = BTreeMap::new();
+    for _round in 0..32 {
+        let mut next: BTreeMap<String, FnSummary> = BTreeMap::new();
+        for f in &facts {
+            let mut s = FnSummary {
+                returns_fallible: f.returns_fallible,
+                ..FnSummary::default()
+            };
+            if let Some(graph) = &f.graph {
+                let gen: Vec<BTreeSet<String>> = f
+                    .calls_per_node
+                    .iter()
+                    .map(|calls| {
+                        let mut set = BTreeSet::new();
+                        for name in calls {
+                            if guard_names.contains(name) {
+                                set.insert(name.clone());
+                            } else if let Some(callee) = map.get(name) {
+                                set.extend(callee.guards_on_all_paths.iter().cloned());
+                            }
+                        }
+                        set
+                    })
+                    .collect();
+                s.guards_on_all_paths = dataflow::must_forward(graph, &gen)[EXIT].clone();
+                s.tainted_return = f.returns_value
+                    && (f.direct_source
+                        || f.calls_per_node.iter().flatten().any(|name| {
+                            map.get(name).is_some_and(|c| c.tainted_return)
+                        }));
+            }
+            match next.entry(f.name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(s);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = e.get_mut();
+                    merged.returns_fallible &= s.returns_fallible;
+                    merged.tainted_return &= s.tainted_return;
+                    merged.guards_on_all_paths = merged
+                        .guards_on_all_paths
+                        .intersection(&s.guards_on_all_paths)
+                        .cloned()
+                        .collect();
+                }
+            }
+        }
+        if next == map {
+            break;
+        }
+        map = next;
+    }
+    map
+}
+
+/// Layers one file's same-file summaries over the workspace fixpoint:
+/// names defined in the file keep their local (one-level, OR-merged)
+/// facts — resolution inside a file is near-certain — and additionally
+/// gain any workspace guard facts, which are safe to add because the
+/// fixpoint only records guards holding for *every* definition of the
+/// name. Names defined elsewhere resolve through the workspace entry.
+#[must_use]
+pub fn overlay(
+    local: BTreeMap<String, FnSummary>,
+    workspace: &BTreeMap<String, FnSummary>,
+) -> BTreeMap<String, FnSummary> {
+    let mut out = local;
+    for (name, w) in workspace {
+        match out.entry(name.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(w.clone());
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                e.get_mut()
+                    .guards_on_all_paths
+                    .extend(w.guards_on_all_paths.iter().cloned());
+            }
+        }
+    }
+    out
+}
+
 /// Collects every function item, impl/trait/mod bodies included,
 /// skipping `#[cfg(test)]` subtrees.
 pub(crate) fn collect_fns<'f>(
@@ -252,6 +406,66 @@ fn clean() -> u64 { 7 }
             &[],
         );
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn workspace_fixpoint_sees_through_cross_file_chains() {
+        // a.rs: deep wrapper chain ending in a guard; b.rs: the guard
+        // caller and a taint chain — neither file alone resolves them.
+        let a = syn::parse_file(
+            "impl S {\n\
+                 fn level2(&self) { self.level1(); }\n\
+                 fn level1(&self) { self.check_quorum(); }\n\
+             }\n\
+             fn pick2() -> u64 { pick1() }\n",
+        )
+        .expect("a");
+        let b = syn::parse_file(
+            "impl S {\n\
+                 fn check_quorum(&self) { self.is_quorum(q()); }\n\
+             }\n\
+             fn pick1() -> u64 { thread_rng().gen() }\n\
+             fn partial(&self, c: bool) { if c { self.level2(); } }\n",
+        )
+        .expect("b");
+        let parsed = vec![("a.rs".to_string(), a), ("b.rs".to_string(), b)];
+        let guards: BTreeSet<String> = std::iter::once("is_quorum".to_string()).collect();
+        let s = summarize_workspace(&parsed, &guards);
+        // Three-deep, cross-file: level2 -> level1 -> check_quorum -> guard.
+        assert!(s["level2"].guards_on_all_paths.contains("is_quorum"));
+        assert!(s["level1"].guards_on_all_paths.contains("is_quorum"));
+        // Taint crosses the file boundary through the wrapper.
+        assert!(s["pick1"].tainted_return);
+        assert!(s["pick2"].tainted_return);
+        // A conditional call still does not guard on all paths.
+        assert!(s["partial"].guards_on_all_paths.is_empty());
+    }
+
+    #[test]
+    fn workspace_fixpoint_merges_same_names_conservatively() {
+        let a = syn::parse_file(
+            "impl A { fn helper(&self) { self.is_quorum(q()); } }",
+        )
+        .expect("a");
+        let b = syn::parse_file("impl B { fn helper(&self) { noop(); } }").expect("b");
+        let parsed = vec![("a.rs".to_string(), a), ("b.rs".to_string(), b)];
+        let guards: BTreeSet<String> = std::iter::once("is_quorum".to_string()).collect();
+        let s = summarize_workspace(&parsed, &guards);
+        // Two types share the method name; only what holds for both
+        // survives, so the guard claim is dropped.
+        assert!(s["helper"].guards_on_all_paths.is_empty());
+    }
+
+    #[test]
+    fn workspace_fixpoint_terminates_on_recursion() {
+        let a = syn::parse_file(
+            "fn ping() -> u64 { pong() }\nfn pong() -> u64 { ping() }\n",
+        )
+        .expect("a");
+        let parsed = vec![("a.rs".to_string(), a)];
+        let s = summarize_workspace(&parsed, &BTreeSet::new());
+        assert!(!s["ping"].tainted_return);
+        assert!(!s["pong"].tainted_return);
     }
 
     #[test]

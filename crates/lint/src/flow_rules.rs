@@ -35,10 +35,32 @@ use crate::rules::{assignment_follows, in_dir};
 use crate::Finding;
 use std::collections::BTreeMap;
 
-/// Runs the flow rules over one parsed file. `rel` is the
-/// workspace-relative path with forward slashes; it selects which rule
-/// scopes apply.
+/// Runs the flow rules over one parsed file with **same-file,
+/// one-level** helper summaries — the single-file entry point. The
+/// workspace driver uses [`scan_flow_with`] with cross-file fixpoint
+/// summaries instead.
 pub fn scan_flow(rel: &str, file: &syn::File, config: &Config) -> Vec<Finding> {
+    let guard_names: BTreeSet<String> = config
+        .l6_protected
+        .iter()
+        .filter(|e| in_dir(rel, &e.crate_dir))
+        .flat_map(|e| e.guards.iter().cloned())
+        .collect();
+    let summaries = callgraph::summarize(file, &guard_names);
+    scan_flow_with(rel, file, config, &summaries)
+}
+
+/// Runs the flow rules over one parsed file with caller-provided helper
+/// summaries — typically [`callgraph::summarize_workspace`]'s cross-file
+/// fixpoint, which lets L6 credit guard delegation through helpers in
+/// other files, L7 follow taint through cross-file wrappers, and L8
+/// recognize fallible helpers wherever they are defined.
+pub fn scan_flow_with(
+    rel: &str,
+    file: &syn::File,
+    config: &Config,
+    summaries: &BTreeMap<String, FnSummary>,
+) -> Vec<Finding> {
     let l6: Vec<&L6Protected> = config
         .l6_protected
         .iter()
@@ -59,7 +81,6 @@ pub fn scan_flow(rel: &str, file: &syn::File, config: &Config) -> Vec<Finding> {
         .iter()
         .flat_map(|e| e.guards.iter().cloned())
         .collect();
-    let summaries = callgraph::summarize(file, &guard_names);
 
     let mut fns = Vec::new();
     callgraph::collect_fns(&file.items, false, &mut fns);
@@ -69,13 +90,13 @@ pub fn scan_flow(rel: &str, file: &syn::File, config: &Config) -> Vec<Finding> {
         let Some(body) = &f.body else { continue };
         let graph = cfg::build(body);
         if !l6.is_empty() {
-            flag_l6(rel, &graph, &l6, &guard_names, &summaries, &mut findings);
+            flag_l6(rel, &graph, &l6, &guard_names, summaries, &mut findings);
         }
         if l7 {
-            flag_l7(rel, &graph, &config.l7_sink_fields, &summaries, &mut findings);
+            flag_l7(rel, &graph, &config.l7_sink_fields, summaries, &mut findings);
         }
         if l8_fns.iter().any(|n| *n == "*" || *n == f.ident) {
-            flag_l8(rel, &graph, &summaries, &config.l8_fallible, &mut findings);
+            flag_l8(rel, &graph, summaries, &config.l8_fallible, &mut findings);
         }
     }
     findings

@@ -34,9 +34,11 @@ pub mod callgraph;
 pub mod cfg;
 pub mod conc_rules;
 pub mod config;
+pub mod conform;
 pub mod dataflow;
 pub mod explain;
 pub mod flow_rules;
+pub mod gcir;
 pub mod pragma;
 pub mod rules;
 
@@ -119,6 +121,7 @@ fn base_findings(
     source: &str,
     cfg: &Config,
     pragmas: &pragma::PragmaSet,
+    run_flow: bool,
 ) -> (Vec<Finding>, Option<syn::File>) {
     let mut findings = Vec::new();
     for err in &pragmas.errors {
@@ -135,7 +138,9 @@ fn base_findings(
     match syn::parse_file(source) {
         Ok(file) => {
             findings.extend(rules::scan_file(rel, &file, cfg));
-            findings.extend(flow_rules::scan_flow(rel, &file, cfg));
+            if run_flow {
+                findings.extend(flow_rules::scan_flow(rel, &file, cfg));
+            }
             (findings, Some(file))
         }
         Err(e) => {
@@ -180,10 +185,11 @@ fn finish_file(findings: &mut [Finding], pragmas: &pragma::PragmaSet) {
 #[must_use]
 pub fn lint_source(rel: &str, source: &str, cfg: &Config) -> Vec<Finding> {
     let pragmas = pragma::scan(source);
-    let (mut findings, parsed) = base_findings(rel, source, cfg, &pragmas);
+    let (mut findings, parsed) = base_findings(rel, source, cfg, &pragmas, true);
     if let Some(file) = parsed {
         let files = vec![(rel.to_string(), file)];
         findings.extend(conc_rules::scan_conc(&files, cfg));
+        findings.extend(conform::scan_conform(&files, cfg));
     }
     finish_file(&mut findings, &pragmas);
     findings
@@ -251,22 +257,75 @@ pub fn run_lint(root: &Path, cfg: &Config) -> io::Result<Report> {
         files_scanned: rels.len(),
         ..Report::default()
     };
-    // Pass 1: per-file layers, keeping each parse and pragma set so the
-    // cross-file concurrency layer sees the whole workspace at once.
+    // Pass 1: per-file layers, fanned out across threads in contiguous
+    // chunks. Chunk results are re-assembled in `rels` order, so the
+    // output is byte-identical to the sequential walk; each parse and
+    // pragma set is kept so the cross-file layers see the whole
+    // workspace at once.
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, 8);
+    let chunk = rels.len().div_ceil(threads).max(1);
+    type FileUnit = (String, Vec<Finding>, pragma::PragmaSet, Option<syn::File>);
+    let units: Vec<io::Result<Vec<FileUnit>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = rels
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    part.iter()
+                        .map(|rel| {
+                            let source = fs::read_to_string(root.join(rel))?;
+                            let pragmas = pragma::scan(&source);
+                            // Flow rules run later against the
+                            // workspace-wide call-graph fixpoint.
+                            let (findings, file) =
+                                base_findings(rel, &source, cfg, &pragmas, false);
+                            Ok((rel.clone(), findings, pragmas, file))
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("lint worker panicked")).collect()
+    });
     let mut per_file: BTreeMap<String, (Vec<Finding>, pragma::PragmaSet)> = BTreeMap::new();
     let mut parsed: Vec<(String, syn::File)> = Vec::new();
-    for rel in &rels {
-        let source = fs::read_to_string(root.join(rel))?;
-        let pragmas = pragma::scan(&source);
-        let (findings, file) = base_findings(rel, &source, cfg, &pragmas);
-        if let Some(file) = file {
-            parsed.push((rel.clone(), file));
+    for unit in units {
+        for (rel, findings, pragmas, file) in unit? {
+            if let Some(file) = file {
+                parsed.push((rel.clone(), file));
+            }
+            per_file.insert(rel, (findings, pragmas));
         }
-        per_file.insert(rel.clone(), (findings, pragmas));
+    }
+    // Pass 1.5: the flow layer (L6–L8) against the workspace-wide
+    // call-graph fixpoint, so guard delegation, taint, and fallibility
+    // are seen through helpers in *other* files.
+    let guard_names: std::collections::BTreeSet<String> = cfg
+        .l6_protected
+        .iter()
+        .flat_map(|e| e.guards.iter().cloned())
+        .collect();
+    let workspace = callgraph::summarize_workspace(&parsed, &guard_names);
+    for (rel, file) in &parsed {
+        let local = callgraph::summarize(file, &guard_names);
+        let summaries = callgraph::overlay(local, &workspace);
+        for f in flow_rules::scan_flow_with(rel, file, cfg, &summaries) {
+            if let Some((findings, _)) = per_file.get_mut(&f.file) {
+                findings.push(f);
+            }
+        }
     }
     // Pass 2: one global L9–L12 scan, findings bucketed back per file so
     // pragmas and position sorting apply uniformly.
     for f in conc_rules::scan_conc(&parsed, cfg) {
+        if let Some((findings, _)) = per_file.get_mut(&f.file) {
+            findings.push(f);
+        }
+    }
+    // Pass 3: the spec-conformance layer (L13–L15) over the same parses.
+    for f in conform::scan_conform(&parsed, cfg) {
         if let Some((findings, _)) = per_file.get_mut(&f.file) {
             findings.push(f);
         }
@@ -351,6 +410,114 @@ pub fn render_json(report: &Report) -> String {
         report.suppressed_count()
     );
     out
+}
+
+/// Renders a report as a SARIF 2.1.0 log (`--format sarif`), one run
+/// with one result per finding. Suppressed findings carry a SARIF
+/// `suppressions` entry (kind `inSource`) holding the pragma reason, so
+/// downstream viewers can distinguish waived findings from clean files.
+#[must_use]
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n          \"name\": \"adore-lint\",\n          \"informationUri\": \"https://github.com/adore/adore\",\n          \"rules\": [",
+    );
+    let mut rule_ids: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    for (i, id) in rule_ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_escape(id),
+            json_escape(explain::summary(id).unwrap_or("adore-lint finding"))
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"{}\",\n          \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            {{\n              \"physicalLocation\": {{\n                \"artifactLocation\": {{\"uri\": \"{}\"}},\n                \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n              }}\n            }}\n          ]",
+            json_escape(&f.rule),
+            if f.rule == "P0" || f.rule == "E0" { "error" } else { "warning" },
+            json_escape(&f.msg),
+            json_escape(&f.file),
+            f.line,
+            f.col + 1
+        );
+        if f.suppressed {
+            let reason = f.reason.as_deref().unwrap_or("");
+            let _ = write!(
+                out,
+                ",\n          \"suppressions\": [{{\"kind\": \"inSource\", \"justification\": \"{}\"}}]",
+                json_escape(reason)
+            );
+        }
+        out.push_str("\n        }");
+    }
+    let _ = write!(
+        out,
+        "\n      ],\n      \"properties\": {{\"filesScanned\": {}, \"active\": {}, \"suppressed\": {}}}\n    }}\n  ]\n}}\n",
+        report.files_scanned,
+        report.active_count(),
+        report.suppressed_count()
+    );
+    out
+}
+
+/// Renders the guarded-command IR dump (`--dump-ir`) for every file the
+/// conformance layer certifies: L13 handler scopes and L15 emission
+/// scopes, in config order with duplicates merged. The output is
+/// deterministic and pinned under `results/gcir.json` by CI.
+///
+/// # Errors
+///
+/// Propagates filesystem errors reading a configured file; a configured
+/// file that is missing or unparsable is skipped (the lint run itself
+/// reports it).
+pub fn render_ir_dump(root: &Path, cfg: &Config) -> io::Result<String> {
+    // scope -> wanted fn names, in first-seen config order.
+    let mut scopes: Vec<(String, Vec<String>)> = Vec::new();
+    let mut add = |file: &str, fns: &[String]| {
+        if let Some((_, wanted)) = scopes.iter_mut().find(|(f, _)| f == file) {
+            for f in fns {
+                if !wanted.contains(f) {
+                    wanted.push(f.clone());
+                }
+            }
+        } else {
+            scopes.push((file.to_string(), fns.to_vec()));
+        }
+    };
+    for c in &cfg.l13_conform {
+        add(&c.file, &c.handlers);
+    }
+    for s in &cfg.l15_scopes {
+        add(&s.file, &s.functions);
+    }
+    let mut dumped: Vec<(String, Vec<gcir::HandlerIr>)> = Vec::new();
+    for (rel, mut wanted) in scopes {
+        let path = root.join(&rel);
+        if !path.is_file() {
+            continue;
+        }
+        let source = fs::read_to_string(&path)?;
+        let Ok(file) = syn::parse_file(&source) else {
+            continue;
+        };
+        if wanted.iter().any(|f| f == "*") {
+            let mut fns = Vec::new();
+            callgraph::collect_fns(&file.items, false, &mut fns);
+            wanted = fns.iter().map(|f| f.ident.clone()).collect();
+        }
+        dumped.push((rel, gcir::extract(&file, &wanted)));
+    }
+    Ok(gcir::render_json_dump(&dumped))
 }
 
 fn json_escape(s: &str) -> String {

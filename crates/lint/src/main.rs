@@ -10,6 +10,7 @@ use adore_lint::config::Config;
 
 fn main() -> ExitCode {
     let mut format = "text".to_string();
+    let mut dump_ir = false;
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut only: Option<Vec<String>> = None;
@@ -44,12 +45,15 @@ fn main() -> ExitCode {
                 }
             },
             "--format" => match args.next() {
-                Some(f) if f == "text" || f == "json" => format = f,
+                Some(f) if f == "text" || f == "json" || f == "sarif" => format = f,
                 other => {
-                    eprintln!("adore-lint: --format expects `text` or `json`, got {other:?}");
+                    eprintln!(
+                        "adore-lint: --format expects `text`, `json`, or `sarif`, got {other:?}"
+                    );
                     return ExitCode::from(2);
                 }
             },
+            "--dump-ir" => dump_ir = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -87,24 +91,36 @@ fn main() -> ExitCode {
                 println!(
                     "adore-lint: certify protocol discipline at the source level\n\
                      \n\
-                     USAGE: adore-lint [--format text|json] [--root DIR] [--config FILE]\n\
-                     \n                  [--only RULE[,RULE...]]\n\
+                     USAGE: adore-lint [--format text|json|sarif] [--root DIR]\n\
+                     \n                  [--config FILE] [--only RULE[,RULE...]]\n\
                      \n       adore-lint --explain RULE\n\
+                     \n       adore-lint --dump-ir\n\
                      \n\
                      Scans the workspace for violations of rules L1 (determinism),\n\
                      L2 (panic-free recovery), L3 (mutation/construction\n\
                      encapsulation), L4 (certificate hygiene), L5 (no stray console\n\
                      output), the flow-sensitive rules L6 (guard-before-mutation),\n\
                      L7 (nondeterminism taint), and L8 (discarded fallible results\n\
-                     in recovery scopes), and the concurrency-discipline rules L9\n\
+                     in recovery scopes), the concurrency-discipline rules L9\n\
                      (lock-order cycles), L10 (no-panic lock acquisition), L11 (no\n\
                      lock held across blocking calls), and L12 (bounded-channel\n\
-                     discipline). `--only L9,L10,L11,L12` narrows the report (and\n\
-                     the exit status) to the listed rules; P0/E0 always count.\n\
-                     `--explain RULE` prints a rule's rationale, the paper\n\
+                     discipline), and the spec-conformance rules L13 (differential\n\
+                     drift against the checker's transition system), L14 (semantic\n\
+                     guard sufficiency on IR paths), and L15 (durable-before-\n\
+                     outbound emission order). `--only L9,L10` narrows the report\n\
+                     (and the exit status) to the listed rules; P0/E0 always\n\
+                     count. `--explain RULE` prints a rule's rationale, the paper\n\
                      invariant it guards, and a minimal violating example.\n\
-                     Configuration: adore-lint.toml at the workspace root. Exit\n\
-                     status is non-zero when unsuppressed findings exist."
+                     `--format sarif` emits a SARIF 2.1.0 log for code-scanning\n\
+                     upload. `--dump-ir` prints the guarded-command IR extracted\n\
+                     from the configured conformance scopes and exits.\n\
+                     Configuration: adore-lint.toml at the workspace root.\n\
+                     \n\
+                     EXIT STATUS:\n\
+                     \n  0  clean (no unsuppressed findings)\n\
+                     \n  1  ordinary unsuppressed findings (L1-L15)\n\
+                     \n  2  integrity errors: malformed pragma (P0), unparsable\n\
+                     \n     file (E0), bad configuration, IO failure, or usage"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -140,6 +156,19 @@ fn main() -> ExitCode {
         }
     };
 
+    if dump_ir {
+        match adore_lint::render_ir_dump(&root, &cfg) {
+            Ok(dump) => {
+                print!("{dump}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("adore-lint: IR dump failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let mut report = match adore_lint::run_lint(&root, &cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -159,10 +188,20 @@ fn main() -> ExitCode {
 
     match format.as_str() {
         "json" => print!("{}", adore_lint::render_json(&report)),
+        "sarif" => print!("{}", adore_lint::render_sarif(&report)),
         _ => print!("{}", adore_lint::render_text(&report)),
     }
 
-    if report.active_count() > 0 {
+    // Three-way exit: 2 = the lint's own inputs are compromised (a
+    // malformed pragma can silently waive anything; an unparsable file
+    // was not checked at all), 1 = ordinary findings, 0 = clean.
+    let integrity = report
+        .findings
+        .iter()
+        .any(|f| !f.suppressed && (f.rule == "P0" || f.rule == "E0"));
+    if integrity {
+        ExitCode::from(2)
+    } else if report.active_count() > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn unknown_rule_id_is_an_error() {
-        for bad in ["L13", "L99", "P1", "E2", "LX"] {
+        for bad in ["L16", "L99", "P1", "E2", "LX"] {
             let set = scan(&pragma(&format!(r#"allow({bad}, reason = "x")"#)));
             assert_eq!(set.errors.len(), 1, "{bad} must be rejected");
             assert!(set.errors[0].msg.contains("unknown rule id"), "{bad}");

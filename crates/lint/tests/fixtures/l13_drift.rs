@@ -1,0 +1,8 @@
+// Known-bad fixture for L13: `elect` ignores the election entirely, so
+// the extracted guarded-command IR predicts an unchanged state while
+// the checker's transition system makes the candidate a leader. The
+// differential scan reports the drift with a replayable witness.
+
+impl Net {
+    fn elect(&mut self, _nid: NodeId) {}
+}

@@ -1,0 +1,34 @@
+// Known-bad fixture for L14: an assignment to a protected field whose
+// IR path carries no guard of the configured semantic kind. `advance`
+// is the compliant shape (quorum test dominates the write); `waived`
+// shows the pragma escape hatch with a mandatory reason.
+
+impl Net {
+    fn sneak(&mut self, nid: NodeId) {
+        let Some(s) = self.servers.get_mut(&nid) else {
+            return;
+        };
+        s.commit_len = 7;
+    }
+
+    fn advance(&mut self, nid: NodeId, len: usize) {
+        let conf0 = self.conf0.clone();
+        let Some(s) = self.servers.get_mut(&nid) else {
+            return;
+        };
+        let Some(ackers) = s.acks.get(&len) else {
+            return;
+        };
+        let config = effective_config(&conf0, &s.log);
+        if config.is_quorum(ackers) && len > s.commit_len {
+            s.commit_len = len;
+        }
+    }
+
+    fn waived(&mut self, nid: NodeId) {
+        let Some(s) = self.servers.get_mut(&nid) else {
+            return;
+        };
+        s.commit_len = 9; // adore-lint: allow(L14, reason = "fixture: quorum certificate checked by the caller")
+    }
+}

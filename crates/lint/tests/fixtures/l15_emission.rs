@@ -1,0 +1,22 @@
+// Known-bad fixture for L15: a durable emission (Persist/Journal)
+// sequenced after an outbound one (Send/Reply) on the same IR path.
+// `ordered` is the compliant shape: everything durable first, then the
+// network.
+
+impl Node {
+    fn finish(&mut self, st: Step) -> Vec<Output> {
+        let mut out = Vec::new();
+        out.extend(st.sends.into_iter().map(|(to, msg)| Output::Send { to, msg }));
+        out.push(Output::Persist { bytes });
+        out
+    }
+
+    fn ordered(&mut self, st: Step) -> Vec<Output> {
+        let mut out = Vec::new();
+        out.push(Output::Journal(EventKind::StateDelta { nid: self.nid.0 }));
+        out.push(Output::Persist { bytes });
+        out.extend(st.sends.into_iter().map(|(to, msg)| Output::Send { to, msg }));
+        out.extend(st.replies.into_iter().map(|(conn, reply)| Output::Reply { conn, reply }));
+        out
+    }
+}

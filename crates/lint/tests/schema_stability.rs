@@ -1,10 +1,11 @@
-//! Pins the `--format json` output byte-for-byte. Downstream tooling
-//! (CI annotations, the flow_table bench) parses this; any change to
-//! field names, field order, indentation, or the footer must show up
-//! here as a deliberate diff.
+//! Pins the `--format json` and `--format sarif` output byte-for-byte.
+//! Downstream tooling (CI annotations, the flow_table bench,
+//! code-scanning upload) parses these; any change to field names,
+//! field order, indentation, or the footer must show up here as a
+//! deliberate diff.
 
 use adore_lint::config::{Config, L2Scope};
-use adore_lint::{lint_source, render_json, Report};
+use adore_lint::{lint_source, render_json, render_sarif, Report};
 
 fn pragma_line(rest: &str) -> String {
     format!("// {} {rest}", concat!("adore-", "lint:"))
@@ -98,6 +99,88 @@ fn conc_findings_json_is_pinned_byte_for_byte() {
         "}\n",
     );
     assert_eq!(render_json(&report), expected);
+}
+
+#[test]
+fn sarif_output_is_pinned_byte_for_byte() {
+    let cfg = Config {
+        l1_crates: vec!["crates/core".into()],
+        ..Config::default()
+    };
+    let src = format!(
+        "fn f() {{\n    let t = Instant::now(); {}\n    let m = HashMap::new();\n}}\n",
+        pragma_line(r#"allow(L1, reason = "timing display only")"#),
+    );
+    let findings = lint_source("crates/core/src/a.rs", &src, &cfg);
+    let report = Report {
+        findings,
+        files_scanned: 1,
+    };
+    let expected = concat!(
+        "{\n",
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n",
+        "  \"version\": \"2.1.0\",\n",
+        "  \"runs\": [\n",
+        "    {\n",
+        "      \"tool\": {\n",
+        "        \"driver\": {\n",
+        "          \"name\": \"adore-lint\",\n",
+        "          \"informationUri\": \"https://github.com/adore/adore\",\n",
+        "          \"rules\": [\n",
+        "            {\"id\": \"L1\", \"shortDescription\": {\"text\": \"L1 — determinism\"}}\n",
+        "          ]\n",
+        "        }\n",
+        "      },\n",
+        "      \"results\": [\n",
+        "        {\n",
+        "          \"ruleId\": \"L1\",\n",
+        "          \"level\": \"warning\",\n",
+        "          \"message\": {\"text\": \"ambient clock `Instant::now` in a protocol crate\"},\n",
+        "          \"locations\": [\n",
+        "            {\n",
+        "              \"physicalLocation\": {\n",
+        "                \"artifactLocation\": {\"uri\": \"crates/core/src/a.rs\"},\n",
+        "                \"region\": {\"startLine\": 2, \"startColumn\": 13}\n",
+        "              }\n",
+        "            }\n",
+        "          ],\n",
+        "          \"suppressions\": [{\"kind\": \"inSource\", \"justification\": \"timing display only\"}]\n",
+        "        },\n",
+        "        {\n",
+        "          \"ruleId\": \"L1\",\n",
+        "          \"level\": \"warning\",\n",
+        "          \"message\": {\"text\": \"hash-ordered collection `HashMap` in a protocol crate (use BTreeMap/BTreeSet)\"},\n",
+        "          \"locations\": [\n",
+        "            {\n",
+        "              \"physicalLocation\": {\n",
+        "                \"artifactLocation\": {\"uri\": \"crates/core/src/a.rs\"},\n",
+        "                \"region\": {\"startLine\": 3, \"startColumn\": 13}\n",
+        "              }\n",
+        "            }\n",
+        "          ]\n",
+        "        }\n",
+        "      ],\n",
+        "      \"properties\": {\"filesScanned\": 1, \"active\": 1, \"suppressed\": 1}\n",
+        "    }\n",
+        "  ]\n",
+        "}\n",
+    );
+    assert_eq!(render_sarif(&report), expected);
+}
+
+#[test]
+fn empty_report_sarif_has_empty_rules_and_results() {
+    let report = Report {
+        findings: Vec::new(),
+        files_scanned: 42,
+    };
+    let sarif = render_sarif(&report);
+    assert!(sarif.contains("\"rules\": [\n          ]"), "{sarif}");
+    assert!(sarif.contains("\"results\": [\n      ]"), "{sarif}");
+    assert!(
+        sarif.contains("\"properties\": {\"filesScanned\": 42, \"active\": 0, \"suppressed\": 0}"),
+        "{sarif}"
+    );
 }
 
 #[test]

@@ -288,11 +288,11 @@ impl<C: Configuration, M: Clone + Eq> NetState<C, M> {
         let s = self.ensure_server(nid);
         s.time = time;
         // Recovery installs the watermark Wal::recover already certified
-        // by frame replay — the guard lives one call level up, outside
-        // L6's same-file summary reach.
-        // adore-lint: allow(L6, reason = "installs the WAL-certified watermark; guarded by Wal::recover's replay one call level up")
+        // by frame replay — the guard lives in another crate, outside
+        // both L6's call-graph reach and L14's per-path IR dominance.
+        // adore-lint: allow(L6, L14, reason = "installs the WAL-certified watermark; guarded by Wal::recover's replay one call level up")
         s.commit_len = commit_len.min(log.len());
-        // adore-lint: allow(L6, reason = "installs the WAL-certified log; guarded by Wal::recover's replay one call level up")
+        // adore-lint: allow(L6, L14, reason = "installs the WAL-certified log; guarded by Wal::recover's replay one call level up")
         s.log = log;
         s.role = Role::Follower;
         s.votes.clear();
